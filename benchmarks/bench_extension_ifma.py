@@ -1,0 +1,18 @@
+"""Benchmark: the AVX-512 IFMA52 tuning ladder."""
+
+from repro.experiments import extension_ifma
+
+
+def test_extension_ifma(report):
+    result = report(extension_ifma.run)
+    intel = [r for r in result.rows if r[0] == "intel_xeon_8352y"]
+    speedups = [float(r[3]) for r in intel]
+    # The ladder must be monotone on Intel and its top rung must reach
+    # the paper's tuned regime (1.5x-3x over scalar; paper: 2.4x).
+    assert speedups == sorted(speedups)
+    assert 1.5 < speedups[-1] < 3.0
+    # Every rung of the ladder beats the portable Barrett baseline.
+    amd = [r for r in result.rows if r[0] == "amd_epyc_9654"]
+    portable = float(amd[1][2])
+    for row in amd[2:]:
+        assert float(row[2]) < portable  # every rung beats portable Barrett

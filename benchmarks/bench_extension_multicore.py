@@ -1,0 +1,17 @@
+"""Benchmark: multi-core realization of the speed-of-light projection."""
+
+from repro.experiments import extension_multicore
+
+
+def test_extension_multicore(report):
+    result = report(extension_multicore.run)
+    by_size_cores = {
+        (int(row[0]), int(row[1])): (float(row[2]), row[4])
+        for row in result.rows
+    }
+    # L2-resident size: near-linear on all 192 cores.
+    speedup_14, bound_14 = by_size_cores[(14, 192)]
+    assert speedup_14 > 150 and bound_14 == "compute"
+    # Spilled size: saturates against shared bandwidth well below linear.
+    speedup_16, bound_16 = by_size_cores[(16, 192)]
+    assert speedup_16 < 100 and bound_16 == "shared-bandwidth"

@@ -1,0 +1,13 @@
+"""Benchmark: the Section 7 bit-width extension (128/192/256-bit NTTs)."""
+
+from repro.experiments import extension_multiword
+
+
+def test_extension_multiword(report):
+    result = report(extension_multiword.run)
+    gains = [float(v) for v in result.column("mqx speedup over avx512")]
+    # MQX's advantage must grow monotonically with the residue width.
+    assert gains == sorted(gains)
+    assert gains[-1] > gains[0] * 1.05
+    # And every width must still show a solid MQX win.
+    assert all(g > 2.0 for g in gains)

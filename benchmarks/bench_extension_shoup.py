@@ -1,0 +1,10 @@
+"""Benchmark: the Shoup/Harvey precomputed-twiddle extension."""
+
+from repro.experiments import extension_shoup
+
+
+def test_extension_shoup(report):
+    result = report(extension_shoup.run)
+    speedups = [float(v) for v in result.column("speedup")]
+    # Every backend on every CPU must gain, in the realistic 1.1x-2x band.
+    assert all(1.1 < s < 2.0 for s in speedups)

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 1 (headline NTT comparison)."""
+
+from repro.experiments import figure1
+
+
+def test_figure1(report):
+    result = report(figure1.run)
+    runtimes = dict(zip(result.column("implementation"), result.column("us per NTT")))
+
+    # Shape: MQX < AVX-512 < {scalar, AVX2}; single-core AVX-512 beats the
+    # 32-core OpenFHE baseline; SOL-scaled MQX reaches the ASIC.
+    assert runtimes["mqx (1 core EPYC 9654)"] < runtimes["avx512 (1 core EPYC 9654)"]
+    assert (
+        runtimes["avx512 (1 core EPYC 9654)"]
+        < runtimes["OpenFHE (32-core EPYC 7502)"]
+    )
+    assert runtimes["MQX-SOL (192-core EPYC 9965S)"] <= runtimes["RPU (ASIC)"]

@@ -1,0 +1,26 @@
+"""Benchmark: Figure 4 (BLAS operations on both CPUs)."""
+
+import pytest
+
+from repro.experiments import figure4
+
+
+@pytest.mark.parametrize("panel", ["a", "b"], ids=["intel", "amd"])
+def test_figure4(report, panel):
+    result = report(lambda: figure4.run(panel))
+    for row in result.rows:
+        values = dict(zip(result.headers[1:], row[1:]))
+        # Shape per operation: MQX fastest of ours, GMP far behind.
+        assert values["mqx"] <= values["avx512"] <= values["avx2"]
+        assert values["gmp"] > 5 * values["avx512"]
+
+    # The aggregate GMP gap lands in the paper's decade (17-18x there).
+    slowdowns = [
+        dict(zip(result.headers[1:], row[1:]))["gmp"]
+        / max(
+            dict(zip(result.headers[1:], row[1:]))["scalar"],
+            dict(zip(result.headers[1:], row[1:]))["avx2"],
+        )
+        for row in result.rows
+    ]
+    assert sum(slowdowns) / len(slowdowns) > 10

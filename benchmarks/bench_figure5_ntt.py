@@ -1,0 +1,39 @@
+"""Benchmark: Figure 5 (NTT across sizes on both CPUs)."""
+
+import pytest
+
+from repro.experiments import figure5
+
+
+@pytest.mark.parametrize("panel", ["a", "b"], ids=["intel", "amd"])
+def test_figure5(report, panel):
+    result = report(lambda: figure5.run(panel))
+
+    series = {
+        impl: [float(row[i + 1]) for row in result.rows]
+        for i, impl in enumerate(result.headers[1:])
+    }
+    # Ordering at every size: MQX < AVX-512 < OpenFHE < GMP.
+    for i in range(len(result.rows)):
+        assert series["mqx"][i] < series["avx512"][i]
+        assert series["avx512"][i] < series["openfhe"][i]
+        assert series["openfhe"][i] < series["gmp"][i]
+
+    # Aggregate gaps in the paper's decade (Section 5.4 / Section 8).
+    avg = lambda xs: sum(xs) / len(xs)
+    avx512_vs_openfhe = avg(
+        [o / v for o, v in zip(series["openfhe"], series["avx512"])]
+    )
+    mqx_vs_openfhe = avg([o / v for o, v in zip(series["openfhe"], series["mqx"])])
+    assert 15 < avx512_vs_openfhe < 60  # paper: 31.9x / 23.2x
+    assert 50 < mqx_vs_openfhe < 160  # paper: 66.9x / 86.5x
+
+
+def test_figure5_intel_l2_spill(report):
+    """The paper's signature crossover: MQX degrades at 2^16 on Intel."""
+    result = report(lambda: figure5.run("a"))
+    logs = [int(v) for v in result.column("log2(n)")]
+    mqx = dict(zip(logs, (float(v) for v in result.column("mqx"))))
+    avx512 = dict(zip(logs, (float(v) for v in result.column("avx512"))))
+    assert mqx[16] > 1.3 * mqx[15]  # MQX becomes memory-bound
+    assert avx512[16] < 1.1 * avx512[15]  # AVX-512 stays compute-bound

@@ -1,0 +1,17 @@
+"""Benchmark: Figure 6 (MQX component sensitivity on AMD EPYC)."""
+
+from repro.experiments import figure6
+
+
+def test_figure6(report):
+    result = report(figure6.run)
+    norm = dict(
+        zip(result.column("config"), (float(v) for v in result.column("normalized")))
+    )
+    # Every component helps; the full extension compounds to ~3.7x.
+    assert norm["+M"] < 1.0 and norm["+C"] < 1.0
+    assert norm["+M"] < norm["+C"]  # widening multiply contributes more
+    assert 2.5 < 1.0 / norm["+M,C"] < 4.5  # paper: 3.7x
+    # Multiply-high is a cheap near-substitute; predication is marginal.
+    assert norm["+Mh,C"] < 1.3 * norm["+M,C"]
+    assert 1.0 <= norm["+M,C"] / norm["+M,C,P"] < 1.2

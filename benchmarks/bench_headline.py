@@ -1,0 +1,16 @@
+"""Benchmark: the Abstract's headline aggregate speedups."""
+
+from repro.experiments import headline
+
+
+def test_headline(report):
+    result = report(headline.run)
+    values = dict(
+        zip(result.column("metric"), (float(v) for v in result.column("ours")))
+    )
+    # Same decade as the paper's 38x / 62x / 77x / 104x / 35x headline.
+    assert values["avx512 NTT vs best baseline"] > 15
+    assert values["avx512 BLAS vs GMP"] > 15
+    assert values["mqx NTT vs best baseline"] > 50
+    assert values["mqx BLAS vs GMP"] > 50
+    assert 10 < values["single-core MQX slowdown vs RPU (best case)"] < 120

@@ -1,0 +1,21 @@
+"""Benchmark: Listing 4 (LLVM-MCA-style resource pressure reports)."""
+
+from repro.experiments import listing4
+
+
+def test_listing4(report):
+    result = report(listing4.run)
+    instr = dict(zip(result.column("variant"), result.column("instructions")))
+    port = dict(
+        zip(result.column("variant"), (float(v) for v in result.column("port bound (cycles)")))
+    )
+    assert instr["MQX"] * 2 <= instr["AVX-512"]
+    assert port["MQX"] < port["AVX-512"]
+
+
+def test_listing4_report_text(benchmark):
+    text = benchmark.pedantic(listing4.reports, rounds=3, iterations=1)
+    print()
+    print(text)
+    assert "Resource pressure by instruction" in text
+    assert "vpadcq_zmm" in text and "vpsbbq_zmm" in text

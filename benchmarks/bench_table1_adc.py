@@ -1,0 +1,34 @@
+"""Benchmark: Table 1 (addition with carry across the three ISAs).
+
+Also times the raw simulated kernels themselves, giving a feel for the
+ISA simulator's own throughput.
+"""
+
+import random
+
+from repro.experiments import table1
+from repro.isa.types import Mask, Vec
+from repro.kernels.listings import table1_adc_avx512, table1_adc_mqx
+
+
+def test_table1(report):
+    result = report(table1.run)
+    counts = dict(zip(result.column("implementation"), result.column("instructions")))
+    assert counts["AVX-512"] == 6
+    assert counts["MQX"] == 1
+
+
+def test_simulated_avx512_adc_throughput(benchmark):
+    rng = random.Random(1)
+    a = Vec([rng.randrange(1 << 64) for _ in range(8)])
+    b = Vec([rng.randrange(1 << 64) for _ in range(8)])
+    ci = Mask(0b10101010, 8)
+    benchmark(table1_adc_avx512, a, b, ci)
+
+
+def test_simulated_mqx_adc_throughput(benchmark):
+    rng = random.Random(2)
+    a = Vec([rng.randrange(1 << 64) for _ in range(8)])
+    b = Vec([rng.randrange(1 << 64) for _ in range(8)])
+    ci = Mask(0b01010101, 8)
+    benchmark(table1_adc_mqx, a, b, ci)

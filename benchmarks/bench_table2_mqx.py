@@ -1,0 +1,12 @@
+"""Benchmark: Table 2 (MQX instruction semantics, executed)."""
+
+from repro.experiments import table2
+
+
+def test_table2(report):
+    result = report(table2.run)
+    assert len(result.rows) == 3
+    instructions = [row[0] for row in result.rows]
+    assert any("_mm512_mul_epi64" in i for i in instructions)
+    assert any("_mm512_adc_epi64" in i for i in instructions)
+    assert any("_mm512_sbb_epi64" in i for i in instructions)

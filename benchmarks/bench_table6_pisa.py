@@ -1,0 +1,12 @@
+"""Benchmark: Table 6 (PISA validation on both CPUs)."""
+
+from repro.experiments import table6
+
+
+def test_table6(report):
+    result = report(table6.run)
+    errors = [float(cell.rstrip("%")) for cell in result.column("epsilon (ours)")]
+    # The paper's claim: |epsilon| < 8% on all six cases.
+    assert all(abs(e) < 8.0 for e in errors)
+    # And the projection is never optimistic in the deterministic model.
+    assert all(e <= 0.0 for e in errors)

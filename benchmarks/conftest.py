@@ -1,0 +1,28 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures through the
+full pipeline (ISA simulation -> trace -> machine model -> runtimes),
+asserts the paper's shape claims on the result, and prints the regenerated
+series (visible with ``pytest -s``; also written to EXPERIMENTS.md by
+``python -m repro.experiments.runner``).
+"""
+
+import pytest
+
+
+def run_and_report(benchmark, fn):
+    """Benchmark an experiment regeneration and echo its table."""
+    result = benchmark.pedantic(fn, rounds=3, iterations=1, warmup_rounds=1)
+    print()
+    print(result.format_table())
+    return result
+
+
+@pytest.fixture
+def report(benchmark):
+    """Fixture form of :func:`run_and_report`."""
+
+    def _run(fn):
+        return run_and_report(benchmark, fn)
+
+    return _run

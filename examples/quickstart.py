@@ -1,0 +1,72 @@
+"""Quickstart: 128-bit modular NTTs and BLAS on four ISA backends.
+
+Runs a polynomial multiplication through the full paper pipeline (SIMD NTT
+-> point-wise multiply -> inverse NTT) on every backend, checks the result
+against schoolbook multiplication, and prints modeled runtimes for the
+paper's testbed CPUs.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    BlasPlan,
+    SimdNtt,
+    default_modulus,
+    estimate_ntt,
+    get_backend,
+    get_cpu,
+    simd_ntt_polymul,
+)
+from repro.ntt.reference import schoolbook_polymul
+
+
+def main() -> None:
+    q = default_modulus()
+    print(f"modulus q: {q} ({q.bit_length()} bits, the paper's 124-bit regime)")
+
+    rng = random.Random(2025)
+    n = 256
+
+    # --- forward/inverse NTT on every backend --------------------------
+    data = [rng.randrange(q) for _ in range(n)]
+    for name in ("scalar", "avx2", "avx512", "mqx"):
+        plan = SimdNtt(n, q, get_backend(name))
+        spectrum = plan.forward(data)
+        assert plan.inverse(spectrum) == data
+        print(f"{name:>7}: {n}-point NTT roundtrip OK "
+              f"(root of unity {plan.table.root % 10**6}... )")
+
+    # --- polynomial multiplication via the convolution theorem ---------
+    f = [rng.randrange(q) for _ in range(64)]
+    g = [rng.randrange(q) for _ in range(64)]
+    product = simd_ntt_polymul(f, g, q, get_backend("mqx"))
+    assert product == schoolbook_polymul(f, g, q)
+    print(f"polymul: degree-63 x degree-63 product verified against schoolbook")
+
+    # --- BLAS operations ------------------------------------------------
+    plan = BlasPlan(q, get_backend("avx512"))
+    x = [rng.randrange(q) for _ in range(1024)]
+    y = [rng.randrange(q) for _ in range(1024)]
+    a = rng.randrange(q)
+    assert plan.axpy(a, x, y) == [(a * xi + yi) % q for xi, yi in zip(x, y)]
+    print("BLAS: 1024-element axpy verified")
+
+    # --- modeled runtimes (the paper's Figure 5 numbers) ----------------
+    print("\nmodeled NTT runtime, n = 2^14 (ns per butterfly):")
+    for cpu_key in ("intel_xeon_8352y", "amd_epyc_9654"):
+        cpu = get_cpu(cpu_key)
+        row = f"  {cpu.name:18s}"
+        for name in ("scalar", "avx2", "avx512", "mqx"):
+            est = estimate_ntt(1 << 14, q, get_backend(name), cpu)
+            row += f"  {name}={est.ns_per_butterfly:6.2f}"
+        print(row)
+
+
+if __name__ == "__main__":
+    main()

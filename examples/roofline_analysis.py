@@ -1,0 +1,79 @@
+"""Roofline / speed-of-light analysis, including a custom CPU.
+
+Reproduces the Section 6 methodology and the artifact's Section A.7
+customization: scale single-core MQX results to whole server CPUs via
+Equation 13, compare against the published accelerators, then register a
+hypothetical CPU of your own and rerun the projection.
+
+Usage::
+
+    python examples/roofline_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro import default_modulus, estimate_ntt, get_backend, get_cpu
+from repro.baselines.published import synthesize_published
+from repro.machine.cpu import CpuSpec, register_cpu
+from repro.roofline.compare import average_speedup, figure7_comparison
+from repro.roofline.sol import default_sol_anchor, sol_runtime
+
+
+def main() -> None:
+    q = default_modulus()
+
+    # --- Figure 7: MQX-SOL vs published accelerators --------------------
+    for vendor, target in (("intel", "Intel Xeon 6980P"), ("amd", "AMD EPYC 9965S")):
+        rows = figure7_comparison(vendor)
+        print(f"MQX speed-of-light on {target}:")
+        for design in ("RPU", "FPMM", "MoMA", "OpenFHE (32-core)"):
+            speedup = average_speedup(rows, design)
+            verdict = "faster" if speedup >= 1 else "slower"
+            print(f"  vs {design:18s} {max(speedup, 1/speedup):8.2f}x {verdict}")
+        print()
+
+    # --- per-size detail on AMD -----------------------------------------
+    published = synthesize_published(default_sol_anchor())
+    rpu = published["rpu"]
+    amd = get_cpu("amd_epyc_9654")
+    target = get_cpu("amd_epyc_9965s")
+    print("per-size MQX-SOL vs RPU (AMD):")
+    print("  log2(n)   SOL us    RPU us   speedup")
+    for logn in rpu.sizes:
+        est = estimate_ntt(1 << logn, q, get_backend("mqx"), amd)
+        sol = sol_runtime(est, target)
+        print(
+            f"  {logn:7d} {sol.sol_ns / 1000:8.3f} "
+            f"{rpu.runtime(logn) / 1000:9.3f} {rpu.runtime(logn) / sol.sol_ns:8.2f}x"
+        )
+
+    # --- Section A.7: customize Equation 13 for your own CPU ------------
+    custom = CpuSpec(
+        key="hypothetical_avx512_cpu",
+        name="Hypothetical 256-core AVX-512 CPU",
+        microarch="zen4",
+        cores=256,
+        base_ghz=2.5,
+        max_ghz=4.0,
+        allcore_ghz=3.0,
+        l1d_bytes=48 * 1024,
+        l2_bytes_per_core=2 * 1024 * 1024,
+        l3_bytes=512 * 1024 * 1024,
+        memory="DDR5",
+    )
+    register_cpu(custom)
+    est = estimate_ntt(1 << 14, q, get_backend("mqx"), amd)
+    sol = sol_runtime(est, custom)
+    print(
+        f"\ncustom CPU ({custom.name}): 2^14 NTT SOL = "
+        f"{sol.sol_ns / 1000:.3f} us "
+        f"({rpu.runtime(14) / sol.sol_ns:.2f}x vs RPU)"
+    )
+    print(
+        "edit the CpuSpec fields (cores, all-core boost) to match your "
+        "machine - that is the artifact's Equation 13 customization"
+    )
+
+
+if __name__ == "__main__":
+    main()

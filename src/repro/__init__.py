@@ -1,0 +1,86 @@
+"""repro - reproduction of "Towards Closing the Performance Gap for
+Cryptographic Kernels Between CPUs and Specialized Hardware" (MICRO 2025).
+
+The library builds the paper's entire stack in Python:
+
+* lane-accurate simulators of the scalar x86-64, AVX2, AVX-512 and
+  proposed MQX instruction sets (:mod:`repro.isa`),
+* double-word (128-bit) modular arithmetic kernels in four ISA variants
+  (:mod:`repro.kernels`), with BLAS (:mod:`repro.blas`) and NTT
+  (:mod:`repro.ntt`) layers on top,
+* a port-pressure + cache machine model of the paper's two testbed CPUs
+  (:mod:`repro.machine`) driving runtime estimation (:mod:`repro.perf`),
+* PISA performance projection and its validation (:mod:`repro.pisa`),
+* GMP-style and OpenFHE-style baselines (:mod:`repro.baselines`),
+* the roofline/speed-of-light analysis (:mod:`repro.roofline`), and
+* one experiment harness per table/figure (:mod:`repro.experiments`).
+
+Quick start::
+
+    from repro import SimdNtt, default_modulus, get_backend
+
+    q = default_modulus()
+    ntt = SimdNtt(1 << 10, q, get_backend("mqx"))
+    spectrum = ntt.forward(list(range(1 << 10)))
+    assert ntt.inverse(spectrum) == list(range(1 << 10))
+"""
+
+from repro.arith.barrett import BarrettParams
+from repro.arith.primes import default_modulus, find_ntt_prime, root_of_unity
+from repro.blas.ops import BlasPlan
+from repro.ifma.kernel import IfmaKernel
+from repro.ifma.ntt import IfmaNtt
+from repro.kernels import MqxFeatures, get_backend
+from repro.machine.cpu import get_cpu, list_cpus
+from repro.multicore.model import BatchScalingModel
+from repro.multiword.ntt import MultiWordNtt
+from repro.ntt.negacyclic import NegacyclicNtt, negacyclic_polymul
+from repro.ntt.polymul import ntt_polymul, simd_ntt_polymul
+from repro.ntt.simd import SimdNtt
+from repro.perf.estimator import (
+    estimate_baseline_blas,
+    estimate_baseline_ntt,
+    estimate_blas,
+    estimate_ntt,
+)
+from repro.perf.measure import measure_blas, measure_ntt
+from repro.rns.basis import RnsBasis
+from repro.rns.poly import RnsPolynomial, RnsPolynomialRing
+from repro.pisa.validation import validate_pisa
+from repro.roofline.sol import sol_runtime, sol_sweep
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BarrettParams",
+    "BatchScalingModel",
+    "BlasPlan",
+    "IfmaKernel",
+    "IfmaNtt",
+    "MqxFeatures",
+    "MultiWordNtt",
+    "NegacyclicNtt",
+    "RnsBasis",
+    "RnsPolynomial",
+    "RnsPolynomialRing",
+    "SimdNtt",
+    "default_modulus",
+    "estimate_baseline_blas",
+    "estimate_baseline_ntt",
+    "estimate_blas",
+    "estimate_ntt",
+    "find_ntt_prime",
+    "get_backend",
+    "get_cpu",
+    "list_cpus",
+    "measure_blas",
+    "measure_ntt",
+    "negacyclic_polymul",
+    "ntt_polymul",
+    "root_of_unity",
+    "simd_ntt_polymul",
+    "sol_runtime",
+    "sol_sweep",
+    "validate_pisa",
+    "__version__",
+]

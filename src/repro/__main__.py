@@ -1,0 +1,197 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro info
+    python -m repro estimate --kernel ntt --backend mqx --cpu amd_epyc_9654 --logn 14
+    python -m repro estimate --kernel blas --operation vector_mul --backend avx512
+    python -m repro validate
+    python -m repro mca [--microarch sunny_cove]
+    python -m repro sol --vendor amd
+    python -m repro experiments [--output EXPERIMENTS.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.arith.primes import default_modulus
+from repro.kernels import Backend, get_backend
+from repro.machine.cpu import get_cpu, list_cpus
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    q = default_modulus()
+    print("backends:", ", ".join(Backend.available()))
+    print("cpus:", ", ".join(list_cpus()))
+    print(f"default modulus: {q} ({q.bit_length()} bits)")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    from repro.perf.estimator import (
+        estimate_baseline_blas,
+        estimate_baseline_ntt,
+        estimate_blas,
+        estimate_ntt,
+    )
+
+    q = default_modulus()
+    cpu = get_cpu(args.cpu)
+    if args.kernel == "ntt":
+        n = 1 << args.logn
+        if args.backend in ("gmp", "openfhe"):
+            est = estimate_baseline_ntt(args.backend, n, q, cpu)
+        else:
+            est = estimate_ntt(
+                n, q, get_backend(args.backend), cpu, args.algorithm
+            )
+        print(
+            f"{args.backend} NTT n=2^{args.logn} on {cpu.name}: "
+            f"{est.ns / 1000:.2f} us ({est.ns_per_butterfly:.2f} ns/butterfly, "
+            f"{'compute' if est.compute_bound else 'memory'}-bound, "
+            f"{est.memory_level})"
+        )
+    else:
+        if args.backend in ("gmp", "openfhe"):
+            est = estimate_baseline_blas(
+                args.backend, args.operation, args.length, q, cpu
+            )
+        else:
+            est = estimate_blas(
+                args.operation, args.length, q, get_backend(args.backend), cpu
+            )
+        print(
+            f"{args.backend} {args.operation} length {args.length} on "
+            f"{cpu.name}: {est.ns_per_element:.2f} ns/element"
+        )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.pisa.validation import max_absolute_error, validate_pisa
+
+    cases = validate_pisa()
+    for case in cases:
+        print(
+            f"{case.cpu:18s} {case.target_intrinsic:24s} "
+            f"epsilon = {case.relative_error_pct:+6.2f}%"
+        )
+    worst = max_absolute_error(cases)
+    print(f"max |epsilon| = {worst:.2f}% (paper bound: 8%)")
+    return 0 if worst < 8.0 else 1
+
+
+def _cmd_mca(args: argparse.Namespace) -> int:
+    from repro.experiments.listing4 import reports
+
+    print(reports(microarch_name=args.microarch))
+    return 0
+
+
+def _cmd_sol(args: argparse.Namespace) -> int:
+    from repro.roofline.compare import average_speedup, figure7_comparison
+
+    rows = figure7_comparison(args.vendor)
+    for design in ("RPU", "FPMM", "MoMA", "OpenFHE (32-core)"):
+        print(
+            f"MQX-SOL vs {design:18s}: "
+            f"{average_speedup(rows, design):10.2f}x"
+        )
+    return 0
+
+
+def _cmd_codegen(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.codegen.c_emitter import generate_kernel_source
+    from repro.codegen.mqx_header import generate_mqx_header
+
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    q = default_modulus()
+    (out / "mqx.h").write_text(generate_mqx_header())
+    written = ["mqx.h"]
+    for backend_name in ("scalar", "avx2", "avx512", "mqx"):
+        backend = get_backend(backend_name)
+        for kernel in ("addmod", "submod", "mulmod", "butterfly"):
+            source = generate_kernel_source(backend, kernel, q)
+            name = f"{kernel}128_{backend_name}.c"
+            (out / name).write_text(source)
+            written.append(name)
+    print(f"wrote {len(written)} files to {out}/: " + ", ".join(written[:5]) + ", ...")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import main as runner_main
+
+    return runner_main(["runner", args.output])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Cryptographic-kernel reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list backends, CPUs, default modulus")
+
+    est = sub.add_parser("estimate", help="model a kernel's runtime")
+    est.add_argument("--kernel", choices=["ntt", "blas"], default="ntt")
+    est.add_argument(
+        "--backend",
+        default="mqx",
+        choices=["scalar", "avx2", "avx512", "mqx", "gmp", "openfhe"],
+    )
+    est.add_argument("--cpu", default="amd_epyc_9654", choices=list_cpus())
+    est.add_argument("--logn", type=int, default=14)
+    est.add_argument(
+        "--algorithm", choices=["schoolbook", "karatsuba"], default="schoolbook"
+    )
+    est.add_argument("--operation", default="vector_mul")
+    est.add_argument("--length", type=int, default=1024)
+
+    sub.add_parser("validate", help="run the PISA validation (Table 6)")
+
+    mca = sub.add_parser("mca", help="print Listing 4 MCA reports")
+    mca.add_argument(
+        "--microarch", default="sunny_cove", choices=["sunny_cove", "zen4"]
+    )
+
+    sol = sub.add_parser("sol", help="Figure 7 speed-of-light summary")
+    sol.add_argument("--vendor", choices=["intel", "amd"], default="amd")
+
+    exp = sub.add_parser("experiments", help="regenerate EXPERIMENTS.md")
+    exp.add_argument("--output", default="EXPERIMENTS.md")
+
+    gen = sub.add_parser(
+        "codegen", help="emit C-with-intrinsics kernels + mqx.h (artifact)"
+    )
+    gen.add_argument("--output", default="generated")
+
+    return parser
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "codegen": _cmd_codegen,
+    "estimate": _cmd_estimate,
+    "validate": _cmd_validate,
+    "mca": _cmd_mca,
+    "sol": _cmd_sol,
+    "experiments": _cmd_experiments,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Mathematical reference layer: modular and double-word arithmetic.
+
+Everything in this package is pure-Python, exact, and untraced - it defines
+*what* the kernels must compute. The ISA-level kernel backends in
+:mod:`repro.kernels` are verified bit-for-bit against these references.
+"""
+
+from repro.arith.barrett import BarrettParams
+from repro.arith.doubleword import (
+    dw_add,
+    dw_add_with_carry,
+    dw_mul_karatsuba,
+    dw_mul_schoolbook,
+    dw_sub,
+)
+from repro.arith.modular import (
+    add_mod,
+    inv_mod,
+    mul_mod,
+    pow_mod,
+    sub_mod,
+)
+from repro.arith.dwmod import (
+    MAX_MODULUS_BITS,
+    addmod128,
+    check_modulus_128,
+    mulmod128,
+    submod128,
+)
+from repro.arith.primes import (
+    default_modulus,
+    find_ntt_prime,
+    find_primitive_root,
+    is_prime,
+    root_of_unity,
+)
+
+__all__ = [
+    "BarrettParams",
+    "dw_add",
+    "dw_add_with_carry",
+    "dw_sub",
+    "dw_mul_schoolbook",
+    "dw_mul_karatsuba",
+    "add_mod",
+    "sub_mod",
+    "mul_mod",
+    "pow_mod",
+    "inv_mod",
+    "MAX_MODULUS_BITS",
+    "check_modulus_128",
+    "addmod128",
+    "submod128",
+    "mulmod128",
+    "default_modulus",
+    "find_ntt_prime",
+    "find_primitive_root",
+    "is_prime",
+    "root_of_unity",
+]

@@ -1,0 +1,90 @@
+"""Barrett reduction parameters (Section 2.1, Equation 4).
+
+Barrett reduction replaces the expensive modulo operation with shifts and
+multiplications using a per-modulus precomputed constant ``mu``:
+
+    c = t - floor(t * mu / 2^k) * q,   mu = floor(2^k / q).
+
+We use the classical two-shift refinement (Handbook of Applied Cryptography
+Alg. 14.42): instead of the full ``t * mu`` product, first drop the low
+``beta - 1`` bits of ``t`` (``beta`` = bit length of ``q``), multiply by
+``mu = floor(2^(2 beta) / q)``, then shift right by ``beta + 1``. The
+quotient estimate is off by at most 2, so at most two conditional
+subtractions complete the reduction.
+
+The paper's key constraint: for a target data width of ``l`` bits, ``q``
+must have at most ``l - 4`` bits so that ``mu`` also fits in ``l`` bits.
+For the 128-bit double-words used here that means ``q <= 2^124``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ArithmeticDomainError
+
+
+@dataclass(frozen=True)
+class BarrettParams:
+    """Precomputed Barrett constants for a fixed modulus ``q``.
+
+    Attributes:
+        q: The modulus.
+        beta: Bit length of ``q``.
+        k: The Barrett exponent, ``2 * beta`` (satisfies ``2^(k/2) > q``).
+        mu: ``floor(2^k / q)``.
+    """
+
+    q: int
+    beta: int = field(init=False)
+    k: int = field(init=False)
+    mu: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.q < 3:
+            raise ArithmeticDomainError(f"modulus must be >= 3, got {self.q}")
+        beta = self.q.bit_length()
+        object.__setattr__(self, "beta", beta)
+        object.__setattr__(self, "k", 2 * beta)
+        object.__setattr__(self, "mu", (1 << (2 * beta)) // self.q)
+
+    def check_width(self, data_bits: int) -> None:
+        """Enforce the paper's ``q <= 2^(l-4)`` constraint for width ``l``."""
+        if self.beta > data_bits - 4:
+            raise ArithmeticDomainError(
+                f"Barrett reduction at {data_bits}-bit width requires a modulus "
+                f"of at most {data_bits - 4} bits; got {self.beta} bits"
+            )
+        if self.mu.bit_length() > data_bits:
+            raise ArithmeticDomainError(
+                f"Barrett mu has {self.mu.bit_length()} bits and does not fit "
+                f"in {data_bits} bits"
+            )
+
+    def reduce(self, t: int) -> int:
+        """Reduce ``t < q**2`` modulo ``q`` without a division.
+
+        Implements the shift-refined Equation 4; asserts the classical bound
+        that at most two correction subtractions are needed.
+        """
+        if not 0 <= t < self.q * self.q:
+            raise ArithmeticDomainError(
+                f"Barrett reduction requires 0 <= t < q^2, got t with "
+                f"{t.bit_length() if t >= 0 else '-'} bits"
+            )
+        estimate = ((t >> (self.beta - 1)) * self.mu) >> (self.beta + 1)
+        c = t - estimate * self.q
+        corrections = 0
+        while c >= self.q:
+            c -= self.q
+            corrections += 1
+        assert corrections <= 2, "Barrett estimate off by more than 2"
+        return c
+
+    def quotient_estimate(self, t: int) -> int:
+        """The quotient estimate ``floor((t >> (beta-1)) * mu / 2^(beta+1))``.
+
+        Exposed separately because the SIMD kernels materialize exactly this
+        value before the ``mullo``/subtract step.
+        """
+        return ((t >> (self.beta - 1)) * self.mu) >> (self.beta + 1)

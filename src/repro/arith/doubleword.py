@@ -1,0 +1,148 @@
+"""Double-word (two 64-bit words) integer arithmetic (Section 2.2).
+
+A 128-bit value ``x`` is the pair ``(x0, x1)`` with ``x = x0 * 2^64 + x1``
+(``x0`` high, ``x1`` low, Equation 5). The routines here implement
+Equations 6-9 word-by-word in pure Python - the mathematical reference for
+the traced kernel backends, and the arithmetic core of the baseline
+substitutes.
+
+All functions take and return ``(high, low)`` tuples of plain ints.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import ArithmeticDomainError
+from repro.util.bits import MASK64
+
+DW = Tuple[int, int]
+
+
+def _check_dw(x: DW, name: str) -> None:
+    high, low = x
+    if not (0 <= high <= MASK64 and 0 <= low <= MASK64):
+        raise ArithmeticDomainError(f"{name} = {x} is not a valid double-word")
+
+
+def dw_value(x: DW) -> int:
+    """The integer value of a double-word pair."""
+    return (x[0] << 64) | x[1]
+
+
+def dw_from_int(value: int) -> DW:
+    """Split a 128-bit integer into a ``(high, low)`` double-word pair."""
+    if not 0 <= value < (1 << 128):
+        raise ArithmeticDomainError(f"{value} does not fit in a double-word")
+    return (value >> 64, value & MASK64)
+
+
+def dw_add(a: DW, b: DW) -> Tuple[DW, int]:
+    """Equation 6: double-word addition; returns ``(sum, carry_out)``.
+
+    The low words are added first producing an intermediate carry ``delta``,
+    which feeds the high-word addition (add-with-carry, Table 1).
+    """
+    _check_dw(a, "a")
+    _check_dw(b, "b")
+    low_sum = a[1] + b[1]
+    delta = low_sum >> 64
+    high_sum = a[0] + b[0] + delta
+    return ((high_sum & MASK64, low_sum & MASK64), high_sum >> 64)
+
+
+def dw_add_with_carry(a: DW, b: DW, carry_in: int) -> Tuple[DW, int]:
+    """Double-word addition with an incoming carry bit."""
+    if carry_in not in (0, 1):
+        raise ArithmeticDomainError(f"carry_in must be 0 or 1, got {carry_in}")
+    _check_dw(a, "a")
+    _check_dw(b, "b")
+    low_sum = a[1] + b[1] + carry_in
+    delta = low_sum >> 64
+    high_sum = a[0] + b[0] + delta
+    return ((high_sum & MASK64, low_sum & MASK64), high_sum >> 64)
+
+
+def dw_sub(a: DW, b: DW) -> Tuple[DW, int]:
+    """Equation 7: double-word subtraction; returns ``(diff, borrow_out)``.
+
+    ``delta`` is 1 when the low words borrow (``a1 < b1``).
+    """
+    _check_dw(a, "a")
+    _check_dw(b, "b")
+    low_diff = a[1] - b[1]
+    delta = 1 if low_diff < 0 else 0
+    high_diff = a[0] - b[0] - delta
+    borrow = 1 if high_diff < 0 else 0
+    return ((high_diff & MASK64, low_diff & MASK64), borrow)
+
+
+def dw_mul_schoolbook(a: DW, b: DW) -> Tuple[DW, DW]:
+    """Equation 8: schoolbook 128x128->256 multiplication.
+
+    Four single-word multiplications:
+    ``c = (a0 b0) 2^128 + (a0 b1 + a1 b0) 2^64 + a1 b1``.
+    Returns ``(high_dw, low_dw)`` - the upper and lower 128 bits.
+    """
+    _check_dw(a, "a")
+    _check_dw(b, "b")
+    a0, a1 = a
+    b0, b1 = b
+
+    hh = a0 * b0
+    hl = a0 * b1
+    lh = a1 * b0
+    ll = a1 * b1
+
+    # Accumulate: ll + (hl + lh) << 64 + hh << 128, word by word.
+    w0 = ll & MASK64
+    mid = (ll >> 64) + (hl & MASK64) + (lh & MASK64)
+    w1 = mid & MASK64
+    high = (mid >> 64) + (hl >> 64) + (lh >> 64) + hh
+    w2 = high & MASK64
+    w3 = (high >> 64) & MASK64
+    return ((w3, w2), (w1, w0))
+
+
+def dw_mul_karatsuba(a: DW, b: DW) -> Tuple[DW, DW]:
+    """Equation 9: Karatsuba 128x128->256 multiplication.
+
+    Three single-word multiplications plus extra additions:
+    ``c = (a0 b0) 2^128 + ((a0+a1)(b0+b1) - a0 b0 - a1 b1) 2^64 + a1 b1``.
+    Note ``a0 + a1`` and ``b0 + b1`` can be 65 bits; the cross product is
+    computed exactly (the word-level kernels carry the extra bit
+    explicitly). Returns ``(high_dw, low_dw)``.
+    """
+    _check_dw(a, "a")
+    _check_dw(b, "b")
+    a0, a1 = a
+    b0, b1 = b
+
+    hh = a0 * b0
+    ll = a1 * b1
+    cross = (a0 + a1) * (b0 + b1) - hh - ll
+
+    total = (hh << 128) + (cross << 64) + ll
+    return (
+        ((total >> 192) & MASK64, (total >> 128) & MASK64),
+        ((total >> 64) & MASK64, total & MASK64),
+    )
+
+
+def dw_shift_right(words: Tuple[int, int, int, int], amount: int) -> DW:
+    """Shift a 256-bit little-endian 4-word value right into a double-word.
+
+    Used by Barrett reduction to form ``t >> (beta - 1)``; the caller
+    guarantees the shifted value fits in 128 bits.
+    """
+    if not 0 <= amount < 256:
+        raise ArithmeticDomainError(f"shift amount {amount} out of range")
+    value = 0
+    for i, word in enumerate(words):
+        value |= word << (64 * i)
+    shifted = value >> amount
+    if shifted >> 128:
+        raise ArithmeticDomainError(
+            f"shifted value does not fit in a double-word (shift={amount})"
+        )
+    return dw_from_int(shifted)

@@ -1,0 +1,191 @@
+"""Reference double-word (128-bit) modular arithmetic (Section 3.1).
+
+These are the pure-Python ports of the paper's scalar algorithms - the
+branch-structured logic of Listing 1 for addition, Equation 7 plus a
+conditional correction for subtraction, and double-word multiplication with
+Barrett reduction. They operate on ``(high, low)`` tuples of plain ints and
+are the ground truth every kernel backend is tested against.
+
+The Barrett constraint ``q <= 2^124`` (Section 2.1) matters structurally: it
+guarantees that ``a + b < 2^125`` never overflows the 128-bit double-word,
+which is what lets the optimized kernels drop carry-out handling for the
+high words (the Table 1 discussion).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.arith.barrett import BarrettParams
+from repro.arith.doubleword import (
+    DW,
+    dw_from_int,
+    dw_mul_karatsuba,
+    dw_mul_schoolbook,
+    dw_value,
+)
+from repro.errors import ArithmeticDomainError
+from repro.util.bits import MASK64
+
+#: The paper's modulus-width bound for 128-bit Barrett reduction.
+MAX_MODULUS_BITS = 124
+
+
+def check_modulus_128(q: int) -> int:
+    """Validate a modulus for 128-bit double-word modular arithmetic."""
+    if q < 3:
+        raise ArithmeticDomainError(f"modulus must be >= 3, got {q}")
+    if q.bit_length() > MAX_MODULUS_BITS:
+        raise ArithmeticDomainError(
+            f"128-bit Barrett reduction requires a modulus of at most "
+            f"{MAX_MODULUS_BITS} bits, got {q.bit_length()} bits"
+        )
+    return q
+
+
+def _check_operand(x: DW, m: DW, name: str) -> None:
+    if dw_value(x) >= dw_value(m):
+        raise ArithmeticDomainError(f"{name} is not reduced modulo the modulus")
+
+
+def addmod128(a: DW, b: DW, m: DW) -> DW:
+    """Listing 1: double-word modular addition using only 64-bit words.
+
+    Computes ``a + b mod m`` with the carry/compare structure of the scalar
+    kernel: low-word add producing carry ``c1``, high-word add-with-carry,
+    then a fused comparison against the modulus and a conditional
+    double-word subtraction.
+    """
+    check_modulus_128(dw_value(m))
+    _check_operand(a, m, "a")
+    _check_operand(b, m, "b")
+    ah, al = a
+    bh, bl = b
+    mh, ml = m
+
+    t30 = al + bl
+    c1 = t30 >> 64
+    t30 &= MASK64
+    t29 = ah + bh + c1
+    c2 = t29 >> 64  # always 0 for q <= 2^124, kept for structural fidelity
+    t29 &= MASK64
+
+    # i28: does the (possibly overflowed) sum reach the modulus?
+    a31 = mh < t29
+    a34 = (mh == t29) and (ml <= t30)
+    i28 = bool(c2) or a31 or a34
+
+    if i28:
+        d1 = (t30 - ml) & MASK64
+        b1 = 0 if ml <= t30 else 1
+        d3 = (t29 - mh - b1) & MASK64
+        return (d3, d1)
+    return (t29, t30)
+
+
+def submod128(a: DW, b: DW, m: DW) -> DW:
+    """Double-word modular subtraction (Equation 3 over double-words).
+
+    ``a - b`` with borrow propagation (Equation 7); when the subtraction
+    borrows out, the modulus is added back.
+    """
+    check_modulus_128(dw_value(m))
+    _check_operand(a, m, "a")
+    _check_operand(b, m, "b")
+    ah, al = a
+    bh, bl = b
+    mh, ml = m
+
+    low = al - bl
+    delta = 1 if low < 0 else 0
+    high = ah - bh - delta
+    borrow = 1 if high < 0 else 0
+    low &= MASK64
+    high &= MASK64
+
+    if borrow:
+        low2 = low + ml
+        carry = low2 >> 64
+        high = (high + mh + carry) & MASK64
+        low = low2 & MASK64
+    return (high, low)
+
+
+def mulmod128(
+    a: DW,
+    b: DW,
+    m: DW,
+    params: Optional[BarrettParams] = None,
+    algorithm: str = "schoolbook",
+) -> DW:
+    """Double-word modular multiplication with Barrett reduction.
+
+    ``algorithm`` selects the 128x128->256 multiplication: ``"schoolbook"``
+    (Equation 8, four word multiplications - the paper's default since it
+    consistently wins on CPUs) or ``"karatsuba"`` (Equation 9, three word
+    multiplications - faster on GPUs per MoMA, slower here).
+    """
+    q = dw_value(m)
+    check_modulus_128(q)
+    _check_operand(a, m, "a")
+    _check_operand(b, m, "b")
+    if params is None:
+        params = BarrettParams(q)
+    elif params.q != q:
+        raise ArithmeticDomainError(
+            f"Barrett parameters are for modulus {params.q}, not {q}"
+        )
+    params.check_width(128)
+
+    if algorithm == "schoolbook":
+        t_high, t_low = dw_mul_schoolbook(a, b)
+    elif algorithm == "karatsuba":
+        t_high, t_low = dw_mul_karatsuba(a, b)
+    else:
+        raise ArithmeticDomainError(f"unknown multiplication algorithm {algorithm!r}")
+
+    beta = params.beta
+    t_words = (t_low[1], t_low[0], t_high[1], t_high[0])
+
+    # Quotient estimate: ((t >> (beta-1)) * mu) >> (beta+1), all in
+    # double-word pieces exactly as the SIMD kernels do it.
+    t_shifted = _shift_right_4words(t_words, beta - 1)
+    mu_dw = dw_from_int(params.mu)
+    g_high, g_low = dw_mul_schoolbook(t_shifted, mu_dw)
+    g_words = (g_low[1], g_low[0], g_high[1], g_high[0])
+    estimate = _shift_right_4words(g_words, beta + 1)
+
+    # c = t - estimate * q, computed modulo 2^128 (c < 3q < 2^126).
+    est_q_low = _dw_mullo(estimate, m)
+    c = (dw_value(t_low) - dw_value(est_q_low)) % (1 << 128)
+
+    # At most two conditional corrections (classical Barrett bound).
+    if c >= q:
+        c -= q
+    if c >= q:
+        c -= q
+    assert c < q, "Barrett estimate off by more than 2"
+    return dw_from_int(c)
+
+
+def _shift_right_4words(words: Tuple[int, int, int, int], amount: int) -> DW:
+    """Right-shift a 256-bit little-endian value into a double-word."""
+    value = 0
+    for i, word in enumerate(words):
+        value |= word << (64 * i)
+    shifted = value >> amount
+    if shifted >> 128:
+        raise ArithmeticDomainError(
+            f"Barrett intermediate does not fit in 128 bits (shift={amount})"
+        )
+    return dw_from_int(shifted)
+
+
+def _dw_mullo(a: DW, b: DW) -> DW:
+    """Low 128 bits of a 128x128 product (three word multiplications)."""
+    a0, a1 = a
+    b0, b1 = b
+    low = a1 * b1
+    cross = (a1 * b0 + a0 * b1) & MASK64
+    total = (low + (cross << 64)) % (1 << 128)
+    return dw_from_int(total)

@@ -1,0 +1,81 @@
+"""Scalar modular arithmetic over ``Z_q`` (Section 2.1).
+
+The conditional-subtraction forms of Equations 2 and 3 and the Barrett form
+of Equation 4 are implemented literally; these are the mathematical
+specifications the kernel backends must match bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arith.barrett import BarrettParams
+from repro.errors import ArithmeticDomainError
+from repro.util.checks import check_reduced
+
+
+def add_mod(a: int, b: int, q: int) -> int:
+    """Equation 2: ``a + b mod q`` via one conditional subtraction."""
+    check_reduced(a, q, "a")
+    check_reduced(b, q, "b")
+    c = a + b
+    return c - q if c >= q else c
+
+
+def sub_mod(a: int, b: int, q: int) -> int:
+    """Equation 3: ``a - b mod q`` via one conditional addition."""
+    check_reduced(a, q, "a")
+    check_reduced(b, q, "b")
+    return a - b + q if a < b else a - b
+
+
+def mul_mod(a: int, b: int, q: int, params: Optional[BarrettParams] = None) -> int:
+    """Equation 4: ``a * b mod q`` via Barrett reduction.
+
+    ``params`` may be passed to reuse precomputed constants across calls
+    (the paper computes ``mu`` once per modulus).
+    """
+    check_reduced(a, q, "a")
+    check_reduced(b, q, "b")
+    if params is None:
+        params = BarrettParams(q)
+    elif params.q != q:
+        raise ArithmeticDomainError(
+            f"Barrett parameters are for modulus {params.q}, not {q}"
+        )
+    return params.reduce(a * b)
+
+
+def pow_mod(base: int, exponent: int, q: int) -> int:
+    """Square-and-multiply exponentiation built on :func:`mul_mod`."""
+    if exponent < 0:
+        raise ArithmeticDomainError("exponent must be non-negative")
+    params = BarrettParams(q)
+    result = 1 % q
+    acc = base % q
+    e = exponent
+    while e:
+        if e & 1:
+            result = mul_mod(result, acc, q, params)
+        acc = mul_mod(acc, acc, q, params)
+        e >>= 1
+    return result
+
+
+def inv_mod(a: int, q: int) -> int:
+    """Modular inverse via the extended Euclidean algorithm.
+
+    Raises :class:`ArithmeticDomainError` when ``gcd(a, q) != 1``.
+    """
+    check_reduced(a, q, "a")
+    if a == 0:
+        raise ArithmeticDomainError("0 has no modular inverse")
+    old_r, r = a, q
+    old_s, s = 1, 0
+    while r:
+        quotient = old_r // r
+        old_r, r = r, old_r - quotient * r
+        old_s, s = s, old_s - quotient * s
+    if old_r != 1:
+        raise ArithmeticDomainError(f"{a} is not invertible modulo {q}")
+    return old_s % q

@@ -1,0 +1,149 @@
+"""NTT-friendly prime generation and roots of unity.
+
+An ``n``-point NTT over ``Z_q`` needs a primitive ``n``-th root of unity
+``omega_n`` (Equation 11), which exists iff ``n | q - 1``. The paper targets
+general (non-special) primes of up to 124 bits, so this module provides:
+
+* Miller-Rabin primality testing,
+* a search for primes ``q = k * order + 1`` of a requested bit length
+  (``order`` a power of two, covering every NTT size up to ``order``),
+* primitive ``n``-th roots of unity via cofactor exponentiation (no
+  factorization of ``q - 1`` required when ``n`` is a power of two).
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+
+from repro.arith.modular import pow_mod
+from repro.errors import ArithmeticDomainError, NttParameterError
+from repro.util.checks import check_power_of_two
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113,
+)
+
+#: Rounds of Miller-Rabin; error probability < 4^-64 per candidate.
+_MR_ROUNDS = 64
+
+
+def is_prime(n: int, rng: random.Random = None) -> bool:
+    """Miller-Rabin primality test (probabilistic for large ``n``)."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    rng = rng or random.Random(0xC0FFEE ^ n)
+    for _ in range(_MR_ROUNDS):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+@lru_cache(maxsize=None)
+def find_ntt_prime(bits: int, order: int) -> int:
+    """Find the largest ``bits``-bit prime ``q`` with ``q = 1 (mod order)``.
+
+    ``order`` must be a power of two; any NTT of size ``n <= order`` (and
+    negacyclic size ``n <= order/2``) is then supported by ``q``.
+    """
+    check_power_of_two(order, "order")
+    if bits < order.bit_length() + 1:
+        raise ArithmeticDomainError(
+            f"a {bits}-bit prime cannot satisfy q = 1 mod {order}"
+        )
+    top = (1 << bits) - 1
+    k = (top - 1) // order
+    while k > 0:
+        candidate = k * order + 1
+        if candidate.bit_length() != bits:
+            break
+        if is_prime(candidate):
+            return candidate
+        k -= 1
+    raise ArithmeticDomainError(
+        f"no {bits}-bit prime with q = 1 mod {order} found"
+    )
+
+
+@lru_cache(maxsize=None)
+def root_of_unity(n: int, q: int) -> int:
+    """Find a primitive ``n``-th root of unity in ``Z_q`` (``n`` = 2^s).
+
+    Draws random elements ``x`` and computes ``w = x^((q-1)/n)``; ``w`` is a
+    primitive ``n``-th root iff ``w^(n/2) != 1``. No factorization of
+    ``q - 1`` is needed because ``n`` is a power of two.
+    """
+    check_power_of_two(n, "n")
+    if (q - 1) % n:
+        raise NttParameterError(f"no {n}-th root of unity exists mod {q}")
+    if n == 1:
+        return 1
+    cofactor = (q - 1) // n
+    rng = random.Random(0x5EED ^ q ^ n)
+    for _ in range(256):
+        x = rng.randrange(2, q - 1)
+        w = pow(x, cofactor, q)
+        if w != 1 and pow(w, n // 2, q) != 1:
+            return w
+    raise NttParameterError(f"failed to find a {n}-th root of unity mod {q}")
+
+
+def find_primitive_root(q: int, limit_bits: int = 24) -> int:
+    """Find a generator of ``Z_q*`` for *small* primes (test/demo helper).
+
+    Requires factoring ``q - 1`` by trial division, so it refuses moduli
+    wider than ``limit_bits``. Production code never needs a full generator
+    (see :func:`root_of_unity`).
+    """
+    if not is_prime(q):
+        raise ArithmeticDomainError(f"{q} is not prime")
+    if q.bit_length() > limit_bits:
+        raise ArithmeticDomainError(
+            f"find_primitive_root is limited to {limit_bits}-bit primes; "
+            "use root_of_unity for cryptographic sizes"
+        )
+    factors = _factorize(q - 1)
+    for g in range(2, q):
+        if all(pow_mod(g, (q - 1) // p, q) != 1 for p in factors):
+            return g
+    raise ArithmeticDomainError(f"no primitive root found for {q}")
+
+
+def _factorize(n: int) -> set:
+    factors = set()
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            factors.add(d)
+            n //= d
+        d += 1
+    if n > 1:
+        factors.add(n)
+    return factors
+
+
+@lru_cache(maxsize=None)
+def default_modulus(bits: int = 124, order: int = 1 << 20) -> int:
+    """The library-wide default NTT modulus: largest 124-bit NTT prime.
+
+    124 bits is the maximum the paper's Barrett setup allows at 128-bit data
+    width; ``order = 2^20`` covers every NTT size in the evaluation.
+    """
+    return find_ntt_prime(bits, order)

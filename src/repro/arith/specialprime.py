@@ -1,0 +1,179 @@
+"""Pseudo-Mersenne (special-prime) modular reduction.
+
+The paper deliberately targets *general* primes via Barrett reduction
+(Section 2.1), noting that related work - Goldilocks-style primes, van der
+Hoeven & Lecerf's specialized-modulus NTTs - gains speed by restricting
+the modulus shape. This module implements that alternative so the
+trade-off can be measured: for ``q = 2^e - c`` with small ``c``,
+
+    2^e = c  (mod q)
+
+so reduction is *folding*: split ``x = x1 * 2^e + x0`` and replace with
+``x1 * c + x0``; two folds plus one conditional subtraction reduce a full
+``2e``-bit product. No ``mu``, one narrow multiply per fold.
+
+The kernel (:class:`SpecialPrimeKernel`) is built on the word-operation
+adapter, so it exists on all four ISA backends. The ablation benchmark
+compares it against general Barrett and against Shoup twiddles.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Any, List, Tuple
+
+from repro.arith.primes import is_prime
+from repro.errors import ArithmeticDomainError
+from repro.kernels.backend import Backend
+from repro.multiword.wordops import WordOps, word_ops_for
+from repro.util.bits import MASK64
+
+#: Fixed exponent: the paper's 124-bit modulus regime.
+EXPONENT = 124
+
+#: Largest fold constant the two-fold reduction supports comfortably.
+MAX_C_BITS = 44
+
+
+@lru_cache(maxsize=None)
+def find_pseudo_mersenne(order: int = 1 << 20) -> Tuple[int, int]:
+    """Find the smallest ``c`` with ``q = 2^124 - c`` prime and NTT-friendly.
+
+    NTT-friendliness needs ``q = 1 mod order``; since ``2^124 = 0 mod
+    order`` for power-of-two orders up to 2^124, that forces
+    ``c = -1 mod order``.
+    """
+    if order & (order - 1) or order < 2:
+        raise ArithmeticDomainError("order must be a power of two >= 2")
+    c = order - 1
+    while c.bit_length() <= MAX_C_BITS:
+        q = (1 << EXPONENT) - c
+        if is_prime(q):
+            return q, c
+        c += order
+    raise ArithmeticDomainError(
+        f"no pseudo-Mersenne prime 2^{EXPONENT} - c with c < 2^{MAX_C_BITS} "
+        f"and order {order}"
+    )
+
+
+def reduce_pseudo_mersenne(x: int, q: int, c: int) -> int:
+    """Reference folding reduction of ``x < q**2`` (pure Python)."""
+    if q + c != 1 << EXPONENT:
+        raise ArithmeticDomainError("q must equal 2^124 - c")
+    if not 0 <= x < q * q:
+        raise ArithmeticDomainError("reduction input must be in [0, q^2)")
+    mask = (1 << EXPONENT) - 1
+    # Two folds bring x under 2q; one conditional subtraction finishes.
+    x = (x >> EXPONENT) * c + (x & mask)
+    x = (x >> EXPONENT) * c + (x & mask)
+    if x >= q:
+        x -= q
+    assert x < q
+    return x
+
+
+class SpecialPrimeKernel:
+    """``mulmod`` for ``q = 2^124 - c`` on any kernel backend.
+
+    Residues are (high, low) word pairs like the double-word kernels;
+    blocks are lists of two word-plane registers.
+    """
+
+    #: Bit position of the fold boundary inside the high word.
+    _HI_BITS = EXPONENT - 64  # 60
+
+    def __init__(self, backend: Backend, q: int, c: int) -> None:
+        if q + c != 1 << EXPONENT:
+            raise ArithmeticDomainError("q must equal 2^124 - c")
+        if c.bit_length() > MAX_C_BITS:
+            raise ArithmeticDomainError(
+                f"fold constant must fit {MAX_C_BITS} bits, got {c.bit_length()}"
+            )
+        if not is_prime(q):
+            raise ArithmeticDomainError(f"{q} is not prime")
+        self.backend = backend
+        self.ops: WordOps = word_ops_for(backend)
+        self.q = q
+        self.c = c
+        ops = self.ops
+        self.c_reg = ops.broadcast(c)
+        self.q_lo = ops.broadcast(q & MASK64)
+        self.q_hi = ops.broadcast(q >> 64)
+        self.mask_hi = ops.broadcast((1 << self._HI_BITS) - 1)
+
+    # ------------------------------------------------------------------
+    # Block I/O (same layout as the double-word kernels)
+    # ------------------------------------------------------------------
+
+    def load_block(self, values: List[int]) -> List[Any]:
+        ops = self.ops
+        lo = ops.load([v & MASK64 for v in values])
+        hi = ops.load([v >> 64 for v in values])
+        return [lo, hi]
+
+    def block_values(self, regs: List[Any]) -> List[int]:
+        ops = self.ops
+        los, his = ops.values(regs[0]), ops.values(regs[1])
+        return [(h << 64) | l for h, l in zip(his, los)]
+
+    # ------------------------------------------------------------------
+    # Reduction
+    # ------------------------------------------------------------------
+
+    def mulmod(self, a: List[Any], b: List[Any]) -> List[Any]:
+        """``a * b mod q`` via full product + two folds + one subtract."""
+        ops = self.ops
+        s = self._HI_BITS
+
+        # Full 128x128 -> 256 product (4 widening multiplies + chains).
+        t = self._mul_full(a, b)
+
+        # Fold 1: x1 = t >> 124 (two words), x0 = t mod 2^124.
+        x1_lo = ops.shrd(t[2], t[1], s)
+        x1_hi = ops.shrd(t[3], t[2], s)
+        x0_lo = t[0]
+        x0_hi = ops.band(t[1], self.mask_hi)
+
+        # p = x1 * c: two widening multiplies, 3-word result.
+        p0_hi, p0_lo = ops.wide_mul(x1_lo, self.c_reg)
+        p1_hi, p1_lo = ops.wide_mul(x1_hi, self.c_reg)
+        mid, cy = ops.add_carry_out(p0_hi, p1_lo)
+        top = ops.add_nocarry(p1_hi, ops.zero, cy)
+
+        # f = x0 + p (3 words; top stays tiny).
+        f0, c1 = ops.add_carry_out(x0_lo, p0_lo)
+        f1, c2 = ops.adc(x0_hi, mid, c1)
+        f2 = ops.add_nocarry(top, ops.zero, c2)
+
+        # Fold 2: y1 = f >> 124 (single small word), y0 = f mod 2^124.
+        y1 = ops.shrd(f2, f1, s)
+        y0_lo = f0
+        y0_hi = ops.band(f1, self.mask_hi)
+        q_hi, q_lo = ops.wide_mul(y1, self.c_reg)
+        r0, c3 = ops.add_carry_out(y0_lo, q_lo)
+        r1 = ops.add_nocarry(y0_hi, q_hi, c3)
+
+        # r < 2q: one conditional subtraction.
+        d0, b1 = ops.sub_borrow_out(r0, self.q_lo)
+        d1, b2 = ops.sbb(r1, self.q_hi, b1)
+        keep = ops.cond_not(b2)
+        out_lo = ops.select(keep, d0, r0)
+        out_hi = ops.select(keep, d1, r1)
+        return [out_lo, out_hi]
+
+    def _mul_full(self, a: List[Any], b: List[Any]) -> List[Any]:
+        """Schoolbook 2x2-word full product (little-endian 4 words)."""
+        ops = self.ops
+        ll_hi, ll_lo = ops.wide_mul(a[0], b[0])
+        lh_hi, lh_lo = ops.wide_mul(a[0], b[1])
+        hl_hi, hl_lo = ops.wide_mul(a[1], b[0])
+        hh_hi, hh_lo = ops.wide_mul(a[1], b[1])
+
+        s1, c1 = ops.add_carry_out(lh_lo, hl_lo)
+        w1, c2 = ops.add_carry_out(s1, ll_hi)
+        s2, c3 = ops.adc(lh_hi, hl_hi, c1)
+        w2, c4 = ops.adc(s2, hh_lo, c2)
+        w3 = ops.add_nocarry(hh_hi, ops.zero, c3)
+        w3 = ops.add_nocarry(w3, ops.zero, c4)
+        return [ll_lo, w1, w2, w3]

@@ -1,0 +1,28 @@
+"""Baseline implementations the paper compares against.
+
+* :mod:`repro.baselines.bignum` - a from-scratch limb-based
+  arbitrary-precision integer library in the style of GMP's mpn layer
+  (64-bit limbs, schoolbook multiplication, Knuth Algorithm D division,
+  per-call and per-allocation overhead). Substitutes for the GMP baseline.
+* :mod:`repro.baselines.openfhe` - a fixed-size 32-bit-limb big integer
+  backend in the style of OpenFHE's default math backend, with
+  Barrett-style reduction but heavy per-operation object overhead.
+  Substitutes for the OpenFHE baseline.
+* :mod:`repro.baselines.published` - the ASIC (RPU, FPMM), GPU (MoMA) and
+  OpenFHE-multicore numbers the paper's Figures 1 and 7 compare against.
+"""
+
+from repro.baselines.bignum import GmpContext, mpn_add_n, mpn_mul, mpn_sub_n, mpn_tdiv_qr
+from repro.baselines.openfhe import OpenFheContext
+from repro.baselines.published import PublishedSeries, get_published
+
+__all__ = [
+    "GmpContext",
+    "OpenFheContext",
+    "mpn_add_n",
+    "mpn_sub_n",
+    "mpn_mul",
+    "mpn_tdiv_qr",
+    "PublishedSeries",
+    "get_published",
+]

@@ -1,0 +1,271 @@
+"""A from-scratch GMP-style multiprecision integer substrate.
+
+Implements the mpn layer an arbitrary-precision library is built on -
+limb-vector addition/subtraction with carry propagation, schoolbook
+multiplication, and Knuth Algorithm D division - entirely with the traced
+scalar ISA (:mod:`repro.isa.scalar`), 64-bit limbs.
+
+The :class:`GmpContext` facade exposes modular arithmetic with GMP's cost
+structure, which is what makes the GMP baseline slow in the paper despite
+the underlying limb loops being fine:
+
+* every operation is a library call on heap-allocated operands
+  (``call``/``alloc`` overhead per mpz temporary),
+* modular reduction is *division-based* (``mpz_mod`` -> ``mpn_tdiv_qr``),
+  paying the hardware divider's latency instead of Barrett's multiplies,
+* no modulus-width specialization (the generic any-size code path runs).
+
+Limb vectors are little-endian lists of plain ints; all routines also
+return plain ints so results can be checked against Python's exact
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ArithmeticDomainError
+from repro.isa import scalar as s
+from repro.util.bits import MASK64
+
+LIMB_BITS = 64
+LIMB_MASK = MASK64
+
+
+def limbs_from_int(value: int, count: int = 0) -> List[int]:
+    """Split a non-negative integer into little-endian 64-bit limbs."""
+    if value < 0:
+        raise ArithmeticDomainError("limb vectors are unsigned")
+    limbs = []
+    while value:
+        limbs.append(value & LIMB_MASK)
+        value >>= LIMB_BITS
+    if not limbs:
+        limbs.append(0)
+    while len(limbs) < count:
+        limbs.append(0)
+    return limbs
+
+
+def int_from_limbs(limbs: List[int]) -> int:
+    """Inverse of :func:`limbs_from_int`."""
+    value = 0
+    for i, limb in enumerate(limbs):
+        value |= int(limb) << (LIMB_BITS * i)
+    return value
+
+
+def mpn_add_n(a: List[int], b: List[int]) -> Tuple[List[int], int]:
+    """``mpn_add_n``: equal-length limb addition; returns (limbs, carry)."""
+    if len(a) != len(b):
+        raise ArithmeticDomainError("mpn_add_n requires equal lengths")
+    out: List[int] = []
+    carry = s.const64(0)
+    first = True
+    for x, y in zip(a, b):
+        if first:
+            limb, carry = s.add64(x, y)
+            first = False
+        else:
+            limb, carry = s.adc64(x, y, carry)
+        out.append(limb.value)
+    return out, int(carry)
+
+
+def mpn_sub_n(a: List[int], b: List[int]) -> Tuple[List[int], int]:
+    """``mpn_sub_n``: equal-length limb subtraction; returns (limbs, borrow)."""
+    if len(a) != len(b):
+        raise ArithmeticDomainError("mpn_sub_n requires equal lengths")
+    out: List[int] = []
+    borrow = s.const64(0)
+    first = True
+    for x, y in zip(a, b):
+        if first:
+            limb, borrow = s.sub64(x, y)
+            first = False
+        else:
+            limb, borrow = s.sbb64(x, y, borrow)
+        out.append(limb.value)
+    return out, int(borrow)
+
+
+def mpn_mul(a: List[int], b: List[int]) -> List[int]:
+    """``mpn_mul``: schoolbook limb multiplication, full product."""
+    out = [0] * (len(a) + len(b))
+    for i, x in enumerate(a):
+        carry = 0
+        for j, y in enumerate(b):
+            hi, lo = s.mul64(x, y)
+            acc, c1 = s.add64(lo, out[i + j])
+            acc, c2 = s.add64(acc, carry)
+            out[i + j] = acc.value
+            high, _ = s.adc64(hi, s.const64(0), c1)
+            high, _ = s.add64(high, c2)
+            carry = high.value
+        out[i + len(b)] = carry
+    return out
+
+
+def _clz64(value: int) -> int:
+    """Count of leading zero bits in a 64-bit limb (BSR/LZCNT, 1 uop)."""
+    if value == 0:
+        return 64
+    return 64 - value.bit_length()
+
+
+def mpn_lshift(limbs: List[int], amount: int) -> List[int]:
+    """Left-shift a limb vector by ``amount`` < 64 bits (``mpn_lshift``)."""
+    if not 0 <= amount < LIMB_BITS:
+        raise ArithmeticDomainError("mpn_lshift handles sub-limb shifts")
+    if amount == 0:
+        return list(limbs)
+    out = []
+    prev = 0
+    for limb in limbs:
+        shifted = s.shl64(limb, amount)
+        if prev:
+            shifted = s.or64(shifted, prev)
+        out.append(shifted.value)
+        prev = s.shr64(limb, LIMB_BITS - amount).value
+    out.append(prev)
+    return out
+
+
+def mpn_rshift(limbs: List[int], amount: int) -> List[int]:
+    """Right-shift a limb vector by ``amount`` < 64 bits (``mpn_rshift``)."""
+    if not 0 <= amount < LIMB_BITS:
+        raise ArithmeticDomainError("mpn_rshift handles sub-limb shifts")
+    if amount == 0:
+        return list(limbs)
+    out = []
+    for i, limb in enumerate(limbs):
+        shifted = s.shr64(limb, amount)
+        if i + 1 < len(limbs):
+            shifted = s.or64(shifted, s.shl64(limbs[i + 1], LIMB_BITS - amount))
+        out.append(shifted.value)
+    return out
+
+
+def mpn_tdiv_qr(num: List[int], den: List[int]) -> Tuple[List[int], List[int]]:
+    """``mpn_tdiv_qr``: truncated division, Knuth Algorithm D.
+
+    Returns ``(quotient, remainder)`` limb vectors. The divisor is
+    normalized so its top bit is set, each quotient limb comes from one
+    hardware 128/64 divide plus a multiply-subtract correction - the
+    classic structure, and the cost center of division-based modular
+    reduction.
+    """
+    d = list(den)
+    while len(d) > 1 and d[-1] == 0:
+        d.pop()
+    if d == [0]:
+        raise ArithmeticDomainError("division by zero")
+
+    n_val = int_from_limbs(num)
+    d_val = int_from_limbs(d)
+    if n_val < d_val:
+        return [0], list(num)
+
+    if len(d) == 1:
+        # Single-limb divisor: one DIV per numerator limb.
+        quotient: List[int] = [0] * len(num)
+        rem = s.const64(0)
+        for i in range(len(num) - 1, -1, -1):
+            q_limb, rem = s.div64(rem, num[i], d[0])
+            quotient[i] = q_limb.value
+        return quotient, [rem.value]
+
+    # D1: normalize so the top divisor limb has its high bit set.
+    shift = _clz64(d[-1])
+    dn = mpn_lshift(d, shift)[: len(d)] if shift else list(d)
+    un = mpn_lshift(num, shift) if shift else list(num) + [0]
+
+    n_len = len(d)
+    m = len(un) - n_len - 1
+    quotient = [0] * (m + 1)
+
+    for j in range(m, -1, -1):
+        # D3: estimate the quotient limb from the top two numerator limbs.
+        top_hi = un[j + n_len]
+        top_lo = un[j + n_len - 1]
+        if top_hi == dn[-1]:
+            q_hat = LIMB_MASK
+        else:
+            q_limb, _ = s.div64(top_hi, top_lo, dn[-1])
+            q_hat = q_limb.value
+
+        # D4: multiply-subtract; D5/D6: at most two add-back corrections.
+        chunk = un[j : j + n_len + 1]
+        chunk_val = int_from_limbs(chunk)
+        prod = mpn_mul([q_hat], dn)
+        prod_val = int_from_limbs(prod)
+        while prod_val > chunk_val:
+            q_hat -= 1
+            prod, _ = mpn_sub_n(prod, limbs_from_int(int_from_limbs(dn), len(prod)))
+            prod_val = int_from_limbs(prod)
+        diff, _ = mpn_sub_n(chunk, limbs_from_int(prod_val, len(chunk)))
+        un[j : j + n_len + 1] = diff
+        quotient[j] = q_hat
+
+    rem = un[:n_len]
+    if shift:
+        rem = mpn_rshift(rem, shift)
+    # Self-check against exact arithmetic (cheap, catches drift).
+    assert int_from_limbs(quotient) == n_val // d_val
+    assert int_from_limbs(rem[:n_len]) == n_val % d_val
+    return quotient, rem[:n_len]
+
+
+class GmpContext:
+    """GMP-style modular arithmetic over 128-bit residues.
+
+    Mirrors how FHE code uses GMP: each modular operation is an mpz call
+    (or two) with heap temporaries and division-based reduction. Values in
+    and out are plain Python ints; the traced instruction stream carries
+    the cost structure.
+    """
+
+    def __init__(self, q: int) -> None:
+        if q < 3:
+            raise ArithmeticDomainError(f"modulus must be >= 3, got {q}")
+        self.q = q
+        self._q_limbs = limbs_from_int(q, 2)
+
+    def _mod(self, limbs: List[int]) -> int:
+        """``mpz_mod``: division-based reduction of a limb vector."""
+        s.call_overhead("call")
+        s.call_overhead("alloc")
+        _, rem = mpn_tdiv_qr(limbs, self._q_limbs)
+        return int_from_limbs(rem) % self.q
+
+    def addmod(self, a: int, b: int) -> int:
+        """``mpz_add`` + ``mpz_mod``."""
+        s.call_overhead("call")
+        total, carry = mpn_add_n(limbs_from_int(a, 2), limbs_from_int(b, 2))
+        return self._mod(total + [carry])
+
+    def submod(self, a: int, b: int) -> int:
+        """``mpz_sub`` (+ add-back) + ``mpz_mod``."""
+        s.call_overhead("call")
+        diff, borrow = mpn_sub_n(limbs_from_int(a, 2), limbs_from_int(b, 2))
+        if borrow:
+            fixed, _ = mpn_add_n(diff, self._q_limbs)
+            return self._mod(fixed)
+        return self._mod(diff)
+
+    def mulmod(self, a: int, b: int) -> int:
+        """``mpz_mul`` + ``mpz_mod`` (a 4-limb by 2-limb division)."""
+        s.call_overhead("call")
+        s.call_overhead("alloc")
+        product = mpn_mul(limbs_from_int(a, 2), limbs_from_int(b, 2))
+        return self._mod(product)
+
+    def butterfly(self, x: int, y: int, w: int) -> Tuple[int, int]:
+        """One NTT butterfly through the GMP-style call structure.
+
+        Straightforward GMP NTT code holds one mpz temporary per butterfly
+        for the twiddle product (init/clear = one managed allocation).
+        """
+        s.call_overhead("alloc")
+        t = self.mulmod(y, w)
+        return self.addmod(x, t), self.submod(x, t)

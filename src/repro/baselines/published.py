@@ -1,0 +1,157 @@
+"""Published accelerator baselines: RPU, FPMM, MoMA, OpenFHE-multicore.
+
+The paper's Figures 1 and 7 compare CPU results against numbers *reported
+by other papers* (the RPU and FPMM ASICs, the MoMA GPU implementation, and
+OpenFHE on a 32-core AMD EPYC 7502 as reported by the RPU paper). We do
+not have those papers' raw per-size data offline, but the paper states
+every aggregate relationship:
+
+* RPU is 545x-1485x faster than OpenFHE on the 32-core machine;
+* MQX-SOL on AMD EPYC 9965S averages 2.5x faster than RPU, 2.9x faster
+  than FPMM, and 1.7x faster than MoMA across supported sizes;
+* MQX-SOL on Intel Xeon 6980P averages 1.3x faster than RPU, matches
+  FPMM, and is 1.4x slower than MoMA;
+* FPMM reports two NTT sizes; RPU reports sizes 1,024 - 16,384.
+
+Following the substitution rule, this module *synthesizes* per-size series
+that satisfy those stated relationships, anchored to this library's own
+AMD MQX speed-of-light series. The shape of every comparison in Figure 7
+is therefore reproduced by construction on the AMD side and measured on
+the Intel side. This is documented in DESIGN.md and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ExperimentError
+
+#: NTT sizes (log2) each published design reports.
+RPU_SIZES = (10, 11, 12, 13, 14)
+FPMM_SIZES = (12, 14)
+MOMA_SIZES = (10, 11, 12, 13, 14, 15, 16, 17)
+OPENFHE_MULTICORE_SIZES = RPU_SIZES
+
+#: Per-size ratio schedules (MQX-SOL-on-9965S speedup over each design),
+#: chosen to average to the paper's stated aggregate ratios while varying
+#: smoothly with size.
+_RPU_RATIO = {10: 1.9, 11: 2.2, 12: 2.5, 13: 2.8, 14: 3.1}  # mean 2.5
+_FPMM_RATIO = {12: 2.7, 14: 3.1}  # mean 2.9
+_MOMA_RATIO = {
+    10: 1.3, 11: 1.5, 12: 1.6, 13: 1.7, 14: 1.8, 15: 1.9, 16: 1.9, 17: 1.9,
+}  # mean 1.7
+#: RPU-over-OpenFHE(32-core EPYC 7502) speedups, spanning the paper's
+#: reported 545x-1485x range.
+_OPENFHE_RATIO = {10: 545.0, 11: 700.0, 12: 900.0, 13: 1150.0, 14: 1485.0}
+
+
+@dataclass(frozen=True)
+class PublishedSeries:
+    """One published design's per-size NTT runtimes."""
+
+    name: str
+    device: str
+    kind: str  # "asic" | "gpu" | "cpu"
+    ns_per_ntt: Dict[int, float]  # log2(size) -> nanoseconds
+    note: str
+
+    @property
+    def sizes(self) -> List[int]:
+        """Supported log2 NTT sizes, ascending."""
+        return sorted(self.ns_per_ntt)
+
+    def runtime(self, logn: int) -> float:
+        """Runtime in ns for one NTT of size ``2^logn``."""
+        try:
+            return self.ns_per_ntt[logn]
+        except KeyError:
+            raise ExperimentError(
+                f"{self.name} does not report a 2^{logn}-point NTT"
+            ) from None
+
+
+def synthesize_published(
+    sol_amd_ns: Dict[int, float],
+) -> Dict[str, PublishedSeries]:
+    """Build the published-baseline series from the AMD MQX-SOL anchor.
+
+    ``sol_amd_ns`` maps log2(size) to this library's modeled MQX
+    speed-of-light runtime (ns per NTT) on AMD EPYC 9965S, and must cover
+    every size any published design reports.
+    """
+    needed = set(RPU_SIZES) | set(FPMM_SIZES) | set(MOMA_SIZES)
+    missing = sorted(needed - set(sol_amd_ns))
+    if missing:
+        raise ExperimentError(
+            f"anchor series missing log2 sizes {missing}"
+        )
+
+    rpu = {s: sol_amd_ns[s] * _RPU_RATIO[s] for s in RPU_SIZES}
+    fpmm = {s: sol_amd_ns[s] * _FPMM_RATIO[s] for s in FPMM_SIZES}
+    moma = {s: sol_amd_ns[s] * _MOMA_RATIO[s] for s in MOMA_SIZES}
+    openfhe = {s: rpu[s] * _OPENFHE_RATIO[s] for s in OPENFHE_MULTICORE_SIZES}
+
+    return {
+        "rpu": PublishedSeries(
+            name="RPU",
+            device="Ring Processing Unit ASIC (Soni et al., ISPASS 2023)",
+            kind="asic",
+            ns_per_ntt=rpu,
+            note=(
+                "Synthesized: anchored to our AMD MQX-SOL series at the "
+                "paper's stated 2.5x average gap (size-varying 1.9x-3.1x)."
+            ),
+        ),
+        "fpmm": PublishedSeries(
+            name="FPMM",
+            device="Fully-pipelined Montgomery multiplier ASIC (Zhou et al.)",
+            kind="asic",
+            ns_per_ntt=fpmm,
+            note="Synthesized at the paper's 2.9x average gap, two sizes.",
+        ),
+        "moma": PublishedSeries(
+            name="MoMA",
+            device="Multi-word modular arithmetic on NVIDIA RTX 4090",
+            kind="gpu",
+            ns_per_ntt=moma,
+            note="Synthesized at the paper's 1.7x average gap.",
+        ),
+        "openfhe_32core": PublishedSeries(
+            name="OpenFHE (32-core)",
+            device="OpenFHE on AMD EPYC 7502, 32 cores (per RPU paper)",
+            kind="cpu",
+            ns_per_ntt=openfhe,
+            note=(
+                "Synthesized from RPU at the paper's reported 545x-1485x "
+                "RPU-over-OpenFHE speedup range."
+            ),
+        ),
+    }
+
+
+_CACHE: Optional[Dict[str, PublishedSeries]] = None
+
+
+def get_published(
+    name: str, sol_amd_ns: Optional[Dict[int, float]] = None
+) -> PublishedSeries:
+    """Look up one published series, building the set on first use.
+
+    When ``sol_amd_ns`` is omitted, the anchor is computed from the
+    library's own roofline model (imported lazily to avoid a cycle).
+    """
+    global _CACHE
+    if sol_amd_ns is not None:
+        return synthesize_published(sol_amd_ns)[name]
+    if _CACHE is None:
+        from repro.roofline.sol import default_sol_anchor
+
+        _CACHE = synthesize_published(default_sol_anchor())
+    try:
+        return _CACHE[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown published series {name!r}; "
+            f"available: {sorted(_CACHE)}"
+        ) from None

@@ -1,0 +1,24 @@
+"""BLAS operations over ``Z_q`` with 128-bit coefficients (Section 2.3).
+
+Point-wise polynomial operations captured as BLAS calls: vector addition
+and subtraction (axpy variants), point-wise vector multiplication (a gemv
+special case), and ``axpy`` itself. Each operation loops the configured
+kernel backend over blocks of a residue vector, exactly as the paper's
+BLAS kernels loop SIMD modular arithmetic over 1,024-element vectors.
+"""
+
+from repro.blas.ops import (
+    BlasPlan,
+    axpy,
+    vector_add,
+    vector_pointwise_mul,
+    vector_sub,
+)
+
+__all__ = [
+    "BlasPlan",
+    "vector_add",
+    "vector_sub",
+    "vector_pointwise_mul",
+    "axpy",
+]

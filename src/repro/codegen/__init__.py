@@ -1,0 +1,23 @@
+"""C code generation from instruction traces (Section 7's "last mile").
+
+The paper's Discussion proposes abstracting the hand-written kernels into
+an intermediate representation and generating platform code from it
+(SPIRAL-style). In this library the *trace* is that IR: it records the
+exact dynamic instruction stream with dataflow and immediates. This
+package lowers traces back to compilable C:
+
+* :mod:`repro.codegen.c_emitter` - trace -> C-with-intrinsics functions,
+* :mod:`repro.codegen.mqx_header` - the ``mqx.h`` header declaring the
+  proposed MQX intrinsics with both build modes the paper describes
+  (Section 4.2): ``MQX_EMULATE`` for functional correctness (Table 2
+  emulation) and the default PISA-proxy mode for performance projection.
+"""
+
+from repro.codegen.c_emitter import generate_c_function, generate_kernel_source
+from repro.codegen.mqx_header import generate_mqx_header
+
+__all__ = [
+    "generate_c_function",
+    "generate_kernel_source",
+    "generate_mqx_header",
+]

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class. Each subsystem raises the most specific subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IsaError(ReproError):
+    """An ISA-level simulation error (bad lane count, width mismatch...)."""
+
+
+class LaneMismatchError(IsaError):
+    """Two vector operands with different lane counts or widths were mixed."""
+
+
+class MaskWidthError(IsaError):
+    """A mask was used with a vector of a different lane count."""
+
+
+class MachineModelError(ReproError):
+    """The machine model could not schedule or cost an instruction trace."""
+
+
+class UnknownInstructionError(MachineModelError):
+    """An instruction in a trace has no entry in the active uop table."""
+
+
+class ArithmeticDomainError(ReproError):
+    """An operand is outside the domain required by an arithmetic routine.
+
+    For example: a modulus wider than 124 bits handed to Barrett-based
+    double-word modular arithmetic, or a residue not reduced mod q.
+    """
+
+
+class NttParameterError(ReproError):
+    """NTT parameters are invalid (size not a power of two, no root...)."""
+
+
+class BackendError(ReproError):
+    """A kernel backend was configured or used inconsistently."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was given inconsistent configuration."""

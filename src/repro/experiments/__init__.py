@@ -1,0 +1,11 @@
+"""Experiment harnesses: one module per table/figure in the paper.
+
+Each module exposes a ``run(...)`` function returning an
+:class:`~repro.experiments.base.ExperimentResult` whose rows regenerate
+the corresponding table or figure series. ``python -m repro.experiments.runner``
+runs everything and rewrites ``EXPERIMENTS.md``.
+"""
+
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["ExperimentResult"]

@@ -1,0 +1,72 @@
+"""Shared experiment-result container and formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure.
+
+    Attributes:
+        exp_id: Paper artifact id (e.g. ``"figure5a"``, ``"table6"``).
+        title: Human-readable description.
+        headers: Column names.
+        rows: Table rows (stringifiable cells).
+        notes: Free-form commentary (paper-vs-measured remarks).
+    """
+
+    exp_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def format_table(self) -> str:
+        """Render as an aligned text table (what the benches print)."""
+        table = [list(map(_fmt, self.headers))]
+        table.extend([list(map(_fmt, row)) for row in self.rows])
+        widths = [
+            max(len(row[col]) for row in table)
+            for col in range(len(table[0]))
+        ]
+        lines = [f"== {self.exp_id}: {self.title} =="]
+        for i, row in enumerate(table):
+            lines.append(
+                "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+            )
+            if i == 0:
+                lines.append("  ".join("-" * width for width in widths))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def format_markdown(self) -> str:
+        """Render as a GitHub-markdown table (for EXPERIMENTS.md)."""
+        lines = [
+            "| " + " | ".join(_fmt(h) for h in self.headers) + " |",
+            "|" + "|".join("---" for _ in self.headers) + "|",
+        ]
+        for row in self.rows:
+            lines.append("| " + " | ".join(_fmt(c) for c in row) + " |")
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"*{note}*")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List[object]:
+        """Extract one column by header name."""
+        index = list(self.headers).index(name)
+        return [row[index] for row in self.rows]
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell >= 1000:
+            return f"{cell:,.0f}"
+        if cell >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)

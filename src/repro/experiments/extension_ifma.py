@@ -1,0 +1,97 @@
+"""Extension experiment: the AVX-512 IFMA52 tuning ladder.
+
+Both evaluation CPUs support AVX-512 IFMA, the fused 52-bit multiply-add
+HEXL-class NTTs are built on. This experiment climbs the tuning ladder
+from the paper's printed portable kernels to a HEXL-style implementation:
+
+    portable AVX-512 Barrett  (Listing 2 style - what we model as "avx512")
+      -> + Shoup twiddles     (precomputed per-twiddle constants)
+      -> IFMA52 + Shoup       (52-bit limbs, fused multiply-add)
+      -> IFMA52 + lazy        (Harvey's [0,4q) lazy butterflies)
+
+and reports each rung against the scalar kernel. The ladder is this
+reproduction's explanation of its main divergence from the paper: our
+portable AVX-512 model shows ~1.1-1.3x over scalar where the paper
+measures 2.4x (Intel) - and the fully tuned rung reaches that regime.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arith.primes import default_modulus
+from repro.experiments.base import ExperimentResult
+from repro.ifma.perf import estimate_ifma_ntt
+from repro.kernels import get_backend
+from repro.machine.cpu import get_cpu
+from repro.perf.estimator import estimate_ntt
+
+LOG_SIZE = 14
+CPUS = ("intel_xeon_8352y", "amd_epyc_9654")
+
+
+def run(q: Optional[int] = None) -> ExperimentResult:
+    """Regenerate the IFMA tuning-ladder table."""
+    q = q or default_modulus()
+    result = ExperimentResult(
+        exp_id="extension_ifma",
+        title=f"AVX-512 tuning ladder (NTT ns/butterfly, n = 2^{LOG_SIZE})",
+        headers=["CPU", "variant", "ns/butterfly", "speedup over scalar"],
+    )
+    ladders = {}
+    for cpu_key in CPUS:
+        cpu = get_cpu(cpu_key)
+        scalar = estimate_ntt(
+            1 << LOG_SIZE, q, get_backend("scalar"), cpu
+        ).ns_per_butterfly
+        rungs = [
+            ("scalar (Barrett)", scalar),
+            (
+                "avx512 portable Barrett",
+                estimate_ntt(
+                    1 << LOG_SIZE, q, get_backend("avx512"), cpu
+                ).ns_per_butterfly,
+            ),
+            (
+                "avx512 + Shoup twiddles",
+                estimate_ntt(
+                    1 << LOG_SIZE, q, get_backend("avx512"), cpu,
+                    twiddle_mode="shoup",
+                ).ns_per_butterfly,
+            ),
+            (
+                "avx512 + lazy butterflies",
+                estimate_ntt(
+                    1 << LOG_SIZE, q, get_backend("avx512"), cpu,
+                    twiddle_mode="lazy",
+                ).ns_per_butterfly,
+            ),
+            (
+                "ifma52 + lazy (HEXL-style)",
+                estimate_ifma_ntt(1 << LOG_SIZE, q, cpu, "lazy").ns_per_butterfly,
+            ),
+        ]
+        ladders[cpu_key] = rungs
+        for name, ns in rungs:
+            result.rows.append([cpu_key, name, ns, scalar / ns])
+
+    for cpu_key, rungs in ladders.items():
+        scalar = rungs[0][1]
+        best = min(ns for _, ns in rungs[1:])
+        result.notes.append(
+            f"{cpu_key}: fully tuned AVX-512 family reaches "
+            f"{scalar / best:.2f}x over scalar "
+            f"(paper measured 2.4x Intel / ~2x AMD for its tuned binaries)"
+        )
+    result.notes.append(
+        "the ladder quantifies the gap between the paper's *printed* "
+        "portable kernels and its *measured* tuned binaries - resolving "
+        "the scalar-vs-AVX-512 divergence documented in EXPERIMENTS.md"
+    )
+    result.notes.append(
+        "AMD caveat: the 52-bit-limb layout stores residues in 24 bytes "
+        "(three 64-bit planes) instead of 16, which spills AMD EPYC's "
+        "1 MB per-core L2 at n = 2^14 - so the IFMA rungs flatten there "
+        "while the ladder stays monotone on Intel's 1.25 MB L2"
+    )
+    return result

@@ -1,0 +1,88 @@
+"""Extension experiment: realistic multi-core scaling vs speed-of-light.
+
+Section 6 acknowledges that the SOL projection is idealized and argues
+that batched FHE workloads still make near-linear scaling plausible,
+quoting two scenarios on the 192-core AMD EPYC 9965S: a 77x multi-core
+speedup would match RPU; a conservative 48x would be about 1.6x slower.
+
+This experiment runs the batch-contention model across core counts for
+batches of independent MQX NTTs at two sizes:
+
+* **n = 2^14** - per-core working sets fit the private L2, so scaling is
+  compute-bound and near-linear: the SOL assumption is realistic here.
+* **n = 2^16** - working sets spill to the shared L3 (the Section 5.4
+  effect), so high core counts hit the aggregate-bandwidth wall and
+  efficiency collapses: the part of the SOL projection that is *not*
+  realizable without cache-aware scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arith.primes import default_modulus
+from repro.baselines.published import synthesize_published
+from repro.experiments.base import ExperimentResult
+from repro.kernels import get_backend
+from repro.machine.cpu import get_cpu
+from repro.multicore.model import BatchScalingModel
+from repro.perf.estimator import estimate_ntt
+from repro.roofline.sol import default_sol_anchor
+
+LOG_SIZES = (14, 16)
+CORE_COUNTS = (1, 8, 32, 96, 192)
+
+
+def run(q: Optional[int] = None) -> ExperimentResult:
+    """Regenerate the multi-core realization analysis (AMD EPYC 9965S)."""
+    q = q or default_modulus()
+    measured = get_cpu("amd_epyc_9654")
+    target = get_cpu("amd_epyc_9965s")
+    model = BatchScalingModel(target)
+
+    result = ExperimentResult(
+        exp_id="extension_multicore",
+        title=(
+            f"batched MQX NTTs on {target.name}: realized scaling vs "
+            "speed-of-light"
+        ),
+        headers=["log2(n)", "cores", "speedup", "efficiency", "bound", "us per NTT"],
+    )
+
+    finals = {}
+    est14 = None
+    for logn in LOG_SIZES:
+        est = estimate_ntt(1 << logn, q, get_backend("mqx"), measured)
+        if logn == 14:
+            est14 = est
+        for cores in CORE_COUNTS:
+            batch = 4 * cores  # plenty of independent work, as in FHE
+            mc = model.run(est, batch=batch, cores=cores)
+            result.rows.append(
+                [logn, cores, mc.speedup, mc.efficiency, mc.bound,
+                 mc.ns_per_ntt / 1000.0]
+            )
+            finals[logn] = mc
+
+    rpu = synthesize_published(default_sol_anchor())["rpu"]
+    rpu_ns = rpu.runtime(14)
+    realized = finals[14]
+    ratio = realized.ns_per_ntt / rpu_ns
+    result.notes.append(
+        f"n=2^14: realized {realized.speedup:.0f}x on {realized.cores} cores "
+        f"({realized.bound}-bound) -> {1 / ratio:.1f}x faster than RPU: the "
+        f"SOL projection is essentially realizable for L2-resident sizes"
+    )
+    spilled = finals[16]
+    result.notes.append(
+        f"n=2^16: scaling saturates at {spilled.speedup:.0f}x "
+        f"({spilled.bound}-bound) - the L2 spill of Section 5.4 becomes a "
+        f"shared-bandwidth wall at scale"
+    )
+    conservative_ns = est14.ns / 48.0
+    result.notes.append(
+        f"the paper's conservative 48x scenario gives "
+        f"{conservative_ns / rpu_ns:.2f}x vs RPU (paper: about 1.6x slower); "
+        f"the 77x scenario gives {est14.ns / 77.0 / rpu_ns:.2f}x (paper: on par)"
+    )
+    return result

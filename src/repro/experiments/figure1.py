@@ -1,0 +1,61 @@
+"""Figure 1: the paper's headline NTT comparison.
+
+One 2^14-point NTT: OpenFHE on a 32-core CPU (as reported by the RPU
+paper), our single-core implementations on AMD EPYC 9654, the MQX
+speed-of-light projection on 192 cores of AMD EPYC 9965S, and the RPU
+ASIC. Values are microseconds per NTT (lower is better).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arith.primes import default_modulus
+from repro.baselines.published import synthesize_published
+from repro.experiments.base import ExperimentResult
+from repro.kernels import get_backend
+from repro.machine.cpu import get_cpu
+from repro.perf.estimator import estimate_ntt
+from repro.roofline.sol import default_sol_anchor, sol_runtime
+
+LOG_SIZE = 14
+
+
+def run(q: Optional[int] = None) -> ExperimentResult:
+    """Regenerate the Figure 1 bar chart series."""
+    q = q or default_modulus()
+    n = 1 << LOG_SIZE
+    amd = get_cpu("amd_epyc_9654")
+    published = synthesize_published(default_sol_anchor())
+
+    rows = []
+    openfhe_mc = published["openfhe_32core"].runtime(LOG_SIZE)
+    rows.append(["OpenFHE (32-core EPYC 7502)", openfhe_mc / 1000.0])
+
+    estimates = {}
+    for name in ("scalar", "avx2", "avx512", "mqx"):
+        est = estimate_ntt(n, q, get_backend(name), amd)
+        estimates[name] = est.ns
+        rows.append([f"{name} (1 core EPYC 9654)", est.ns / 1000.0])
+
+    mqx_est = estimate_ntt(n, q, get_backend("mqx"), amd)
+    sol = sol_runtime(mqx_est, get_cpu("amd_epyc_9965s"))
+    rows.append(["MQX-SOL (192-core EPYC 9965S)", sol.sol_ns / 1000.0])
+    rows.append(["RPU (ASIC)", published["rpu"].runtime(LOG_SIZE) / 1000.0])
+
+    result = ExperimentResult(
+        exp_id="figure1",
+        title=f"2^{LOG_SIZE}-point NTT runtime comparison (us, lower is better)",
+        headers=["implementation", "us per NTT"],
+        rows=rows,
+    )
+    result.notes.append(
+        f"our single-core AVX-512 vs 32-core OpenFHE: "
+        f"{openfhe_mc / estimates['avx512']:.1f}x faster (paper: 3.8x)"
+    )
+    result.notes.append(
+        f"MQX-SOL vs RPU: "
+        f"{published['rpu'].runtime(LOG_SIZE) / sol.sol_ns:.1f}x faster "
+        f"(paper Figure 1: near-ASIC)"
+    )
+    return result

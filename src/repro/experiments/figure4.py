@@ -1,0 +1,69 @@
+"""Figure 4: BLAS operation performance on a single CPU core.
+
+Five implementations (GMP, scalar, AVX2, AVX-512, MQX) x four operations
+(vector add/sub/mul, axpy), reported as nanoseconds per element at the
+paper's vector length of 1,024. Figure 4a is Intel Xeon, 4b is AMD EPYC.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arith.primes import default_modulus
+from repro.blas.ops import BLAS_OPERATIONS
+from repro.experiments.base import ExperimentResult
+from repro.kernels import get_backend
+from repro.machine.cpu import get_cpu
+from repro.perf.estimator import estimate_baseline_blas, estimate_blas
+
+VECTOR_LENGTH = 1024
+IMPLEMENTATIONS = ("gmp", "scalar", "avx2", "avx512", "mqx")
+
+_CPU_BY_PANEL = {"a": "intel_xeon_8352y", "b": "amd_epyc_9654"}
+
+
+def run(panel: str = "b", q: Optional[int] = None) -> ExperimentResult:
+    """Regenerate Figure 4a (``panel="a"``) or 4b (``panel="b"``)."""
+    cpu = get_cpu(_CPU_BY_PANEL[panel])
+    q = q or default_modulus()
+
+    result = ExperimentResult(
+        exp_id=f"figure4{panel}",
+        title=f"BLAS ns/element on one core of {cpu.name} (length {VECTOR_LENGTH})",
+        headers=["operation"] + list(IMPLEMENTATIONS),
+    )
+    for op in BLAS_OPERATIONS:
+        row = [op]
+        for impl in IMPLEMENTATIONS:
+            if impl == "gmp":
+                est = estimate_baseline_blas(impl, op, VECTOR_LENGTH, q, cpu)
+            else:
+                est = estimate_blas(op, VECTOR_LENGTH, q, get_backend(impl), cpu)
+            row.append(est.ns_per_element)
+        result.rows.append(row)
+
+    # The paper's summary statistics for this figure.
+    def _avg_ratio(numer: str, denom: str) -> float:
+        total = 0.0
+        for row in result.rows:
+            values = dict(zip(result.headers[1:], row[1:]))
+            total += values[numer] / values[denom]
+        return total / len(result.rows)
+
+    result.notes.append(
+        f"avg AVX-512 speedup over AVX2: {_avg_ratio('avx2', 'avx512'):.2f}x "
+        f"(paper: 2.2x Intel / 1.6x AMD)"
+    )
+    result.notes.append(
+        f"avg MQX speedup over AVX-512: {_avg_ratio('avx512', 'mqx'):.2f}x "
+        f"(paper: 2.2x Intel / 3.2x AMD)"
+    )
+    slower = 0.0
+    for row in result.rows:
+        values = dict(zip(result.headers[1:], row[1:]))
+        slower += values["gmp"] / max(values["scalar"], values["avx2"])
+    result.notes.append(
+        f"avg GMP slowdown vs slower of scalar/AVX2: {slower / 4:.1f}x "
+        f"(paper: 18.4x Intel / 17.3x AMD)"
+    )
+    return result

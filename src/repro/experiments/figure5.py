@@ -1,0 +1,67 @@
+"""Figure 5: NTT performance on a single CPU core across sizes.
+
+Six implementations (GMP, OpenFHE, scalar, AVX2, AVX-512, MQX) across NTT
+sizes 2^10 - 2^17, reported as nanoseconds per butterfly. Figure 5a is
+Intel Xeon, 5b is AMD EPYC.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arith.primes import default_modulus
+from repro.experiments.base import ExperimentResult
+from repro.kernels import get_backend
+from repro.machine.cpu import get_cpu
+from repro.perf.estimator import estimate_baseline_ntt, estimate_ntt
+
+LOG_SIZES = range(10, 18)
+IMPLEMENTATIONS = ("gmp", "openfhe", "scalar", "avx2", "avx512", "mqx")
+
+_CPU_BY_PANEL = {"a": "intel_xeon_8352y", "b": "amd_epyc_9654"}
+
+
+def run(panel: str = "b", q: Optional[int] = None) -> ExperimentResult:
+    """Regenerate Figure 5a (``panel="a"``) or 5b (``panel="b"``)."""
+    cpu = get_cpu(_CPU_BY_PANEL[panel])
+    q = q or default_modulus()
+
+    result = ExperimentResult(
+        exp_id=f"figure5{panel}",
+        title=f"NTT ns/butterfly on one core of {cpu.name}",
+        headers=["log2(n)"] + list(IMPLEMENTATIONS),
+    )
+    series = {impl: [] for impl in IMPLEMENTATIONS}
+    for logn in LOG_SIZES:
+        row = [logn]
+        for impl in IMPLEMENTATIONS:
+            if impl in ("gmp", "openfhe"):
+                est = estimate_baseline_ntt(impl, 1 << logn, q, cpu)
+            else:
+                est = estimate_ntt(1 << logn, q, get_backend(impl), cpu)
+            row.append(est.ns_per_butterfly)
+            series[impl].append(est.ns_per_butterfly)
+        result.rows.append(row)
+
+    def _avg_ratio(slow: str, fast: str) -> float:
+        return sum(
+            a / b for a, b in zip(series[slow], series[fast])
+        ) / len(series[slow])
+
+    result.notes.append(
+        f"avg scalar speedup over OpenFHE: {_avg_ratio('openfhe', 'scalar'):.1f}x "
+        f"(paper: 13.5x Intel / 11x AMD)"
+    )
+    result.notes.append(
+        f"avg AVX-512 speedup over OpenFHE: {_avg_ratio('openfhe', 'avx512'):.1f}x "
+        f"(paper: 31.9x Intel / 23.2x AMD)"
+    )
+    result.notes.append(
+        f"avg MQX speedup over OpenFHE: {_avg_ratio('openfhe', 'mqx'):.1f}x "
+        f"(paper: 66.9x Intel / 86.5x AMD)"
+    )
+    result.notes.append(
+        f"avg AVX-512 speedup over GMP: {_avg_ratio('gmp', 'avx512'):.1f}x "
+        f"(paper: 53x Intel)"
+    )
+    return result

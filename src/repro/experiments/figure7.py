@@ -1,0 +1,44 @@
+"""Figure 7: speed-of-light NTT performance on multi-core CPUs.
+
+MQX-SOL on the highest-end AVX-512 server CPUs (Intel Xeon 6980P, AMD
+EPYC 9965S) against RPU, FPMM, MoMA, and OpenFHE-multicore, at every NTT
+size each design reports. Values are microseconds per NTT.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.roofline.compare import average_speedup, figure7_comparison
+
+_PAPER_AVGS = {
+    "amd": {"RPU": 2.5, "FPMM": 2.9, "MoMA": 1.7},
+    "intel": {"RPU": 1.3, "FPMM": 1.0, "MoMA": 1 / 1.4},
+}
+
+
+def run(vendor: str = "amd") -> ExperimentResult:
+    """Regenerate Figure 7a (``vendor="intel"``) or 7b (``vendor="amd"``)."""
+    rows = figure7_comparison(vendor)
+    panel = "7b" if vendor == "amd" else "7a"
+    result = ExperimentResult(
+        exp_id=f"figure{panel}",
+        title=f"MQX speed-of-light vs published designs ({vendor})",
+        headers=["design", "log2(n)", "MQX-SOL us", "published us", "SOL speedup"],
+    )
+    for row in rows:
+        result.rows.append(
+            [
+                row.design,
+                row.logn,
+                row.sol_ns / 1000.0,
+                row.published_ns / 1000.0,
+                row.speedup,
+            ]
+        )
+    for design, paper_value in _PAPER_AVGS[vendor].items():
+        ours = average_speedup(rows, design)
+        result.notes.append(
+            f"avg MQX-SOL speedup over {design}: {ours:.2f}x "
+            f"(paper: {paper_value:.2f}x)"
+        )
+    return result

@@ -1,0 +1,59 @@
+"""Section 5.5: schoolbook vs Karatsuba multiplication inside the NTT.
+
+The paper finds schoolbook wins on CPUs in almost all variants (average
+1.1x where it wins, near-tie for scalar on AMD), the opposite of the GPU
+result (MoMA: Karatsuba 2.1x faster).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arith.primes import default_modulus
+from repro.experiments.base import ExperimentResult
+from repro.kernels import get_backend
+from repro.machine.cpu import get_cpu
+from repro.perf.estimator import estimate_ntt
+
+VARIANTS = ("scalar", "avx2", "avx512", "mqx")
+CPUS = ("intel_xeon_8352y", "amd_epyc_9654")
+LOG_SIZE = 14
+
+
+def run(q: Optional[int] = None) -> ExperimentResult:
+    """Regenerate the multiplication-algorithm sensitivity analysis."""
+    q = q or default_modulus()
+    result = ExperimentResult(
+        exp_id="karatsuba",
+        title="schoolbook vs Karatsuba (NTT ns/butterfly, n = 2^14)",
+        headers=["CPU", "variant", "schoolbook", "karatsuba", "karatsuba/schoolbook"],
+    )
+    wins = 0
+    total = 0
+    exceptions = []
+    for cpu_key in CPUS:
+        cpu = get_cpu(cpu_key)
+        for variant in VARIANTS:
+            backend = get_backend(variant)
+            school = estimate_ntt(
+                1 << LOG_SIZE, q, backend, cpu, algorithm="schoolbook"
+            ).ns_per_butterfly
+            karat = estimate_ntt(
+                1 << LOG_SIZE, q, backend, cpu, algorithm="karatsuba"
+            ).ns_per_butterfly
+            result.rows.append([cpu_key, variant, school, karat, karat / school])
+            total += 1
+            if school <= karat:
+                wins += 1
+            else:
+                exceptions.append(f"{variant} on {cpu_key}")
+    result.notes.append(
+        f"schoolbook wins or ties {wins}/{total} variant-CPU combinations "
+        "(paper: schoolbook wins in almost all NTT variants; ~1.1x where it wins)"
+    )
+    if exceptions:
+        result.notes.append(
+            "near-tie exceptions: " + ", ".join(exceptions) + " "
+            "(the paper reports exactly one: scalar on AMD EPYC)"
+        )
+    return result

@@ -1,0 +1,83 @@
+"""Table 2: the MQX instruction set and its emulation semantics.
+
+Regenerates the table's three rows - instruction, emulation, description -
+and *executes* each emulation against the simulated instruction on random
+and adversarial inputs, which is the paper's functional-correctness flag
+in experiment form.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.experiments.base import ExperimentResult
+from repro.isa import mqx
+from repro.isa.types import Mask, Vec
+
+MASK64 = (1 << 64) - 1
+
+_ROWS = [
+    (
+        "_mm512_mul_epi64(ch, cl, a, b)",
+        "ch[i] = (i128)a[i]*(i128)b[i] >> 64; cl[i] = low 64",
+        "Multiply two words; output high and low result words.",
+    ),
+    (
+        "_mm512_adc_epi64(a, b, ci, &co)",
+        "co[i] = ((i128)a[i]+b[i]+ci[i]) >> 64; result = low 64",
+        "Add two words and a carry bit; output word + carry bit.",
+    ),
+    (
+        "_mm512_sbb_epi64(a, b, bi, &bo)",
+        "bo[i] = ((i128)a[i]-b[i]-bi[i]) < 0; result = low 64",
+        "Subtract two words and a borrow bit; output word + borrow bit.",
+    ),
+]
+
+
+def _verify(seed: int = 2) -> int:
+    """Execute Table 2's emulation column against the instructions."""
+    rng = random.Random(seed)
+    cases = 0
+    samples = [
+        [rng.randrange(1 << 64) for _ in range(8)] for _ in range(6)
+    ]
+    samples.append([MASK64] * 8)  # the carry-chain adversarial corner
+    samples.append([0] * 8)
+    for a_vals in samples:
+        for b_vals in samples:
+            a, b = Vec(a_vals), Vec(b_vals)
+            ci = Mask(rng.randrange(256), 8)
+
+            hi, lo = mqx.mm512_mul_epi64(a, b)
+            total, co = mqx.mm512_adc_epi64(a, b, ci)
+            diff, bo = mqx.mm512_sbb_epi64(a, b, ci)
+            for i in range(8):
+                product = a_vals[i] * b_vals[i]
+                assert hi.lane(i) == product >> 64
+                assert lo.lane(i) == product & MASK64
+                wide = a_vals[i] + b_vals[i] + (1 if ci.bit(i) else 0)
+                assert total.lane(i) == wide & MASK64
+                assert co.bit(i) == (wide >> 64 != 0)
+                narrow = a_vals[i] - b_vals[i] - (1 if ci.bit(i) else 0)
+                assert diff.lane(i) == narrow & MASK64
+                assert bo.bit(i) == (narrow < 0)
+                cases += 3
+    return cases
+
+
+def run() -> ExperimentResult:
+    """Regenerate Table 2 with executed emulation checks."""
+    cases = _verify()
+    result = ExperimentResult(
+        exp_id="table2",
+        title="AVX-512 multi-word extension (MQX)",
+        headers=["instruction", "emulation", "description"],
+        rows=[list(row) for row in _ROWS],
+    )
+    result.notes.append(
+        f"emulation semantics executed against the simulated instructions "
+        f"on {cases} lane-cases, including the all-ones carry corners "
+        f"(the paper's functional-correctness flag)"
+    )
+    return result

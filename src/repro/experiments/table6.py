@@ -1,0 +1,46 @@
+"""Table 6: relative error of PISA-projected runtime on both CPUs."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.pisa.validation import max_absolute_error, validate_pisa
+
+#: The paper's Table 6 values, for side-by-side reporting.
+PAPER_TABLE6 = {
+    ("intel_xeon_8352y", "_mm256_mul_epu32"): 3.23,
+    ("intel_xeon_8352y", "_mm512_mask_add_epi64"): -7.68,
+    ("intel_xeon_8352y", "_mm512_mask_sub_epi64"): -4.30,
+    ("amd_epyc_9654", "_mm256_mul_epu32"): 2.64,
+    ("amd_epyc_9654", "_mm512_mask_add_epi64"): 5.25,
+    ("amd_epyc_9654", "_mm512_mask_sub_epi64"): 1.27,
+}
+
+
+def run() -> ExperimentResult:
+    """Regenerate Table 6 (PISA validation)."""
+    cases = validate_pisa()
+    result = ExperimentResult(
+        exp_id="table6",
+        title="PISA validation: relative error of projected NTT runtime",
+        headers=["CPU", "target instruction", "epsilon (ours)", "epsilon (paper)"],
+    )
+    for case in cases:
+        paper = PAPER_TABLE6[(case.cpu, case.target_intrinsic)]
+        result.rows.append(
+            [
+                case.cpu,
+                case.target_intrinsic,
+                f"{case.relative_error_pct:+.2f}%",
+                f"{paper:+.2f}%",
+            ]
+        )
+    result.notes.append(
+        f"max |epsilon| = {max_absolute_error(cases):.2f}% "
+        "(paper bound: below 8% on all six cases)"
+    )
+    result.notes.append(
+        "negative epsilon means PISA is conservative (projects a higher "
+        "runtime than the ground truth); our deterministic model is "
+        "conservative or exact in every case"
+    )
+    return result

@@ -1,0 +1,23 @@
+"""AVX-512 IFMA52 kernels: the platform-tuned alternative (extension).
+
+Both evaluation CPUs support AVX-512 IFMA (``vpmadd52luq``/``vpmadd52huq``),
+the fused 52-bit multiply-add that Intel HEXL builds its big-integer
+kernels on - one instruction where the portable AVX-512F/DQ emulation of a
+widening multiply needs ~15. The paper's printed kernels are portable
+(Listing 2 style); its measured binaries are further tuned, and IFMA is
+the most plausible tuning lever. This package implements that lever:
+
+* residues live in base 2^52 (three limbs per 124-bit value),
+* products are column-accumulated with ``vpmadd52``,
+* the Barrett algorithm is unchanged, re-derived over 52-bit limbs.
+
+The extension experiment shows IFMA roughly doubles the portable AVX-512
+kernel's throughput in the model - which closes most of the documented
+divergence between our modeled AVX-512-over-scalar gap and the paper's
+measured 2.4x.
+"""
+
+from repro.ifma.kernel import IfmaKernel
+from repro.ifma.ntt import IfmaNtt
+
+__all__ = ["IfmaKernel", "IfmaNtt"]

@@ -1,0 +1,389 @@
+"""52-bit-limb modular arithmetic on AVX-512 IFMA.
+
+Representation: a residue ``x < q <= 2^124`` is three 52-bit limbs
+``(x0, x1, x2)`` with ``x = x0 + x1*2^52 + x2*2^104`` (``x2 < 2^20``),
+one ZMM register per limb plane, eight residues per block.
+
+Products column-accumulate with ``vpmadd52luq``/``vpmadd52huq``: the
+(i, j) limb product contributes its low 52 bits to column ``i+j`` and its
+high bits to column ``i+j+1``; column sums stay below 2^55, far from the
+64-bit lane limit, so one carry-normalization pass at the end suffices.
+Barrett reduction is the paper's Equation 4 re-derived over the 52-bit
+base (moduli of 106-124 bits keep every shift inside a fixed limb
+window).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.arith.barrett import BarrettParams
+from repro.errors import ArithmeticDomainError, BackendError
+from repro.isa import avx512 as v
+from repro.isa.types import Mask, Vec
+
+LIMB_BITS = 52
+MASK52 = (1 << LIMB_BITS) - 1
+LANES = 8
+
+#: Supported modulus widths: shifts by beta-1 and beta+1 must land in the
+#: limb-2 window (see _shift_down3).
+MIN_BETA, MAX_BETA = 106, 124
+
+
+class IfmaKernel:
+    """Modular add/sub/mul/butterfly over 52-bit limbs (8 residues/block)."""
+
+    def __init__(self, q: int) -> None:
+        beta = q.bit_length()
+        if not MIN_BETA <= beta <= MAX_BETA:
+            raise ArithmeticDomainError(
+                f"IFMA kernel supports moduli of {MIN_BETA}-{MAX_BETA} bits, "
+                f"got {beta}"
+            )
+        self.q = q
+        self.params = BarrettParams(q)
+        self.beta = beta
+
+        self.zero = v.mm512_setzero_si512()
+        self.m52 = v.mm512_set1_epi64(MASK52)
+        self.base = v.mm512_set1_epi64(1 << LIMB_BITS)
+        self.base_m1 = v.mm512_set1_epi64((1 << LIMB_BITS) - 1)
+        self.q_limbs = self._broadcast_limbs(q)
+        self.q2_limbs = self._broadcast_limbs(2 * q)
+        self.mu_limbs = self._broadcast_limbs(self.params.mu)
+
+    # ------------------------------------------------------------------
+    # Block I/O (52-bit plane layout)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def split_limbs(value: int) -> Tuple[int, int, int]:
+        """Split a < 2^156 value into three 52-bit limbs."""
+        return (
+            value & MASK52,
+            (value >> LIMB_BITS) & MASK52,
+            value >> (2 * LIMB_BITS),
+        )
+
+    def _broadcast_limbs(self, value: int) -> List[Vec]:
+        return [v.mm512_set1_epi64(limb) for limb in self.split_limbs(value)]
+
+    def load_block(self, values: Sequence[int]) -> List[Vec]:
+        """Load eight residues as three limb-plane registers."""
+        return self._load(values, bound=self.q)
+
+    def load_block_lazy(self, values: Sequence[int]) -> List[Vec]:
+        """Load a block in Harvey's lazy range ``[0, 4q)``."""
+        return self._load(values, bound=4 * self.q)
+
+    def _load(self, values: Sequence[int], bound: int) -> List[Vec]:
+        if len(values) != LANES:
+            raise BackendError(f"IFMA block takes {LANES} values, got {len(values)}")
+        planes = [[], [], []]
+        for value in values:
+            if not 0 <= value < bound:
+                raise ArithmeticDomainError(
+                    f"{value} is outside the expected range [0, {bound})"
+                )
+            limbs = self.split_limbs(value)
+            for plane, limb in zip(planes, limbs):
+                plane.append(limb)
+        return [v.mm512_load_si512(plane) for plane in planes]
+
+    def store_block(self, regs: List[Vec]) -> List[int]:
+        """Store three limb planes; returns the residues."""
+        for reg in regs:
+            v.mm512_store_si512(reg)
+        return self.block_values(regs)
+
+    def block_values(self, regs: List[Vec]) -> List[int]:
+        """Residue values without memory traffic."""
+        return [
+            regs[0].lane(i)
+            + (regs[1].lane(i) << LIMB_BITS)
+            + (regs[2].lane(i) << (2 * LIMB_BITS))
+            for i in range(LANES)
+        ]
+
+    def broadcast_residue(self, value: int) -> List[Vec]:
+        """Broadcast one residue as hoisted constants."""
+        if not 0 <= value < self.q:
+            raise ArithmeticDomainError(f"{value} is not reduced mod q")
+        return self._broadcast_limbs(value)
+
+    # ------------------------------------------------------------------
+    # Limb-domain helpers
+    # ------------------------------------------------------------------
+
+    def _mul_full(self, a: List[Vec], b: List[Vec]) -> List[Vec]:
+        """3x3-limb product, column-accumulated: five canonical limbs.
+
+        The top column's high half is provably zero (both limb-2 operands
+        are below 2^21 for 124-bit moduli / Barrett mu), so 17 madd
+        instructions cover all contributions.
+        """
+        cols = [self.zero] * 5
+        for i in range(3):
+            for j in range(3):
+                k = i + j
+                cols[k] = v.mm512_madd52lo_epu64(cols[k], a[i], b[j])
+                if k + 1 <= 4 and not (i == 2 and j == 2):
+                    cols[k + 1] = v.mm512_madd52hi_epu64(cols[k + 1], a[i], b[j])
+        # Carry-normalize; the final column needs no mask (t < 2^248).
+        out = []
+        carry = None
+        for k in range(5):
+            acc = cols[k] if carry is None else v.mm512_add_epi64(cols[k], carry)
+            if k < 4:
+                out.append(v.mm512_and_epi64(acc, self.m52))
+                carry = v.mm512_srli_epi64(acc, LIMB_BITS)
+            else:
+                out.append(acc)
+        return out
+
+    def _mul_low3(self, a: List[Vec], b: List[Vec]) -> List[Vec]:
+        """Low three limbs of a 3x3-limb product (mod 2^156)."""
+        cols = [self.zero] * 3
+        for i in range(3):
+            for j in range(3 - i):
+                k = i + j
+                cols[k] = v.mm512_madd52lo_epu64(cols[k], a[i], b[j])
+                if k + 1 <= 2:
+                    cols[k + 1] = v.mm512_madd52hi_epu64(cols[k + 1], a[i], b[j])
+        out = []
+        carry = None
+        for k in range(3):
+            acc = cols[k] if carry is None else v.mm512_add_epi64(cols[k], carry)
+            out.append(v.mm512_and_epi64(acc, self.m52))
+            if k < 2:
+                carry = v.mm512_srli_epi64(acc, LIMB_BITS)
+        return out
+
+    def _shift_down3(self, limbs5: List[Vec], amount: int) -> List[Vec]:
+        """``value >> amount`` of a 5-limb value into 3 limbs.
+
+        ``amount`` must fall in the limb-2 window (104 < amount < 156),
+        which the beta range guarantees for both Barrett shifts.
+        """
+        bit = amount - 2 * LIMB_BITS
+        assert 0 < bit < LIMB_BITS, "shift outside the supported window"
+        out = []
+        for k in range(2):
+            low = v.mm512_srli_epi64(limbs5[2 + k], bit)
+            high = v.mm512_slli_epi64(limbs5[3 + k], LIMB_BITS - bit)
+            out.append(v.mm512_and_epi64(v.mm512_or_epi64(low, high), self.m52))
+        out.append(v.mm512_srli_epi64(limbs5[4], bit))
+        return out
+
+    def _sub3(self, a: List[Vec], b: List[Vec]) -> Tuple[List[Vec], Mask]:
+        """3-limb ``a - b`` mod 2^156 plus a no-borrow mask.
+
+        The base-complement trick: ``v_k = a_k - b_k + (B or B-1) +
+        carry``; the final carry word is 1 exactly where no overall
+        borrow occurred.
+        """
+        out = []
+        carry = None
+        for k in range(3):
+            acc = v.mm512_add_epi64(a[k], self.base if k == 0 else self.base_m1)
+            if carry is not None:
+                acc = v.mm512_add_epi64(acc, carry)
+            acc = v.mm512_sub_epi64(acc, b[k])
+            out.append(v.mm512_and_epi64(acc, self.m52))
+            carry = v.mm512_srli_epi64(acc, LIMB_BITS)
+        no_borrow = v.mm512_cmp_epu64_mask(carry, self.zero, v.CMPINT_NLE)
+        return out, no_borrow
+
+    def _add3(self, a: List[Vec], b: List[Vec]) -> List[Vec]:
+        """3-limb addition with carry normalization (top limb unmasked)."""
+        s0 = v.mm512_add_epi64(a[0], b[0])
+        s1 = v.mm512_add_epi64(a[1], b[1])
+        s2 = v.mm512_add_epi64(a[2], b[2])
+        l0 = v.mm512_and_epi64(s0, self.m52)
+        c0 = v.mm512_srli_epi64(s0, LIMB_BITS)
+        s1 = v.mm512_add_epi64(s1, c0)
+        l1 = v.mm512_and_epi64(s1, self.m52)
+        c1 = v.mm512_srli_epi64(s1, LIMB_BITS)
+        l2 = v.mm512_add_epi64(s2, c1)
+        return [l0, l1, l2]
+
+    def _select3(self, mask: Mask, if_true: List[Vec], if_false: List[Vec]) -> List[Vec]:
+        return [
+            v.mm512_mask_blend_epi64(mask, f, t)
+            for t, f in zip(if_true, if_false)
+        ]
+
+    def _cond_sub_q(self, c: List[Vec]) -> List[Vec]:
+        """``c - q`` where ``c >= q`` (one Barrett correction)."""
+        diff, no_borrow = self._sub3(c, self.q_limbs)
+        return self._select3(no_borrow, diff, c)
+
+    # ------------------------------------------------------------------
+    # Modular operations
+    # ------------------------------------------------------------------
+
+    def addmod(self, a: List[Vec], b: List[Vec]) -> List[Vec]:
+        """``a + b mod q`` in the 52-bit limb domain."""
+        total = self._add3(a, b)
+        return self._cond_sub_q(total)
+
+    def submod(self, a: List[Vec], b: List[Vec]) -> List[Vec]:
+        """``a - b mod q``: subtract, add ``q`` back where borrowed."""
+        diff, no_borrow = self._sub3(a, b)
+        fixed = self._add3(diff, self.q_limbs)
+        # The add-back wraps mod 2^156, restoring the canonical value; its
+        # top limb may carry garbage above bit 52*2+20, masked by use: the
+        # wrapped value is < q so limb 2 stays below 2^20.
+        fixed = [fixed[0], fixed[1], v.mm512_and_epi64(fixed[2], self.m52)]
+        return self._select3(no_borrow, diff, fixed)
+
+    def mulmod(self, a: List[Vec], b: List[Vec]) -> List[Vec]:
+        """``a * b mod q``: IFMA product + Barrett over 52-bit limbs."""
+        t = self._mul_full(a, b)
+        th = self._shift_down3(t, self.beta - 1)
+        g = self._mul_full(th, self.mu_limbs)
+        estimate = self._shift_down3(g, self.beta + 1)
+        p = self._mul_low3(estimate, self.q_limbs)
+        c, _ = self._sub3(t[:3], p)
+        c = self._cond_sub_q(c)
+        return self._cond_sub_q(c)
+
+    def butterfly(
+        self, x: List[Vec], y: List[Vec], twiddle: List[Vec]
+    ) -> Tuple[List[Vec], List[Vec]]:
+        """One NTT butterfly in the limb domain."""
+        t = self.mulmod(y, twiddle)
+        return self.addmod(x, t), self.submod(x, t)
+
+    # ------------------------------------------------------------------
+    # Shoup-twiddle path (Harvey's butterfly, HEXL-style)
+    # ------------------------------------------------------------------
+
+    def shoup_constant(self, w: int) -> int:
+        """``floor(w * 2^156 / q)``: the per-twiddle Shoup constant.
+
+        2^156 (the limb-domain radix cube) plays the role 2^128 plays in
+        the double-word kernels; ``w < q < 2^124`` keeps it in 3 limbs.
+        """
+        if not 0 <= w < self.q:
+            raise ArithmeticDomainError(f"{w} is not reduced mod q")
+        return (w << (3 * LIMB_BITS)) // self.q
+
+    def mulmod_shoup(
+        self, y: List[Vec], w: List[Vec], w_shoup: List[Vec]
+    ) -> List[Vec]:
+        """``w * y mod q`` with a precomputed Shoup constant.
+
+        ``t = floor(w' * y / 2^156)`` is the top three limbs of one IFMA
+        product; ``r = (w*y - t*q) mod 2^156 < 2q`` needs just the two
+        low products and one conditional subtraction - no Barrett shifts,
+        no ``mu`` product. (``w'`` has a full-width top limb, so this
+        product cannot take :meth:`_mul_full`'s top-column shortcut.)
+        """
+        full = self._mul_full6(w_shoup, y)
+        t_high = full[3:]
+        wy_low = self._mul_low3(w, y)
+        tq_low = self._mul_low3(t_high, self.q_limbs)
+        r, _ = self._sub3(wy_low, tq_low)
+        return self._cond_sub_q(r)
+
+    def _mul_full6(self, a: List[Vec], b: List[Vec]) -> List[Vec]:
+        """3x3-limb product into six canonical limbs (no shortcuts)."""
+        cols = [self.zero] * 6
+        for i in range(3):
+            for j in range(3):
+                k = i + j
+                cols[k] = v.mm512_madd52lo_epu64(cols[k], a[i], b[j])
+                cols[k + 1] = v.mm512_madd52hi_epu64(cols[k + 1], a[i], b[j])
+        out = []
+        carry = None
+        for k in range(6):
+            acc = cols[k] if carry is None else v.mm512_add_epi64(cols[k], carry)
+            if k < 5:
+                out.append(v.mm512_and_epi64(acc, self.m52))
+                carry = v.mm512_srli_epi64(acc, LIMB_BITS)
+            else:
+                out.append(acc)
+        return out
+
+    def butterfly_shoup(
+        self,
+        x: List[Vec],
+        y: List[Vec],
+        twiddle: List[Vec],
+        twiddle_shoup: List[Vec],
+    ) -> Tuple[List[Vec], List[Vec]]:
+        """NTT butterfly with the Shoup-precomputed twiddle product."""
+        t = self.mulmod_shoup(y, twiddle, twiddle_shoup)
+        return self.addmod(x, t), self.submod(x, t)
+
+    # ------------------------------------------------------------------
+    # Harvey's lazy butterflies (HEXL-style redundant range [0, 4q))
+    # ------------------------------------------------------------------
+
+    def cond_sub_2q(self, x: List[Vec]) -> List[Vec]:
+        """``x - 2q`` where ``x >= 2q``: the lazy range restoration."""
+        diff, no_borrow = self._sub3(x, self.q2_limbs)
+        return self._select3(no_borrow, diff, x)
+
+    def mulmod_shoup_lazy(
+        self, y: List[Vec], w: List[Vec], w_shoup: List[Vec]
+    ) -> List[Vec]:
+        """Shoup product left in ``[0, 2q)`` (Harvey: no final subtract).
+
+        Valid for any ``y < 2^156`` - in particular the lazy range
+        ``[0, 4q)`` - because ``w*y - floor(w'*y/2^156)*q < 2q`` holds
+        whenever ``y`` fits the radix.
+        """
+        full = self._mul_full6(w_shoup, y)
+        t_high = full[3:]
+        wy_low = self._mul_low3(w, y)
+        tq_low = self._mul_low3(t_high, self.q_limbs)
+        r, _ = self._sub3(wy_low, tq_low)
+        return r
+
+    def butterfly_lazy(
+        self,
+        x: List[Vec],
+        y: List[Vec],
+        twiddle: List[Vec],
+        twiddle_shoup: List[Vec],
+    ) -> Tuple[List[Vec], List[Vec]]:
+        """Harvey's lazy butterfly: inputs and outputs in ``[0, 4q)``.
+
+        No comparisons or blends on the add/sub paths:
+
+            x~ = x - 2q if x >= 2q        (in [0, 2q))
+            t  = lazy Shoup product       (in [0, 2q))
+            out+ = x~ + t                 (in [0, 4q))
+            out- = x~ - t + 2q            (in (0, 4q))
+
+        A transform using this butterfly reduces its outputs once at the
+        end (:meth:`reduce_from_lazy`) instead of inside every butterfly -
+        the optimization that makes HEXL-class NTTs fast.
+        """
+        x_tilde = self.cond_sub_2q(x)
+        t = self.mulmod_shoup_lazy(y, twiddle, twiddle_shoup)
+        plus = self._add3(x_tilde, t)
+        shifted = self._add3(x_tilde, self.q2_limbs)
+        minus, _ = self._sub3(shifted, t)
+        return plus, minus
+
+    def reduce_from_lazy(self, x: List[Vec]) -> List[Vec]:
+        """Bring a lazy-range value (``< 4q``) back to canonical ``[0, q)``."""
+        return self._cond_sub_q(self.cond_sub_2q(x))
+
+    def lazy_values(self, regs: List[Vec]) -> List[int]:
+        """Lane values of a lazy-range block (may exceed ``q``)."""
+        return self.block_values(regs)
+
+    def interleave(self, even: List[Vec], odd: List[Vec]) -> Tuple[List[Vec], List[Vec]]:
+        """Pease output shuffle, one permute per limb plane."""
+        idx_lo = Vec((0, 8, 1, 9, 2, 10, 3, 11))
+        idx_hi = Vec((4, 12, 5, 13, 6, 14, 7, 15))
+        out0, out1 = [], []
+        for e, o in zip(even, odd):
+            out0.append(v.mm512_permutex2var_epi64(e, idx_lo, o))
+            out1.append(v.mm512_permutex2var_epi64(e, idx_hi, o))
+        return out0, out1

@@ -1,0 +1,134 @@
+"""Pease NTT over the IFMA 52-bit-limb kernel.
+
+Three butterfly modes, forming the tuning ladder real IFMA NTTs climb:
+
+* ``"barrett"`` - general-operand Barrett per butterfly (the paper's
+  algorithm, re-based to 52-bit limbs);
+* ``"shoup"`` - Harvey's precomputed-twiddle product, canonical outputs;
+* ``"lazy"`` - Harvey's lazy butterflies: values stay in ``[0, 4q)``
+  across stages with no compares/blends on the add/sub paths, reduced to
+  canonical form once at the end (the HEXL-style fast path).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import NttParameterError
+from repro.ifma.kernel import IfmaKernel, LANES
+from repro.ntt.twiddles import TwiddleTable, bit_reverse_permutation
+from repro.util.checks import check_reduced
+
+MODES = ("barrett", "shoup", "lazy")
+
+
+class IfmaNtt:
+    """An ``n``-point NTT on the IFMA kernel (same dataflow as SimdNtt)."""
+
+    def __init__(
+        self,
+        n: int,
+        q: int,
+        root: Optional[int] = None,
+        mode: str = "lazy",
+    ) -> None:
+        self.table = TwiddleTable(n, q, root or 0)
+        self.kernel = IfmaKernel(q)
+        if n < 2 * LANES:
+            raise NttParameterError(
+                f"a {n}-point NTT cannot fill {LANES}-lane blocks"
+            )
+        if mode not in MODES:
+            raise NttParameterError(f"mode must be one of {MODES}, got {mode!r}")
+        self.mode = mode
+        self._shoup_cache: Dict = {}
+
+    @property
+    def n(self) -> int:
+        """Transform size."""
+        return self.table.n
+
+    @property
+    def q(self) -> int:
+        """Modulus."""
+        return self.table.q
+
+    def forward(self, values: List[int], natural_order: bool = True) -> List[int]:
+        """Forward NTT (canonical output in every mode)."""
+        x = self._run_stages(values, inverse=False)
+        return bit_reverse_permutation(x) if natural_order else x
+
+    def inverse(self, values: List[int], natural_order: bool = True) -> List[int]:
+        """Inverse NTT including the 1/n scaling."""
+        x = list(values) if natural_order else bit_reverse_permutation(values)
+        x = self._run_stages(x, inverse=True)
+        x = bit_reverse_permutation(x)
+        kernel = self.kernel
+        n_inv = kernel.broadcast_residue(self.table.n_inverse)
+        out: List[int] = []
+        for base in range(0, len(x), LANES):
+            block = kernel.load_block(x[base : base + LANES])
+            out.extend(kernel.store_block(kernel.mulmod(block, n_inv)))
+        return out
+
+    def _shoup_stage(self, stage: int, inverse: bool) -> List[int]:
+        key = (stage, inverse)
+        if key not in self._shoup_cache:
+            self._shoup_cache[key] = [
+                self.kernel.shoup_constant(w)
+                for w in self.table.pease_stage_twiddles(stage, inverse)
+            ]
+        return self._shoup_cache[key]
+
+    def _run_stages(self, values: List[int], inverse: bool) -> List[int]:
+        n = self.n
+        if len(values) != n:
+            raise NttParameterError(f"expected {n} values, got {len(values)}")
+        for i, value in enumerate(values):
+            check_reduced(value, self.q, f"values[{i}]")
+
+        kernel = self.kernel
+        half = n // 2
+        lazy = self.mode == "lazy"
+        x = list(values)
+        for stage in range(self.table.stages):
+            twiddles = self.table.pease_stage_twiddles(stage, inverse)
+            shoup = (
+                self._shoup_stage(stage, inverse)
+                if self.mode in ("shoup", "lazy")
+                else None
+            )
+            out = [0] * n
+            for base in range(0, half, LANES):
+                loader = kernel.load_block_lazy if lazy else kernel.load_block
+                top = loader(x[base : base + LANES])
+                bottom = loader(x[base + half : base + half + LANES])
+                tw = kernel.load_block(twiddles[base : base + LANES])
+                if self.mode == "barrett":
+                    plus, minus = kernel.butterfly(top, bottom, tw)
+                else:
+                    # Shoup constants can reach 2^156; load the planes raw.
+                    tw_s = kernel._load(
+                        shoup[base : base + LANES], bound=1 << 156
+                    )
+                    if lazy:
+                        plus, minus = kernel.butterfly_lazy(top, bottom, tw, tw_s)
+                    else:
+                        plus, minus = kernel.butterfly_shoup(top, bottom, tw, tw_s)
+                blk0, blk1 = kernel.interleave(plus, minus)
+                out[2 * base : 2 * base + LANES] = kernel.store_block(blk0)
+                out[2 * base + LANES : 2 * base + 2 * LANES] = kernel.store_block(
+                    blk1
+                )
+            x = out
+
+        if lazy:
+            # One final normalization pass instead of per-butterfly ones.
+            reduced: List[int] = []
+            for base in range(0, n, LANES):
+                block = kernel.load_block_lazy(x[base : base + LANES])
+                reduced.extend(
+                    kernel.store_block(kernel.reduce_from_lazy(block))
+                )
+            x = reduced
+        return x

@@ -1,0 +1,109 @@
+"""Runtime estimation for IFMA NTTs (mirrors repro.perf.estimator)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ExperimentError
+from repro.ifma.kernel import IfmaKernel, LANES
+from repro.ifma.ntt import MODES
+from repro.isa.trace import Tracer, tracing
+from repro.machine.cache import CacheModel
+from repro.machine.cpu import CpuSpec
+from repro.machine.scheduler import schedule_trace
+from repro.machine.uops import get_microarch
+from repro.perf.estimator import KernelCost, NttEstimate, _trace_bytes
+
+_SEED = 0x1F3A
+
+
+def _trace_stage_block(kernel: IfmaKernel, q: int, mode: str) -> Tracer:
+    """One Pease stage block in the requested butterfly mode."""
+    rng = random.Random(_SEED)
+    top_vals = [rng.randrange(q) for _ in range(LANES)]
+    bot_vals = [rng.randrange(q) for _ in range(LANES)]
+    w = rng.randrange(q)
+    with tracing(f"ifma-{mode}-stage-block") as trace:
+        loader = kernel.load_block_lazy if mode == "lazy" else kernel.load_block
+        top = loader(top_vals)
+        bottom = loader(bot_vals)
+        tw = kernel.load_block([w] * LANES)
+        if mode == "barrett":
+            plus, minus = kernel.butterfly(top, bottom, tw)
+        else:
+            tw_s = kernel._load([kernel.shoup_constant(w)] * LANES, bound=1 << 156)
+            if mode == "lazy":
+                plus, minus = kernel.butterfly_lazy(top, bottom, tw, tw_s)
+            else:
+                plus, minus = kernel.butterfly_shoup(top, bottom, tw, tw_s)
+        blk0, blk1 = kernel.interleave(plus, minus)
+        kernel.store_block(blk0)
+        kernel.store_block(blk1)
+    return trace
+
+
+def _trace_reduce_block(kernel: IfmaKernel, q: int) -> Tracer:
+    """One block of the lazy mode's final normalization pass."""
+    rng = random.Random(_SEED)
+    vals = [rng.randrange(4 * q) for _ in range(LANES)]
+    with tracing("ifma-lazy-reduce") as trace:
+        block = kernel.load_block_lazy(vals)
+        kernel.store_block(kernel.reduce_from_lazy(block))
+    return trace
+
+
+def estimate_ifma_ntt(
+    n: int, q: int, cpu: CpuSpec, mode: str = "lazy"
+) -> NttEstimate:
+    """Model an ``n``-point IFMA NTT on one core."""
+    if mode not in MODES:
+        raise ExperimentError(f"mode must be one of {MODES}, got {mode!r}")
+    if n < 2 * LANES:
+        raise ExperimentError(f"n={n} cannot fill {LANES}-lane blocks")
+    kernel = IfmaKernel(q)
+    stages = n.bit_length() - 1
+    blocks_per_stage = n // (2 * LANES)
+
+    trace = _trace_stage_block(kernel, q, mode)
+    microarch = get_microarch(cpu.microarch)
+    schedule = schedule_trace(trace, microarch)
+    cost = KernelCost(schedule, _trace_bytes(trace))
+    cache = CacheModel(cpu)
+
+    # Residues are three 64-bit planes (24 bytes); Shoup/lazy modes keep a
+    # second, wider twiddle table resident.
+    bytes_per_residue = 24
+    twiddle_tables = 2 if mode in ("shoup", "lazy") else 1
+    working_set = (
+        2 * n * bytes_per_residue + twiddle_tables * (n // 2) * bytes_per_residue
+    )
+    per_block = cost.cycles_per_block(
+        cache, working_set, independent_blocks=max(1, blocks_per_stage)
+    )
+    compute = schedule.throughput_cycles(max(1, blocks_per_stage))
+    memory = cache.memory_cycles(cost.traffic, working_set)
+
+    cycles = per_block * blocks_per_stage * stages
+    if mode == "lazy":
+        reduce_trace = _trace_reduce_block(kernel, q)
+        reduce_sched = schedule_trace(reduce_trace, microarch)
+        reduce_cost = KernelCost(reduce_sched, _trace_bytes(reduce_trace))
+        cycles += reduce_cost.cycles_per_block(
+            cache, working_set, independent_blocks=max(1, n // LANES)
+        ) * (n // LANES)
+
+    ns = cycles / cpu.measured_ghz
+    butterflies = (n // 2) * stages
+    return NttEstimate(
+        backend=f"ifma-{mode}",
+        cpu=cpu.key,
+        n=n,
+        q=q,
+        algorithm="ifma52",
+        cycles=cycles,
+        ns=ns,
+        ns_per_butterfly=ns / butterflies,
+        compute_bound=compute >= memory,
+        memory_level=cache.level_name(working_set),
+        block_schedule=schedule,
+    )

@@ -1,0 +1,31 @@
+"""Lane-accurate SIMD/scalar ISA simulator.
+
+This package plays the role of the real silicon in the paper: the kernels in
+:mod:`repro.kernels` are written against these simulated intrinsics exactly
+as the paper's C code is written against the real AVX2/AVX-512 intrinsics
+(Listings 1-3). Every executed instruction is recorded to the active
+:class:`~repro.isa.trace.Tracer`, and the resulting trace is what the machine
+model (:mod:`repro.machine`) schedules to estimate runtime.
+
+Submodules
+----------
+``types``
+    :class:`Vec` (a SIMD register), :class:`Mask` (an AVX-512 mask register)
+    and :class:`SVal` (a scalar general-purpose register).
+``trace``
+    Instruction tracing infrastructure.
+``scalar``
+    x86-64 scalar instruction semantics (ADD/ADC/SUB/SBB/MUL/CMOV...).
+``avx2``
+    256-bit AVX2 intrinsics (4x64-bit lanes, no mask registers).
+``avx512``
+    512-bit AVX-512F/DQ intrinsics (8x64-bit lanes, mask registers).
+``mqx``
+    The paper's proposed multi-word extension (Table 2), plus the
+    sensitivity-analysis variants of Section 5.5.
+"""
+
+from repro.isa.types import Mask, SVal, Vec
+from repro.isa.trace import Tracer, current_tracer, emit, tracing
+
+__all__ = ["Vec", "Mask", "SVal", "Tracer", "tracing", "emit", "current_tracer"]

@@ -1,0 +1,313 @@
+"""AVX2 intrinsics on 4x64-bit lanes (``__m256i``).
+
+AVX2 has neither mask registers nor unsigned 64-bit comparisons (Section
+3.2), so this module also provides the standard emulation helpers real AVX2
+kernels use:
+
+* :func:`cmplt_epu64` - unsigned less-than via the sign-flip trick
+  (XOR both operands with ``1 << 63``, then signed ``vpcmpgtq``).
+* "Masks" are ordinary vectors holding 0 or all-ones per lane; selects go
+  through ``vpblendvb`` and conditional increments exploit the fact that an
+  all-ones lane is -1 (``x - mask`` adds one exactly where the mask is set).
+* :func:`mul64_wide_emulated` - the 64x64->128 widening multiply synthesized
+  from four ``vpmuludq`` partial products.
+
+These extra instructions are exactly why the paper finds AVX2 sometimes loses
+to a good scalar implementation (Section 5.3/5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+from repro.errors import IsaError
+from repro.isa.trace import emit
+from repro.isa.types import Vec, check_same_shape
+from repro.util.bits import MASK32, MASK64
+
+#: Number of 64-bit lanes in a YMM register.
+LANES = 4
+
+#: All-ones lane value; AVX2 comparison "true".
+ALL_ONES = MASK64
+
+_SIGN_BIT = 1 << 63
+
+
+def _check_ymm(*vecs: Vec) -> None:
+    for vec in vecs:
+        if vec.lanes != LANES or vec.width != 64:
+            raise IsaError(
+                f"expected a 4x64-bit YMM register, got {vec.lanes}x{vec.width}"
+            )
+
+
+def mm256_set1_epi64x(value: int, hoisted: bool = True) -> Vec:
+    """``_mm256_set1_epi64x``: broadcast a 64-bit value to all lanes."""
+    result = Vec.broadcast(value & MASK64, LANES)
+    if not hoisted:
+        emit("vpbroadcastq_ymm", [result], [])
+    return result
+
+
+def mm256_setzero_si256() -> Vec:
+    """``_mm256_setzero_si256``: all-zero register (zeroing idiom, free)."""
+    return Vec.zeros(LANES)
+
+
+def mm256_load_si256(values: Union[Vec, Sequence[int]]) -> Vec:
+    """``_mm256_loadu_si256``: model a 32-byte load."""
+    result = Vec(values.values if isinstance(values, Vec) else values)
+    _check_ymm(result)
+    emit("vmovdqu_load_ymm", [result], [], tag="load")
+    return result
+
+
+def mm256_store_si256(vec: Vec) -> Vec:
+    """``_mm256_storeu_si256``: model a 32-byte store; returns the value."""
+    _check_ymm(vec)
+    emit("vmovdqu_store_ymm", [], [vec], tag="store")
+    return vec
+
+
+def mm256_add_epi64(a: Vec, b: Vec) -> Vec:
+    """``_mm256_add_epi64``: per-lane 64-bit addition (wrapping)."""
+    _check_ymm(a, b)
+    check_same_shape(a, b)
+    result = Vec([(x + y) & MASK64 for x, y in zip(a.values, b.values)])
+    emit("vpaddq_ymm", [result], [a, b])
+    return result
+
+
+def mm256_sub_epi64(a: Vec, b: Vec) -> Vec:
+    """``_mm256_sub_epi64``: per-lane 64-bit subtraction (wrapping)."""
+    _check_ymm(a, b)
+    check_same_shape(a, b)
+    result = Vec([(x - y) & MASK64 for x, y in zip(a.values, b.values)])
+    emit("vpsubq_ymm", [result], [a, b])
+    return result
+
+
+def mm256_cmpgt_epi64(a: Vec, b: Vec) -> Vec:
+    """``_mm256_cmpgt_epi64``: signed >, all-ones lanes where true."""
+    _check_ymm(a, b)
+
+    def signed(x: int) -> int:
+        return x - (1 << 64) if x >> 63 else x
+
+    result = Vec(
+        [ALL_ONES if signed(x) > signed(y) else 0 for x, y in zip(a.values, b.values)]
+    )
+    emit("vpcmpgtq_ymm", [result], [a, b])
+    return result
+
+
+def mm256_cmpeq_epi64(a: Vec, b: Vec) -> Vec:
+    """``_mm256_cmpeq_epi64``: equality, all-ones lanes where true."""
+    _check_ymm(a, b)
+    result = Vec([ALL_ONES if x == y else 0 for x, y in zip(a.values, b.values)])
+    emit("vpcmpeqq_ymm", [result], [a, b])
+    return result
+
+
+def mm256_and_si256(a: Vec, b: Vec) -> Vec:
+    """``_mm256_and_si256`` (``vpand``)."""
+    _check_ymm(a, b)
+    result = Vec([x & y for x, y in zip(a.values, b.values)])
+    emit("vpand_ymm", [result], [a, b])
+    return result
+
+
+def mm256_andnot_si256(a: Vec, b: Vec) -> Vec:
+    """``_mm256_andnot_si256`` (``vpandn``): ``(~a) & b``."""
+    _check_ymm(a, b)
+    result = Vec([(~x & MASK64) & y for x, y in zip(a.values, b.values)])
+    emit("vpandn_ymm", [result], [a, b])
+    return result
+
+
+def mm256_or_si256(a: Vec, b: Vec) -> Vec:
+    """``_mm256_or_si256`` (``vpor``)."""
+    _check_ymm(a, b)
+    result = Vec([x | y for x, y in zip(a.values, b.values)])
+    emit("vpor_ymm", [result], [a, b])
+    return result
+
+
+def mm256_xor_si256(a: Vec, b: Vec) -> Vec:
+    """``_mm256_xor_si256`` (``vpxor``)."""
+    _check_ymm(a, b)
+    result = Vec([x ^ y for x, y in zip(a.values, b.values)])
+    emit("vpxor_ymm", [result], [a, b])
+    return result
+
+
+def mm256_blendv_epi8(a: Vec, b: Vec, mask: Vec) -> Vec:
+    """``_mm256_blendv_epi8``: select ``b`` where the mask lane's MSB is set.
+
+    The masks produced by AVX2 comparisons are 0 or all-ones per 64-bit
+    lane, so testing the lane MSB implements a per-lane select.
+    """
+    _check_ymm(a, b, mask)
+    result = Vec(
+        [
+            y if m >> 63 else x
+            for x, y, m in zip(a.values, b.values, mask.values)
+        ]
+    )
+    emit("vpblendvb_ymm", [result], [a, b, mask])
+    return result
+
+
+def mm256_mul_epu32(a: Vec, b: Vec) -> Vec:
+    """``_mm256_mul_epu32`` (``vpmuludq``): 32x32->64 widening multiply.
+
+    The *target* instruction in the paper's PISA validation (Table 5).
+    """
+    _check_ymm(a, b)
+    result = Vec([(x & MASK32) * (y & MASK32) for x, y in zip(a.values, b.values)])
+    emit("vpmuludq_ymm", [result], [a, b])
+    return result
+
+
+def mm256_mullo_epi32(a: Vec, b: Vec) -> Vec:
+    """``_mm256_mullo_epi32`` (``vpmulld``): 32x32->32 low multiply.
+
+    The *proxy* instruction in the paper's PISA validation (Table 5); it
+    multiplies each 32-bit element, so each 64-bit lane here holds two
+    independent 32-bit products.
+    """
+    _check_ymm(a, b)
+    lanes = []
+    for x, y in zip(a.values, b.values):
+        lo = ((x & MASK32) * (y & MASK32)) & MASK32
+        hi = (((x >> 32) & MASK32) * ((y >> 32) & MASK32)) & MASK32
+        lanes.append((hi << 32) | lo)
+    result = Vec(lanes)
+    emit("vpmulld_ymm", [result], [a, b])
+    return result
+
+
+def mm256_srli_epi64(a: Vec, amount: int) -> Vec:
+    """``_mm256_srli_epi64``: per-lane logical right shift by an immediate."""
+    _check_ymm(a)
+    if not 0 <= amount <= 64:
+        raise IsaError(f"shift amount {amount} out of range")
+    result = Vec([x >> amount if amount < 64 else 0 for x in a.values])
+    emit("vpsrlq_ymm", [result], [a], imm=amount)
+    return result
+
+
+def mm256_slli_epi64(a: Vec, amount: int) -> Vec:
+    """``_mm256_slli_epi64``: per-lane logical left shift by an immediate."""
+    _check_ymm(a)
+    if not 0 <= amount <= 64:
+        raise IsaError(f"shift amount {amount} out of range")
+    result = Vec([(x << amount) & MASK64 if amount < 64 else 0 for x in a.values])
+    emit("vpsllq_ymm", [result], [a], imm=amount)
+    return result
+
+
+def mm256_unpacklo_epi64(a: Vec, b: Vec) -> Vec:
+    """``_mm256_unpacklo_epi64``: lanes ``[a0,b0, a2,b2]``."""
+    _check_ymm(a, b)
+    result = Vec([a.values[0], b.values[0], a.values[2], b.values[2]])
+    emit("vpunpcklqdq_ymm", [result], [a, b])
+    return result
+
+
+def mm256_unpackhi_epi64(a: Vec, b: Vec) -> Vec:
+    """``_mm256_unpackhi_epi64``: lanes ``[a1,b1, a3,b3]``."""
+    _check_ymm(a, b)
+    result = Vec([a.values[1], b.values[1], a.values[3], b.values[3]])
+    emit("vpunpckhqdq_ymm", [result], [a, b])
+    return result
+
+
+def mm256_permute2x128_si256(a: Vec, b: Vec, imm: int) -> Vec:
+    """``_mm256_permute2x128_si256`` (``vperm2i128``): 128-bit lane select.
+
+    Each half of the result picks one 128-bit half of ``a`` or ``b`` by a
+    2-bit selector (0/1 = halves of ``a``, 2/3 = halves of ``b``).
+    """
+    _check_ymm(a, b)
+    halves = [a.values[0:2], a.values[2:4], b.values[0:2], b.values[2:4]]
+    lo = halves[imm & 3]
+    hi = halves[(imm >> 4) & 3]
+    result = Vec(list(lo) + list(hi))
+    emit("vperm2i128_ymm", [result], [a, b], imm=imm)
+    return result
+
+
+def mm256_permute4x64_epi64(a: Vec, imm: int) -> Vec:
+    """``_mm256_permute4x64_epi64``: lane permutation by 2-bit selectors."""
+    _check_ymm(a)
+    result = Vec([a.values[(imm >> (2 * i)) & 3] for i in range(LANES)])
+    emit("vpermq_ymm", [result], [a], imm=imm)
+    return result
+
+
+def cmplt_epu64(a: Vec, b: Vec) -> Vec:
+    """Emulated unsigned ``a < b`` (3 instructions: 2 x vpxor + vpcmpgtq).
+
+    AVX2 lacks unsigned comparisons, so the standard trick flips the sign
+    bit of both operands and compares signed. Returns an all-ones/zero mask
+    vector.
+    """
+    sign = mm256_set1_epi64x(_SIGN_BIT)
+    a_flipped = mm256_xor_si256(a, sign)
+    b_flipped = mm256_xor_si256(b, sign)
+    return mm256_cmpgt_epi64(b_flipped, a_flipped)
+
+
+def cmple_epu64(a: Vec, b: Vec) -> Vec:
+    """Emulated unsigned ``a <= b``: NOT(b < a) via XOR with all-ones."""
+    lt = cmplt_epu64(b, a)
+    ones = mm256_set1_epi64x(ALL_ONES)
+    return mm256_xor_si256(lt, ones)
+
+
+def add_with_mask_carry(a: Vec, carry_mask: Vec) -> Vec:
+    """Add 1 to lanes whose ``carry_mask`` is all-ones (1 instruction).
+
+    An all-ones lane is -1 in two's complement, so ``a - mask`` increments
+    exactly the lanes where the mask is set - the standard AVX2 idiom for
+    consuming an emulated carry.
+    """
+    return mm256_sub_epi64(a, carry_mask)
+
+
+def mul64_wide_emulated(a: Vec, b: Vec) -> Tuple[Vec, Vec]:
+    """Emulate a 64x64->128 widening multiply with AVX2 (per 4-lane block).
+
+    Same partial-product scheme as the AVX-512 version, but the carry out of
+    the cross sum costs three extra instructions (unsigned-compare emulation)
+    plus a mask-to-carry conversion, because AVX2 has no mask registers.
+    Returns ``(high, low)``.
+    """
+    _check_ymm(a, b)
+    mask32 = mm256_set1_epi64x(MASK32)
+
+    a_hi = mm256_srli_epi64(a, 32)
+    b_hi = mm256_srli_epi64(b, 32)
+
+    ll = mm256_mul_epu32(a, b)
+    lh = mm256_mul_epu32(a, b_hi)
+    hl = mm256_mul_epu32(a_hi, b)
+    hh = mm256_mul_epu32(a_hi, b_hi)
+
+    # cross = lh + (ll >> 32) cannot overflow; cross2 = cross + hl can.
+    ll_hi = mm256_srli_epi64(ll, 32)
+    cross = mm256_add_epi64(lh, ll_hi)
+    cross2 = mm256_add_epi64(cross, hl)
+    carry_mask = cmplt_epu64(cross2, hl)
+
+    low = mm256_or_si256(
+        mm256_and_si256(ll, mask32), mm256_slli_epi64(cross2, 32)
+    )
+
+    # carry contributes 2^32 to the high word where set.
+    carry_hi = mm256_and_si256(carry_mask, mm256_set1_epi64x(1 << 32))
+    high = mm256_add_epi64(hh, mm256_srli_epi64(cross2, 32))
+    high = mm256_add_epi64(high, carry_hi)
+    return high, low

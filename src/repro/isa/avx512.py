@@ -1,0 +1,439 @@
+"""AVX-512F/DQ intrinsics on 8x64-bit lanes (``__m512i`` + ``__mmask8``).
+
+Function names follow the Intel intrinsics the paper's Listings 2 and 4 use,
+without the leading underscores (``_mm512_add_epi64`` -> ``mm512_add_epi64``).
+Semantics are lane-accurate; every call emits one trace entry whose mnemonic
+matches the instruction the intrinsic compiles to (``vpaddq``, ``vpcmpuq``,
+``korb``...), suffixed with the register class (``_zmm``) so the machine
+model can cost 512-bit execution separately from 256-bit.
+
+Constants built with :func:`mm512_set1_epi64` are treated as loop-hoisted
+(no trace entry) by default, matching how the paper's kernels set ``one`` and
+``z_mask`` globally; pass ``hoisted=False`` for in-loop broadcasts such as
+per-stage twiddle factors.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+from repro.errors import IsaError
+from repro.isa.trace import emit
+from repro.isa.types import Mask, Vec, check_mask_fits, check_same_shape
+from repro.util.bits import MASK32, MASK64
+
+#: Number of 64-bit lanes in a ZMM register.
+LANES = 8
+
+# Comparison predicates for mm512_cmp_*_mask (the _MM_CMPINT_* constants).
+CMPINT_EQ = 0
+CMPINT_LT = 1
+CMPINT_LE = 2
+CMPINT_FALSE = 3
+CMPINT_NE = 4
+CMPINT_NLT = 5  # >=
+CMPINT_NLE = 6  # >
+CMPINT_TRUE = 7
+
+_PREDICATES = {
+    CMPINT_EQ: lambda a, b: a == b,
+    CMPINT_LT: lambda a, b: a < b,
+    CMPINT_LE: lambda a, b: a <= b,
+    CMPINT_FALSE: lambda a, b: False,
+    CMPINT_NE: lambda a, b: a != b,
+    CMPINT_NLT: lambda a, b: a >= b,
+    CMPINT_NLE: lambda a, b: a > b,
+    CMPINT_TRUE: lambda a, b: True,
+}
+
+
+def _check_zmm(*vecs: Vec) -> None:
+    for vec in vecs:
+        if vec.lanes != LANES or vec.width != 64:
+            raise IsaError(
+                f"expected an 8x64-bit ZMM register, got {vec.lanes}x{vec.width}"
+            )
+
+
+def mm512_set1_epi64(value: int, hoisted: bool = True) -> Vec:
+    """``_mm512_set1_epi64``: broadcast a 64-bit value to all lanes."""
+    result = Vec.broadcast(value & MASK64, LANES)
+    if not hoisted:
+        emit("vpbroadcastq_zmm", [result], [])
+    return result
+
+
+def mm512_setzero_si512() -> Vec:
+    """``_mm512_setzero_si512``: an all-zero register (zeroing idiom, free)."""
+    return Vec.zeros(LANES)
+
+
+def mm512_load_si512(values: Union[Vec, Sequence[int]]) -> Vec:
+    """``_mm512_loadu_si512``: model a 64-byte load of eight 64-bit lanes."""
+    result = Vec(values.values if isinstance(values, Vec) else values)
+    _check_zmm(result)
+    emit("vmovdqu64_load_zmm", [result], [], tag="load")
+    return result
+
+
+def mm512_store_si512(vec: Vec) -> Vec:
+    """``_mm512_storeu_si512``: model a 64-byte store; returns the value."""
+    _check_zmm(vec)
+    emit("vmovdqu64_store_zmm", [], [vec], tag="store")
+    return vec
+
+
+def mm512_movdqa64(vec: Vec) -> Vec:
+    """Register-to-register copy (``vmovdqa64 zmm, zmm``)."""
+    _check_zmm(vec)
+    result = Vec(vec.values)
+    emit("vmovdqa64_zmm", [result], [vec])
+    return result
+
+
+def mm512_add_epi64(a: Vec, b: Vec) -> Vec:
+    """``_mm512_add_epi64``: per-lane 64-bit addition (wrapping)."""
+    _check_zmm(a, b)
+    check_same_shape(a, b)
+    result = Vec([(x + y) & MASK64 for x, y in zip(a.values, b.values)])
+    emit("vpaddq_zmm", [result], [a, b])
+    return result
+
+
+def mm512_sub_epi64(a: Vec, b: Vec) -> Vec:
+    """``_mm512_sub_epi64``: per-lane 64-bit subtraction (wrapping)."""
+    _check_zmm(a, b)
+    check_same_shape(a, b)
+    result = Vec([(x - y) & MASK64 for x, y in zip(a.values, b.values)])
+    emit("vpsubq_zmm", [result], [a, b])
+    return result
+
+
+def mm512_mask_add_epi64(src: Vec, k: Mask, a: Vec, b: Vec) -> Vec:
+    """``_mm512_mask_add_epi64``: add where ``k`` is set, else copy ``src``.
+
+    This is the PISA proxy instruction for MQX's ``_mm512_adc_epi64``
+    (Table 3): same execution port, plus a mask-register dependency.
+    """
+    _check_zmm(src, a, b)
+    check_mask_fits(k, a)
+    result = Vec(
+        [
+            (x + y) & MASK64 if k.bit(i) else s
+            for i, (s, x, y) in enumerate(zip(src.values, a.values, b.values))
+        ]
+    )
+    emit("vpaddq_masked_zmm", [result], [src, k, a, b])
+    return result
+
+
+def mm512_mask_sub_epi64(src: Vec, k: Mask, a: Vec, b: Vec) -> Vec:
+    """``_mm512_mask_sub_epi64``: subtract where ``k`` is set, else ``src``.
+
+    PISA proxy for MQX's ``_mm512_sbb_epi64`` (Table 3).
+    """
+    _check_zmm(src, a, b)
+    check_mask_fits(k, a)
+    result = Vec(
+        [
+            (x - y) & MASK64 if k.bit(i) else s
+            for i, (s, x, y) in enumerate(zip(src.values, a.values, b.values))
+        ]
+    )
+    emit("vpsubq_masked_zmm", [result], [src, k, a, b])
+    return result
+
+
+def mm512_cmp_epu64_mask(a: Vec, b: Vec, predicate: int) -> Mask:
+    """``_mm512_cmp_epu64_mask``: unsigned per-lane compare into a mask."""
+    _check_zmm(a, b)
+    if predicate not in _PREDICATES:
+        raise IsaError(f"unknown comparison predicate {predicate}")
+    test = _PREDICATES[predicate]
+    result = Mask.from_bools(test(x, y) for x, y in zip(a.values, b.values))
+    emit("vpcmpuq_zmm", [result], [a, b], imm=predicate)
+    return result
+
+
+def mm512_mask_cmp_epu64_mask(k: Mask, a: Vec, b: Vec, predicate: int) -> Mask:
+    """``_mm512_mask_cmp_epu64_mask``: compare with zeroing mask ``k``."""
+    _check_zmm(a, b)
+    check_mask_fits(k, a)
+    if predicate not in _PREDICATES:
+        raise IsaError(f"unknown comparison predicate {predicate}")
+    test = _PREDICATES[predicate]
+    result = Mask.from_bools(
+        k.bit(i) and test(x, y) for i, (x, y) in enumerate(zip(a.values, b.values))
+    )
+    emit("vpcmpuq_zmm", [result], [k, a, b], imm=predicate)
+    return result
+
+
+def mm512_cmp_epi64_mask(a: Vec, b: Vec, predicate: int) -> Mask:
+    """``_mm512_cmp_epi64_mask``: signed per-lane compare into a mask."""
+    _check_zmm(a, b)
+    if predicate not in _PREDICATES:
+        raise IsaError(f"unknown comparison predicate {predicate}")
+
+    def signed(x: int) -> int:
+        return x - (1 << 64) if x >> 63 else x
+
+    test = _PREDICATES[predicate]
+    result = Mask.from_bools(
+        test(signed(x), signed(y)) for x, y in zip(a.values, b.values)
+    )
+    emit("vpcmpq_zmm", [result], [a, b], imm=predicate)
+    return result
+
+
+def mm512_mask_blend_epi64(k: Mask, a: Vec, b: Vec) -> Vec:
+    """``_mm512_mask_blend_epi64``: per-lane select, ``b`` where ``k`` set."""
+    _check_zmm(a, b)
+    check_mask_fits(k, a)
+    result = Vec(
+        [y if k.bit(i) else x for i, (x, y) in enumerate(zip(a.values, b.values))]
+    )
+    emit("vpblendmq_zmm", [result], [k, a, b])
+    return result
+
+
+def mm512_mullo_epi64(a: Vec, b: Vec) -> Vec:
+    """``_mm512_mullo_epi64`` (AVX-512DQ ``vpmullq``): low 64 bits of product.
+
+    The only 64-bit multiply AVX-512 offers (Section 4.1); also the PISA
+    proxy instruction for MQX's widening ``_mm512_mul_epi64`` (Table 3).
+    """
+    _check_zmm(a, b)
+    result = Vec([(x * y) & MASK64 for x, y in zip(a.values, b.values)])
+    emit("vpmullq_zmm", [result], [a, b])
+    return result
+
+
+def mm512_mul_epu32(a: Vec, b: Vec) -> Vec:
+    """``_mm512_mul_epu32`` (``vpmuludq``): 32x32->64 widening multiply.
+
+    Multiplies the low 32 bits of each 64-bit lane; the building block of the
+    AVX-512 emulation of a full 64x64->128 multiply.
+    """
+    _check_zmm(a, b)
+    result = Vec([(x & MASK32) * (y & MASK32) for x, y in zip(a.values, b.values)])
+    emit("vpmuludq_zmm", [result], [a, b])
+    return result
+
+
+def mm512_madd52lo_epu64(acc: Vec, a: Vec, b: Vec) -> Vec:
+    """``_mm512_madd52lo_epu64`` (AVX-512 IFMA ``vpmadd52luq``).
+
+    Per lane: multiply the low 52 bits of ``a`` and ``b`` (a 104-bit
+    product) and add the product's low 52 bits to ``acc``. The fused
+    52-bit multiply-add that makes HEXL-style big-integer kernels fast -
+    one instruction where the 64-bit emulation needs ~15.
+    """
+    _check_zmm(acc, a, b)
+    mask52 = (1 << 52) - 1
+    result = Vec(
+        [
+            (s + (((x & mask52) * (y & mask52)) & mask52)) & MASK64
+            for s, x, y in zip(acc.values, a.values, b.values)
+        ]
+    )
+    emit("vpmadd52luq_zmm", [result], [acc, a, b])
+    return result
+
+
+def mm512_madd52hi_epu64(acc: Vec, a: Vec, b: Vec) -> Vec:
+    """``_mm512_madd52hi_epu64`` (``vpmadd52huq``): high-half counterpart.
+
+    Adds bits 52..103 of the 52x52-bit product to ``acc``.
+    """
+    _check_zmm(acc, a, b)
+    mask52 = (1 << 52) - 1
+    result = Vec(
+        [
+            (s + (((x & mask52) * (y & mask52)) >> 52)) & MASK64
+            for s, x, y in zip(acc.values, a.values, b.values)
+        ]
+    )
+    emit("vpmadd52huq_zmm", [result], [acc, a, b])
+    return result
+
+
+def mm512_srli_epi64(a: Vec, amount: int) -> Vec:
+    """``_mm512_srli_epi64``: per-lane logical right shift by an immediate."""
+    _check_zmm(a)
+    if not 0 <= amount <= 64:
+        raise IsaError(f"shift amount {amount} out of range")
+    result = Vec([x >> amount if amount < 64 else 0 for x in a.values])
+    emit("vpsrlq_zmm", [result], [a], imm=amount)
+    return result
+
+
+def mm512_slli_epi64(a: Vec, amount: int) -> Vec:
+    """``_mm512_slli_epi64``: per-lane logical left shift by an immediate."""
+    _check_zmm(a)
+    if not 0 <= amount <= 64:
+        raise IsaError(f"shift amount {amount} out of range")
+    result = Vec([(x << amount) & MASK64 if amount < 64 else 0 for x in a.values])
+    emit("vpsllq_zmm", [result], [a], imm=amount)
+    return result
+
+
+def mm512_and_epi64(a: Vec, b: Vec) -> Vec:
+    """``_mm512_and_epi64`` (``vpandq``)."""
+    _check_zmm(a, b)
+    result = Vec([x & y for x, y in zip(a.values, b.values)])
+    emit("vpandq_zmm", [result], [a, b])
+    return result
+
+
+def mm512_or_epi64(a: Vec, b: Vec) -> Vec:
+    """``_mm512_or_epi64`` (``vporq``)."""
+    _check_zmm(a, b)
+    result = Vec([x | y for x, y in zip(a.values, b.values)])
+    emit("vporq_zmm", [result], [a, b])
+    return result
+
+
+def mm512_xor_epi64(a: Vec, b: Vec) -> Vec:
+    """``_mm512_xor_epi64`` (``vpxorq``)."""
+    _check_zmm(a, b)
+    result = Vec([x ^ y for x, y in zip(a.values, b.values)])
+    emit("vpxorq_zmm", [result], [a, b])
+    return result
+
+
+def mm512_max_epu64(a: Vec, b: Vec) -> Vec:
+    """``_mm512_max_epu64`` (``vpmaxuq``): per-lane unsigned maximum."""
+    _check_zmm(a, b)
+    result = Vec([max(x, y) for x, y in zip(a.values, b.values)])
+    emit("vpmaxuq_zmm", [result], [a, b])
+    return result
+
+
+def mm512_unpacklo_epi64(a: Vec, b: Vec) -> Vec:
+    """``_mm512_unpacklo_epi64``: interleave even lanes of 128-bit pairs.
+
+    Result lanes are ``[a0,b0, a2,b2, a4,b4, a6,b6]`` - one of the two
+    permutation primitives the Pease-dataflow NTT stage uses (Section 3.2).
+    """
+    _check_zmm(a, b)
+    lanes = []
+    for pair in range(LANES // 2):
+        lanes.append(a.values[2 * pair])
+        lanes.append(b.values[2 * pair])
+    result = Vec(lanes)
+    emit("vpunpcklqdq_zmm", [result], [a, b])
+    return result
+
+
+def mm512_unpackhi_epi64(a: Vec, b: Vec) -> Vec:
+    """``_mm512_unpackhi_epi64``: interleave odd lanes of 128-bit pairs."""
+    _check_zmm(a, b)
+    lanes = []
+    for pair in range(LANES // 2):
+        lanes.append(a.values[2 * pair + 1])
+        lanes.append(b.values[2 * pair + 1])
+    result = Vec(lanes)
+    emit("vpunpckhqdq_zmm", [result], [a, b])
+    return result
+
+
+def mm512_permutex2var_epi64(a: Vec, idx: Vec, b: Vec) -> Vec:
+    """``_mm512_permutex2var_epi64`` (``vpermt2q``): two-source permute.
+
+    Each output lane ``i`` selects ``a[idx[i] & 7]`` when bit 3 of ``idx[i]``
+    is clear, else ``b[idx[i] & 7]``.
+    """
+    _check_zmm(a, idx, b)
+    lanes = []
+    for sel in idx.values:
+        sel &= 0xF
+        lanes.append(a.values[sel] if sel < LANES else b.values[sel - LANES])
+    result = Vec(lanes)
+    emit("vpermt2q_zmm", [result], [a, idx, b])
+    return result
+
+
+def mm512_permutexvar_epi64(idx: Vec, a: Vec) -> Vec:
+    """``_mm512_permutexvar_epi64`` (``vpermq``): one-source permute."""
+    _check_zmm(idx, a)
+    result = Vec([a.values[sel & 0x7] for sel in idx.values])
+    emit("vpermq_zmm", [result], [idx, a])
+    return result
+
+
+def kor8(a: Mask, b: Mask) -> Mask:
+    """``korb``: OR two 8-bit mask registers."""
+    result = Mask(a.value | b.value, a.lanes)
+    emit("korb", [result], [a, b])
+    return result
+
+
+def kand8(a: Mask, b: Mask) -> Mask:
+    """``kandb``: AND two 8-bit mask registers."""
+    result = Mask(a.value & b.value, a.lanes)
+    emit("kandb", [result], [a, b])
+    return result
+
+
+def kandn8(a: Mask, b: Mask) -> Mask:
+    """``kandnb``: ``(~a) & b`` on 8-bit mask registers."""
+    result = Mask(~a.value & b.value, a.lanes)
+    emit("kandnb", [result], [a, b])
+    return result
+
+
+def kxor8(a: Mask, b: Mask) -> Mask:
+    """``kxorb``: XOR two 8-bit mask registers."""
+    result = Mask(a.value ^ b.value, a.lanes)
+    emit("kxorb", [result], [a, b])
+    return result
+
+
+def knot8(a: Mask) -> Mask:
+    """``knotb``: complement an 8-bit mask register."""
+    result = Mask(~a.value, a.lanes)
+    emit("knotb", [result], [a])
+    return result
+
+
+def mul64_wide_emulated(a: Vec, b: Vec) -> Tuple[Vec, Vec]:
+    """Emulate a 64x64->128 widening multiply with baseline AVX-512.
+
+    AVX-512 has no widening 64-bit multiply (the gap MQX's
+    ``_mm512_mul_epi64`` fills), so the kernels synthesize it from four
+    ``vpmuludq`` 32x32->64 partial products plus shift/add/carry fix-up -
+    the standard sequence real AVX-512 NTT code uses. Returns
+    ``(high, low)`` vectors of the 128-bit products.
+    """
+    _check_zmm(a, b)
+    mask32 = mm512_set1_epi64(MASK32)
+
+    a_hi = mm512_srli_epi64(a, 32)
+    b_hi = mm512_srli_epi64(b, 32)
+
+    # Four 32x32->64 partial products. vpmuludq reads the low 32 bits of
+    # each lane, so the "low" operands can be the original registers.
+    ll = mm512_mul_epu32(a, b)
+    lh = mm512_mul_epu32(a, b_hi)
+    hl = mm512_mul_epu32(a_hi, b)
+    hh = mm512_mul_epu32(a_hi, b_hi)
+
+    # Combine: product = hh<<64 + (lh + hl)<<32 + ll. The first cross sum
+    # lh + (ll >> 32) cannot overflow (it is at most (2^32-1) * 2^32), so
+    # only the second cross sum needs a carry check.
+    ll_hi = mm512_srli_epi64(ll, 32)
+    cross = mm512_add_epi64(lh, ll_hi)
+    cross2 = mm512_add_epi64(cross, hl)
+    carry = mm512_cmp_epu64_mask(cross2, hl, CMPINT_LT)
+
+    # Low word: low 32 bits of ll | low 32 bits of cross2 shifted up.
+    low = mm512_or_epi64(
+        mm512_and_epi64(ll, mask32), mm512_slli_epi64(cross2, 32)
+    )
+
+    # High word: hh + high 32 bits of cross2 + carry shifted into bit 32.
+    one_hi = mm512_set1_epi64(1 << 32)
+    high = mm512_add_epi64(hh, mm512_srli_epi64(cross2, 32))
+    high = mm512_mask_add_epi64(high, carry, high, one_hi)
+    return high, low

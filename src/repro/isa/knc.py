@@ -1,0 +1,93 @@
+"""Knights Corner (KNC) heritage instructions (Section 4.1).
+
+The paper grounds MQX's hardware plausibility in lineage: each proposed
+instruction is the 64-bit generalization of something Intel already built.
+Larrabee's LRBni had ``vadcpi``/``vsbbpi`` (vector add-with-carry /
+subtract-with-borrow on 32-bit elements) and ``vmulhpi`` (multiply-high);
+the Knights Corner coprocessor shipped them as ``_mm512_adc_epi32``,
+``_mm512_sbb_epi32`` and ``_mm512_mulhi_epi32``, documented in Intel
+Intrinsics Guide versions 3.1-3.6.5.
+
+This module implements those 32-bit ancestors (16 lanes per 512-bit
+register, ``__mmask16`` carries) so the lineage is executable: tests
+verify that MQX's 64-bit instructions are exactly the width-doubled
+semantics of the KNC ones.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import IsaError
+from repro.isa.trace import emit
+from repro.isa.types import Mask, Vec
+from repro.util.bits import MASK32
+
+#: KNC operates on 16 lanes of 32-bit integers per 512-bit register.
+LANES = 16
+
+
+def _check_knc(*vecs: Vec) -> None:
+    for vec in vecs:
+        if vec.lanes != LANES or vec.width != 32:
+            raise IsaError(
+                f"KNC expects 16x32-bit registers, got {vec.lanes}x{vec.width}"
+            )
+
+
+def mm512_adc_epi32(
+    v2: Vec, k2: Mask, v3: Vec
+) -> Tuple[Vec, Mask]:
+    """``_mm512_adc_epi32 (v2, k2, v3, &k2_res)``: 32-bit vector ADC.
+
+    Per-lane ``v2 + v3 + k2``; returns ``(sum, carry_out)``. The KNC
+    intrinsic's argument order (carry mask between the operands) is kept.
+    """
+    _check_knc(v2, v3)
+    if k2.lanes != LANES:
+        raise IsaError(f"KNC carry mask needs {LANES} lanes")
+    totals = [
+        a + b + (1 if k2.bit(i) else 0)
+        for i, (a, b) in enumerate(zip(v2.values, v3.values))
+    ]
+    result = Vec([t & MASK32 for t in totals], width=32)
+    carry = Mask.from_bools(t >> 32 != 0 for t in totals)
+    emit("knc_vadcpi", [result, carry], [v2, k2, v3])
+    return result, carry
+
+
+def mm512_sbb_epi32(
+    v2: Vec, k: Mask, v3: Vec
+) -> Tuple[Vec, Mask]:
+    """``_mm512_sbb_epi32 (v2, k, v3, &borrow)``: 32-bit vector SBB."""
+    _check_knc(v2, v3)
+    if k.lanes != LANES:
+        raise IsaError(f"KNC borrow mask needs {LANES} lanes")
+    diffs = [
+        a - b - (1 if k.bit(i) else 0)
+        for i, (a, b) in enumerate(zip(v2.values, v3.values))
+    ]
+    result = Vec([d & MASK32 for d in diffs], width=32)
+    borrow = Mask.from_bools(d < 0 for d in diffs)
+    emit("knc_vsbbpi", [result, borrow], [v2, k, v3])
+    return result, borrow
+
+
+def mm512_mulhi_epi32(a: Vec, b: Vec) -> Vec:
+    """``_mm512_mulhi_epi32``: unsigned 32-bit multiply-high (vmulhpi)."""
+    _check_knc(a, b)
+    result = Vec(
+        [(x * y) >> 32 for x, y in zip(a.values, b.values)], width=32
+    )
+    emit("knc_vmulhpi", [result], [a, b])
+    return result
+
+
+def mm512_mullo_epi32(a: Vec, b: Vec) -> Vec:
+    """32-bit multiply-low, completing the widening pair with vmulhpi."""
+    _check_knc(a, b)
+    result = Vec(
+        [(x * y) & MASK32 for x, y in zip(a.values, b.values)], width=32
+    )
+    emit("knc_vmullpi", [result], [a, b])
+    return result

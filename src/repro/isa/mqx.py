@@ -1,0 +1,152 @@
+"""MQX - the paper's proposed multi-word extension to AVX-512 (Section 4).
+
+Three new instructions, each with a scalar x86 ancestor and a 32-bit LRBni /
+Knights Corner SIMD ancestor:
+
+* :func:`mm512_mul_epi64` - widening 64x64->128 multiply (mirrors ``MUL``).
+* :func:`mm512_adc_epi64` - add with carry-in/out masks (mirrors ``ADC``).
+* :func:`mm512_sbb_epi64` - subtract with borrow-in/out (mirrors ``SBB``).
+
+Semantics follow the per-lane emulation column of Table 2 exactly. The
+module also provides the variants explored in the sensitivity analysis of
+Section 5.5:
+
+* :func:`mm512_mulhi_epi64` - multiply-high only (the ``+Mh`` variant, a
+  lower-cost hardware alternative to full widening multiplication).
+* :func:`mm512_mask_adc_epi64` / :func:`mm512_mask_sbb_epi64` - predicated
+  add-with-carry / subtract-with-borrow (the ``+P`` variant, ultimately not
+  included in MQX because its gain is only ~1.1x).
+
+Because MQX does not exist in silicon, its performance is *projected* via
+PISA (Section 4.2): the machine model costs each MQX mnemonic using its
+AVX-512 proxy instruction from Table 3. Functional correctness comes from
+the emulation semantics implemented here, which is precisely the paper's
+"functional correctness flag" mode.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import IsaError
+from repro.isa.trace import emit
+from repro.isa.types import Mask, Vec, check_mask_fits, check_same_shape
+from repro.util.bits import MASK64
+
+#: Number of 64-bit lanes; MQX as modeled extends AVX-512 (8 lanes), but the
+#: paper notes both word size and lane count are configurable.
+LANES = 8
+
+
+def _check_zmm(*vecs: Vec) -> None:
+    for vec in vecs:
+        if vec.lanes != LANES or vec.width != 64:
+            raise IsaError(
+                f"MQX expects 8x64-bit ZMM registers, got {vec.lanes}x{vec.width}"
+            )
+
+
+def mm512_mul_epi64(a: Vec, b: Vec) -> Tuple[Vec, Vec]:
+    """MQX widening multiply: per-lane 64x64->128, returns ``(high, low)``.
+
+    Table 2: ``*ch[i] = ((i128) a[i] * (i128) b[i]) >> 64`` and
+    ``*cl[i] = (a[i] * b[i]) & MASK64``. PISA proxy: ``vpmullq`` (Table 3).
+    """
+    _check_zmm(a, b)
+    check_same_shape(a, b)
+    products = [x * y for x, y in zip(a.values, b.values)]
+    high = Vec([p >> 64 for p in products])
+    low = Vec([p & MASK64 for p in products])
+    emit("vpmulwq_zmm", [high, low], [a, b])
+    return high, low
+
+
+def mm512_mulhi_epi64(a: Vec, b: Vec) -> Vec:
+    """Multiply-high only (the ``+Mh`` sensitivity variant, Section 5.5).
+
+    Modeled with the same latency as multiply-low, so a widening multiply
+    becomes a two-instruction ``mullo`` + ``mulhi`` pair.
+    """
+    _check_zmm(a, b)
+    check_same_shape(a, b)
+    result = Vec([(x * y) >> 64 for x, y in zip(a.values, b.values)])
+    emit("vpmulhq_zmm", [result], [a, b])
+    return result
+
+
+def mm512_adc_epi64(a: Vec, b: Vec, carry_in: Mask) -> Tuple[Vec, Mask]:
+    """MQX add-with-carry: per-lane ``a + b + ci``, returns ``(sum, co)``.
+
+    Table 2: ``*co[i] = ((i128) a[i] + (i128) b[i] + ci[i]) >> 64``.
+    PISA proxy: ``vpaddq`` with a mask operand (``_mm512_mask_add_epi64``).
+    """
+    _check_zmm(a, b)
+    check_same_shape(a, b)
+    check_mask_fits(carry_in, a)
+    totals = [
+        x + y + (1 if carry_in.bit(i) else 0)
+        for i, (x, y) in enumerate(zip(a.values, b.values))
+    ]
+    result = Vec([t & MASK64 for t in totals])
+    carry_out = Mask.from_bools(t >> 64 != 0 for t in totals)
+    emit("vpadcq_zmm", [result, carry_out], [a, b, carry_in])
+    return result, carry_out
+
+
+def mm512_sbb_epi64(a: Vec, b: Vec, borrow_in: Mask) -> Tuple[Vec, Mask]:
+    """MQX subtract-with-borrow: ``a - b - bi``, returns ``(diff, bo)``.
+
+    Table 2: the borrow-out bit is set when the wide difference is negative.
+    PISA proxy: ``vpsubq`` with a mask operand (``_mm512_mask_sub_epi64``).
+    """
+    _check_zmm(a, b)
+    check_same_shape(a, b)
+    check_mask_fits(borrow_in, a)
+    diffs = [
+        x - y - (1 if borrow_in.bit(i) else 0)
+        for i, (x, y) in enumerate(zip(a.values, b.values))
+    ]
+    result = Vec([d & MASK64 for d in diffs])
+    borrow_out = Mask.from_bools(d < 0 for d in diffs)
+    emit("vpsbbq_zmm", [result, borrow_out], [a, b, borrow_in])
+    return result, borrow_out
+
+
+def mm512_mask_adc_epi64(
+    src: Vec, k: Mask, a: Vec, b: Vec, carry_in: Mask
+) -> Vec:
+    """Predicated add-with-carry (the ``+P`` sensitivity variant).
+
+    Where ``k`` is set: ``a + b + ci`` (carry-out is *not* produced, per the
+    paper's definition); elsewhere the lane copies ``src``.
+    """
+    _check_zmm(src, a, b)
+    check_mask_fits(k, a)
+    check_mask_fits(carry_in, a)
+    lanes = []
+    for i, (s, x, y) in enumerate(zip(src.values, a.values, b.values)):
+        if k.bit(i):
+            lanes.append((x + y + (1 if carry_in.bit(i) else 0)) & MASK64)
+        else:
+            lanes.append(s)
+    result = Vec(lanes)
+    emit("vpadcq_pred_zmm", [result], [src, k, a, b, carry_in])
+    return result
+
+
+def mm512_mask_sbb_epi64(
+    src: Vec, k: Mask, a: Vec, b: Vec, borrow_in: Mask
+) -> Vec:
+    """Predicated subtract-with-borrow (the ``+P`` sensitivity variant)."""
+    _check_zmm(src, a, b)
+    check_mask_fits(k, a)
+    check_mask_fits(borrow_in, a)
+    lanes = []
+    for i, (s, x, y) in enumerate(zip(src.values, a.values, b.values)):
+        if k.bit(i):
+            lanes.append((x - y - (1 if borrow_in.bit(i) else 0)) & MASK64)
+        else:
+            lanes.append(s)
+    result = Vec(lanes)
+    emit("vpsbbq_pred_zmm", [result], [src, k, a, b, borrow_in])
+    return result

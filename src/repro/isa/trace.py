@@ -1,0 +1,140 @@
+"""Instruction tracing.
+
+Every simulated instruction calls :func:`emit` with its mnemonic and the
+``vid``s of its source and destination registers. When a :class:`Tracer` is
+active (via the :func:`tracing` context manager), the instruction is appended
+to its entry list; otherwise emission is a no-op, so purely functional use of
+the ISA simulator (e.g. in correctness tests) pays almost nothing.
+
+The recorded trace is the interface between the kernels and the machine
+model: :mod:`repro.machine.scheduler` consumes ``TraceEntry`` lists to compute
+port pressure and dependency critical paths, exactly as LLVM-MCA consumes an
+assembly listing in the paper's Section 4.2.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One dynamically executed instruction.
+
+    Attributes:
+        op: Mnemonic key into the machine model's uop tables
+            (e.g. ``"vpaddq_zmm"``, ``"adc64"``).
+        dests: ``vid``s of values this instruction produces.
+        srcs: ``vid``s of values this instruction consumes.
+        tag: Optional annotation; ``"load"``/``"store"`` mark memory traffic
+            so the cache model can count bytes.
+    """
+
+    op: str
+    dests: Tuple[int, ...] = ()
+    srcs: Tuple[int, ...] = ()
+    tag: str = ""
+    imm: object = None
+
+
+class Tracer:
+    """Collects :class:`TraceEntry` records for one traced region."""
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self.entries: List[TraceEntry] = []
+
+    def emit(
+        self,
+        op: str,
+        dests: Sequence[int] = (),
+        srcs: Sequence[int] = (),
+        tag: str = "",
+        imm: object = None,
+    ) -> None:
+        """Append one instruction to the trace."""
+        self.entries.append(TraceEntry(op, tuple(dests), tuple(srcs), tag, imm))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+    def op_counts(self) -> Counter:
+        """Histogram of mnemonics in the trace."""
+        return Counter(entry.op for entry in self.entries)
+
+    def count(self, op: str) -> int:
+        """Number of dynamic instances of ``op`` in the trace."""
+        return sum(1 for entry in self.entries if entry.op == op)
+
+    def memory_ops(self) -> Tuple[int, int]:
+        """Return ``(loads, stores)`` counts from entry tags."""
+        loads = sum(1 for e in self.entries if e.tag == "load")
+        stores = sum(1 for e in self.entries if e.tag == "store")
+        return loads, stores
+
+    def extend(self, other: "Tracer") -> None:
+        """Append all of ``other``'s entries to this tracer."""
+        self.entries.extend(other.entries)
+
+    def __repr__(self) -> str:
+        label = f" {self.label!r}" if self.label else ""
+        return f"Tracer{label}({len(self.entries)} instructions)"
+
+
+_ACTIVE_TRACERS: List[Tracer] = []
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The innermost active tracer, or ``None`` outside any traced region."""
+    return _ACTIVE_TRACERS[-1] if _ACTIVE_TRACERS else None
+
+
+def emit(
+    op: str,
+    dests: Iterable[object] = (),
+    srcs: Iterable[object] = (),
+    tag: str = "",
+    imm: object = None,
+) -> None:
+    """Record one executed instruction on the innermost active tracer.
+
+    ``dests``/``srcs`` may contain register values (anything with a ``vid``
+    attribute) or raw integer ids; ``imm`` carries an immediate operand
+    (shift amount, comparison predicate, permute selector) for consumers
+    that reconstruct source code from traces; a no-op when no tracer is
+    active.
+    """
+    tracer = current_tracer()
+    if tracer is None:
+        return
+    tracer.emit(op, _ids(dests), _ids(srcs), tag, imm)
+
+
+def _ids(objs: Iterable[object]) -> Tuple[int, ...]:
+    out = []
+    for obj in objs:
+        vid = getattr(obj, "vid", None)
+        out.append(int(vid) if vid is not None else int(obj))  # type: ignore[arg-type]
+    return tuple(out)
+
+
+@contextmanager
+def tracing(label: str = "") -> Iterator[Tracer]:
+    """Context manager that activates a fresh :class:`Tracer`.
+
+    Nested regions each get their own tracer; only the innermost records.
+    This mirrors how the paper times an inner kernel while ignoring harness
+    code around it.
+    """
+    tracer = Tracer(label)
+    _ACTIVE_TRACERS.append(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE_TRACERS.pop()

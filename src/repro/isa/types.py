@@ -1,0 +1,205 @@
+"""Register-value types used by the ISA simulator.
+
+Three register classes mirror the x86 register files the paper's kernels use:
+
+* :class:`Vec` - a SIMD vector register (``__m256i`` / ``__m512i``): a fixed
+  number of unsigned lanes of a fixed bit width.
+* :class:`Mask` - an AVX-512 mask register (``__mmask8``): one bit per lane.
+* :class:`SVal` - a 64-bit general-purpose register (``uint64_t``).
+
+Every value carries a unique ``vid`` so the tracer can reconstruct the
+dataflow graph (used by the machine model's critical-path analysis). Values
+are immutable; instructions return new values, SSA-style, which matches how
+out-of-order hardware renames registers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import IsaError, LaneMismatchError, MaskWidthError
+
+_VID_COUNTER = itertools.count(1)
+
+
+def _next_vid() -> int:
+    return next(_VID_COUNTER)
+
+
+class Vec:
+    """An immutable SIMD vector register of ``lanes`` x ``width``-bit lanes."""
+
+    __slots__ = ("_values", "width", "vid")
+
+    def __init__(self, values: Sequence[int], width: int = 64) -> None:
+        mask = (1 << width) - 1
+        vals = tuple(int(v) & mask for v in values)
+        if not vals:
+            raise IsaError("a vector register needs at least one lane")
+        object.__setattr__(self, "_values", vals)
+        object.__setattr__(self, "width", width)
+        object.__setattr__(self, "vid", _next_vid())
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Vec is immutable")
+
+    @property
+    def lanes(self) -> int:
+        """Number of SIMD lanes (8 for ``__m512i`` holding 64-bit ints)."""
+        return len(self._values)
+
+    @property
+    def bits(self) -> int:
+        """Total register width in bits (512 for ``__m512i``)."""
+        return self.lanes * self.width
+
+    @property
+    def values(self) -> Tuple[int, ...]:
+        """The lane values, lane 0 first."""
+        return self._values
+
+    def lane(self, index: int) -> int:
+        """Return the value held in ``index``-th lane."""
+        return self._values[index]
+
+    def to_list(self) -> List[int]:
+        """Return the lanes as a fresh list."""
+        return list(self._values)
+
+    @classmethod
+    def broadcast(cls, value: int, lanes: int, width: int = 64) -> "Vec":
+        """Replicate ``value`` into every lane (``_mm512_set1_epi64``)."""
+        return cls([value] * lanes, width=width)
+
+    @classmethod
+    def zeros(cls, lanes: int, width: int = 64) -> "Vec":
+        """An all-zero register (``_mm512_setzero_si512``)."""
+        return cls([0] * lanes, width=width)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vec):
+            return NotImplemented
+        return self._values == other._values and self.width == other.width
+
+    def __hash__(self) -> int:
+        return hash((self._values, self.width))
+
+    def __repr__(self) -> str:
+        vals = ", ".join(f"{v:#x}" for v in self._values)
+        return f"Vec{self.lanes}x{self.width}[{vals}]"
+
+
+class Mask:
+    """An immutable AVX-512 mask register: one bit per vector lane."""
+
+    __slots__ = ("value", "lanes", "vid")
+
+    def __init__(self, value: int, lanes: int) -> None:
+        if lanes <= 0:
+            raise IsaError("a mask register needs at least one lane")
+        object.__setattr__(self, "value", int(value) & ((1 << lanes) - 1))
+        object.__setattr__(self, "lanes", lanes)
+        object.__setattr__(self, "vid", _next_vid())
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Mask is immutable")
+
+    @classmethod
+    def from_bools(cls, bits: Iterable[bool]) -> "Mask":
+        """Build a mask from per-lane booleans, lane 0 first."""
+        bit_list = list(bits)
+        value = 0
+        for i, bit in enumerate(bit_list):
+            if bit:
+                value |= 1 << i
+        return cls(value, len(bit_list))
+
+    @classmethod
+    def zeros(cls, lanes: int) -> "Mask":
+        """An all-zero mask (the paper's global ``z_mask``)."""
+        return cls(0, lanes)
+
+    @classmethod
+    def ones(cls, lanes: int) -> "Mask":
+        """An all-ones mask."""
+        return cls((1 << lanes) - 1, lanes)
+
+    def bit(self, index: int) -> bool:
+        """Return the mask bit for lane ``index``."""
+        if not 0 <= index < self.lanes:
+            raise MaskWidthError(f"lane {index} out of range for {self.lanes}-lane mask")
+        return bool((self.value >> index) & 1)
+
+    def to_bools(self) -> List[bool]:
+        """Return the mask as per-lane booleans, lane 0 first."""
+        return [self.bit(i) for i in range(self.lanes)]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Mask):
+            return NotImplemented
+        return self.value == other.value and self.lanes == other.lanes
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.lanes))
+
+    def __repr__(self) -> str:
+        bits = "".join("1" if self.bit(i) else "0" for i in range(self.lanes))
+        return f"Mask{self.lanes}[{bits}]"
+
+
+class SVal:
+    """An immutable 64-bit scalar register value (``uint64_t`` / flag bit).
+
+    Scalar kernels manipulate :class:`SVal` exclusively through the functions
+    in :mod:`repro.isa.scalar`, mirroring how the paper's scalar C code maps
+    to individual x86 instructions.
+    """
+
+    __slots__ = ("value", "width", "vid")
+
+    def __init__(self, value: int, width: int = 64) -> None:
+        object.__setattr__(self, "value", int(value) & ((1 << width) - 1))
+        object.__setattr__(self, "width", width)
+        object.__setattr__(self, "vid", _next_vid())
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("SVal is immutable")
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __index__(self) -> int:
+        return self.value
+
+    def __bool__(self) -> bool:
+        return bool(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SVal):
+            return self.value == other.value
+        if isinstance(other, int):
+            return self.value == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __repr__(self) -> str:
+        return f"SVal({self.value:#x})"
+
+
+def check_same_shape(a: Vec, b: Vec) -> None:
+    """Raise :class:`LaneMismatchError` unless ``a`` and ``b`` match."""
+    if a.lanes != b.lanes or a.width != b.width:
+        raise LaneMismatchError(
+            f"operand shape mismatch: {a.lanes}x{a.width} vs {b.lanes}x{b.width}"
+        )
+
+
+def check_mask_fits(mask: Mask, vec: Vec) -> None:
+    """Raise :class:`MaskWidthError` unless ``mask`` covers ``vec``'s lanes."""
+    if mask.lanes != vec.lanes:
+        raise MaskWidthError(
+            f"{mask.lanes}-lane mask used with {vec.lanes}-lane vector"
+        )

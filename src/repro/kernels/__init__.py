@@ -1,0 +1,37 @@
+"""Double-word modular arithmetic kernel backends.
+
+One backend per implementation variant evaluated in the paper:
+
+========  ==========================================  ====================
+Backend   ISA                                         Paper reference
+========  ==========================================  ====================
+scalar    x86-64 scalar (ADD/ADC/SUB/SBB/MUL/CMOV)    Section 3.1
+avx2      AVX2, 4x64-bit lanes, emulated carries      Section 3.2
+avx512    AVX-512F/DQ, 8x64-bit lanes, mask regs      Section 3.2, Listing 2
+mqx       AVX-512 + MQX (configurable feature set)    Section 4, Listing 3
+========  ==========================================  ====================
+
+All backends expose the same block-level API (:class:`Backend`): load a
+block of 128-bit residues, compute ``addmod``/``submod``/``mulmod``/NTT
+butterflies on it, store it back. Results are bit-identical across backends
+(and to the :mod:`repro.arith` references); only the emitted instruction
+traces - and therefore modeled runtimes - differ.
+"""
+
+from repro.kernels.backend import Backend, DWPair, ModulusContext, get_backend
+from repro.kernels.mqx_backend import MqxBackend, MqxFeatures
+from repro.kernels.scalar_backend import ScalarBackend
+from repro.kernels.avx2_backend import Avx2Backend
+from repro.kernels.avx512_backend import Avx512Backend
+
+__all__ = [
+    "Backend",
+    "DWPair",
+    "ModulusContext",
+    "get_backend",
+    "ScalarBackend",
+    "Avx2Backend",
+    "Avx512Backend",
+    "MqxBackend",
+    "MqxFeatures",
+]

@@ -1,0 +1,251 @@
+"""AVX2 backend (Section 3.2).
+
+Four 128-bit residues per block, held as two YMM registers. AVX2 lacks both
+mask registers and unsigned 64-bit comparisons, so:
+
+* conditions are ordinary vectors of 0 / all-ones lanes,
+* unsigned compares cost three instructions (sign-flip + ``vpcmpgtq``),
+* consuming a carry mask costs one ``vpsubq`` (an all-ones lane is -1),
+* selects go through ``vpblendvb``,
+* the 64-bit low multiply (``vpmullq``) must itself be emulated from
+  ``vpmuludq`` partial products.
+
+This instruction inflation is why the paper finds AVX2 roughly at parity
+with a good scalar implementation (Sections 5.3-5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+from repro.errors import BackendError
+from repro.isa import avx2 as y
+from repro.isa.types import Vec
+from repro.kernels.backend import Backend, DWPair, split_dw_words
+from repro.util.bits import MASK64
+
+
+class Avx2Backend(Backend):
+    """Kernels built from AVX2 instructions, 4 residues per block."""
+
+    name = "avx2"
+    lanes = 4
+
+    def __init__(self) -> None:
+        self.ones = y.mm256_set1_epi64x(MASK64)
+        self.zero = y.mm256_setzero_si256()
+
+    # ------------------------------------------------------------------
+    # Block I/O
+    # ------------------------------------------------------------------
+
+    def broadcast_dw(self, value: int) -> DWPair:
+        return DWPair(
+            hi=y.mm256_set1_epi64x(value >> 64),
+            lo=y.mm256_set1_epi64x(value & MASK64),
+        )
+
+    def broadcast_twiddle(self, value: int) -> DWPair:
+        return DWPair(
+            hi=y.mm256_set1_epi64x(value >> 64, hoisted=False),
+            lo=y.mm256_set1_epi64x(value & MASK64, hoisted=False),
+        )
+
+    def load_block(self, values: Sequence[int]) -> DWPair:
+        if len(values) != self.lanes:
+            raise BackendError(
+                f"{self.name} block takes {self.lanes} values, got {len(values)}"
+            )
+        his, los = split_dw_words(values)
+        return DWPair(hi=y.mm256_load_si256(his), lo=y.mm256_load_si256(los))
+
+    def store_block(self, block: DWPair) -> List[int]:
+        y.mm256_store_si256(block.hi)
+        y.mm256_store_si256(block.lo)
+        return self.block_values(block)
+
+    def _pair_words(self, block: DWPair) -> Tuple[List[int], List[int]]:
+        return block.hi.to_list(), block.lo.to_list()
+
+    # ------------------------------------------------------------------
+    # Carry helpers (emulated-mask patterns)
+    # ------------------------------------------------------------------
+
+    def _add_carry_out(self, a: Vec, b: Vec) -> Tuple[Vec, Vec]:
+        """Add + carry mask: 1 add + 3-instruction unsigned compare."""
+        total = y.mm256_add_epi64(a, b)
+        carry = y.cmplt_epu64(total, a)
+        return total, carry
+
+    def _adc(self, a: Vec, b: Vec, carry_in: Vec) -> Tuple[Vec, Vec]:
+        """Add-with-carry via the subtract-the-mask trick + wrap detection.
+
+        ``t1 = t0 - carry_mask`` adds 1 exactly where the mask is set; the
+        increment wraps only when ``t0`` was all-ones, caught with one
+        ``vpcmpeqq`` + ``vpand``.
+        """
+        t0 = y.mm256_add_epi64(a, b)
+        carry_a = y.cmplt_epu64(t0, a)
+        t1 = y.add_with_mask_carry(t0, carry_in)
+        wrap = y.mm256_and_si256(y.mm256_cmpeq_epi64(t0, self.ones), carry_in)
+        carry_out = y.mm256_or_si256(carry_a, wrap)
+        return t1, carry_out
+
+    def _sub_borrow_out(self, a: Vec, b: Vec) -> Tuple[Vec, Vec]:
+        """Subtract + borrow mask: 1 sub + 3-instruction unsigned compare."""
+        diff = y.mm256_sub_epi64(a, b)
+        borrow = y.cmplt_epu64(a, b)
+        return diff, borrow
+
+    def _sbb(self, a: Vec, b: Vec, borrow_in: Vec) -> Tuple[Vec, Vec]:
+        """Subtract-with-borrow: adding the -1 mask decrements."""
+        d0 = y.mm256_sub_epi64(a, b)
+        d1 = y.mm256_add_epi64(d0, borrow_in)
+        lt = y.cmplt_epu64(a, b)
+        wrapped = y.mm256_and_si256(y.mm256_cmpeq_epi64(a, b), borrow_in)
+        borrow_out = y.mm256_or_si256(lt, wrapped)
+        return d1, borrow_out
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+
+    def dw_add(self, a: DWPair, b: DWPair) -> Tuple[DWPair, Any]:
+        low, c1 = self._add_carry_out(a.lo, b.lo)
+        high, carry_out = self._adc(a.hi, b.hi, c1)
+        return DWPair(hi=high, lo=low), carry_out
+
+    def dw_add_small(self, a: DWPair, b: DWPair) -> DWPair:
+        low, c1 = self._add_carry_out(a.lo, b.lo)
+        high = y.add_with_mask_carry(y.mm256_add_epi64(a.hi, b.hi), c1)
+        return DWPair(hi=high, lo=low)
+
+    def dw_sub(self, a: DWPair, b: DWPair) -> Tuple[DWPair, Any]:
+        low, b1 = self._sub_borrow_out(a.lo, b.lo)
+        high, borrow_out = self._sbb(a.hi, b.hi, b1)
+        return DWPair(hi=high, lo=low), borrow_out
+
+    def dw_sub_noborrow(self, a: DWPair, b: DWPair) -> DWPair:
+        low, b1 = self._sub_borrow_out(a.lo, b.lo)
+        high = y.mm256_add_epi64(y.mm256_sub_epi64(a.hi, b.hi), b1)
+        return DWPair(hi=high, lo=low)
+
+    def dw_wide_mul(self, a: DWPair, b: DWPair) -> Tuple[DWPair, DWPair]:
+        """Schoolbook 128x128->256: four emulated widening multiplies."""
+        ll_hi, ll_lo = y.mul64_wide_emulated(a.lo, b.lo)
+        lh_hi, lh_lo = y.mul64_wide_emulated(a.lo, b.hi)
+        hl_hi, hl_lo = y.mul64_wide_emulated(a.hi, b.lo)
+        hh_hi, hh_lo = y.mul64_wide_emulated(a.hi, b.hi)
+
+        s1, c1 = self._add_carry_out(lh_lo, hl_lo)
+        w1, c2 = self._add_carry_out(s1, ll_hi)
+        s2, c3 = self._adc(lh_hi, hl_hi, c1)
+        w2, c4 = self._adc(s2, hh_lo, c2)
+        s3 = y.add_with_mask_carry(hh_hi, c3)
+        w3 = y.add_with_mask_carry(s3, c4)
+        return DWPair(hi=w3, lo=w2), DWPair(hi=w1, lo=ll_lo)
+
+    def dw_wide_mul_karatsuba(self, a: DWPair, b: DWPair) -> Tuple[DWPair, DWPair]:
+        """Karatsuba 128x128->256 with mask-vector overflow fix-up."""
+        hh_hi, hh_lo = y.mul64_wide_emulated(a.hi, b.hi)
+        ll_hi, ll_lo = y.mul64_wide_emulated(a.lo, b.lo)
+
+        sa, ca = self._add_carry_out(a.hi, a.lo)
+        sb, cb = self._add_carry_out(b.hi, b.lo)
+        p_hi, p_lo = y.mul64_wide_emulated(sa, sb)
+
+        # cross as 3 words; masked adds become and+add pairs in AVX2.
+        fix_a = y.mm256_and_si256(ca, sb)
+        c1w, cy1 = self._add_carry_out(p_hi, fix_a)
+        fix_b = y.mm256_and_si256(cb, sa)
+        c1x, cy2 = self._add_carry_out(c1w, fix_b)
+        both = y.mm256_and_si256(ca, cb)
+        c2w = self.zero
+        c2w = y.add_with_mask_carry(c2w, both)
+        c2w = y.add_with_mask_carry(c2w, cy1)
+        c2w = y.add_with_mask_carry(c2w, cy2)
+
+        m0, bw = self._sub_borrow_out(p_lo, hh_lo)
+        m1, bw = self._sbb(c1x, hh_hi, bw)
+        m2 = y.mm256_add_epi64(c2w, bw)
+        m0, bw = self._sub_borrow_out(m0, ll_lo)
+        m1, bw = self._sbb(m1, ll_hi, bw)
+        m2 = y.mm256_add_epi64(m2, bw)
+
+        w1, cy = self._add_carry_out(ll_hi, m0)
+        w2, cy = self._adc(hh_lo, m1, cy)
+        w3 = y.add_with_mask_carry(hh_hi, cy)
+        w3 = y.mm256_add_epi64(w3, m2)
+        return DWPair(hi=w3, lo=w2), DWPair(hi=w1, lo=ll_lo)
+
+    def dw_mullo(self, a: DWPair, b: DWPair) -> DWPair:
+        """Low 128 bits; AVX2 must emulate even the 64-bit low multiply."""
+        p_hi, p_lo = y.mul64_wide_emulated(a.lo, b.lo)
+        x1 = self._mullo64(a.lo, b.hi)
+        x2 = self._mullo64(a.hi, b.lo)
+        cross = y.mm256_add_epi64(x1, x2)
+        high = y.mm256_add_epi64(p_hi, cross)
+        return DWPair(hi=high, lo=p_lo)
+
+    def _mullo64(self, a: Vec, b: Vec) -> Vec:
+        """Emulated ``vpmullq``: 3 vpmuludq + shifts/adds (7 instructions)."""
+        ll = y.mm256_mul_epu32(a, b)
+        a_hi = y.mm256_srli_epi64(a, 32)
+        b_hi = y.mm256_srli_epi64(b, 32)
+        cross1 = y.mm256_mul_epu32(a_hi, b)
+        cross2 = y.mm256_mul_epu32(a, b_hi)
+        cross = y.mm256_add_epi64(cross1, cross2)
+        return y.mm256_add_epi64(ll, y.mm256_slli_epi64(cross, 32))
+
+    def shift_right_256(self, high: DWPair, low: DWPair, amount: int) -> DWPair:
+        w0, w1, w2, w3 = low.lo, low.hi, high.lo, high.hi
+        if amount == 0:
+            return DWPair(hi=w1, lo=w0)
+        if amount == 64:
+            return DWPair(hi=w2, lo=w1)
+        if amount == 128:
+            return DWPair(hi=w3, lo=w2)
+        if 0 < amount < 64:
+            lo = self._shrd(w1, w0, amount)
+            hi = self._shrd(w2, w1, amount)
+        elif 64 < amount < 128:
+            lo = self._shrd(w2, w1, amount - 64)
+            hi = self._shrd(w3, w2, amount - 64)
+        elif 128 < amount < 192:
+            lo = self._shrd(w3, w2, amount - 128)
+            hi = y.mm256_srli_epi64(w3, amount - 128)
+        else:
+            raise BackendError(f"unsupported 256-bit shift amount {amount}")
+        return DWPair(hi=hi, lo=lo)
+
+    def _shrd(self, high: Vec, low: Vec, amount: int) -> Vec:
+        return y.mm256_or_si256(
+            y.mm256_srli_epi64(low, amount),
+            y.mm256_slli_epi64(high, 64 - amount),
+        )
+
+    def select(self, cond: Any, if_true: DWPair, if_false: DWPair) -> DWPair:
+        return DWPair(
+            hi=y.mm256_blendv_epi8(if_false.hi, if_true.hi, cond),
+            lo=y.mm256_blendv_epi8(if_false.lo, if_true.lo, cond),
+        )
+
+    def interleave(self, even: DWPair, odd: DWPair) -> Tuple[DWPair, DWPair]:
+        """Pease output shuffle: unpack + cross-lane ``vperm2i128`` pairs."""
+
+        def _interleave_vec(e, o):
+            lo_pairs = y.mm256_unpacklo_epi64(e, o)  # [e0,o0, e2,o2]
+            hi_pairs = y.mm256_unpackhi_epi64(e, o)  # [e1,o1, e3,o3]
+            first = y.mm256_permute2x128_si256(lo_pairs, hi_pairs, 0x20)
+            second = y.mm256_permute2x128_si256(lo_pairs, hi_pairs, 0x31)
+            return first, second
+
+        hi0, hi1 = _interleave_vec(even.hi, odd.hi)
+        lo0, lo1 = _interleave_vec(even.lo, odd.lo)
+        return DWPair(hi=hi0, lo=lo0), DWPair(hi=hi1, lo=lo1)
+
+    def cond_or(self, a: Any, b: Any) -> Any:
+        return y.mm256_or_si256(a, b)
+
+    def cond_not(self, a: Any) -> Any:
+        return y.mm256_xor_si256(a, self.ones)

@@ -1,0 +1,284 @@
+"""AVX-512 backend (Section 3.2, Listing 2).
+
+Eight 128-bit residues per block, held as two ZMM registers (high words,
+low words - Figure 2). Carry and borrow propagation follow the structure of
+the paper's Listing 2: carries are recovered with *two* unsigned compares
+plus a ``kor`` (the generically safe pattern the paper's translation from
+Listing 1 produces), conditionals become mask registers, and selects become
+``vpblendmq``.
+
+The missing 64x64->128 widening multiply - MQX's headline gap - is emulated
+with four ``vpmuludq`` partial products (:func:`repro.isa.avx512.mul64_wide_emulated`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+from repro.errors import BackendError
+from repro.isa import avx512 as v
+from repro.isa.types import Mask, Vec
+from repro.kernels.backend import Backend, DWPair, split_dw_words
+from repro.util.bits import MASK64
+
+
+class Avx512Backend(Backend):
+    """Kernels built from AVX-512F/DQ instructions, 8 residues per block."""
+
+    name = "avx512"
+    lanes = 8
+
+    def __init__(self) -> None:
+        # Globally hoisted constants (the paper sets `one` globally).
+        self.one = v.mm512_set1_epi64(1)
+        self.zero = v.mm512_setzero_si512()
+        self.all_ones = v.mm512_set1_epi64(MASK64)
+
+    # ------------------------------------------------------------------
+    # Block I/O
+    # ------------------------------------------------------------------
+
+    def broadcast_dw(self, value: int) -> DWPair:
+        return DWPair(
+            hi=v.mm512_set1_epi64(value >> 64),
+            lo=v.mm512_set1_epi64(value & MASK64),
+        )
+
+    def broadcast_twiddle(self, value: int) -> DWPair:
+        return DWPair(
+            hi=v.mm512_set1_epi64(value >> 64, hoisted=False),
+            lo=v.mm512_set1_epi64(value & MASK64, hoisted=False),
+        )
+
+    def load_block(self, values: Sequence[int]) -> DWPair:
+        if len(values) != self.lanes:
+            raise BackendError(
+                f"{self.name} block takes {self.lanes} values, got {len(values)}"
+            )
+        his, los = split_dw_words(values)
+        return DWPair(hi=v.mm512_load_si512(his), lo=v.mm512_load_si512(los))
+
+    def store_block(self, block: DWPair) -> List[int]:
+        v.mm512_store_si512(block.hi)
+        v.mm512_store_si512(block.lo)
+        return self.block_values(block)
+
+    def _pair_words(self, block: DWPair) -> Tuple[List[int], List[int]]:
+        return block.hi.to_list(), block.lo.to_list()
+
+    # ------------------------------------------------------------------
+    # Carry helpers (the Listing 2 patterns)
+    # ------------------------------------------------------------------
+
+    def _add_carry_out(self, a: Vec, b: Vec) -> Tuple[Vec, Mask]:
+        """64-bit add + carry-out: 1 add, 1 compare.
+
+        With no carry-in, ``(a + b) mod 2^64 < a`` iff the add overflowed,
+        so a single unsigned compare recovers the carry. (Listing 2 as
+        printed uses the generic two-compare pattern; the single compare is
+        the tuned form - see :mod:`repro.kernels.listings` for the verbatim
+        port.)
+        """
+        total = v.mm512_add_epi64(a, b)
+        carry = v.mm512_cmp_epu64_mask(total, a, v.CMPINT_LT)
+        return total, carry
+
+    def _add_with_carry_nocout(self, a: Vec, b: Vec, carry_in: Mask) -> Vec:
+        """Add with carry-in, discarding the carry-out (2 instructions)."""
+        total = v.mm512_add_epi64(a, b)
+        return v.mm512_mask_add_epi64(total, carry_in, total, self.one)
+
+    def _sub_with_borrow_nobout(self, a: Vec, b: Vec, borrow_in: Mask) -> Vec:
+        """Subtract with borrow-in, discarding the borrow-out."""
+        diff = v.mm512_sub_epi64(a, b)
+        return v.mm512_mask_sub_epi64(diff, borrow_in, diff, self.one)
+
+    def _adc(self, a: Vec, b: Vec, carry_in: Mask) -> Tuple[Vec, Mask]:
+        """64-bit add-with-carry: six AVX-512 instructions (Table 1's count).
+
+        Uses the robust wrap-detection form rather than Table 1's printed
+        two-compare pattern: the printed pattern misses the carry when both
+        operands are all-ones with carry-in (see
+        :mod:`repro.kernels.listings`), which *can* arise for the
+        unconstrained partial-product words this helper accumulates. Here:
+        carry = (sum wrapped before increment) OR (increment wrapped),
+        the second condition being ``t0 == 2^64-1 AND carry_in``.
+        """
+        t0 = v.mm512_add_epi64(a, b)
+        carry_a = v.mm512_cmp_epu64_mask(t0, a, v.CMPINT_LT)
+        t1 = v.mm512_mask_add_epi64(t0, carry_in, t0, self.one)
+        wrapped = v.mm512_cmp_epu64_mask(t0, self.all_ones, v.CMPINT_EQ)
+        wrap_carry = v.kand8(wrapped, carry_in)
+        return t1, v.kor8(carry_a, wrap_carry)
+
+    def _sub_borrow_out(self, a: Vec, b: Vec) -> Tuple[Vec, Mask]:
+        """64-bit subtract + borrow-out: 1 sub, 1 compare."""
+        diff = v.mm512_sub_epi64(a, b)
+        borrow = v.mm512_cmp_epu64_mask(a, b, v.CMPINT_LT)
+        return diff, borrow
+
+    def _sbb(self, a: Vec, b: Vec, borrow_in: Mask) -> Tuple[Vec, Mask]:
+        """64-bit subtract-with-borrow: sub, masked dec, lt/eq compares, kor."""
+        d0 = v.mm512_sub_epi64(a, b)
+        d1 = v.mm512_mask_sub_epi64(d0, borrow_in, d0, self.one)
+        lt = v.mm512_cmp_epu64_mask(a, b, v.CMPINT_LT)
+        eq = v.mm512_cmp_epu64_mask(a, b, v.CMPINT_EQ)
+        wrapped = v.kand8(eq, borrow_in)
+        return d1, v.kor8(lt, wrapped)
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+
+    def dw_add(self, a: DWPair, b: DWPair) -> Tuple[DWPair, Any]:
+        low, c1 = self._add_carry_out(a.lo, b.lo)
+        high, carry_out = self._adc(a.hi, b.hi, c1)
+        return DWPair(hi=high, lo=low), carry_out
+
+    def dw_add_small(self, a: DWPair, b: DWPair) -> DWPair:
+        low, c1 = self._add_carry_out(a.lo, b.lo)
+        high = self._add_with_carry_nocout(a.hi, b.hi, c1)
+        return DWPair(hi=high, lo=low)
+
+    def dw_sub(self, a: DWPair, b: DWPair) -> Tuple[DWPair, Any]:
+        low, b1 = self._sub_borrow_out(a.lo, b.lo)
+        high, borrow_out = self._sbb(a.hi, b.hi, b1)
+        return DWPair(hi=high, lo=low), borrow_out
+
+    def dw_sub_noborrow(self, a: DWPair, b: DWPair) -> DWPair:
+        low, b1 = self._sub_borrow_out(a.lo, b.lo)
+        high = self._sub_with_borrow_nobout(a.hi, b.hi, b1)
+        return DWPair(hi=high, lo=low)
+
+    def dw_wide_mul(self, a: DWPair, b: DWPair) -> Tuple[DWPair, DWPair]:
+        """Schoolbook 128x128->256: four emulated widening multiplies."""
+        ll_hi, ll_lo = self._wide_mul64(a.lo, b.lo)
+        lh_hi, lh_lo = self._wide_mul64(a.lo, b.hi)
+        hl_hi, hl_lo = self._wide_mul64(a.hi, b.lo)
+        hh_hi, hh_lo = self._wide_mul64(a.hi, b.hi)
+
+        s1, c1 = self._add_carry_out(lh_lo, hl_lo)
+        w1, c2 = self._add_carry_out(s1, ll_hi)
+        s2, c3 = self._adc(lh_hi, hl_hi, c1)
+        w2, c4 = self._adc(s2, hh_lo, c2)
+        s3 = v.mm512_mask_add_epi64(hh_hi, c3, hh_hi, self.one)
+        w3 = v.mm512_mask_add_epi64(s3, c4, s3, self.one)
+        return DWPair(hi=w3, lo=w2), DWPair(hi=w1, lo=ll_lo)
+
+    def dw_wide_mul_karatsuba(self, a: DWPair, b: DWPair) -> Tuple[DWPair, DWPair]:
+        """Karatsuba 128x128->256: three widening multiplies + fix-up.
+
+        The 65-bit operand sums and the 3-word middle term cost ~20 extra
+        vector operations, outweighing the saved multiply (Section 5.5).
+        """
+        hh_hi, hh_lo = self._wide_mul64(a.hi, b.hi)
+        ll_hi, ll_lo = self._wide_mul64(a.lo, b.lo)
+
+        sa, ca = self._add_carry_out(a.hi, a.lo)
+        sb, cb = self._add_carry_out(b.hi, b.lo)
+        p_hi, p_lo = self._wide_mul64(sa, sb)
+
+        # cross = (a0+a1)(b0+b1) as 3 words (c2w, c1w, c0w), folding in the
+        # 65th operand bits: + sb<<64 if ca, + sa<<64 if cb, + 1<<128 if both.
+        c1w = v.mm512_mask_add_epi64(p_hi, ca, p_hi, sb)
+        cy1 = v.mm512_cmp_epu64_mask(c1w, p_hi, v.CMPINT_LT)
+        c1x = v.mm512_mask_add_epi64(c1w, cb, c1w, sa)
+        cy2 = v.mm512_cmp_epu64_mask(c1x, c1w, v.CMPINT_LT)
+        both = v.kand8(ca, cb)
+        c2w = v.mm512_mask_add_epi64(self.zero, both, self.zero, self.one)
+        c2w = v.mm512_mask_add_epi64(c2w, cy1, c2w, self.one)
+        c2w = v.mm512_mask_add_epi64(c2w, cy2, c2w, self.one)
+
+        # mid = cross - hh - ll over 3 words (result >= 0 fits 129 bits).
+        m0, bw = self._sub_borrow_out(p_lo, hh_lo)
+        m1, bw = self._sbb(c1x, hh_hi, bw)
+        m2 = v.mm512_mask_sub_epi64(c2w, bw, c2w, self.one)
+        m0, bw = self._sub_borrow_out(m0, ll_lo)
+        m1, bw = self._sbb(m1, ll_hi, bw)
+        m2 = v.mm512_mask_sub_epi64(m2, bw, m2, self.one)
+
+        # total = hh << 128 + mid << 64 + ll.
+        w1, cy = self._add_carry_out(ll_hi, m0)
+        w2, cy = self._adc(hh_lo, m1, cy)
+        w3 = v.mm512_mask_add_epi64(hh_hi, cy, hh_hi, self.one)
+        w3 = v.mm512_add_epi64(w3, m2)
+        return DWPair(hi=w3, lo=w2), DWPair(hi=w1, lo=ll_lo)
+
+    def dw_mullo(self, a: DWPair, b: DWPair) -> DWPair:
+        """Low 128 bits: one widening multiply + two ``vpmullq`` + adds."""
+        p_hi, p_lo = self._wide_mul64(a.lo, b.lo)
+        x1 = self._mullo64(a.lo, b.hi)
+        x2 = self._mullo64(a.hi, b.lo)
+        cross = v.mm512_add_epi64(x1, x2)
+        high = v.mm512_add_epi64(p_hi, cross)
+        return DWPair(hi=high, lo=p_lo)
+
+    def shift_right_256(self, high: DWPair, low: DWPair, amount: int) -> DWPair:
+        """Cross-word shift: srl + sll + or per output word (no SHRD in SIMD)."""
+        w0, w1, w2, w3 = low.lo, low.hi, high.lo, high.hi
+        if amount == 0:
+            return DWPair(hi=w1, lo=w0)
+        if amount == 64:
+            return DWPair(hi=w2, lo=w1)
+        if amount == 128:
+            return DWPair(hi=w3, lo=w2)
+        if 0 < amount < 64:
+            lo = self._shrd(w1, w0, amount)
+            hi = self._shrd(w2, w1, amount)
+        elif 64 < amount < 128:
+            lo = self._shrd(w2, w1, amount - 64)
+            hi = self._shrd(w3, w2, amount - 64)
+        elif 128 < amount < 192:
+            lo = self._shrd(w3, w2, amount - 128)
+            hi = v.mm512_srli_epi64(w3, amount - 128)
+        else:
+            raise BackendError(f"unsupported 256-bit shift amount {amount}")
+        return DWPair(hi=hi, lo=lo)
+
+    def _shrd(self, high: Vec, low: Vec, amount: int) -> Vec:
+        return v.mm512_or_epi64(
+            v.mm512_srli_epi64(low, amount),
+            v.mm512_slli_epi64(high, 64 - amount),
+        )
+
+    def select(self, cond: Any, if_true: DWPair, if_false: DWPair) -> DWPair:
+        return DWPair(
+            hi=v.mm512_mask_blend_epi64(cond, if_false.hi, if_true.hi),
+            lo=v.mm512_mask_blend_epi64(cond, if_false.lo, if_true.lo),
+        )
+
+    # Hoisted permutation index vectors for the Pease output interleave.
+    _IDX_LO = (0, 8, 1, 9, 2, 10, 3, 11)
+    _IDX_HI = (4, 12, 5, 13, 6, 14, 7, 15)
+
+    def interleave(self, even: DWPair, odd: DWPair) -> Tuple[DWPair, DWPair]:
+        """Pease output shuffle: one ``vpermt2q`` per output register."""
+        idx_lo = Vec(self._IDX_LO)
+        idx_hi = Vec(self._IDX_HI)
+        out0 = DWPair(
+            hi=v.mm512_permutex2var_epi64(even.hi, idx_lo, odd.hi),
+            lo=v.mm512_permutex2var_epi64(even.lo, idx_lo, odd.lo),
+        )
+        out1 = DWPair(
+            hi=v.mm512_permutex2var_epi64(even.hi, idx_hi, odd.hi),
+            lo=v.mm512_permutex2var_epi64(even.lo, idx_hi, odd.lo),
+        )
+        return out0, out1
+
+    def cond_or(self, a: Any, b: Any) -> Any:
+        return v.kor8(a, b)
+
+    def cond_not(self, a: Any) -> Any:
+        return v.knot8(a)
+
+    # ------------------------------------------------------------------
+    # Multiply building blocks (overridden by the MQX backend)
+    # ------------------------------------------------------------------
+
+    def _wide_mul64(self, a: Vec, b: Vec) -> Tuple[Vec, Vec]:
+        """64x64->128 per lane: the vpmuludq emulation (AVX-512's gap)."""
+        return v.mul64_wide_emulated(a, b)
+
+    def _mullo64(self, a: Vec, b: Vec) -> Vec:
+        """64x64->64 low product: native ``vpmullq`` (AVX-512DQ)."""
+        return v.mm512_mullo_epi64(a, b)

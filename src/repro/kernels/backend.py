@@ -1,0 +1,398 @@
+"""The abstract kernel backend and the shared Barrett multiplication skeleton.
+
+A backend processes *blocks* of ``lanes`` 128-bit residues at a time, each
+represented as a :class:`DWPair` - a (high-words, low-words) register pair,
+mirroring how the paper's SIMD kernels split each 128-bit input vector into
+two 64-bit vectors (Figure 2).
+
+The modular-multiplication algorithm (double-word schoolbook/Karatsuba
+product + Barrett reduction, Sections 2.1-2.2) is identical across all
+variants, so it lives here, written against a small set of primitive
+operations (:meth:`Backend.dw_add`, :meth:`Backend.dw_wide_mul`, ...) that
+each backend implements with its own instructions. This is exactly the
+structure of the paper's code: one algorithm, four instruction-level
+realizations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.arith.barrett import BarrettParams
+from repro.arith.dwmod import check_modulus_128
+from repro.errors import BackendError
+from repro.util.bits import MASK64
+
+
+@dataclass(frozen=True)
+class DWPair:
+    """A block of 128-bit values as a (high, low) register pair.
+
+    ``hi`` and ``lo`` are backend register values: :class:`~repro.isa.types.Vec`
+    for the SIMD backends, :class:`~repro.isa.types.SVal` for the scalar one.
+    """
+
+    hi: Any
+    lo: Any
+
+
+class ModulusContext:
+    """Per-modulus precomputed state for one backend.
+
+    Holds the Barrett parameters and the backend's broadcast registers for
+    the modulus and ``mu`` (the paper precomputes ``mu`` once per modulus,
+    Section 2.1). Backends may stash additional hoisted constants in
+    ``extras`` (e.g. AVX2 keeps sign-flipped copies of the modulus words for
+    its unsigned-compare emulation).
+    """
+
+    def __init__(self, backend: "Backend", q: int, algorithm: str) -> None:
+        check_modulus_128(q)
+        if algorithm not in ("schoolbook", "karatsuba"):
+            raise BackendError(f"unknown multiplication algorithm {algorithm!r}")
+        self.q = q
+        self.algorithm = algorithm
+        self.params = BarrettParams(q)
+        self.params.check_width(128)
+        self.backend = backend
+        self.m = backend.broadcast_dw(q)
+        self.two_m = backend.broadcast_dw(2 * q)
+        self.mu = backend.broadcast_dw(self.params.mu)
+        self.extras: Dict[str, Any] = {}
+
+    @property
+    def beta(self) -> int:
+        """Bit length of the modulus."""
+        return self.params.beta
+
+
+class Backend(ABC):
+    """Abstract kernel backend: block-level double-word modular arithmetic."""
+
+    #: Backend registry keyed by :attr:`name` (populated by subclasses).
+    _registry: Dict[str, type] = {}
+
+    name: str = ""
+    #: Number of 128-bit residues processed per block.
+    lanes: int = 0
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.name:
+            Backend._registry[cls.name] = cls
+
+    # ------------------------------------------------------------------
+    # Block I/O
+    # ------------------------------------------------------------------
+
+    def make_modulus(self, q: int, algorithm: str = "schoolbook") -> ModulusContext:
+        """Precompute the per-modulus broadcast constants and Barrett state."""
+        return ModulusContext(self, q, algorithm)
+
+    @abstractmethod
+    def broadcast_dw(self, value: int) -> DWPair:
+        """Broadcast one 128-bit value into a (hoisted) register pair."""
+
+    @abstractmethod
+    def broadcast_twiddle(self, value: int) -> DWPair:
+        """Broadcast a twiddle factor inside the NTT loop (costed, not free)."""
+
+    @abstractmethod
+    def load_block(self, values: Sequence[int]) -> DWPair:
+        """Load ``lanes`` 128-bit values from memory into a register pair."""
+
+    @abstractmethod
+    def store_block(self, block: DWPair) -> List[int]:
+        """Store a register pair back to memory, returning the 128-bit values."""
+
+    def block_values(self, block: DWPair) -> List[int]:
+        """Read a block's 128-bit values without emitting store traffic."""
+        his, los = self._pair_words(block)
+        return [(h << 64) | l for h, l in zip(his, los)]
+
+    @abstractmethod
+    def _pair_words(self, block: DWPair) -> Tuple[List[int], List[int]]:
+        """Return (high words, low words) of a block as plain ints."""
+
+    # ------------------------------------------------------------------
+    # Primitive double-word operations (per-backend instruction choices)
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def dw_add(self, a: DWPair, b: DWPair) -> Tuple[DWPair, Any]:
+        """128-bit add; returns ``(sum mod 2^128, carry_out)``."""
+
+    def dw_add_small(self, a: DWPair, b: DWPair) -> DWPair:
+        """128-bit add when the sum provably fits 128 bits (no carry-out).
+
+        This is the paper's key 124-bit-modulus optimization (Section 3.1):
+        for reduced operands the sum is below ``2q < 2^125``, so the
+        carry-out logic of the high-word addition can be elided entirely.
+        Backends override this with a cheaper sequence.
+        """
+        total, _ = self.dw_add(a, b)
+        return total
+
+    @abstractmethod
+    def dw_sub(self, a: DWPair, b: DWPair) -> Tuple[DWPair, Any]:
+        """128-bit subtract; returns ``(diff mod 2^128, borrow_out)``."""
+
+    def dw_sub_noborrow(self, a: DWPair, b: DWPair) -> DWPair:
+        """128-bit subtract when the borrow-out is unused (``t - est*q``).
+
+        Barrett guarantees ``0 <= t - estimate*q < 3q``, so the final
+        subtraction's borrow flag is dead; backends override to skip it.
+        """
+        diff, _ = self.dw_sub(a, b)
+        return diff
+
+    @abstractmethod
+    def dw_wide_mul(self, a: DWPair, b: DWPair) -> Tuple[DWPair, DWPair]:
+        """128x128->256 multiply; returns ``(high_dw, low_dw)``.
+
+        Dispatches on the modulus context's ``algorithm`` at the caller.
+        """
+
+    @abstractmethod
+    def dw_mullo(self, a: DWPair, b: DWPair) -> DWPair:
+        """Low 128 bits of a 128x128 product."""
+
+    @abstractmethod
+    def shift_right_256(self, high: DWPair, low: DWPair, amount: int) -> DWPair:
+        """Shift a 256-bit (high, low) double-word pair right into 128 bits."""
+
+    @abstractmethod
+    def select(self, cond: Any, if_true: DWPair, if_false: DWPair) -> DWPair:
+        """Per-lane select by a backend condition (mask/flag)."""
+
+    def interleave(self, even: DWPair, odd: DWPair) -> Tuple[DWPair, DWPair]:
+        """Interleave two blocks lane-wise: the Pease stage output shuffle.
+
+        Returns ``(out0, out1)`` with ``out0 = [e0, o0, e1, o1, ...]`` and
+        ``out1`` the second half - realized with unpack/permute instructions
+        on the SIMD backends (Section 3.2's data permutation stage). The
+        scalar backend writes elements individually, so its interleave is
+        free (pure addressing).
+        """
+        return even, odd
+
+    @abstractmethod
+    def cond_or(self, a: Any, b: Any) -> Any:
+        """OR two backend condition values."""
+
+    @abstractmethod
+    def cond_not(self, a: Any) -> Any:
+        """Negate a backend condition value."""
+
+    # ------------------------------------------------------------------
+    # Modular operations (shared algorithm, Sections 2.1-3.2)
+    # ------------------------------------------------------------------
+
+    def addmod(self, a: DWPair, b: DWPair, ctx: ModulusContext) -> DWPair:
+        """``a + b mod q`` via trial subtraction (Equation 2 over DWs).
+
+        Since ``q <= 2^124`` the sum fits in 125 bits, so the double-word
+        addition cannot carry out and the trial subtraction's borrow alone
+        decides the select - the carry-elision the paper derives from the
+        Barrett width constraint (Section 3.1).
+        """
+        total = self.dw_add_small(a, b)
+        diff, borrow = self.dw_sub(total, ctx.m)
+        return self.select(self.cond_not(borrow), diff, total)
+
+    def submod(self, a: DWPair, b: DWPair, ctx: ModulusContext) -> DWPair:
+        """``a - b mod q`` via conditional add-back (Equation 3 over DWs).
+
+        The add-back's carry out of bit 127 is deliberately discarded (it
+        cancels the borrow's wrap), so the cheap no-carry-out add applies.
+        """
+        diff, borrow = self.dw_sub(a, b)
+        fixed = self.dw_add_small(diff, ctx.m)
+        return self.select(borrow, fixed, diff)
+
+    def mulmod(self, a: DWPair, b: DWPair, ctx: ModulusContext) -> DWPair:
+        """``a * b mod q`` - double-word product + Barrett reduction.
+
+        The exact algorithm of :func:`repro.arith.dwmod.mulmod128`, realized
+        with this backend's primitives:
+
+        1. ``t = a * b`` (256-bit, schoolbook or Karatsuba per ``ctx``),
+        2. quotient estimate ``((t >> (beta-1)) * mu) >> (beta+1)``,
+        3. ``c = t - estimate * q`` modulo 2^128,
+        4. two conditional subtractions of ``q``.
+        """
+        beta = ctx.beta
+        t_high, t_low = self.dw_wide_mul_dispatch(a, b, ctx)
+        shifted = self.shift_right_256(t_high, t_low, beta - 1)
+        g_high, g_low = self.dw_wide_mul(shifted, ctx.mu)
+        estimate = self.shift_right_256(g_high, g_low, beta + 1)
+        product = self.dw_mullo(estimate, ctx.m)
+        c = self.dw_sub_noborrow(t_low, product)
+        c = self.cond_sub_modulus(c, ctx)
+        c = self.cond_sub_modulus(c, ctx)
+        return c
+
+    def cond_sub_modulus(self, x: DWPair, ctx: ModulusContext) -> DWPair:
+        """One Barrett correction: ``x - q`` if ``x >= q`` else ``x``."""
+        diff, borrow = self.dw_sub(x, ctx.m)
+        return self.select(self.cond_not(borrow), diff, x)
+
+    def dw_wide_mul_dispatch(
+        self, a: DWPair, b: DWPair, ctx: ModulusContext
+    ) -> Tuple[DWPair, DWPair]:
+        """Pick schoolbook or Karatsuba for the first wide product.
+
+        Barrett's internal ``(t >> s) * mu`` product always uses schoolbook
+        (matching the paper, which varies only the operand multiplication).
+        """
+        if ctx.algorithm == "karatsuba":
+            return self.dw_wide_mul_karatsuba(a, b)
+        return self.dw_wide_mul(a, b)
+
+    def dw_wide_mul_karatsuba(self, a: DWPair, b: DWPair) -> Tuple[DWPair, DWPair]:
+        """Karatsuba 128x128->256 (Equation 9). Backends may override.
+
+        The default falls back to schoolbook so that backends without a
+        dedicated Karatsuba path still produce correct results; all four
+        paper backends override this.
+        """
+        return self.dw_wide_mul(a, b)
+
+    def butterfly(
+        self, x: DWPair, y: DWPair, twiddle: DWPair, ctx: ModulusContext
+    ) -> Tuple[DWPair, DWPair]:
+        """One NTT butterfly: ``(x + w*y, x - w*y) mod q`` (Section 3.2).
+
+        One modular multiplication, one modular addition, one modular
+        subtraction - the unit the paper reports "runtime per butterfly" in.
+        """
+        t = self.mulmod(y, twiddle, ctx)
+        return self.addmod(x, t, ctx), self.submod(x, t, ctx)
+
+    # ------------------------------------------------------------------
+    # Shoup/Harvey twiddle multiplication (tuned-NTT extension)
+    # ------------------------------------------------------------------
+
+    def mulmod_shoup(
+        self, y: DWPair, w: DWPair, w_shoup: DWPair, ctx: ModulusContext
+    ) -> DWPair:
+        """``w * y mod q`` with a precomputed Shoup constant.
+
+        Harvey's butterfly trick: with ``w' = floor(w * 2^128 / q)``
+        precomputed per twiddle, the quotient estimate is just the high
+        half of ``w' * y`` - no shifts, no multiply by ``mu``:
+
+            t = floor(w' * y / 2^128)
+            r = (w * y - t * q) mod 2^128,   r in [0, 2q)
+
+        followed by one conditional subtraction (valid since
+        ``q <= 2^124 < 2^128 / 4``). This replaces one of Barrett's two
+        full wide products and both cross-word shifts - the standard
+        optimization real tuned NTT libraries apply on top of the paper's
+        general-input Barrett kernels.
+        """
+        t_high, _ = self.dw_wide_mul(w_shoup, y)
+        wy_low = self.dw_mullo(w, y)
+        tq_low = self.dw_mullo(t_high, ctx.m)
+        r = self.dw_sub_noborrow(wy_low, tq_low)
+        return self.cond_sub_modulus(r, ctx)
+
+    def butterfly_shoup(
+        self,
+        x: DWPair,
+        y: DWPair,
+        twiddle: DWPair,
+        twiddle_shoup: DWPair,
+        ctx: ModulusContext,
+    ) -> Tuple[DWPair, DWPair]:
+        """NTT butterfly with the Shoup-precomputed twiddle product."""
+        t = self.mulmod_shoup(y, twiddle, twiddle_shoup, ctx)
+        return self.addmod(x, t, ctx), self.submod(x, t, ctx)
+
+    # ------------------------------------------------------------------
+    # Harvey's lazy butterflies (redundant range [0, 4q))
+    # ------------------------------------------------------------------
+
+    def cond_sub_2q(self, x: DWPair, ctx: ModulusContext) -> DWPair:
+        """``x - 2q`` where ``x >= 2q`` (lazy range restoration).
+
+        ``4q < 2^126`` for the paper's moduli, so the lazy range always
+        fits the double-word.
+        """
+        m2 = ctx.two_m
+        diff, borrow = self.dw_sub(x, m2)
+        return self.select(self.cond_not(borrow), diff, x)
+
+    def mulmod_shoup_lazy(
+        self, y: DWPair, w: DWPair, w_shoup: DWPair, ctx: ModulusContext
+    ) -> DWPair:
+        """Shoup product left in ``[0, 2q)``: no final subtraction.
+
+        Valid for any ``y < 2^128`` (in particular the lazy ``[0, 4q)``
+        range) - Harvey's bound only needs ``q < 2^128 / 4``.
+        """
+        t_high, _ = self.dw_wide_mul(w_shoup, y)
+        wy_low = self.dw_mullo(w, y)
+        tq_low = self.dw_mullo(t_high, ctx.m)
+        return self.dw_sub_noborrow(wy_low, tq_low)
+
+    def butterfly_lazy(
+        self,
+        x: DWPair,
+        y: DWPair,
+        twiddle: DWPair,
+        twiddle_shoup: DWPair,
+        ctx: ModulusContext,
+    ) -> Tuple[DWPair, DWPair]:
+        """Harvey's lazy butterfly: inputs and outputs in ``[0, 4q)``.
+
+        No comparisons or blends on the add/sub paths; the transform
+        normalizes once at the end (see ``SimdNtt``'s lazy mode).
+        """
+        x_tilde = self.cond_sub_2q(x, ctx)
+        t = self.mulmod_shoup_lazy(y, twiddle, twiddle_shoup, ctx)
+        plus = self.dw_add_small(x_tilde, t)
+        shifted = self.dw_add_small(x_tilde, ctx.two_m)
+        minus = self.dw_sub_noborrow(shifted, t)
+        return plus, minus
+
+    def reduce_from_lazy(self, x: DWPair, ctx: ModulusContext) -> DWPair:
+        """Bring a lazy-range value (``< 4q``) back to canonical ``[0, q)``."""
+        return self.cond_sub_modulus(self.cond_sub_2q(x, ctx), ctx)
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def available(cls) -> List[str]:
+        """Names of all registered backends."""
+        return sorted(cls._registry)
+
+
+def get_backend(name: str, **kwargs: Any) -> Backend:
+    """Instantiate a backend by name (``scalar``/``avx2``/``avx512``/``mqx``).
+
+    Extra keyword arguments are forwarded to the backend constructor (the
+    ``mqx`` backend accepts ``features=MqxFeatures(...)``).
+    """
+    try:
+        backend_cls = Backend._registry[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {name!r}; available: {Backend.available()}"
+        ) from None
+    return backend_cls(**kwargs)
+
+
+def split_dw_words(values: Sequence[int]) -> Tuple[List[int], List[int]]:
+    """Split 128-bit values into (high-word, low-word) lists (Figure 2)."""
+    his, los = [], []
+    for value in values:
+        if not 0 <= value < (1 << 128):
+            raise BackendError(f"{value} is not a 128-bit value")
+        his.append(value >> 64)
+        los.append(value & MASK64)
+    return his, los

@@ -1,0 +1,200 @@
+"""MQX backend (Section 4, Listing 3) with Section 5.5's feature subsets.
+
+MQX extends AVX-512 with a widening multiply and first-class carry/borrow.
+The backend therefore subclasses :class:`Avx512Backend` and swaps in MQX
+instructions according to a :class:`MqxFeatures` configuration, exactly
+mirroring the paper's sensitivity analysis (Figure 6):
+
+==============  ================================================
+Preset          Meaning
+==============  ================================================
+``Base``        plain AVX-512 (no MQX) - use :class:`Avx512Backend`
+``+M``          widening multiplication only
+``+C``          carry/borrow support only (adc + sbb)
+``+M,C``        full MQX (the default)
+``+Mh,C``       multiply-high instead of full widening multiply
+``+M,C,P``      full MQX plus predicated execution
+==============  ================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import BackendError
+from repro.isa import avx512 as v
+from repro.isa import mqx as x
+from repro.isa.types import Mask, Vec
+from repro.kernels.avx512_backend import Avx512Backend
+from repro.kernels.backend import DWPair, ModulusContext
+
+
+@dataclass(frozen=True)
+class MqxFeatures:
+    """Which MQX components are enabled (Figure 6's knobs).
+
+    Attributes:
+        wide_mul: ``+M`` - the widening 64x64->128 multiply.
+        carry: ``+C`` - add-with-carry and subtract-with-borrow.
+        mulhi_only: ``+Mh`` - replace the single widening multiply with a
+            ``mullo`` + ``mulhi`` pair (lower hardware cost). Requires
+            ``wide_mul=False``.
+        predication: ``+P`` - predicated adc/sbb fusing the select step.
+            Requires ``carry=True``.
+    """
+
+    wide_mul: bool = True
+    carry: bool = True
+    mulhi_only: bool = False
+    predication: bool = False
+
+    def __post_init__(self) -> None:
+        if self.wide_mul and self.mulhi_only:
+            raise BackendError("+M and +Mh are mutually exclusive")
+        if self.predication and not self.carry:
+            raise BackendError("+P requires carry support (+C)")
+        if not (self.wide_mul or self.carry or self.mulhi_only):
+            raise BackendError(
+                "at least one MQX feature must be enabled; use the avx512 "
+                "backend for the no-MQX baseline"
+            )
+
+    @property
+    def label(self) -> str:
+        """The Figure 6 label for this configuration."""
+        parts = []
+        if self.wide_mul:
+            parts.append("M")
+        if self.mulhi_only:
+            parts.append("Mh")
+        if self.carry:
+            parts.append("C")
+        if self.predication:
+            parts.append("P")
+        return "+" + ",".join(parts)
+
+
+#: The Figure 6 configurations by label.
+FEATURE_PRESETS = {
+    "+M": MqxFeatures(wide_mul=True, carry=False),
+    "+C": MqxFeatures(wide_mul=False, carry=True),
+    "+M,C": MqxFeatures(wide_mul=True, carry=True),
+    "+Mh,C": MqxFeatures(wide_mul=False, carry=True, mulhi_only=True),
+    "+M,C,P": MqxFeatures(wide_mul=True, carry=True, predication=True),
+}
+
+
+class MqxBackend(Avx512Backend):
+    """AVX-512 + MQX kernels; performance is projected via PISA."""
+
+    name = "mqx"
+    lanes = 8
+
+    def __init__(self, features: MqxFeatures = None) -> None:
+        super().__init__()
+        self.features = features or MqxFeatures()
+        # The paper's global zero mask (Listing 3's z_mask).
+        self.z_mask = Mask.zeros(self.lanes)
+
+    # ------------------------------------------------------------------
+    # Carry helpers: single instructions when +C is enabled
+    # ------------------------------------------------------------------
+
+    def _add_carry_out(self, a: Vec, b: Vec) -> Tuple[Vec, Mask]:
+        if not self.features.carry:
+            return super()._add_carry_out(a, b)
+        return x.mm512_adc_epi64(a, b, self.z_mask)
+
+    def _adc(self, a: Vec, b: Vec, carry_in: Mask) -> Tuple[Vec, Mask]:
+        if not self.features.carry:
+            return super()._adc(a, b, carry_in)
+        return x.mm512_adc_epi64(a, b, carry_in)
+
+    def _sub_borrow_out(self, a: Vec, b: Vec) -> Tuple[Vec, Mask]:
+        if not self.features.carry:
+            return super()._sub_borrow_out(a, b)
+        return x.mm512_sbb_epi64(a, b, self.z_mask)
+
+    def _sbb(self, a: Vec, b: Vec, borrow_in: Mask) -> Tuple[Vec, Mask]:
+        if not self.features.carry:
+            return super()._sbb(a, b, borrow_in)
+        return x.mm512_sbb_epi64(a, b, borrow_in)
+
+    def _add_with_carry_nocout(self, a: Vec, b: Vec, carry_in: Mask) -> Vec:
+        if not self.features.carry:
+            return super()._add_with_carry_nocout(a, b, carry_in)
+        total, _ = x.mm512_adc_epi64(a, b, carry_in)
+        return total
+
+    def _sub_with_borrow_nobout(self, a: Vec, b: Vec, borrow_in: Mask) -> Vec:
+        if not self.features.carry:
+            return super()._sub_with_borrow_nobout(a, b, borrow_in)
+        diff, _ = x.mm512_sbb_epi64(a, b, borrow_in)
+        return diff
+
+    # ------------------------------------------------------------------
+    # Multiply building blocks
+    # ------------------------------------------------------------------
+
+    def _wide_mul64(self, a: Vec, b: Vec) -> Tuple[Vec, Vec]:
+        if self.features.wide_mul:
+            return x.mm512_mul_epi64(a, b)
+        if self.features.mulhi_only:
+            high = x.mm512_mulhi_epi64(a, b)
+            low = v.mm512_mullo_epi64(a, b)
+            return high, low
+        return super()._wide_mul64(a, b)
+
+    # ------------------------------------------------------------------
+    # Predicated execution (+P): fuse the select into the final adc/sbb
+    # ------------------------------------------------------------------
+
+    def cond_sub_modulus(self, xdw: DWPair, ctx: ModulusContext) -> DWPair:
+        """Barrett correction; with +P the select disappears entirely.
+
+        Key identity: after ``d = x - m`` with low borrow ``b1``, adding
+        ``m`` back has low carry exactly ``b1``. So the correction becomes
+        an unconditional trial subtraction followed by a *predicated*
+        add-back where the subtraction borrowed out - 4 instructions
+        instead of 5, no mask inversion, no blends. This fusion is the
+        source of the modest ~1.1x gain of ``+M,C,P`` (Section 5.5).
+        """
+        if not self.features.predication:
+            return super().cond_sub_modulus(xdw, ctx)
+        d_lo, b1 = x.mm512_sbb_epi64(xdw.lo, ctx.m.lo, self.z_mask)
+        d_hi, b2 = x.mm512_sbb_epi64(xdw.hi, ctx.m.hi, b1)
+        out_lo = x.mm512_mask_adc_epi64(d_lo, b2, d_lo, ctx.m.lo, self.z_mask)
+        out_hi = x.mm512_mask_adc_epi64(d_hi, b2, d_hi, ctx.m.hi, b1)
+        return DWPair(hi=out_hi, lo=out_lo)
+
+    def addmod(self, a: DWPair, b: DWPair, ctx: ModulusContext) -> DWPair:
+        """Listing 3's structure; with +P the final select is fused.
+
+        The sum is unconditionally reduced by ``m``; the predicated adc
+        adds ``m`` back only where the subtraction was wrong (it borrowed
+        *and* the double-word add had no carry-out).
+        """
+        if not self.features.predication:
+            return super().addmod(a, b, ctx)
+        total, carry = self.dw_add(a, b)
+        d_lo, b1 = x.mm512_sbb_epi64(total.lo, ctx.m.lo, self.z_mask)
+        d_hi, b2 = x.mm512_sbb_epi64(total.hi, ctx.m.hi, b1)
+        undo = v.kandn8(carry, b2)
+        out_lo = x.mm512_mask_adc_epi64(d_lo, undo, d_lo, ctx.m.lo, self.z_mask)
+        out_hi = x.mm512_mask_adc_epi64(d_hi, undo, d_hi, ctx.m.hi, b1)
+        return DWPair(hi=out_hi, lo=out_lo)
+
+    def submod(self, a: DWPair, b: DWPair, ctx: ModulusContext) -> DWPair:
+        """Equation 3; with +P the add-back select is fused into adc.
+
+        The unconditional adc supplies the low carry the predicated high
+        adc needs; the blends of the baseline formulation vanish.
+        """
+        if not self.features.predication:
+            return super().submod(a, b, ctx)
+        diff, borrow = self.dw_sub(a, b)
+        fixed_lo, c1 = x.mm512_adc_epi64(diff.lo, ctx.m.lo, self.z_mask)
+        out_lo = v.mm512_mask_blend_epi64(borrow, diff.lo, fixed_lo)
+        out_hi = x.mm512_mask_adc_epi64(diff.hi, borrow, diff.hi, ctx.m.hi, c1)
+        return DWPair(hi=out_hi, lo=out_lo)

@@ -1,0 +1,173 @@
+"""Scalar x86-64 backend (Section 3.1).
+
+This is the paper's *benchmarked* scalar variant: the one that lets the
+compiler use the flag-carrying instructions (``ADD``/``ADC``/``SUB``/``SBB``)
+for carry propagation and ``CMOV`` for the branch-free conditional
+assignments. (The comparison-based formulation of Listing 1, which exists to
+translate cleanly to SIMD, is ported separately in
+:mod:`repro.kernels.listings`.)
+
+One block = one 128-bit residue (``lanes = 1``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+from repro.errors import BackendError
+from repro.isa import scalar as s
+from repro.isa.types import SVal
+from repro.kernels.backend import Backend, DWPair
+
+
+class ScalarBackend(Backend):
+    """Kernels built from scalar x86-64 instructions, one residue at a time."""
+
+    name = "scalar"
+    lanes = 1
+
+    # ------------------------------------------------------------------
+    # Block I/O
+    # ------------------------------------------------------------------
+
+    def broadcast_dw(self, value: int) -> DWPair:
+        """Hoisted constant: the modulus and mu live in registers."""
+        return DWPair(hi=SVal(value >> 64), lo=SVal(value & ((1 << 64) - 1)))
+
+    def broadcast_twiddle(self, value: int) -> DWPair:
+        """Twiddles are loaded from the precomputed table each use."""
+        return DWPair(
+            hi=s.load64(value >> 64), lo=s.load64(value & ((1 << 64) - 1))
+        )
+
+    def load_block(self, values: Sequence[int]) -> DWPair:
+        if len(values) != self.lanes:
+            raise BackendError(f"scalar block takes 1 value, got {len(values)}")
+        value = values[0]
+        return DWPair(hi=s.load64(value >> 64), lo=s.load64(value & ((1 << 64) - 1)))
+
+    def store_block(self, block: DWPair) -> List[int]:
+        s.store64(block.hi)
+        s.store64(block.lo)
+        return [(block.hi.value << 64) | block.lo.value]
+
+    def _pair_words(self, block: DWPair) -> Tuple[List[int], List[int]]:
+        return [block.hi.value], [block.lo.value]
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+
+    def dw_add(self, a: DWPair, b: DWPair) -> Tuple[DWPair, Any]:
+        low, carry = s.add64(a.lo, b.lo)
+        high, carry_out = s.adc64(a.hi, b.hi, carry)
+        return DWPair(hi=high, lo=low), carry_out
+
+    def dw_sub(self, a: DWPair, b: DWPair) -> Tuple[DWPair, Any]:
+        low, borrow = s.sub64(a.lo, b.lo)
+        high, borrow_out = s.sbb64(a.hi, b.hi, borrow)
+        return DWPair(hi=high, lo=low), borrow_out
+
+    def dw_wide_mul(self, a: DWPair, b: DWPair) -> Tuple[DWPair, DWPair]:
+        """Schoolbook (Equation 8): four ``MUL`` + one add/adc chain."""
+        ll_hi, ll_lo = s.mul64(a.lo, b.lo)
+        lh_hi, lh_lo = s.mul64(a.lo, b.hi)
+        hl_hi, hl_lo = s.mul64(a.hi, b.lo)
+        hh_hi, hh_lo = s.mul64(a.hi, b.hi)
+
+        # w1 accumulates the three word-1 partial products; carries ripple
+        # into w2 and w3. The final word cannot carry out (product < 2^256).
+        s1, c1 = s.add64(lh_lo, hl_lo)
+        w1, c2 = s.add64(s1, ll_hi)
+        s2, c3 = s.adc64(lh_hi, hl_hi, c1)
+        w2, c4 = s.adc64(s2, hh_lo, c2)
+        s3, _ = s.adc64(hh_hi, s.const64(0), c3)
+        w3, _ = s.add64(s3, c4)
+        return DWPair(hi=w3, lo=w2), DWPair(hi=w1, lo=ll_lo)
+
+    def dw_wide_mul_karatsuba(self, a: DWPair, b: DWPair) -> Tuple[DWPair, DWPair]:
+        """Karatsuba (Equation 9): three ``MUL`` + extra add/cmov fix-up.
+
+        The operand sums ``a0 + a1`` and ``b0 + b1`` may be 65 bits; the
+        overflow bits are folded in branch-free with ``CMOV`` + add chains,
+        which is exactly why Karatsuba fails to beat schoolbook on CPUs
+        (Section 5.5): the saved multiply costs ~10 extra ALU operations.
+        """
+        zero = s.const64(0)
+        hh_hi, hh_lo = s.mul64(a.hi, b.hi)
+        ll_hi, ll_lo = s.mul64(a.lo, b.lo)
+
+        sa, ca = s.add64(a.hi, a.lo)
+        sb, cb = s.add64(b.hi, b.lo)
+        p_hi, p_lo = s.mul64(sa, sb)
+
+        # cross = (a0+a1)(b0+b1) as a 3-word value (c2, c1, c0).
+        c0 = p_lo
+        fix_a = s.cmov64(ca, sb, zero)
+        c1, cy1 = s.add64(p_hi, fix_a)
+        fix_b = s.cmov64(cb, sa, zero)
+        c1, cy2 = s.add64(c1, fix_b)
+        both = s.and1(ca, cb)
+        c2, _ = s.add64(cy1, cy2)
+        c2, _ = s.add64(c2, both)
+
+        # mid = cross - hh - ll  (a 3-word subtraction, result >= 0).
+        m0, bw = s.sub64(c0, hh_lo)
+        m1, bw = s.sbb64(c1, hh_hi, bw)
+        m2, _ = s.sbb64(c2, zero, bw)
+        m0, bw = s.sub64(m0, ll_lo)
+        m1, bw = s.sbb64(m1, ll_hi, bw)
+        m2, _ = s.sbb64(m2, zero, bw)
+
+        # total = hh << 128 + mid << 64 + ll.
+        w1, cy = s.add64(ll_hi, m0)
+        w2, cy = s.adc64(hh_lo, m1, cy)
+        w3, _ = s.adc64(hh_hi, m2, cy)
+        return DWPair(hi=w3, lo=w2), DWPair(hi=w1, lo=ll_lo)
+
+    def dw_mullo(self, a: DWPair, b: DWPair) -> DWPair:
+        """Low 128 bits of a 128x128 product: one MUL + two IMUL + adds."""
+        p_hi, p_lo = s.mul64(a.lo, b.lo)
+        x1 = s.imul64(a.lo, b.hi)
+        x2 = s.imul64(a.hi, b.lo)
+        cross, _ = s.add64(x1, x2)
+        high, _ = s.add64(p_hi, cross)
+        return DWPair(hi=high, lo=p_lo)
+
+    def shift_right_256(self, high: DWPair, low: DWPair, amount: int) -> DWPair:
+        """Cross-word right shift via ``SHRD`` (two instructions).
+
+        The caller (Barrett reduction) guarantees the result fits 128 bits.
+        """
+        w0, w1, w2, w3 = low.lo, low.hi, high.lo, high.hi
+        if amount == 0:
+            return DWPair(hi=w1, lo=w0)
+        if amount == 64:
+            return DWPair(hi=w2, lo=w1)
+        if amount == 128:
+            return DWPair(hi=w3, lo=w2)
+        if 0 < amount < 64:
+            lo = s.shrd64(w1, w0, amount)
+            hi = s.shrd64(w2, w1, amount)
+        elif 64 < amount < 128:
+            lo = s.shrd64(w2, w1, amount - 64)
+            hi = s.shrd64(w3, w2, amount - 64)
+        elif 128 < amount < 192:
+            lo = s.shrd64(w3, w2, amount - 128)
+            hi = s.shr64(w3, amount - 128)
+        else:
+            raise BackendError(f"unsupported 256-bit shift amount {amount}")
+        return DWPair(hi=hi, lo=lo)
+
+    def select(self, cond: Any, if_true: DWPair, if_false: DWPair) -> DWPair:
+        """Branch-free select with two ``CMOV`` (Listing 1's ternaries)."""
+        return DWPair(
+            hi=s.cmov64(cond, if_true.hi, if_false.hi),
+            lo=s.cmov64(cond, if_true.lo, if_false.lo),
+        )
+
+    def cond_or(self, a: Any, b: Any) -> Any:
+        return s.or1(a, b)
+
+    def cond_not(self, a: Any) -> Any:
+        return s.not1(a)

@@ -1,0 +1,31 @@
+"""Microarchitecture performance model.
+
+This package plays the role of the paper's measurement infrastructure: the
+kernels' instruction traces are scheduled against per-microarchitecture
+execution-port tables (the LLVM-MCA methodology of Section 4.2), combined
+with a cache/bandwidth model, to produce estimated runtimes.
+
+The approach mirrors the paper's own PISA reasoning: MQX instructions carry
+the port/latency characteristics of their AVX-512 proxy instructions
+(Table 3), so relative performance across variants is governed by real
+structural differences - instruction counts, port widths, latencies and
+cache capacities - not by hand-placed constants per variant.
+"""
+
+from repro.machine.cpu import CpuSpec, get_cpu, list_cpus
+from repro.machine.scheduler import ScheduleResult, schedule_trace
+from repro.machine.uops import Microarch, UopInfo, get_microarch
+from repro.machine.cache import CacheModel, MemoryTraffic
+
+__all__ = [
+    "CpuSpec",
+    "get_cpu",
+    "list_cpus",
+    "Microarch",
+    "UopInfo",
+    "get_microarch",
+    "ScheduleResult",
+    "schedule_trace",
+    "CacheModel",
+    "MemoryTraffic",
+]

@@ -1,0 +1,138 @@
+"""CPU specifications (the paper's Table 4 plus the Section 6 SOL targets).
+
+``measured_ghz`` is the single-core boost frequency the paper's per-core
+benchmarks effectively run at; ``allcore_ghz`` is the all-core boost used by
+the speed-of-light model (Equation 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import MachineModelError
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Static description of one CPU model."""
+
+    key: str
+    name: str
+    microarch: str
+    cores: int
+    base_ghz: float
+    max_ghz: float
+    allcore_ghz: float
+    l1d_bytes: int
+    l2_bytes_per_core: int
+    l3_bytes: int
+    memory: str
+
+    @property
+    def measured_ghz(self) -> float:
+        """Frequency used for single-core runtime conversion (max boost)."""
+        return self.max_ghz
+
+
+_CPUS: Dict[str, CpuSpec] = {}
+
+
+def _register(spec: CpuSpec) -> CpuSpec:
+    _CPUS[spec.key] = spec
+    return spec
+
+
+#: Intel Xeon 8352Y ("Intel Xeon" in the paper): Ice Lake-SP, Sunny Cove
+#: cores, 1.25 MiB per-core L2 (the paper's "1.28 MB"), 48 MB L3, DDR4.
+INTEL_XEON_8352Y = _register(
+    CpuSpec(
+        key="intel_xeon_8352y",
+        name="Intel Xeon 8352Y",
+        microarch="sunny_cove",
+        cores=32,
+        base_ghz=2.2,
+        max_ghz=3.4,
+        allcore_ghz=2.8,
+        l1d_bytes=48 * 1024,
+        l2_bytes_per_core=1280 * 1024,
+        l3_bytes=48 * 1024 * 1024,
+        memory="256 GB DDR4",
+    )
+)
+
+#: AMD EPYC 9654 ("AMD EPYC" in the paper): Zen 4, 1 MiB per-core L2,
+#: 384 MB L3, DDR5.
+AMD_EPYC_9654 = _register(
+    CpuSpec(
+        key="amd_epyc_9654",
+        name="AMD EPYC 9654",
+        microarch="zen4",
+        cores=96,
+        base_ghz=2.4,
+        max_ghz=3.7,
+        allcore_ghz=3.55,
+        l1d_bytes=32 * 1024,
+        l2_bytes_per_core=1024 * 1024,
+        l3_bytes=384 * 1024 * 1024,
+        memory="384 GB DDR5",
+    )
+)
+
+#: Intel Xeon 6980P: the highest-end AVX-512 Xeon in the Section 6 SOL
+#: analysis (128 cores, 504 MB L3, 3.2 GHz all-core boost).
+INTEL_XEON_6980P = _register(
+    CpuSpec(
+        key="intel_xeon_6980p",
+        name="Intel Xeon 6980P",
+        microarch="sunny_cove",
+        cores=128,
+        base_ghz=2.0,
+        max_ghz=3.9,
+        allcore_ghz=3.2,
+        l1d_bytes=48 * 1024,
+        l2_bytes_per_core=2048 * 1024,
+        l3_bytes=504 * 1024 * 1024,
+        memory="DDR5/MRDIMM",
+    )
+)
+
+#: AMD EPYC 9965S: the highest-end AMD target of the SOL analysis
+#: (192 cores, 384 MB L3, 3.35 GHz all-core boost).
+AMD_EPYC_9965S = _register(
+    CpuSpec(
+        key="amd_epyc_9965s",
+        name="AMD EPYC 9965S",
+        microarch="zen4",
+        cores=192,
+        base_ghz=2.25,
+        max_ghz=3.7,
+        allcore_ghz=3.35,
+        l1d_bytes=32 * 1024,
+        l2_bytes_per_core=1024 * 1024,
+        l3_bytes=384 * 1024 * 1024,
+        memory="DDR5",
+    )
+)
+
+
+def get_cpu(key: str) -> CpuSpec:
+    """Look up a CPU spec by key (e.g. ``"intel_xeon_8352y"``)."""
+    try:
+        return _CPUS[key]
+    except KeyError:
+        raise MachineModelError(
+            f"unknown CPU {key!r}; available: {sorted(_CPUS)}"
+        ) from None
+
+
+def list_cpus() -> List[str]:
+    """Keys of all registered CPUs."""
+    return sorted(_CPUS)
+
+
+def register_cpu(spec: CpuSpec) -> CpuSpec:
+    """Register a custom CPU (the artifact's Section A.7 customization)."""
+    if spec.key in _CPUS:
+        raise MachineModelError(f"CPU {spec.key!r} already registered")
+    return _register(spec)

@@ -1,0 +1,61 @@
+"""LLVM-MCA-style reports (reproduces the format of the paper's Listing 4).
+
+Renders a "Resource pressure by instruction" table from a
+:class:`~repro.machine.scheduler.ScheduleResult`: one column per execution
+port, one row per instruction, each cell showing the cycles of occupancy
+that instruction placed on that port.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.machine.scheduler import ScheduleResult
+
+
+def resource_pressure_report(
+    result: ScheduleResult,
+    title: str = "",
+    ports: Optional[List[str]] = None,
+) -> str:
+    """Format a resource-pressure-by-instruction table.
+
+    ``ports`` restricts/orders the columns (defaults to every port that
+    received any pressure, in microarchitecture order).
+    """
+    if ports is None:
+        ports = [p for p, v in result.port_pressure.items() if v > 0]
+
+    lines: List[str] = []
+    if title:
+        lines.append(f"{title} - Resource pressure by instruction:")
+    header = "".join(f"[{i}]".ljust(8) for i in range(len(ports)))
+    lines.append(header + "Instructions:")
+    legend = "".join(p.ljust(8) for p in ports)
+    lines.append(legend)
+
+    for entry, per_instr in result.assignments:
+        cells = []
+        for port in ports:
+            value = per_instr.get(port, 0.0)
+            cells.append((f"{value:.2f}" if value else "-").ljust(8))
+        lines.append("".join(cells) + entry.op)
+
+    lines.append("")
+    lines.append("Resource pressure per iteration:")
+    totals = "".join(
+        f"{result.port_pressure.get(p, 0.0):.2f}".ljust(8) for p in ports
+    )
+    lines.append(totals)
+    lines.append(
+        f"Instructions: {result.instructions}  uops: {result.uops:.0f}  "
+        f"port bound: {result.port_bound:.2f}  "
+        f"frontend bound: {result.frontend_bound:.2f}  "
+        f"critical path: {result.critical_path:.0f}"
+    )
+    return "\n".join(lines)
+
+
+def pressure_summary(result: ScheduleResult) -> Dict[str, float]:
+    """Non-zero per-port pressure, for compact assertions in tests."""
+    return {p: v for p, v in result.port_pressure.items() if v > 0}

@@ -1,0 +1,139 @@
+"""Trace scheduling: the LLVM-MCA-style throughput/latency analysis.
+
+Given an instruction trace (one kernel block) and a microarchitecture, the
+scheduler computes three classic bounds:
+
+* **Port pressure** - each uop is greedily assigned to its least-loaded
+  allowed port; the most-loaded port's occupancy bounds steady-state
+  throughput (this is LLVM-MCA's "resource pressure" view, Listing 4).
+* **Front-end** - total uops divided by the decode/rename width.
+* **Critical path** - the longest register-dependency chain through the
+  block using instruction latencies.
+
+Steady-state cycles-per-block for a loop kernel is then
+``max(port, frontend, critical_path / overlap)`` where ``overlap`` is how
+many independent block instances the out-of-order window can keep in
+flight (bounded by ROB capacity). NTT butterflies within a stage and BLAS
+loop iterations are independent, so overlap is usually generous and the
+port bound dominates - except for long serial chains (scalar carry
+chains), which is exactly the effect that separates scalar from SIMD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import MachineModelError
+from repro.isa.trace import TraceEntry, Tracer
+from repro.machine.uops import Microarch
+
+
+@dataclass
+class ScheduleResult:
+    """Scheduling analysis of one traced block."""
+
+    microarch: str
+    instructions: int
+    uops: float
+    port_pressure: Dict[str, float]
+    critical_path: float
+    decode_width: int
+    rob_size: int
+    #: Per-instruction port assignment: (op, {port: occupancy}) pairs,
+    #: in trace order - the raw material for the MCA pressure report.
+    assignments: List[Tuple[TraceEntry, Dict[str, float]]] = field(
+        default_factory=list, repr=False
+    )
+
+    @property
+    def port_bound(self) -> float:
+        """Cycles per block from the most-contended execution port."""
+        return max(self.port_pressure.values(), default=0.0)
+
+    @property
+    def frontend_bound(self) -> float:
+        """Cycles per block from decode/rename width."""
+        return self.uops / self.decode_width
+
+    def throughput_cycles(self, independent_blocks: float = None) -> float:
+        """Steady-state cycles per block when blocks are independent.
+
+        ``independent_blocks`` caps how many block instances overlap (e.g.
+        the number of independent butterflies remaining in an NTT stage);
+        the ROB imposes its own cap. ``None`` means unbounded parallelism.
+        """
+        if self.uops <= 0:
+            return 0.0
+        rob_cap = max(1.0, self.rob_size / max(self.uops, 1.0))
+        overlap = rob_cap
+        if independent_blocks is not None:
+            if independent_blocks < 1:
+                raise MachineModelError("independent_blocks must be >= 1")
+            overlap = min(overlap, float(independent_blocks))
+        latency_bound = self.critical_path / overlap
+        return max(self.port_bound, self.frontend_bound, latency_bound)
+
+
+def schedule_trace(
+    trace: Iterable[TraceEntry], microarch: Microarch
+) -> ScheduleResult:
+    """Schedule a trace onto a microarchitecture's ports.
+
+    Accepts a :class:`~repro.isa.trace.Tracer` or any iterable of
+    :class:`~repro.isa.trace.TraceEntry`.
+    """
+    entries = list(trace.entries if isinstance(trace, Tracer) else trace)
+    pressure: Dict[str, float] = {port: 0.0 for port in microarch.ports}
+    assignments: List[Tuple[TraceEntry, Dict[str, float]]] = []
+    ready_at: Dict[int, float] = {}
+    critical_path = 0.0
+    total_uops = 0.0
+
+    for entry in entries:
+        info = microarch.lookup(entry.op)
+        per_instr: Dict[str, float] = {}
+        for port_choices in info.ports:
+            port = _least_loaded(pressure, port_choices, entry.op, microarch)
+            pressure[port] += info.weight
+            per_instr[port] = per_instr.get(port, 0.0) + info.weight
+        total_uops += info.uops
+        assignments.append((entry, per_instr))
+
+        start = 0.0
+        for src in entry.srcs:
+            start = max(start, ready_at.get(src, 0.0))
+        finish = start + info.latency
+        for dest in entry.dests:
+            ready_at[dest] = finish
+        critical_path = max(critical_path, finish)
+
+    return ScheduleResult(
+        microarch=microarch.name,
+        instructions=len(entries),
+        uops=total_uops,
+        port_pressure=pressure,
+        critical_path=critical_path,
+        decode_width=microarch.decode_width,
+        rob_size=microarch.rob_size,
+        assignments=assignments,
+    )
+
+
+def _least_loaded(
+    pressure: Dict[str, float],
+    choices: Tuple[str, ...],
+    op: str,
+    microarch: Microarch,
+) -> str:
+    best = None
+    for port in choices:
+        if port not in pressure:
+            raise MachineModelError(
+                f"instruction {op!r} references unknown port {port!r} "
+                f"on {microarch.name}"
+            )
+        if best is None or pressure[port] < pressure[best]:
+            best = port
+    assert best is not None
+    return best

@@ -1,0 +1,15 @@
+"""Multi-core batch scaling model (Section 6's "towards realizing SOL").
+
+The speed-of-light estimate assumes perfectly linear scaling. Real FHE
+workloads batch independent NTTs, so scaling is mostly limited by shared
+resources - above all memory bandwidth once per-core working sets spill
+the private caches. This package models exactly that: a batch of
+independent transforms scheduled over C cores, with shared L3/DRAM
+bandwidth as the contended resource, reproducing the paper's discussion
+that a conservative 48x multi-core speedup still lands within ~1.6x of
+the RPU ASIC.
+"""
+
+from repro.multicore.model import BatchScalingModel, MulticoreEstimate
+
+__all__ = ["BatchScalingModel", "MulticoreEstimate"]

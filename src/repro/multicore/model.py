@@ -1,0 +1,157 @@
+"""Batched-NTT multi-core scaling with shared-bandwidth contention.
+
+Model. A batch of ``B`` independent ``n``-point NTTs runs on ``C`` cores
+(one transform per core at a time - the natural FHE mapping, since RNS
+limbs and ciphertexts are independent). Per wave of ``C`` transforms:
+
+* compute time: the single-core modeled runtime, rescaled from the
+  single-core boost clock to the all-core boost clock;
+* memory time: each transform moves its traffic through the cache level
+  its working set lives in; private levels (L1/L2) scale with cores, but
+  the *shared* L3 and DRAM have fixed aggregate bandwidths that all cores
+  divide.
+
+Wave time is ``max(compute, private memory, shared demand / aggregate
+bandwidth)``; the batch makespan is ``ceil(B / C)`` waves. Speedup and
+parallel efficiency against the single-core baseline follow.
+
+Aggregate bandwidths are per-socket sustained figures (bytes/ns),
+approximated from vendor documentation - as elsewhere, the capacities and
+the *transition points* drive the shape.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ExperimentError, MachineModelError
+from repro.machine.cache import CacheModel
+from repro.machine.cpu import CpuSpec
+from repro.perf.estimator import NttEstimate
+
+#: Shared (per-socket) sustained bandwidths in bytes/ns.
+_SHARED_BW_BYTES_PER_NS: Dict[str, Dict[str, float]] = {
+    # Ice Lake-SP derivative: mesh L3 ~800 GB/s, 8-channel DDR5 ~300 GB/s.
+    "sunny_cove": {"L3": 800.0, "DRAM": 300.0},
+    # Zen 4: CCD-local L3s aggregate very high, 12-channel DDR5 ~460 GB/s.
+    "zen4": {"L3": 2400.0, "DRAM": 460.0},
+}
+
+
+@dataclass(frozen=True)
+class MulticoreEstimate:
+    """Batch execution estimate on ``cores`` cores."""
+
+    cpu: str
+    n: int
+    batch: int
+    cores: int
+    wave_ns: float
+    makespan_ns: float
+    single_core_ns: float
+    speedup: float
+    efficiency: float
+    bound: str  # "compute" | "private-memory" | "shared-bandwidth"
+
+    @property
+    def ns_per_ntt(self) -> float:
+        """Amortized time per transform in the batch."""
+        return self.makespan_ns / self.batch
+
+
+class BatchScalingModel:
+    """Scale a single-core NTT estimate across a CPU's cores."""
+
+    def __init__(self, cpu: CpuSpec) -> None:
+        self.cpu = cpu
+        try:
+            self.shared_bw = _SHARED_BW_BYTES_PER_NS[cpu.microarch]
+        except KeyError:
+            raise MachineModelError(
+                f"no shared-bandwidth data for microarch {cpu.microarch!r}"
+            ) from None
+        self.cache = CacheModel(cpu)
+
+    def _per_ntt_traffic_bytes(self, estimate: NttEstimate) -> float:
+        """Total bytes one transform moves (all stages)."""
+        n = estimate.n
+        stages = n.bit_length() - 1
+        # Per stage: read both halves + twiddles, write everything.
+        return stages * (n * 16 + (n // 2) * 16 + n * 16)
+
+    def run(
+        self,
+        estimate: NttEstimate,
+        batch: int,
+        cores: Optional[int] = None,
+    ) -> MulticoreEstimate:
+        """Estimate a batch of independent transforms.
+
+        ``estimate`` must be a single-core estimate for this model's CPU.
+        """
+        from repro.machine.cpu import get_cpu
+
+        measured = get_cpu(estimate.cpu)
+        if measured.microarch != self.cpu.microarch:
+            raise ExperimentError(
+                f"estimate is for {estimate.cpu} ({measured.microarch}); "
+                f"model is for {self.cpu.key} ({self.cpu.microarch}) - "
+                "scale within a vendor family, as in Equation 13"
+            )
+        if batch < 1:
+            raise ExperimentError("batch must be at least 1")
+        if cores is None:
+            cores = self.cpu.cores
+        if not 1 <= cores <= self.cpu.cores:
+            raise ExperimentError(
+                f"cores must be in [1, {self.cpu.cores}], got {cores}"
+            )
+
+        # Rescale the single-core time from the measurement CPU's boost
+        # clock to this CPU's all-core boost clock (Equation 13's f-term).
+        clock_scale = measured.measured_ghz / self.cpu.allcore_ghz
+        per_ntt_ns = estimate.ns * clock_scale
+
+        concurrency = min(cores, batch)
+        level = estimate.memory_level
+        traffic = self._per_ntt_traffic_bytes(estimate)
+
+        bound = "compute"
+        wave_ns = per_ntt_ns
+        if level in ("L3", "DRAM"):
+            # Shared level: all concurrent transforms divide the aggregate.
+            aggregate = self.shared_bw[level if level == "DRAM" else "L3"]
+            shared_ns = concurrency * traffic / aggregate
+            if shared_ns > wave_ns:
+                wave_ns = shared_ns
+                bound = "shared-bandwidth"
+            elif not estimate.compute_bound:
+                bound = "private-memory"
+        elif not estimate.compute_bound:
+            bound = "private-memory"
+
+        waves = math.ceil(batch / concurrency)
+        makespan = waves * wave_ns
+        speedup = (batch * estimate.ns) / makespan
+        return MulticoreEstimate(
+            cpu=self.cpu.key,
+            n=estimate.n,
+            batch=batch,
+            cores=cores,
+            wave_ns=wave_ns,
+            makespan_ns=makespan,
+            single_core_ns=estimate.ns,
+            speedup=speedup,
+            efficiency=speedup / cores,
+            bound=bound,
+        )
+
+    def scaling_curve(
+        self, estimate: NttEstimate, core_counts: List[int], batch: Optional[int] = None
+    ) -> List[MulticoreEstimate]:
+        """Speedup at each core count (batch defaults to the core count)."""
+        return [
+            self.run(estimate, batch or count, count) for count in core_counts
+        ]

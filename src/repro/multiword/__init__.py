@@ -1,0 +1,23 @@
+"""Multi-word modular arithmetic: the paper's Section 7 generalization.
+
+The paper's Discussion proposes extending the 128-bit kernels to larger
+bit-widths via MoMA-style recursive decomposition into machine words,
+unlocking workloads such as zero-knowledge proofs (256-bit fields). This
+package implements that generalization:
+
+* :mod:`repro.multiword.wordops` - a word-level operation adapter exposing
+  each backend's carry/multiply primitives uniformly,
+* :mod:`repro.multiword.arith` - W-word modular arithmetic (Barrett, any
+  modulus up to ``64 W - 4`` bits) generic over the adapter,
+* :mod:`repro.multiword.ntt` - NTTs over multi-word residues on any
+  backend, with the same Pease dataflow as the 128-bit kernels.
+
+The MQX case is the interesting one: carry chains grow linearly with the
+word count, so the relative benefit of first-class add-with-carry *grows*
+with the bit-width - quantified by ``benchmarks/bench_extension_multiword.py``.
+"""
+
+from repro.multiword.arith import MwModContext, MwKernel
+from repro.multiword.ntt import MultiWordNtt
+
+__all__ = ["MwKernel", "MwModContext", "MultiWordNtt"]

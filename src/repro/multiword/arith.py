@@ -1,0 +1,251 @@
+"""W-word modular arithmetic, generic over the word-operation adapter.
+
+This is the MoMA-style generalization the paper's Section 7 sketches: the
+same Barrett algorithm as the 128-bit kernels, but over residues of any
+word count W (W = 2 reproduces the paper's double-words; W = 4 gives the
+256-bit arithmetic of zero-knowledge-proof fields). All routines take and
+return little-endian lists of W word registers.
+
+The modulus bound generalizes the paper's 124-bit rule: ``q`` may have at
+most ``64 W - 4`` bits, which keeps ``mu``, the shifted intermediates and
+the correction headroom inside W words.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+from repro.arith.barrett import BarrettParams
+from repro.errors import ArithmeticDomainError, BackendError
+from repro.kernels.backend import Backend
+from repro.multiword.wordops import WordOps, word_ops_for
+from repro.util.bits import MASK64
+
+Regs = List[Any]
+
+
+class MwModContext:
+    """Per-modulus state for W-word modular arithmetic on one backend."""
+
+    def __init__(self, backend: Backend, q: int, words: int) -> None:
+        if words < 2:
+            raise ArithmeticDomainError("multi-word arithmetic needs >= 2 words")
+        max_bits = 64 * words - 4
+        if q.bit_length() > max_bits:
+            raise ArithmeticDomainError(
+                f"{words}-word Barrett arithmetic requires a modulus of at "
+                f"most {max_bits} bits, got {q.bit_length()}"
+            )
+        if q < 3:
+            raise ArithmeticDomainError(f"modulus must be >= 3, got {q}")
+        self.backend = backend
+        self.ops: WordOps = word_ops_for(backend)
+        self.q = q
+        self.words = words
+        self.params = BarrettParams(q)
+        self.m = self._broadcast_words(q)
+        self.mu = self._broadcast_words(self.params.mu)
+
+    @property
+    def beta(self) -> int:
+        """Bit length of the modulus."""
+        return self.params.beta
+
+    def _broadcast_words(self, value: int) -> Regs:
+        return [
+            self.ops.broadcast((value >> (64 * i)) & MASK64)
+            for i in range(self.words)
+        ]
+
+
+class MwKernel:
+    """W-word modular add/sub/mul/butterfly over one modulus context."""
+
+    def __init__(self, ctx: MwModContext) -> None:
+        self.ctx = ctx
+        self.ops = ctx.ops
+
+    # ------------------------------------------------------------------
+    # Block I/O
+    # ------------------------------------------------------------------
+
+    def load_block(self, values: Sequence[int]) -> Regs:
+        """Load ``lanes`` W-word residues as W word-plane registers."""
+        ops, W = self.ops, self.ctx.words
+        if len(values) != ops.lanes:
+            raise BackendError(
+                f"block takes {ops.lanes} values, got {len(values)}"
+            )
+        planes = []
+        for w in range(W):
+            planes.append(ops.load([(v >> (64 * w)) & MASK64 for v in values]))
+        return planes
+
+    def store_block(self, regs: Regs) -> List[int]:
+        """Store W word planes; returns the reassembled residues."""
+        ops = self.ops
+        planes = [ops.store(reg) for reg in regs]
+        return self._combine(planes)
+
+    def block_values(self, regs: Regs) -> List[int]:
+        """Residue values without memory traffic."""
+        planes = [self.ops.values(reg) for reg in regs]
+        return self._combine(planes)
+
+    @staticmethod
+    def _combine(planes: List[List[int]]) -> List[int]:
+        lanes = len(planes[0])
+        return [
+            sum(planes[w][i] << (64 * w) for w in range(len(planes)))
+            for i in range(lanes)
+        ]
+
+    # ------------------------------------------------------------------
+    # Word-chain primitives
+    # ------------------------------------------------------------------
+
+    def _add_small(self, a: Regs, b: Regs) -> Regs:
+        """W-word add when the sum provably fits (no carry-out)."""
+        ops = self.ops
+        out = []
+        word, carry = ops.add_carry_out(a[0], b[0])
+        out.append(word)
+        for w in range(1, len(a) - 1):
+            word, carry = ops.adc(a[w], b[w], carry)
+            out.append(word)
+        out.append(ops.add_nocarry(a[-1], b[-1], carry))
+        return out
+
+    def _sub(self, a: Regs, b: Regs) -> Tuple[Regs, Any]:
+        """W-word subtract with borrow-out."""
+        ops = self.ops
+        out = []
+        word, borrow = ops.sub_borrow_out(a[0], b[0])
+        out.append(word)
+        for w in range(1, len(a)):
+            word, borrow = ops.sbb(a[w], b[w], borrow)
+            out.append(word)
+        return out, borrow
+
+    def _sub_noborrow(self, a: Regs, b: Regs) -> Regs:
+        ops = self.ops
+        out = []
+        word, borrow = ops.sub_borrow_out(a[0], b[0])
+        out.append(word)
+        for w in range(1, len(a) - 1):
+            word, borrow = ops.sbb(a[w], b[w], borrow)
+            out.append(word)
+        out.append(ops.sub_noborrow(a[-1], b[-1], borrow))
+        return out
+
+    def _select(self, cond: Any, if_true: Regs, if_false: Regs) -> Regs:
+        ops = self.ops
+        return [ops.select(cond, t, f) for t, f in zip(if_true, if_false)]
+
+    def _mul_full(self, a: Regs, b: Regs) -> Regs:
+        """Schoolbook W x W -> 2W words (the mpn accumulation pattern)."""
+        ops = self.ops
+        W = len(a)
+        out: Regs = [ops.zero] * (2 * W)
+        for i in range(W):
+            carry = ops.zero
+            for j in range(W):
+                hi, lo = ops.wide_mul(a[i], b[j])
+                acc, c1 = ops.add_carry_out(lo, out[i + j])
+                acc, c2 = ops.add_carry_out(acc, carry)
+                out[i + j] = acc
+                # hi + c1 + c2 cannot overflow (product-bound argument).
+                hi = ops.add_nocarry(hi, ops.zero, c1)
+                carry = ops.add_nocarry(hi, ops.zero, c2)
+            out[i + W] = carry
+        return out
+
+    def _mullo(self, a: Regs, b: Regs) -> Regs:
+        """Low W words of a W x W product (triangular schoolbook)."""
+        ops = self.ops
+        W = len(a)
+        out: Regs = [ops.zero] * W
+        for i in range(W):
+            carry = ops.zero
+            for j in range(W - i):
+                k = i + j
+                if k == W - 1:
+                    p = ops.mullo(a[i], b[j])
+                    acc, _ = ops.add_carry_out(p, out[k])
+                    acc, _ = ops.add_carry_out(acc, carry)
+                    out[k] = acc
+                else:
+                    hi, lo = ops.wide_mul(a[i], b[j])
+                    acc, c1 = ops.add_carry_out(lo, out[k])
+                    acc, c2 = ops.add_carry_out(acc, carry)
+                    out[k] = acc
+                    hi = ops.add_nocarry(hi, ops.zero, c1)
+                    carry = ops.add_nocarry(hi, ops.zero, c2)
+        return out
+
+    def _shift_right(self, words: Regs, amount: int) -> Regs:
+        """Right-shift a 2W-word value into W words (caller-guaranteed)."""
+        ops = self.ops
+        W = self.ctx.words
+        word_shift, bit_shift = divmod(amount, 64)
+        out = []
+        for k in range(W):
+            lo_idx = k + word_shift
+            if lo_idx >= len(words):
+                out.append(ops.zero)
+            elif bit_shift == 0:
+                out.append(words[lo_idx])
+            elif lo_idx + 1 < len(words):
+                out.append(ops.shrd(words[lo_idx + 1], words[lo_idx], bit_shift))
+            else:
+                out.append(ops.shr(words[lo_idx], bit_shift))
+        return out
+
+    # ------------------------------------------------------------------
+    # Modular operations
+    # ------------------------------------------------------------------
+
+    def cond_sub_modulus(self, x: Regs) -> Regs:
+        diff, borrow = self._sub(x, self.ctx.m)
+        return self._select(self.ops.cond_not(borrow), diff, x)
+
+    def addmod(self, a: Regs, b: Regs) -> Regs:
+        """``a + b mod q`` (sum < 2q fits W words by the width bound)."""
+        total = self._add_small(a, b)
+        return self.cond_sub_modulus(total)
+
+    def submod(self, a: Regs, b: Regs) -> Regs:
+        """``a - b mod q`` via conditional add-back."""
+        diff, borrow = self._sub(a, b)
+        fixed = self._add_small(diff, self.ctx.m)
+        return self._select(borrow, fixed, diff)
+
+    def mulmod(self, a: Regs, b: Regs) -> Regs:
+        """``a * b mod q``: W-word schoolbook product + Barrett reduction."""
+        beta = self.ctx.beta
+        t = self._mul_full(a, b)
+        shifted = self._shift_right(t, beta - 1)
+        g = self._mul_full(shifted, self.ctx.mu)
+        estimate = self._shift_right(g, beta + 1)
+        product = self._mullo(estimate, self.ctx.m)
+        c = self._sub_noborrow(t[: self.ctx.words], product)
+        c = self.cond_sub_modulus(c)
+        return self.cond_sub_modulus(c)
+
+    def butterfly(self, x: Regs, y: Regs, twiddle: Regs) -> Tuple[Regs, Regs]:
+        """One NTT butterfly over W-word residues."""
+        t = self.mulmod(y, twiddle)
+        return self.addmod(x, t), self.submod(x, t)
+
+    def interleave(self, even: Regs, odd: Regs) -> Tuple[Regs, Regs]:
+        """Pease output shuffle, one plane at a time."""
+        out0, out1 = [], []
+        for e, o in zip(even, odd):
+            a, b = self.ops.interleave_plane(e, o)
+            out0.append(a)
+            out1.append(b)
+        return out0, out1
+
+    def broadcast_residue(self, value: int) -> Regs:
+        """Broadcast one W-word residue (hoisted constant)."""
+        return self.ctx._broadcast_words(value)

@@ -1,0 +1,97 @@
+"""NTTs over multi-word residues (256-bit and beyond).
+
+The same Pease constant-geometry dataflow as :class:`repro.ntt.simd.SimdNtt`,
+with each block carrying W word-plane registers instead of two. A 256-bit
+NTT over a ZKP-scale field is ``MultiWordNtt(n, q, backend, words=4)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import NttParameterError
+from repro.kernels.backend import Backend
+from repro.multiword.arith import MwKernel, MwModContext
+from repro.ntt.twiddles import TwiddleTable, bit_reverse_permutation
+from repro.util.checks import check_reduced
+
+
+class MultiWordNtt:
+    """An ``n``-point NTT over ``Z_q`` with W-word residues."""
+
+    def __init__(
+        self,
+        n: int,
+        q: int,
+        backend: Backend,
+        words: int,
+        root: Optional[int] = None,
+    ) -> None:
+        self.table = TwiddleTable(n, q, root or 0)
+        self.ctx = MwModContext(backend, q, words)
+        self.kernel = MwKernel(self.ctx)
+        if n < 2 * self.ctx.ops.lanes:
+            raise NttParameterError(
+                f"a {n}-point NTT cannot fill {self.ctx.ops.lanes}-lane blocks"
+            )
+
+    @property
+    def n(self) -> int:
+        """Transform size."""
+        return self.table.n
+
+    @property
+    def q(self) -> int:
+        """Modulus."""
+        return self.table.q
+
+    @property
+    def words(self) -> int:
+        """Words per residue."""
+        return self.ctx.words
+
+    def forward(self, values: List[int], natural_order: bool = True) -> List[int]:
+        """Forward NTT over W-word residues."""
+        x = self._run_stages(values, inverse=False)
+        return bit_reverse_permutation(x) if natural_order else x
+
+    def inverse(self, values: List[int], natural_order: bool = True) -> List[int]:
+        """Inverse NTT including the 1/n scaling."""
+        x = list(values) if natural_order else bit_reverse_permutation(values)
+        x = self._run_stages(x, inverse=True)
+        x = bit_reverse_permutation(x)
+        kernel = self.kernel
+        n_inv = kernel.broadcast_residue(self.table.n_inverse)
+        lanes = self.ctx.ops.lanes
+        out: List[int] = []
+        for base in range(0, len(x), lanes):
+            block = kernel.load_block(x[base : base + lanes])
+            out.extend(kernel.store_block(kernel.mulmod(block, n_inv)))
+        return out
+
+    def _run_stages(self, values: List[int], inverse: bool) -> List[int]:
+        n = self.n
+        if len(values) != n:
+            raise NttParameterError(f"expected {n} values, got {len(values)}")
+        for i, value in enumerate(values):
+            check_reduced(value, self.q, f"values[{i}]")
+
+        kernel = self.kernel
+        lanes = self.ctx.ops.lanes
+        half = n // 2
+        x = list(values)
+        for stage in range(self.table.stages):
+            twiddles = self.table.pease_stage_twiddles(stage, inverse)
+            out = [0] * n
+            for base in range(0, half, lanes):
+                top = kernel.load_block(x[base : base + lanes])
+                bottom = kernel.load_block(x[base + half : base + half + lanes])
+                tw = kernel.load_block(twiddles[base : base + lanes])
+                plus, minus = kernel.butterfly(top, bottom, tw)
+                blk0, blk1 = kernel.interleave(plus, minus)
+                out[2 * base : 2 * base + lanes] = kernel.store_block(blk0)
+                out[2 * base + lanes : 2 * base + 2 * lanes] = kernel.store_block(
+                    blk1
+                )
+            x = out
+        return x

@@ -1,0 +1,79 @@
+"""Runtime estimation for multi-word NTTs (mirrors repro.perf.estimator)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ExperimentError
+from repro.isa.trace import Tracer, tracing
+from repro.kernels.backend import Backend
+from repro.machine.cache import CacheModel
+from repro.machine.cpu import CpuSpec
+from repro.machine.scheduler import schedule_trace
+from repro.machine.uops import get_microarch
+from repro.multiword.arith import MwKernel, MwModContext
+from repro.perf.estimator import KernelCost, NttEstimate, _trace_bytes
+
+_SEED = 0x3A9E
+
+
+def _trace_stage_block(backend: Backend, q: int, words: int) -> Tracer:
+    """One Pease stage block over W-word residues."""
+    rng = random.Random(_SEED)
+    ctx = MwModContext(backend, q, words)
+    kernel = MwKernel(ctx)
+    lanes = ctx.ops.lanes
+    top_vals = [rng.randrange(q) for _ in range(lanes)]
+    bot_vals = [rng.randrange(q) for _ in range(lanes)]
+    tw_vals = [rng.randrange(q) for _ in range(lanes)]
+    with tracing("mw-ntt-stage-block") as trace:
+        top = kernel.load_block(top_vals)
+        bottom = kernel.load_block(bot_vals)
+        tw = kernel.load_block(tw_vals)
+        plus, minus = kernel.butterfly(top, bottom, tw)
+        blk0, blk1 = kernel.interleave(plus, minus)
+        kernel.store_block(blk0)
+        kernel.store_block(blk1)
+    return trace
+
+
+def estimate_multiword_ntt(
+    n: int, q: int, backend: Backend, cpu: CpuSpec, words: int
+) -> NttEstimate:
+    """Model an ``n``-point NTT over W-word residues on one core."""
+    ctx_lanes = MwModContext(backend, q, words).ops.lanes
+    if n < 2 * ctx_lanes:
+        raise ExperimentError(f"n={n} cannot fill {ctx_lanes}-lane blocks")
+    stages = n.bit_length() - 1
+    blocks_per_stage = n // (2 * ctx_lanes)
+
+    trace = _trace_stage_block(backend, q, words)
+    microarch = get_microarch(cpu.microarch)
+    schedule = schedule_trace(trace, microarch)
+    cost = KernelCost(schedule, _trace_bytes(trace))
+    cache = CacheModel(cpu)
+
+    bytes_per_residue = 8 * words
+    working_set = 2 * n * bytes_per_residue + (n // 2) * bytes_per_residue
+    per_block = cost.cycles_per_block(
+        cache, working_set, independent_blocks=max(1, blocks_per_stage)
+    )
+    compute = schedule.throughput_cycles(max(1, blocks_per_stage))
+    memory = cache.memory_cycles(cost.traffic, working_set)
+
+    cycles = per_block * blocks_per_stage * stages
+    ns = cycles / cpu.measured_ghz
+    butterflies = (n // 2) * stages
+    return NttEstimate(
+        backend=f"{backend.name}/{64 * words}b",
+        cpu=cpu.key,
+        n=n,
+        q=q,
+        algorithm="schoolbook",
+        cycles=cycles,
+        ns=ns,
+        ns_per_butterfly=ns / butterflies,
+        compute_bound=compute >= memory,
+        memory_level=cache.level_name(working_set),
+        block_schedule=schedule,
+    )

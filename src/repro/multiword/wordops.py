@@ -1,0 +1,374 @@
+"""Word-level operation adapters: one uniform interface per backend.
+
+The 128-bit kernels hard-code two words (high/low registers). Multi-word
+arithmetic needs the same primitives - add/adc, sub/sbb, widening multiply,
+cross-word shift, select - addressable one word-register at a time. Each
+adapter wraps one kernel backend's instruction choices, so a W-word kernel
+built on the adapter automatically exists in all four ISA variants (and
+all MQX feature subsets, since the MQX backend's overridden helpers flow
+through).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, List, Sequence, Tuple
+
+from repro.errors import BackendError
+from repro.isa import avx2 as y_isa
+from repro.isa import avx512 as v_isa
+from repro.isa import scalar as s_isa
+from repro.kernels.avx2_backend import Avx2Backend
+from repro.kernels.avx512_backend import Avx512Backend
+from repro.kernels.backend import Backend
+from repro.kernels.scalar_backend import ScalarBackend
+from repro.util.bits import MASK64
+
+
+class WordOps(ABC):
+    """Uniform word-register operations over one backend."""
+
+    #: Residues processed per register.
+    lanes: int = 0
+
+    @abstractmethod
+    def broadcast(self, value: int) -> Any:
+        """Hoisted constant register holding ``value`` in every lane."""
+
+    @abstractmethod
+    def load(self, values: Sequence[int]) -> Any:
+        """Load one word-plane register from memory."""
+
+    @abstractmethod
+    def store(self, reg: Any) -> List[int]:
+        """Store one word-plane register; returns the lane values."""
+
+    @abstractmethod
+    def values(self, reg: Any) -> List[int]:
+        """Lane values without memory traffic."""
+
+    @property
+    @abstractmethod
+    def zero(self) -> Any:
+        """The all-zero register (hoisted)."""
+
+    @abstractmethod
+    def add_carry_out(self, a: Any, b: Any) -> Tuple[Any, Any]:
+        """``a + b`` with carry-out condition."""
+
+    @abstractmethod
+    def adc(self, a: Any, b: Any, carry_in: Any) -> Tuple[Any, Any]:
+        """``a + b + ci`` with carry-out condition."""
+
+    @abstractmethod
+    def add_nocarry(self, a: Any, b: Any, carry_in: Any) -> Any:
+        """``a + b + ci`` discarding the carry-out (cheaper)."""
+
+    @abstractmethod
+    def sub_borrow_out(self, a: Any, b: Any) -> Tuple[Any, Any]:
+        """``a - b`` with borrow-out condition."""
+
+    @abstractmethod
+    def sbb(self, a: Any, b: Any, borrow_in: Any) -> Tuple[Any, Any]:
+        """``a - b - bi`` with borrow-out condition."""
+
+    @abstractmethod
+    def sub_noborrow(self, a: Any, b: Any, borrow_in: Any) -> Any:
+        """``a - b - bi`` discarding the borrow-out (cheaper)."""
+
+    @abstractmethod
+    def wide_mul(self, a: Any, b: Any) -> Tuple[Any, Any]:
+        """64x64->128 widening multiply: ``(high, low)``."""
+
+    @abstractmethod
+    def mullo(self, a: Any, b: Any) -> Any:
+        """64x64->64 low multiply."""
+
+    @abstractmethod
+    def shrd(self, high: Any, low: Any, amount: int) -> Any:
+        """``(low >> amount) | (high << (64 - amount))``, 0 < amount < 64."""
+
+    @abstractmethod
+    def shr(self, a: Any, amount: int) -> Any:
+        """Logical right shift by an immediate."""
+
+    @abstractmethod
+    def band(self, a: Any, b: Any) -> Any:
+        """Bitwise AND of two word registers."""
+
+    @abstractmethod
+    def select(self, cond: Any, if_true: Any, if_false: Any) -> Any:
+        """Per-lane select by a condition."""
+
+    @abstractmethod
+    def cond_or(self, a: Any, b: Any) -> Any:
+        """OR two conditions."""
+
+    @abstractmethod
+    def cond_not(self, a: Any) -> Any:
+        """Negate a condition."""
+
+    @property
+    @abstractmethod
+    def zero_cond(self) -> Any:
+        """The all-false condition."""
+
+    @abstractmethod
+    def interleave_plane(self, even: Any, odd: Any) -> Tuple[Any, Any]:
+        """Pease stage output shuffle for one word plane."""
+
+
+class ScalarWordOps(WordOps):
+    """Scalar x86-64 word operations (one residue per register)."""
+
+    lanes = 1
+
+    def __init__(self, backend: ScalarBackend) -> None:
+        self.backend = backend
+        self._zero = s_isa.const64(0)
+        self._false = s_isa.SVal(0, width=1)
+
+    def broadcast(self, value: int) -> Any:
+        return s_isa.const64(value)
+
+    def load(self, values: Sequence[int]) -> Any:
+        return s_isa.load64(values[0])
+
+    def store(self, reg: Any) -> List[int]:
+        s_isa.store64(reg)
+        return [int(reg)]
+
+    def values(self, reg: Any) -> List[int]:
+        return [int(reg)]
+
+    @property
+    def zero(self) -> Any:
+        return self._zero
+
+    def add_carry_out(self, a, b):
+        return s_isa.add64(a, b)
+
+    def adc(self, a, b, carry_in):
+        return s_isa.adc64(a, b, carry_in)
+
+    def add_nocarry(self, a, b, carry_in):
+        total, _ = s_isa.adc64(a, b, carry_in)
+        return total
+
+    def sub_borrow_out(self, a, b):
+        return s_isa.sub64(a, b)
+
+    def sbb(self, a, b, borrow_in):
+        return s_isa.sbb64(a, b, borrow_in)
+
+    def sub_noborrow(self, a, b, borrow_in):
+        diff, _ = s_isa.sbb64(a, b, borrow_in)
+        return diff
+
+    def wide_mul(self, a, b):
+        return s_isa.mul64(a, b)
+
+    def mullo(self, a, b):
+        return s_isa.imul64(a, b)
+
+    def shrd(self, high, low, amount):
+        return s_isa.shrd64(high, low, amount)
+
+    def shr(self, a, amount):
+        return s_isa.shr64(a, amount)
+
+    def band(self, a, b):
+        return s_isa.and64(a, b)
+
+    def select(self, cond, if_true, if_false):
+        return s_isa.cmov64(cond, if_true, if_false)
+
+    def cond_or(self, a, b):
+        return s_isa.or1(a, b)
+
+    def cond_not(self, a):
+        return s_isa.not1(a)
+
+    @property
+    def zero_cond(self):
+        return self._false
+
+    def interleave_plane(self, even, odd):
+        # Scalar writes words individually; the shuffle is pure addressing.
+        return even, odd
+
+
+class Avx512WordOps(WordOps):
+    """AVX-512 word operations; also serves MQX (overridden helpers flow
+    through the backend instance)."""
+
+    lanes = 8
+
+    def __init__(self, backend: Avx512Backend) -> None:
+        self.backend = backend
+
+    def broadcast(self, value: int) -> Any:
+        return v_isa.mm512_set1_epi64(value & MASK64)
+
+    def load(self, values: Sequence[int]) -> Any:
+        return v_isa.mm512_load_si512(list(values))
+
+    def store(self, reg: Any) -> List[int]:
+        v_isa.mm512_store_si512(reg)
+        return reg.to_list()
+
+    def values(self, reg: Any) -> List[int]:
+        return reg.to_list()
+
+    @property
+    def zero(self) -> Any:
+        return self.backend.zero
+
+    def add_carry_out(self, a, b):
+        return self.backend._add_carry_out(a, b)
+
+    def adc(self, a, b, carry_in):
+        return self.backend._adc(a, b, carry_in)
+
+    def add_nocarry(self, a, b, carry_in):
+        return self.backend._add_with_carry_nocout(a, b, carry_in)
+
+    def sub_borrow_out(self, a, b):
+        return self.backend._sub_borrow_out(a, b)
+
+    def sbb(self, a, b, borrow_in):
+        return self.backend._sbb(a, b, borrow_in)
+
+    def sub_noborrow(self, a, b, borrow_in):
+        return self.backend._sub_with_borrow_nobout(a, b, borrow_in)
+
+    def wide_mul(self, a, b):
+        return self.backend._wide_mul64(a, b)
+
+    def mullo(self, a, b):
+        return self.backend._mullo64(a, b)
+
+    def shrd(self, high, low, amount):
+        return self.backend._shrd(high, low, amount)
+
+    def shr(self, a, amount):
+        return v_isa.mm512_srli_epi64(a, amount)
+
+    def band(self, a, b):
+        return v_isa.mm512_and_epi64(a, b)
+
+    def select(self, cond, if_true, if_false):
+        return v_isa.mm512_mask_blend_epi64(cond, if_false, if_true)
+
+    def cond_or(self, a, b):
+        return v_isa.kor8(a, b)
+
+    def cond_not(self, a):
+        return v_isa.knot8(a)
+
+    @property
+    def zero_cond(self):
+        from repro.isa.types import Mask
+
+        return Mask.zeros(self.lanes)
+
+    def interleave_plane(self, even, odd):
+        from repro.isa.types import Vec
+
+        idx_lo = Vec(Avx512Backend._IDX_LO)
+        idx_hi = Vec(Avx512Backend._IDX_HI)
+        return (
+            v_isa.mm512_permutex2var_epi64(even, idx_lo, odd),
+            v_isa.mm512_permutex2var_epi64(even, idx_hi, odd),
+        )
+
+
+class Avx2WordOps(WordOps):
+    """AVX2 word operations (mask vectors, emulated carries)."""
+
+    lanes = 4
+
+    def __init__(self, backend: Avx2Backend) -> None:
+        self.backend = backend
+
+    def broadcast(self, value: int) -> Any:
+        return y_isa.mm256_set1_epi64x(value & MASK64)
+
+    def load(self, values: Sequence[int]) -> Any:
+        return y_isa.mm256_load_si256(list(values))
+
+    def store(self, reg: Any) -> List[int]:
+        y_isa.mm256_store_si256(reg)
+        return reg.to_list()
+
+    def values(self, reg: Any) -> List[int]:
+        return reg.to_list()
+
+    @property
+    def zero(self) -> Any:
+        return self.backend.zero
+
+    def add_carry_out(self, a, b):
+        return self.backend._add_carry_out(a, b)
+
+    def adc(self, a, b, carry_in):
+        return self.backend._adc(a, b, carry_in)
+
+    def add_nocarry(self, a, b, carry_in):
+        return y_isa.add_with_mask_carry(y_isa.mm256_add_epi64(a, b), carry_in)
+
+    def sub_borrow_out(self, a, b):
+        return self.backend._sub_borrow_out(a, b)
+
+    def sbb(self, a, b, borrow_in):
+        return self.backend._sbb(a, b, borrow_in)
+
+    def sub_noborrow(self, a, b, borrow_in):
+        return y_isa.mm256_add_epi64(y_isa.mm256_sub_epi64(a, b), borrow_in)
+
+    def wide_mul(self, a, b):
+        return y_isa.mul64_wide_emulated(a, b)
+
+    def mullo(self, a, b):
+        return self.backend._mullo64(a, b)
+
+    def shrd(self, high, low, amount):
+        return self.backend._shrd(high, low, amount)
+
+    def shr(self, a, amount):
+        return y_isa.mm256_srli_epi64(a, amount)
+
+    def band(self, a, b):
+        return y_isa.mm256_and_si256(a, b)
+
+    def select(self, cond, if_true, if_false):
+        return y_isa.mm256_blendv_epi8(if_false, if_true, cond)
+
+    def cond_or(self, a, b):
+        return y_isa.mm256_or_si256(a, b)
+
+    def cond_not(self, a):
+        return y_isa.mm256_xor_si256(a, self.backend.ones)
+
+    @property
+    def zero_cond(self):
+        return self.backend.zero
+
+    def interleave_plane(self, even, odd):
+        lo_pairs = y_isa.mm256_unpacklo_epi64(even, odd)
+        hi_pairs = y_isa.mm256_unpackhi_epi64(even, odd)
+        return (
+            y_isa.mm256_permute2x128_si256(lo_pairs, hi_pairs, 0x20),
+            y_isa.mm256_permute2x128_si256(lo_pairs, hi_pairs, 0x31),
+        )
+
+
+def word_ops_for(backend: Backend) -> WordOps:
+    """Build the word-operation adapter for a backend instance."""
+    if isinstance(backend, ScalarBackend):
+        return ScalarWordOps(backend)
+    if isinstance(backend, Avx512Backend):  # includes MqxBackend
+        return Avx512WordOps(backend)
+    if isinstance(backend, Avx2Backend):
+        return Avx2WordOps(backend)
+    raise BackendError(f"no word-operation adapter for backend {backend.name!r}")

@@ -1,0 +1,34 @@
+"""Number theoretic transforms (Section 2.3).
+
+* :mod:`repro.ntt.reference` - the O(n^2) definition (Equation 11) and
+  schoolbook polynomial multiplication (Equation 10).
+* :mod:`repro.ntt.radix2` - iterative Cooley-Tukey NTT/inverse-NTT on plain
+  integers (used by the baseline substitutes).
+* :mod:`repro.ntt.pease` - the constant-geometry Pease dataflow [Pease 1968]
+  the paper's SIMD NTTs use (Section 3.2), on plain integers.
+* :mod:`repro.ntt.twiddles` - precomputed twiddle tables for both dataflows.
+* :mod:`repro.ntt.simd` - the backend-driven (scalar/AVX2/AVX-512/MQX) Pease
+  NTT operating on :class:`~repro.kernels.backend.Backend` blocks.
+* :mod:`repro.ntt.polymul` - polynomial multiplication via NTT.
+"""
+
+from repro.ntt.pease import pease_intt, pease_ntt
+from repro.ntt.radix2 import intt as radix2_intt
+from repro.ntt.radix2 import ntt as radix2_ntt
+from repro.ntt.reference import naive_intt, naive_ntt, schoolbook_polymul
+from repro.ntt.simd import SimdNtt
+from repro.ntt.twiddles import TwiddleTable, bit_reverse, bit_reverse_permutation
+
+__all__ = [
+    "naive_ntt",
+    "naive_intt",
+    "schoolbook_polymul",
+    "radix2_ntt",
+    "radix2_intt",
+    "pease_ntt",
+    "pease_intt",
+    "SimdNtt",
+    "TwiddleTable",
+    "bit_reverse",
+    "bit_reverse_permutation",
+]

@@ -1,0 +1,94 @@
+"""Constant-geometry (Pease) NTT on plain integers (Section 3.2).
+
+Pease's reorganization [Pease 1968] gives every stage the *same* dataflow:
+read ``x[i]`` and ``x[i + n/2]``, write the butterfly results to adjacent
+locations ``2i`` and ``2i + 1``. Identical stages are what make the
+algorithm attractive for SIMD (and for the paper's AVX-512 NTT, which
+builds on this dataflow): reads/writes are unit-stride vector operations
+plus a fixed interleave permutation.
+
+Stage ``s`` twiddle for butterfly ``i``:
+``root ^ (bitrev(i mod 2^s, s) * (n >> (s + 1)))``; natural-order input
+produces bit-reversed output (undone by a final permutation).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ntt.twiddles import TwiddleTable, bit_reverse_permutation
+from repro.util.checks import check_power_of_two, check_reduced
+
+
+def pease_ntt(
+    values: List[int],
+    q: int,
+    root: Optional[int] = None,
+    table: Optional[TwiddleTable] = None,
+    natural_order: bool = True,
+) -> List[int]:
+    """Forward Pease NTT.
+
+    ``natural_order=False`` skips the final bit-reversal, returning the
+    transform in the bit-reversed order the constant-geometry dataflow
+    naturally produces (cheaper when the caller only does point-wise
+    multiplication followed by a matching inverse).
+    """
+    n = len(values)
+    check_power_of_two(n, "length")
+    if table is None:
+        table = TwiddleTable(n, q, root or 0)
+    for i, value in enumerate(values):
+        check_reduced(value, q, f"values[{i}]")
+
+    x = list(values)
+    half = n // 2
+    for stage in range(table.stages):
+        twiddles = table.pease_stage_twiddles(stage)
+        out = [0] * n
+        for i in range(half):
+            top = x[i]
+            bottom = x[i + half] * twiddles[i] % q
+            out[2 * i] = (top + bottom) % q
+            out[2 * i + 1] = (top - bottom) % q
+        x = out
+    return bit_reverse_permutation(x) if natural_order else x
+
+
+def pease_intt(
+    values: List[int],
+    q: int,
+    root: Optional[int] = None,
+    table: Optional[TwiddleTable] = None,
+    natural_order: bool = True,
+) -> List[int]:
+    """Inverse Pease NTT (includes the 1/n scaling).
+
+    With ``natural_order=False`` the *input* is taken in bit-reversed order
+    (matching :func:`pease_ntt`'s raw output).
+    """
+    n = len(values)
+    check_power_of_two(n, "length")
+    if table is None:
+        table = TwiddleTable(n, q, root or 0)
+    for i, value in enumerate(values):
+        check_reduced(value, q, f"values[{i}]")
+
+    # The inverse transform is the forward dataflow with inverse twiddles
+    # applied to the natural-order spectrum; a bit-reversed input (the raw
+    # forward output) is first permuted back.
+    x = list(values) if natural_order else bit_reverse_permutation(values)
+
+    half = n // 2
+    for stage in range(table.stages):
+        twiddles = table.pease_stage_twiddles(stage, inverse=True)
+        out = [0] * n
+        for i in range(half):
+            top = x[i]
+            bottom = x[i + half] * twiddles[i] % q
+            out[2 * i] = (top + bottom) % q
+            out[2 * i + 1] = (top - bottom) % q
+        x = out
+    x = bit_reverse_permutation(x)
+    n_inv = table.n_inverse
+    return [value * n_inv % q for value in x]

@@ -1,0 +1,72 @@
+"""Iterative radix-2 Cooley-Tukey NTT on plain integers.
+
+The textbook in-place DIT algorithm: bit-reverse the input, then ``log n``
+stages of butterflies with doubling span. This is the dataflow the baseline
+substitutes (GMP- and OpenFHE-style, :mod:`repro.baselines`) use, in
+contrast to the constant-geometry Pease dataflow of the paper's SIMD
+kernels (:mod:`repro.ntt.pease`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ntt.twiddles import TwiddleTable, bit_reverse_permutation
+from repro.util.checks import check_power_of_two, check_reduced
+
+
+def ntt(
+    values: List[int],
+    q: int,
+    root: Optional[int] = None,
+    table: Optional[TwiddleTable] = None,
+) -> List[int]:
+    """Forward NTT, natural-order input and output."""
+    n = len(values)
+    check_power_of_two(n, "length")
+    if table is None:
+        table = TwiddleTable(n, q, root or 0)
+    for i, value in enumerate(values):
+        check_reduced(value, q, f"values[{i}]")
+
+    x = bit_reverse_permutation(values)
+    for stage in range(table.stages):
+        span = 1 << stage
+        twiddles = table.radix2_stage_twiddles(stage)
+        for group in range(0, n, span * 2):
+            for j in range(span):
+                w = twiddles[j]
+                top = x[group + j]
+                bottom = x[group + j + span] * w % q
+                x[group + j] = (top + bottom) % q
+                x[group + j + span] = (top - bottom) % q
+    return x
+
+
+def intt(
+    values: List[int],
+    q: int,
+    root: Optional[int] = None,
+    table: Optional[TwiddleTable] = None,
+) -> List[int]:
+    """Inverse NTT, natural-order input and output (includes 1/n scaling)."""
+    n = len(values)
+    check_power_of_two(n, "length")
+    if table is None:
+        table = TwiddleTable(n, q, root or 0)
+    for i, value in enumerate(values):
+        check_reduced(value, q, f"values[{i}]")
+
+    x = bit_reverse_permutation(values)
+    for stage in range(table.stages):
+        span = 1 << stage
+        twiddles = table.radix2_stage_twiddles(stage, inverse=True)
+        for group in range(0, n, span * 2):
+            for j in range(span):
+                w = twiddles[j]
+                top = x[group + j]
+                bottom = x[group + j + span] * w % q
+                x[group + j] = (top + bottom) % q
+                x[group + j + span] = (top - bottom) % q
+    n_inv = table.n_inverse
+    return [value * n_inv % q for value in x]

@@ -1,0 +1,76 @@
+"""Reference (definitional) NTT and polynomial multiplication.
+
+These O(n^2) routines implement Equations 10 and 11 literally and serve as
+ground truth for every faster implementation in the library.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+from repro.errors import NttParameterError
+from repro.ntt.twiddles import TwiddleTable
+from repro.util.checks import check_power_of_two, check_reduced
+
+
+def naive_ntt(values: List[int], q: int, root: Optional[int] = None) -> List[int]:
+    """Equation 11: ``y_k = sum_j x_j * w^(jk) mod q`` by direct evaluation."""
+    n = len(values)
+    check_power_of_two(n, "length")
+    table = TwiddleTable(n, q, root or 0)
+    for i, value in enumerate(values):
+        check_reduced(value, q, f"values[{i}]")
+    return [
+        sum(x * table.power(j * k) for j, x in enumerate(values)) % q
+        for k in range(n)
+    ]
+
+
+def naive_intt(values: List[int], q: int, root: Optional[int] = None) -> List[int]:
+    """Inverse of :func:`naive_ntt`: ``x_j = n^-1 sum_k y_k w^(-jk) mod q``."""
+    n = len(values)
+    check_power_of_two(n, "length")
+    table = TwiddleTable(n, q, root or 0)
+    n_inv = table.n_inverse
+    return [
+        n_inv
+        * sum(y * table.power(j * k, inverse=True) for k, y in enumerate(values))
+        % q
+        for j in range(n)
+    ]
+
+
+def schoolbook_polymul(f: List[int], g: List[int], q: int) -> List[int]:
+    """Equation 10: O(n^2) polynomial multiplication over ``Z_q``.
+
+    For inputs of length ``n`` (degree ``n - 1``) the result has length
+    ``2n - 1``.
+    """
+    if not f or not g:
+        raise NttParameterError("polynomials must be non-empty")
+    for i, value in enumerate(f):
+        check_reduced(value, q, f"f[{i}]")
+    for i, value in enumerate(g):
+        check_reduced(value, q, f"g[{i}]")
+    out = [0] * (len(f) + len(g) - 1)
+    for i, a in enumerate(f):
+        for j, b in enumerate(g):
+            out[i + j] = (out[i + j] + a * b) % q
+    return out
+
+
+def negacyclic_schoolbook_polymul(f: List[int], g: List[int], q: int) -> List[int]:
+    """Schoolbook multiplication in ``Z_q[x] / (x^n + 1)``.
+
+    The negacyclic ring used by RLWE-based FHE schemes: coefficients that
+    wrap past degree ``n - 1`` re-enter negated.
+    """
+    if len(f) != len(g):
+        raise NttParameterError("negacyclic multiplication needs equal lengths")
+    n = len(f)
+    full = schoolbook_polymul(f, g, q)
+    out = list(full[:n]) + [0] * (2 * n - 1 - len(full))
+    for k in range(n, 2 * n - 1):
+        out[k - n] = (out[k - n] - full[k]) % q
+    return out[:n]

@@ -1,0 +1,30 @@
+"""Runtime estimation: kernels x machine model -> nanoseconds.
+
+The paper measures wall-clock time on real CPUs; this package produces the
+modeled equivalent. A kernel's representative block is traced once, the
+trace is scheduled on the target microarchitecture, the cache model adds
+bandwidth limits for the actual working set, and cycles convert to
+nanoseconds at the CPU's boost clock.
+
+The measurement protocol mirrors Section 5.1: per-NTT results are reported
+as nanoseconds per butterfly, per-BLAS results as nanoseconds per element,
+with vector length 1,024 as the BLAS default.
+"""
+
+from repro.perf.estimator import (
+    BlasEstimate,
+    NttEstimate,
+    estimate_baseline_blas,
+    estimate_baseline_ntt,
+    estimate_blas,
+    estimate_ntt,
+)
+
+__all__ = [
+    "NttEstimate",
+    "BlasEstimate",
+    "estimate_ntt",
+    "estimate_blas",
+    "estimate_baseline_ntt",
+    "estimate_baseline_blas",
+]

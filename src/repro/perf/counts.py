@@ -1,0 +1,118 @@
+"""Analytic instruction counts: the static cost picture.
+
+Complements the cycle estimator with the raw quantities the paper reasons
+about in Section 4 (e.g. "six AVX-512 instructions for one scalar ADC"):
+per-kernel dynamic instruction counts, per-element normalization, and the
+class breakdown (multiplies / adds / compares / mask ops / memory) for
+each backend. Useful for tables, docs and regression tests - if a kernel
+change alters these counts, something structural moved.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.arith.primes import default_modulus
+from repro.errors import ExperimentError
+from repro.isa.trace import Tracer, tracing
+from repro.kernels import get_backend
+from repro.kernels.backend import Backend
+
+_SEED = 0xC0517
+
+#: Mnemonic prefixes per instruction class.
+_CLASSES = {
+    "multiply": (
+        "vpmul", "vpmadd52", "mul64", "imul64", "knc_vmul",
+    ),
+    "add_sub": (
+        "vpadd", "vpsub", "vpadc", "vpsbb", "add64", "adc64", "sub64",
+        "sbb64", "knc_vadc", "knc_vsbb",
+    ),
+    "compare": ("vpcmp", "cmp64", "vpmax"),
+    "mask_logic": ("kor", "kand", "knot", "kxor", "logic8"),
+    "shift_logic": (
+        "vpsrl", "vpsll", "vpand", "vpor", "vpxor", "shl64", "shr64",
+        "shrd64", "and64", "or64", "xor64",
+    ),
+    "permute_blend": ("vpunpck", "vperm", "vpblend", "cmov64", "vmovdq"),
+    "memory": ("load64", "store64", "vmovdqu"),
+}
+
+
+@dataclass(frozen=True)
+class KernelCounts:
+    """Instruction-count summary of one kernel on one backend."""
+
+    backend: str
+    kernel: str
+    lanes: int
+    instructions: int
+    by_class: Dict[str, int]
+
+    @property
+    def per_element(self) -> float:
+        """Dynamic instructions per 128-bit residue."""
+        return self.instructions / self.lanes
+
+    def share(self, klass: str) -> float:
+        """Fraction of the kernel's instructions in one class."""
+        return self.by_class.get(klass, 0) / self.instructions
+
+
+def _classify(trace: Tracer) -> Dict[str, int]:
+    counts: Counter = Counter()
+    for entry in trace.entries:
+        for klass, prefixes in _CLASSES.items():
+            if entry.op.startswith(prefixes):
+                # Memory instructions match vmovdqu under two classes;
+                # the explicit tag wins.
+                if entry.tag in ("load", "store"):
+                    counts["memory"] += 1
+                else:
+                    counts[klass] += 1
+                break
+        else:
+            counts["other"] += 1
+    return dict(counts)
+
+
+def kernel_counts(
+    backend: Backend, kernel: str, q: Optional[int] = None
+) -> KernelCounts:
+    """Count one kernel's dynamic instructions (per block of ``lanes``)."""
+    q = q or default_modulus()
+    rng = random.Random(_SEED)
+    ctx = backend.make_modulus(q)
+    a = backend.load_block([rng.randrange(q) for _ in range(backend.lanes)])
+    b = backend.load_block([rng.randrange(q) for _ in range(backend.lanes)])
+    with tracing(f"counts-{kernel}") as trace:
+        if kernel == "butterfly":
+            w = backend.broadcast_dw(rng.randrange(q))
+            backend.butterfly(a, b, w, ctx)
+        elif kernel in ("addmod", "submod", "mulmod"):
+            getattr(backend, kernel)(a, b, ctx)
+        else:
+            raise ExperimentError(f"unknown kernel {kernel!r}")
+    return KernelCounts(
+        backend=backend.name,
+        kernel=kernel,
+        lanes=backend.lanes,
+        instructions=len(trace),
+        by_class=_classify(trace),
+    )
+
+
+def count_table(q: Optional[int] = None) -> Dict[str, Dict[str, KernelCounts]]:
+    """Counts for every backend x kernel (the Section 4 cost picture)."""
+    table: Dict[str, Dict[str, KernelCounts]] = {}
+    for name in ("scalar", "avx2", "avx512", "mqx"):
+        backend = get_backend(name)
+        table[name] = {
+            kernel: kernel_counts(backend, kernel, q)
+            for kernel in ("addmod", "submod", "mulmod", "butterfly")
+        }
+    return table

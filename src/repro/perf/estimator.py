@@ -1,0 +1,408 @@
+"""Kernel runtime estimators.
+
+Each estimator traces one representative block (the instruction stream is
+identical across blocks of a stage/vector), schedules it with
+:func:`repro.machine.scheduler.schedule_trace`, applies the roofline-style
+memory bound from :class:`repro.machine.cache.CacheModel`, and scales to
+the full kernel.
+
+Estimation is therefore O(block), not O(n) - a 2^17-point NTT costs the
+same to estimate as a 2^6-point one - which is what makes the full
+figure-sweep benchmarks tractable in pure Python.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.baselines.bignum import GmpContext
+from repro.baselines.openfhe import OpenFheContext
+from repro.errors import ExperimentError
+from repro.isa import scalar as s
+from repro.isa.trace import Tracer, tracing
+from repro.kernels.backend import Backend
+from repro.machine.cache import CacheModel, MemoryTraffic
+from repro.machine.cpu import CpuSpec
+from repro.machine.scheduler import ScheduleResult, schedule_trace
+from repro.machine.uops import get_microarch
+
+
+#: Overlap assumed for library-call-structured baselines: call/return and
+#: temporary management serialize much of the out-of-order window.
+_BASELINE_OVERLAP = 2.0
+
+#: Effective IPC cap for the library baselines. Their limb loops carry a
+#: serial dependency (the carry/borrow) through every iteration and pay a
+#: compare-and-branch per limb, which holds non-unrolled library code near
+#: one instruction per cycle regardless of issue width - unlike the
+#: paper's kernels, whose independent SIMD blocks saturate the ports.
+_BASELINE_IPC = 1.0
+
+
+def _baseline_cycles(schedule: ScheduleResult) -> float:
+    """Per-block compute cycles for a library-structured baseline."""
+    return max(
+        schedule.throughput_cycles(_BASELINE_OVERLAP),
+        schedule.uops / _BASELINE_IPC,
+    )
+
+#: Deterministic operand seed so traces are reproducible run to run.
+_SEED = 0x5CA1AB1E
+
+
+def _trace_bytes(trace: Tracer) -> MemoryTraffic:
+    """Bytes moved by a traced block, from load/store tags + op widths."""
+    loads = 0
+    stores = 0
+    for entry in trace.entries:
+        if entry.tag not in ("load", "store"):
+            continue
+        if entry.op.endswith("_zmm"):
+            width = 64
+        elif entry.op.endswith("_ymm"):
+            width = 32
+        else:
+            width = 8
+        if entry.tag == "load":
+            loads += width
+        else:
+            stores += width
+    return MemoryTraffic(load_bytes=loads, store_bytes=stores)
+
+
+@dataclass
+class KernelCost:
+    """Scheduling + memory cost of one representative block."""
+
+    schedule: ScheduleResult
+    traffic: MemoryTraffic
+
+    def cycles_per_block(
+        self,
+        cache: CacheModel,
+        working_set_bytes: float,
+        independent_blocks: Optional[float] = None,
+    ) -> float:
+        """Roofline combination: max(compute, memory) per block."""
+        compute = self.schedule.throughput_cycles(independent_blocks)
+        memory = cache.memory_cycles(self.traffic, working_set_bytes)
+        return max(compute, memory)
+
+
+@dataclass
+class NttEstimate:
+    """Modeled runtime of one n-point NTT on one CPU."""
+
+    backend: str
+    cpu: str
+    n: int
+    q: int
+    algorithm: str
+    cycles: float
+    ns: float
+    ns_per_butterfly: float
+    compute_bound: bool
+    memory_level: str
+    block_schedule: ScheduleResult
+
+
+@dataclass
+class BlasEstimate:
+    """Modeled runtime of one BLAS vector operation on one CPU."""
+
+    backend: str
+    cpu: str
+    operation: str
+    length: int
+    q: int
+    cycles: float
+    ns: float
+    ns_per_element: float
+    block_schedule: ScheduleResult
+
+
+def _trace_ntt_stage_block(
+    backend: Backend, q: int, algorithm: str, twiddle_mode: str = "barrett"
+) -> Tracer:
+    """Trace one Pease stage block: loads, butterfly, interleave, 2 stores.
+
+    With ``twiddle_mode="shoup"`` the block additionally loads the
+    precomputed Shoup constants and uses Harvey's butterfly.
+    """
+    rng = random.Random(_SEED)
+    ctx = backend.make_modulus(q, algorithm=algorithm)
+    top_vals = [rng.randrange(q) for _ in range(backend.lanes)]
+    bot_vals = [rng.randrange(q) for _ in range(backend.lanes)]
+    tw_vals = [rng.randrange(q) for _ in range(backend.lanes)]
+    with tracing("ntt-stage-block") as trace:
+        top = backend.load_block(top_vals)
+        bottom = backend.load_block(bot_vals)
+        tw = backend.load_block(tw_vals)
+        if twiddle_mode == "shoup":
+            tw_shoup = backend.load_block([(w << 128) // q for w in tw_vals])
+            plus, minus = backend.butterfly_shoup(top, bottom, tw, tw_shoup, ctx)
+        elif twiddle_mode == "lazy":
+            tw_shoup = backend.load_block([(w << 128) // q for w in tw_vals])
+            plus, minus = backend.butterfly_lazy(top, bottom, tw, tw_shoup, ctx)
+        else:
+            plus, minus = backend.butterfly(top, bottom, tw, ctx)
+        blk0, blk1 = backend.interleave(plus, minus)
+        backend.store_block(blk0)
+        backend.store_block(blk1)
+    return trace
+
+
+def estimate_ntt(
+    n: int,
+    q: int,
+    backend: Backend,
+    cpu: CpuSpec,
+    algorithm: str = "schoolbook",
+    twiddle_mode: str = "barrett",
+) -> NttEstimate:
+    """Model the runtime of an ``n``-point NTT on ``cpu`` via ``backend``.
+
+    ``twiddle_mode="shoup"`` models the Harvey-butterfly variant with
+    precomputed per-twiddle constants (doubles the twiddle-table traffic,
+    removes one wide product and the Barrett shifts).
+    """
+    if n < 2 * backend.lanes:
+        raise ExperimentError(
+            f"n={n} cannot fill {backend.lanes}-lane blocks"
+        )
+    if twiddle_mode not in ("barrett", "shoup", "lazy"):
+        raise ExperimentError(f"unknown twiddle_mode {twiddle_mode!r}")
+    stages = n.bit_length() - 1
+    blocks_per_stage = n // (2 * backend.lanes)
+
+    trace = _trace_ntt_stage_block(backend, q, algorithm, twiddle_mode)
+    microarch = get_microarch(cpu.microarch)
+    schedule = schedule_trace(trace, microarch)
+    cost = KernelCost(schedule, _trace_bytes(trace))
+    cache = CacheModel(cpu)
+
+    # Shoup/lazy modes keep a second twiddle table resident.
+    twiddle_tables = 2 if twiddle_mode in ("shoup", "lazy") else 1
+    working_set = 2 * n * 16 + twiddle_tables * (n // 2) * 16
+    per_block = cost.cycles_per_block(
+        cache, working_set, independent_blocks=max(1, blocks_per_stage)
+    )
+    compute = schedule.throughput_cycles(max(1, blocks_per_stage))
+    memory = cache.memory_cycles(cost.traffic, working_set)
+
+    cycles = per_block * blocks_per_stage * stages
+    ns = cycles / cpu.measured_ghz
+    butterflies = (n // 2) * stages
+    return NttEstimate(
+        backend=backend.name,
+        cpu=cpu.key,
+        n=n,
+        q=q,
+        algorithm=algorithm if twiddle_mode == "barrett" else f"{algorithm}+shoup",
+        cycles=cycles,
+        ns=ns,
+        ns_per_butterfly=ns / butterflies,
+        compute_bound=compute >= memory,
+        memory_level=cache.level_name(working_set),
+        block_schedule=schedule,
+    )
+
+
+def _trace_blas_block(
+    backend: Backend, q: int, operation: str, algorithm: str
+) -> Tracer:
+    """Trace one BLAS block: loads, the operation, one store."""
+    rng = random.Random(_SEED)
+    ctx = backend.make_modulus(q, algorithm=algorithm)
+    x_vals = [rng.randrange(q) for _ in range(backend.lanes)]
+    y_vals = [rng.randrange(q) for _ in range(backend.lanes)]
+    a_scalar = rng.randrange(q)
+    with tracing("blas-block") as trace:
+        x = backend.load_block(x_vals)
+        y = backend.load_block(y_vals)
+        if operation == "vector_add":
+            out = backend.addmod(x, y, ctx)
+        elif operation == "vector_sub":
+            out = backend.submod(x, y, ctx)
+        elif operation == "vector_mul":
+            out = backend.mulmod(x, y, ctx)
+        elif operation == "axpy":
+            a_block = backend.broadcast_dw(a_scalar)
+            out = backend.addmod(backend.mulmod(x, a_block, ctx), y, ctx)
+        else:
+            raise ExperimentError(f"unknown BLAS operation {operation!r}")
+        backend.store_block(out)
+    return trace
+
+
+def estimate_blas(
+    operation: str,
+    length: int,
+    q: int,
+    backend: Backend,
+    cpu: CpuSpec,
+    algorithm: str = "schoolbook",
+) -> BlasEstimate:
+    """Model one BLAS vector operation (default paper length: 1,024)."""
+    if length % backend.lanes:
+        raise ExperimentError(
+            f"length {length} is not a multiple of {backend.lanes} lanes"
+        )
+    blocks = length // backend.lanes
+    trace = _trace_blas_block(backend, q, operation, algorithm)
+    microarch = get_microarch(cpu.microarch)
+    schedule = schedule_trace(trace, microarch)
+    cost = KernelCost(schedule, _trace_bytes(trace))
+    cache = CacheModel(cpu)
+
+    working_set = 3 * length * 16
+    per_block = cost.cycles_per_block(
+        cache, working_set, independent_blocks=max(1, blocks)
+    )
+    cycles = per_block * blocks
+    ns = cycles / cpu.measured_ghz
+    return BlasEstimate(
+        backend=backend.name,
+        cpu=cpu.key,
+        operation=operation,
+        length=length,
+        q=q,
+        cycles=cycles,
+        ns=ns,
+        ns_per_element=ns / length,
+        block_schedule=schedule,
+    )
+
+
+# ----------------------------------------------------------------------
+# Library baselines (GMP- and OpenFHE-style)
+# ----------------------------------------------------------------------
+
+
+def _baseline_context(kind: str, q: int):
+    if kind == "gmp":
+        return GmpContext(q)
+    if kind == "openfhe":
+        return OpenFheContext(q)
+    raise ExperimentError(f"unknown baseline {kind!r}; use 'gmp' or 'openfhe'")
+
+
+def _trace_baseline_butterfly(kind: str, q: int) -> Tracer:
+    rng = random.Random(_SEED)
+    ctx = _baseline_context(kind, q)
+    x, y, w = (rng.randrange(q) for _ in range(3))
+    with tracing(f"{kind}-butterfly") as trace:
+        xv = (s.load64(x >> 64), s.load64(x & (2**64 - 1)))
+        yv = (s.load64(y >> 64), s.load64(y & (2**64 - 1)))
+        s.load64(w >> 64)
+        s.load64(w & (2**64 - 1))
+        hi, lo = ctx.butterfly(x, y, w)
+        for value in (hi, lo):
+            s.store64(value >> 64)
+            s.store64(value & (2**64 - 1))
+        del xv, yv
+    return trace
+
+
+def estimate_baseline_ntt(kind: str, n: int, q: int, cpu: CpuSpec) -> NttEstimate:
+    """Model a GMP- or OpenFHE-style radix-2 NTT (one core)."""
+    stages = n.bit_length() - 1
+    butterflies_per_stage = n // 2
+    trace = _trace_baseline_butterfly(kind, q)
+    microarch = get_microarch(cpu.microarch)
+    schedule = schedule_trace(trace, microarch)
+    cost = KernelCost(schedule, _trace_bytes(trace))
+    cache = CacheModel(cpu)
+
+    working_set = n * 16 * 2
+    per_block = max(
+        _baseline_cycles(schedule),
+        cache.memory_cycles(cost.traffic, working_set),
+    )
+    cycles = per_block * butterflies_per_stage * stages
+    ns = cycles / cpu.measured_ghz
+    butterflies = butterflies_per_stage * stages
+    return NttEstimate(
+        backend=kind,
+        cpu=cpu.key,
+        n=n,
+        q=q,
+        algorithm="library",
+        cycles=cycles,
+        ns=ns,
+        ns_per_butterfly=ns / butterflies,
+        compute_bound=True,
+        memory_level=cache.level_name(working_set),
+        block_schedule=schedule,
+    )
+
+
+def _trace_baseline_blas(kind: str, q: int, operation: str) -> Tracer:
+    rng = random.Random(_SEED)
+    ctx = _baseline_context(kind, q)
+    x, y, a = (rng.randrange(q) for _ in range(3))
+    with tracing(f"{kind}-{operation}") as trace:
+        s.load64(x >> 64)
+        s.load64(x & (2**64 - 1))
+        s.load64(y >> 64)
+        s.load64(y & (2**64 - 1))
+        if operation == "vector_add":
+            out = ctx.addmod(x, y)
+        elif operation == "vector_sub":
+            out = ctx.submod(x, y)
+        elif operation == "vector_mul":
+            out = ctx.mulmod(x, y)
+        elif operation == "axpy":
+            out = ctx.addmod(ctx.mulmod(x, a), y)
+        else:
+            raise ExperimentError(f"unknown BLAS operation {operation!r}")
+        s.store64(out >> 64)
+        s.store64(out & (2**64 - 1))
+    return trace
+
+
+def estimate_baseline_blas(
+    kind: str, operation: str, length: int, q: int, cpu: CpuSpec
+) -> BlasEstimate:
+    """Model a GMP- or OpenFHE-style BLAS vector operation (one core)."""
+    trace = _trace_baseline_blas(kind, q, operation)
+    microarch = get_microarch(cpu.microarch)
+    schedule = schedule_trace(trace, microarch)
+    cost = KernelCost(schedule, _trace_bytes(trace))
+    cache = CacheModel(cpu)
+
+    working_set = 3 * length * 16
+    per_element = max(
+        _baseline_cycles(schedule),
+        cache.memory_cycles(cost.traffic, working_set),
+    )
+    cycles = per_element * length
+    ns = cycles / cpu.measured_ghz
+    return BlasEstimate(
+        backend=kind,
+        cpu=cpu.key,
+        operation=operation,
+        length=length,
+        q=q,
+        cycles=cycles,
+        ns=ns,
+        ns_per_element=ns / length,
+        block_schedule=schedule,
+    )
+
+
+def ntt_sweep(
+    backend: Backend,
+    cpu: CpuSpec,
+    q: int,
+    log_sizes: Optional[range] = None,
+    algorithm: str = "schoolbook",
+) -> Dict[int, NttEstimate]:
+    """Estimate NTTs across the paper's size range (2^10 - 2^17)."""
+    log_sizes = log_sizes or range(10, 18)
+    return {
+        logn: estimate_ntt(1 << logn, q, backend, cpu, algorithm)
+        for logn in log_sizes
+    }

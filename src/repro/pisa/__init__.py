@@ -1,0 +1,27 @@
+"""PISA - performance projection using proxy ISA (Section 4.2).
+
+PISA estimates the performance of a *proposed* instruction by mapping it to
+the most structurally similar *existing* instruction and measuring that.
+In this library the mapping appears in two places:
+
+* the machine model's uop tables cost each MQX mnemonic with its Table 3
+  proxy's ports/latency (the projection itself), and
+* this package makes the mapping explicit, supports projecting arbitrary
+  traces through proxy substitutions, and implements the paper's
+  validation methodology (Tables 5 and 6): apply PISA to *existing*
+  instructions whose ground truth is measurable and check the relative
+  error stays small.
+"""
+
+from repro.pisa.proxy import MQX_PROXY_MAP, VALIDATION_PROXY_MAP, ProxyRule
+from repro.pisa.projection import substitute_trace
+from repro.pisa.validation import ValidationCase, validate_pisa
+
+__all__ = [
+    "ProxyRule",
+    "MQX_PROXY_MAP",
+    "VALIDATION_PROXY_MAP",
+    "substitute_trace",
+    "ValidationCase",
+    "validate_pisa",
+]

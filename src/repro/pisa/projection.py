@@ -1,0 +1,44 @@
+"""Trace projection through proxy substitutions.
+
+:func:`substitute_trace` rewrites a recorded instruction trace by replacing
+every occurrence of a rule's mnemonic with its proxy sequence, preserving
+the dataflow: the first proxy inherits the original sources and
+destinations; guard instructions read the destination (modeling the
+paper's ``volatile`` dependency guard).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.isa.trace import TraceEntry, Tracer
+from repro.pisa.proxy import ProxyRule
+
+
+def substitute_trace(trace: Tracer, rules: Dict[str, ProxyRule]) -> Tracer:
+    """Rewrite ``trace`` replacing rule targets with their proxies.
+
+    Accepts rules keyed by mnemonic (as in
+    :data:`~repro.pisa.proxy.VALIDATION_PROXY_MAP`). Returns a new tracer;
+    the input is unmodified.
+    """
+    projected = Tracer(label=f"{trace.label}|proxied" if trace.label else "proxied")
+    for entry in trace.entries:
+        rule = rules.get(entry.op)
+        if rule is None:
+            projected.entries.append(entry)
+            continue
+        first, *guards = rule.proxies
+        projected.entries.append(
+            TraceEntry(first, entry.dests, entry.srcs, entry.tag)
+        )
+        for guard in guards:
+            # The guard consumes the produced value, keeping the
+            # dependency alive exactly as the paper's volatile guard does.
+            projected.entries.append(TraceEntry(guard, (), entry.dests))
+    return projected
+
+
+def substitution_count(trace: Tracer, rules: Dict[str, ProxyRule]) -> int:
+    """How many instructions in ``trace`` a projection would rewrite."""
+    return sum(1 for entry in trace.entries if entry.op in rules)

@@ -1,0 +1,93 @@
+"""Proxy-instruction mappings (the paper's Tables 3 and 5).
+
+A :class:`ProxyRule` rewrites one dynamic instruction into a sequence of
+proxy instructions. For MQX the sequence has length one (each MQX
+instruction maps to a single structurally similar AVX-512 instruction).
+For validation, proxies of *masked* operations append a guard instruction,
+mirroring the paper's conservative methodology: "we insert an extra
+instruction and guard the output with volatile to preserve data
+dependencies on the mask register."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class ProxyRule:
+    """Rewrite of a target mnemonic into proxy mnemonics."""
+
+    target: str
+    proxies: Tuple[str, ...]
+    rationale: str
+
+
+#: Table 3 - how MQX performance is projected. These pairs also define the
+#: uop-table entries for the MQX mnemonics in :mod:`repro.machine.uops`.
+MQX_PROXY_MAP: Dict[str, ProxyRule] = {
+    "vpmulwq_zmm": ProxyRule(
+        target="_mm512_mul_epi64",
+        proxies=("vpmullq_zmm",),
+        rationale=(
+            "widening 64-bit multiply modeled by the existing 64-bit "
+            "multiply-low (same multiplier array, extra write port)"
+        ),
+    ),
+    "vpmulhq_zmm": ProxyRule(
+        target="_mm512_mulhi_epi64",
+        proxies=("vpmullq_zmm",),
+        rationale="multiply-high modeled with multiply-low latency (Section 5.5)",
+    ),
+    "vpadcq_zmm": ProxyRule(
+        target="_mm512_adc_epi64",
+        proxies=("vpaddq_masked_zmm",),
+        rationale=(
+            "add-with-carry modeled by masked add: same adder, mask "
+            "register read/write already exists in AVX-512"
+        ),
+    ),
+    "vpsbbq_zmm": ProxyRule(
+        target="_mm512_sbb_epi64",
+        proxies=("vpsubq_masked_zmm",),
+        rationale="subtract-with-borrow modeled by masked subtract",
+    ),
+    "vpadcq_pred_zmm": ProxyRule(
+        target="_mm512_mask_adc_epi64",
+        proxies=("vpaddq_masked_zmm",),
+        rationale="predicated adc modeled by masked add",
+    ),
+    "vpsbbq_pred_zmm": ProxyRule(
+        target="_mm512_mask_sbb_epi64",
+        proxies=("vpsubq_masked_zmm",),
+        rationale="predicated sbb modeled by masked subtract",
+    ),
+}
+
+
+#: Table 5 - target/proxy pairs used to *validate* PISA against ground
+#: truth on existing instructions (Section 5.2).
+VALIDATION_PROXY_MAP: Dict[str, ProxyRule] = {
+    "vpmuludq_ymm": ProxyRule(
+        target="_mm256_mul_epu32",
+        proxies=("vpmulld_ymm",),
+        rationale=(
+            "widening 32-bit multiply projected from multiply-low, exactly "
+            "mirroring the MQX widening-multiply projection"
+        ),
+    ),
+    "vpaddq_masked_zmm": ProxyRule(
+        target="_mm512_mask_add_epi64",
+        proxies=("vpaddq_zmm", "guard"),
+        rationale=(
+            "masked add projected from plain add plus a guard instruction "
+            "preserving the mask-register dependency"
+        ),
+    ),
+    "vpsubq_masked_zmm": ProxyRule(
+        target="_mm512_mask_sub_epi64",
+        proxies=("vpsubq_zmm", "guard"),
+        rationale="masked subtract projected from plain subtract plus guard",
+    ),
+}

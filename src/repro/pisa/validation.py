@@ -1,0 +1,91 @@
+"""PISA validation (Section 5.2, Table 6).
+
+The methodology: pick *existing* instructions used by the NTT kernels,
+model each with its Table 5 proxy, and compare the NTT runtime projected
+through the proxy against the ground-truth runtime with the real
+instruction. The relative error
+
+    epsilon = (t_target - t_proxy) / t_target * 100%
+
+should stay small (the paper reports |epsilon| < 8% across all six cases;
+negative values mean PISA was conservative, projecting a higher runtime
+than reality).
+
+The validation runs at NTT size 2^14, the average of the paper's sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.arith.primes import default_modulus
+from repro.kernels import get_backend
+from repro.machine.cpu import CpuSpec, get_cpu
+from repro.machine.scheduler import schedule_trace
+from repro.machine.uops import get_microarch
+from repro.perf.estimator import _trace_ntt_stage_block
+from repro.pisa.projection import substitute_trace, substitution_count
+from repro.pisa.proxy import VALIDATION_PROXY_MAP
+
+#: NTT size used for validation (2^14, per Section 5.2).
+VALIDATION_LOG_SIZE = 14
+
+#: Which backend's NTT exercises each validation target.
+_TARGET_BACKEND = {
+    "vpmuludq_ymm": "avx2",
+    "vpaddq_masked_zmm": "avx512",
+    "vpsubq_masked_zmm": "avx512",
+}
+
+
+@dataclass(frozen=True)
+class ValidationCase:
+    """One Table 6 row: a target instruction on one CPU."""
+
+    target_intrinsic: str
+    target_op: str
+    proxy_ops: tuple
+    cpu: str
+    target_cycles: float
+    proxy_cycles: float
+    substitutions: int
+
+    @property
+    def relative_error_pct(self) -> float:
+        """epsilon per Equation 12, in percent."""
+        return (self.target_cycles - self.proxy_cycles) / self.target_cycles * 100.0
+
+
+def validate_pisa(
+    cpu: CpuSpec = None, q: int = None
+) -> List[ValidationCase]:
+    """Run the Table 6 validation for one CPU (or both when omitted)."""
+    cpus = [cpu] if cpu else [get_cpu("intel_xeon_8352y"), get_cpu("amd_epyc_9654")]
+    q = q or default_modulus()
+    cases: List[ValidationCase] = []
+    for spec in cpus:
+        microarch = get_microarch(spec.microarch)
+        for op, rule in VALIDATION_PROXY_MAP.items():
+            backend = get_backend(_TARGET_BACKEND[op])
+            trace = _trace_ntt_stage_block(backend, q, "schoolbook")
+            projected = substitute_trace(trace, {op: rule})
+            target_cycles = schedule_trace(trace, microarch).throughput_cycles()
+            proxy_cycles = schedule_trace(projected, microarch).throughput_cycles()
+            cases.append(
+                ValidationCase(
+                    target_intrinsic=rule.target,
+                    target_op=op,
+                    proxy_ops=rule.proxies,
+                    cpu=spec.key,
+                    target_cycles=target_cycles,
+                    proxy_cycles=proxy_cycles,
+                    substitutions=substitution_count(trace, {op: rule}),
+                )
+            )
+    return cases
+
+
+def max_absolute_error(cases: List[ValidationCase]) -> float:
+    """Largest |epsilon| across validation cases (paper bound: 8%)."""
+    return max(abs(case.relative_error_pct) for case in cases)

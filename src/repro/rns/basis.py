@@ -1,0 +1,97 @@
+"""RNS bases: prime sets with CRT decomposition/recombination."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.arith.modular import inv_mod
+from repro.arith.primes import find_ntt_prime, is_prime
+from repro.errors import ArithmeticDomainError
+from repro.util.checks import check_power_of_two
+
+
+class RnsBasis:
+    """A residue number system over pairwise-distinct primes.
+
+    An integer ``x`` in ``[0, Q)`` (``Q`` the prime product) is represented
+    by its residues ``x mod q_i``; the Chinese remainder theorem
+    reconstructs it. CRT constants (``Q/q_i`` and their inverses) are
+    precomputed once, as any RNS-based FHE implementation does.
+    """
+
+    def __init__(self, primes: Sequence[int]) -> None:
+        if not primes:
+            raise ArithmeticDomainError("an RNS basis needs at least one prime")
+        if len(set(primes)) != len(primes):
+            raise ArithmeticDomainError("RNS primes must be distinct")
+        for q in primes:
+            if not is_prime(q):
+                raise ArithmeticDomainError(f"{q} is not prime")
+        self.primes: List[int] = list(primes)
+        self.modulus = 1
+        for q in self.primes:
+            self.modulus *= q
+        # CRT constants: Q_i = Q / q_i and Q_i^-1 mod q_i.
+        self._quotients = [self.modulus // q for q in self.primes]
+        self._inverses = [
+            inv_mod(quotient % q, q)
+            for quotient, q in zip(self._quotients, self.primes)
+        ]
+
+    @classmethod
+    def generate(cls, count: int, bits: int, order: int) -> "RnsBasis":
+        """Generate ``count`` distinct NTT primes of about ``bits`` bits.
+
+        Every prime satisfies ``q = 1 mod order`` so the basis supports
+        cyclic NTTs up to ``order`` points and negacyclic up to
+        ``order/2`` (see :class:`repro.rns.poly.RnsPolynomialRing`).
+        """
+        check_power_of_two(order, "order")
+        if count < 1:
+            raise ArithmeticDomainError("count must be at least 1")
+        primes: List[int] = []
+        width = bits
+        while len(primes) < count:
+            if width < order.bit_length() + 1:
+                raise ArithmeticDomainError(
+                    f"cannot find {count} distinct primes near {bits} bits "
+                    f"with order {order}"
+                )
+            q = find_ntt_prime(width, order)
+            if q not in primes:
+                primes.append(q)
+            width -= 1
+        return cls(primes)
+
+    def __len__(self) -> int:
+        return len(self.primes)
+
+    def to_rns(self, value: int) -> List[int]:
+        """Decompose ``value`` in ``[0, Q)`` into residues."""
+        if not 0 <= value < self.modulus:
+            raise ArithmeticDomainError(
+                f"value must be in [0, Q); Q has {self.modulus.bit_length()} bits"
+            )
+        return [value % q for q in self.primes]
+
+    def from_rns(self, residues: Sequence[int]) -> int:
+        """CRT reconstruction of residues into ``[0, Q)``."""
+        if len(residues) != len(self.primes):
+            raise ArithmeticDomainError(
+                f"expected {len(self.primes)} residues, got {len(residues)}"
+            )
+        total = 0
+        for r, q, quotient, inverse in zip(
+            residues, self.primes, self._quotients, self._inverses
+        ):
+            if not 0 <= r < q:
+                raise ArithmeticDomainError(f"residue {r} not reduced mod {q}")
+            total += r * inverse % q * quotient
+        return total % self.modulus
+
+    def __repr__(self) -> str:
+        bits = [q.bit_length() for q in self.primes]
+        return (
+            f"RnsBasis({len(self.primes)} primes, {bits} bits, "
+            f"Q = {self.modulus.bit_length()} bits)"
+        )

@@ -1,0 +1,23 @@
+"""Roofline / speed-of-light (SOL) analysis (Section 6).
+
+Scales single-core modeled runtimes to whole server CPUs via Equation 13
+and compares the result against the published ASIC/GPU baselines
+(Figure 7) and the Figure 1 summary.
+"""
+
+from repro.roofline.sol import (
+    SolEstimate,
+    default_sol_anchor,
+    sol_runtime,
+    sol_sweep,
+)
+from repro.roofline.compare import Figure7Row, figure7_comparison
+
+__all__ = [
+    "SolEstimate",
+    "sol_runtime",
+    "sol_sweep",
+    "default_sol_anchor",
+    "Figure7Row",
+    "figure7_comparison",
+]

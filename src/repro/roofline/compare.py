@@ -1,0 +1,68 @@
+"""Figure 7: MQX speed-of-light vs published accelerators.
+
+For each target CPU (Intel Xeon 6980P, AMD EPYC 9965S), compares the
+SOL-scaled MQX NTT runtime against RPU, FPMM, MoMA, and OpenFHE-multicore
+at every NTT size each design reports, and summarizes the average
+speedups the paper quotes in Section 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.baselines.published import PublishedSeries, synthesize_published
+from repro.roofline.sol import default_sol_anchor, sol_sweep
+
+#: (measured CPU, SOL target) pairs of Section 6.
+SOL_TARGETS = {
+    "intel": ("intel_xeon_8352y", "intel_xeon_6980p"),
+    "amd": ("amd_epyc_9654", "amd_epyc_9965s"),
+}
+
+
+@dataclass(frozen=True)
+class Figure7Row:
+    """MQX-SOL vs one published design at one size."""
+
+    vendor: str
+    design: str
+    logn: int
+    sol_ns: float
+    published_ns: float
+
+    @property
+    def speedup(self) -> float:
+        """> 1 means MQX-SOL is faster than the published design."""
+        return self.published_ns / self.sol_ns
+
+
+def figure7_comparison(
+    vendor: str,
+    published: Optional[Dict[str, PublishedSeries]] = None,
+) -> List[Figure7Row]:
+    """All Figure 7a (intel) or 7b (amd) comparison points."""
+    measured_cpu, target_cpu = SOL_TARGETS[vendor]
+    if published is None:
+        published = synthesize_published(default_sol_anchor())
+    sweep = sol_sweep("mqx", measured_cpu, target_cpu)
+    rows: List[Figure7Row] = []
+    for name in ("rpu", "fpmm", "moma", "openfhe_32core"):
+        series = published[name]
+        for logn in series.sizes:
+            rows.append(
+                Figure7Row(
+                    vendor=vendor,
+                    design=series.name,
+                    logn=logn,
+                    sol_ns=sweep[logn].sol_ns,
+                    published_ns=series.runtime(logn),
+                )
+            )
+    return rows
+
+
+def average_speedup(rows: List[Figure7Row], design: str) -> float:
+    """Arithmetic-mean speedup of MQX-SOL over one design."""
+    picked = [row.speedup for row in rows if row.design == design]
+    return sum(picked) / len(picked)

@@ -1,0 +1,92 @@
+"""Speed-of-light scaling (Equation 13).
+
+    t_sol = t_m * (c1 / c2) * (f_m / f_max)
+
+where the measurement uses ``c1`` cores at ``f_m`` and the target CPU has
+``c2`` cores at all-core boost ``f_max``. All measurements in this library
+are single-core (``c1 = 1``), matching the paper. The estimate assumes
+ideal linear scaling; Section 6 discusses why batched FHE workloads make
+that a meaningful upper bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Iterable, Optional
+
+from repro.arith.primes import default_modulus
+from repro.errors import ExperimentError
+from repro.kernels import get_backend
+from repro.machine.cpu import CpuSpec, get_cpu
+from repro.perf.estimator import NttEstimate, estimate_ntt
+
+
+@dataclass(frozen=True)
+class SolEstimate:
+    """One SOL-scaled runtime."""
+
+    backend: str
+    measured_cpu: str
+    target_cpu: str
+    n: int
+    measured_ns: float
+    sol_ns: float
+    cores: int
+    allcore_ghz: float
+
+
+def sol_runtime(estimate: NttEstimate, target: CpuSpec) -> SolEstimate:
+    """Apply Equation 13 to a single-core estimate."""
+    measured = get_cpu(estimate.cpu)
+    if measured.microarch != target.microarch:
+        raise ExperimentError(
+            f"SOL scaling from {measured.key} to {target.key} crosses "
+            "microarchitectures; scale within a vendor family"
+        )
+    scale = (1.0 / target.cores) * (measured.measured_ghz / target.allcore_ghz)
+    return SolEstimate(
+        backend=estimate.backend,
+        measured_cpu=measured.key,
+        target_cpu=target.key,
+        n=estimate.n,
+        measured_ns=estimate.ns,
+        sol_ns=estimate.ns * scale,
+        cores=target.cores,
+        allcore_ghz=target.allcore_ghz,
+    )
+
+
+def sol_sweep(
+    backend_name: str,
+    measured_cpu: str,
+    target_cpu: str,
+    q: Optional[int] = None,
+    log_sizes: Iterable[int] = range(10, 18),
+) -> Dict[int, SolEstimate]:
+    """SOL-scaled NTT runtimes across sizes (Figure 7's series)."""
+    q = q or default_modulus()
+    measured = get_cpu(measured_cpu)
+    target = get_cpu(target_cpu)
+    backend = get_backend(backend_name)
+    return {
+        logn: sol_runtime(
+            estimate_ntt(1 << logn, q, backend, measured), target
+        )
+        for logn in log_sizes
+    }
+
+
+@lru_cache(maxsize=1)
+def _anchor_cache() -> Dict[int, float]:
+    sweep = sol_sweep("mqx", "amd_epyc_9654", "amd_epyc_9965s")
+    return {logn: est.sol_ns for logn, est in sweep.items()}
+
+
+def default_sol_anchor() -> Dict[int, float]:
+    """MQX SOL on AMD EPYC 9965S, ns per NTT by log2 size.
+
+    This is the anchor series the synthesized published baselines
+    (:mod:`repro.baselines.published`) are tied to.
+    """
+    return dict(_anchor_cache())

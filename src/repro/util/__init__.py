@@ -1,0 +1,41 @@
+"""Shared low-level utilities: bit manipulation and argument validation."""
+
+from repro.util.bits import (
+    MASK32,
+    MASK64,
+    MASK128,
+    WORD_BITS,
+    bit_length_words,
+    hi64,
+    lo64,
+    make128,
+    split_words,
+    join_words,
+    wrap64,
+    wrap128,
+)
+from repro.util.checks import (
+    check_power_of_two,
+    check_reduced,
+    check_uint,
+    check_vector_length,
+)
+
+__all__ = [
+    "MASK32",
+    "MASK64",
+    "MASK128",
+    "WORD_BITS",
+    "bit_length_words",
+    "hi64",
+    "lo64",
+    "make128",
+    "split_words",
+    "join_words",
+    "wrap64",
+    "wrap128",
+    "check_power_of_two",
+    "check_reduced",
+    "check_uint",
+    "check_vector_length",
+]

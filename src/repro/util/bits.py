@@ -1,0 +1,89 @@
+"""Bit-level helpers for word-oriented big integer arithmetic.
+
+The paper (Section 2.2) represents a 128-bit *double-word* as two 64-bit
+machine words: ``[x0, x1] = x0 * 2**64 + x1`` where ``x0`` is the high word.
+These helpers implement that representation, plus the wrapping semantics of
+fixed-width machine arithmetic that the ISA simulator relies on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+#: Number of bits in a machine word on x86-64 (omega_0 in the paper).
+WORD_BITS = 64
+
+MASK32 = (1 << 32) - 1
+MASK64 = (1 << 64) - 1
+MASK128 = (1 << 128) - 1
+
+
+def wrap64(value: int) -> int:
+    """Reduce ``value`` modulo 2**64 (the behaviour of 64-bit registers)."""
+    return value & MASK64
+
+
+def wrap128(value: int) -> int:
+    """Reduce ``value`` modulo 2**128 (the behaviour of ``__int128``)."""
+    return value & MASK128
+
+
+def lo64(value: int) -> int:
+    """Return the low 64 bits of ``value`` (the paper's ``LO64`` macro)."""
+    return value & MASK64
+
+
+def hi64(value: int) -> int:
+    """Return bits 64..127 of ``value`` (the paper's ``HI64`` macro)."""
+    return (value >> 64) & MASK64
+
+
+def make128(high: int, low: int) -> int:
+    """Join two 64-bit words into a 128-bit integer (the ``INT128`` macro)."""
+    return ((high & MASK64) << 64) | (low & MASK64)
+
+
+def split_words(value: int, count: int, width: int = WORD_BITS) -> List[int]:
+    """Split ``value`` into ``count`` words of ``width`` bits, little-endian.
+
+    ``split_words(x, 2)`` returns ``[lo64(x), hi64(x)]``. The inverse is
+    :func:`join_words`.
+    """
+    if value < 0:
+        raise ValueError(f"cannot split negative value {value}")
+    mask = (1 << width) - 1
+    words = [(value >> (i * width)) & mask for i in range(count)]
+    if value >> (count * width):
+        raise ValueError(
+            f"value needs more than {count} words of {width} bits"
+        )
+    return words
+
+
+def join_words(words: List[int], width: int = WORD_BITS) -> int:
+    """Join little-endian ``words`` of ``width`` bits into one integer."""
+    value = 0
+    for i, word in enumerate(words):
+        if word < 0 or word >> width:
+            raise ValueError(f"word {i} ({word}) does not fit in {width} bits")
+        value |= word << (i * width)
+    return value
+
+
+def bit_length_words(bits: int, width: int = WORD_BITS) -> int:
+    """Number of ``width``-bit words needed to hold a ``bits``-bit integer."""
+    if bits <= 0:
+        raise ValueError("bit length must be positive")
+    return -(-bits // width)
+
+
+def to_dw(value: int) -> Tuple[int, int]:
+    """Split a 128-bit integer into the paper's (high, low) double-word pair."""
+    if value < 0 or value > MASK128:
+        raise ValueError(f"{value} is not a 128-bit unsigned integer")
+    return hi64(value), lo64(value)
+
+
+def from_dw(high: int, low: int) -> int:
+    """Inverse of :func:`to_dw`."""
+    return make128(high, low)

@@ -1,0 +1,53 @@
+"""Argument validation helpers shared across subsystems.
+
+Raising :class:`~repro.errors.ArithmeticDomainError` (rather than silently
+wrapping) keeps the arithmetic routines honest: the paper's kernels assume
+fully reduced inputs and moduli of at most 124 bits, and violating those
+assumptions produces silently wrong ciphertext math in a real FHE stack.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ArithmeticDomainError, NttParameterError
+
+
+def check_uint(value: int, bits: int, name: str = "value") -> int:
+    """Check that ``value`` is an unsigned integer of at most ``bits`` bits."""
+    if not isinstance(value, int):
+        raise ArithmeticDomainError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ArithmeticDomainError(f"{name} must be non-negative, got {value}")
+    if value >> bits:
+        raise ArithmeticDomainError(f"{name} = {value} does not fit in {bits} bits")
+    return value
+
+
+def check_reduced(value: int, modulus: int, name: str = "value") -> int:
+    """Check that ``value`` lies in [0, modulus)."""
+    if not 0 <= value < modulus:
+        raise ArithmeticDomainError(
+            f"{name} = {value} is not reduced modulo {modulus}"
+        )
+    return value
+
+
+def check_power_of_two(value: int, name: str = "value") -> int:
+    """Check that ``value`` is a positive power of two."""
+    if value <= 0 or value & (value - 1):
+        raise NttParameterError(f"{name} = {value} is not a positive power of two")
+    return value
+
+
+def check_vector_length(length: int, lanes: int, name: str = "vector") -> int:
+    """Check that a BLAS vector length is a positive multiple of ``lanes``.
+
+    The paper (Section 3.2) assumes cryptographic vector lengths are powers
+    of two and multiples of the SIMD lane count.
+    """
+    if length <= 0:
+        raise ArithmeticDomainError(f"{name} length must be positive, got {length}")
+    if length % lanes:
+        raise ArithmeticDomainError(
+            f"{name} length {length} is not a multiple of the SIMD lane count {lanes}"
+        )
+    return length

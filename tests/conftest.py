@@ -1,0 +1,44 @@
+"""Shared fixtures: moduli, backends, deterministic RNG."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.arith.primes import default_modulus, find_ntt_prime
+from repro.kernels import get_backend
+
+#: A small NTT-friendly prime for cheap exhaustive-ish tests.
+SMALL_Q = find_ntt_prime(20, 1 << 8)
+
+#: A mid-size prime exercising sub-64-bit high words.
+MID_Q = find_ntt_prime(60, 1 << 10)
+
+#: The library default: the largest 124-bit NTT prime (paper's regime).
+BIG_Q = default_modulus()
+
+ALL_BACKEND_NAMES = ("scalar", "avx2", "avx512", "mqx")
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG; reseeded per test."""
+    return random.Random(0xD1CE)
+
+
+@pytest.fixture(params=ALL_BACKEND_NAMES)
+def backend(request):
+    """Each of the four paper backends."""
+    return get_backend(request.param)
+
+
+@pytest.fixture(params=[SMALL_Q, MID_Q, BIG_Q], ids=["q20", "q60", "q124"])
+def modulus(request):
+    """Moduli spanning the supported width range."""
+    return request.param
+
+
+def random_residues(rng: random.Random, q: int, count: int):
+    """Uniform residues in [0, q)."""
+    return [rng.randrange(q) for _ in range(count)]

@@ -1,0 +1,75 @@
+"""Tests for Barrett reduction parameters (Section 2.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith.barrett import BarrettParams
+from repro.errors import ArithmeticDomainError
+
+from tests.conftest import BIG_Q, MID_Q, SMALL_Q
+
+
+class TestParams:
+    def test_mu_definition(self):
+        params = BarrettParams(97)
+        assert params.beta == 7
+        assert params.k == 14
+        assert params.mu == (1 << 14) // 97
+
+    def test_k_satisfies_paper_constraint(self):
+        # 2^(k/2) > q (Section 2.1).
+        for q in (SMALL_Q, MID_Q, BIG_Q):
+            params = BarrettParams(q)
+            assert 1 << (params.k // 2) > q
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(ArithmeticDomainError):
+            BarrettParams(2)
+
+    def test_check_width_accepts_124_bits(self):
+        BarrettParams(BIG_Q).check_width(128)
+
+    def test_check_width_rejects_125_bits(self):
+        q = (1 << 125) - 159  # a 125-bit odd number (primality irrelevant)
+        with pytest.raises(ArithmeticDomainError, match="124"):
+            BarrettParams(q).check_width(128)
+
+    def test_mu_fits_data_width(self):
+        params = BarrettParams(BIG_Q)
+        params.check_width(128)
+        assert params.mu.bit_length() <= 128
+
+
+class TestReduce:
+    @given(st.data())
+    @settings(max_examples=300)
+    def test_reduce_matches_mod(self, data):
+        q = data.draw(st.sampled_from([SMALL_Q, MID_Q, BIG_Q]))
+        t = data.draw(st.integers(min_value=0, max_value=q * q - 1))
+        assert BarrettParams(q).reduce(t) == t % q
+
+    def test_reduce_boundaries(self):
+        params = BarrettParams(MID_Q)
+        assert params.reduce(0) == 0
+        assert params.reduce(MID_Q * MID_Q - 1) == (MID_Q * MID_Q - 1) % MID_Q
+        assert params.reduce(MID_Q) == 0
+        assert params.reduce(MID_Q - 1) == MID_Q - 1
+
+    def test_reduce_rejects_out_of_range(self):
+        params = BarrettParams(SMALL_Q)
+        with pytest.raises(ArithmeticDomainError):
+            params.reduce(SMALL_Q * SMALL_Q)
+        with pytest.raises(ArithmeticDomainError):
+            params.reduce(-1)
+
+    @given(st.integers(min_value=0, max_value=BIG_Q - 1),
+           st.integers(min_value=0, max_value=BIG_Q - 1))
+    @settings(max_examples=200)
+    def test_quotient_estimate_within_two(self, a, b):
+        # The classical bound: the estimate is floor(t/q), -1 or -2.
+        params = BarrettParams(BIG_Q)
+        t = a * b
+        estimate = params.quotient_estimate(t)
+        true_quotient = t // BIG_Q
+        assert 0 <= true_quotient - estimate <= 2

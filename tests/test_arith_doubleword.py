@@ -1,0 +1,115 @@
+"""Tests for double-word arithmetic (Equations 5-9)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith import doubleword as dw
+from repro.errors import ArithmeticDomainError
+
+MASK64 = (1 << 64) - 1
+U128 = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+class TestConversion:
+    @given(U128)
+    def test_roundtrip(self, x):
+        assert dw.dw_value(dw.dw_from_int(x)) == x
+
+    def test_rejects_129_bits(self):
+        with pytest.raises(ArithmeticDomainError):
+            dw.dw_from_int(1 << 128)
+
+    def test_invalid_pair_rejected(self):
+        with pytest.raises(ArithmeticDomainError):
+            dw.dw_add((1 << 64, 0), (0, 0))
+
+
+class TestAdd:
+    @given(U128, U128)
+    def test_equation6(self, a, b):
+        result, carry = dw.dw_add(dw.dw_from_int(a), dw.dw_from_int(b))
+        assert dw.dw_value(result) + (carry << 128) == a + b
+
+    @given(U128, U128, st.integers(min_value=0, max_value=1))
+    def test_add_with_carry(self, a, b, ci):
+        result, carry = dw.dw_add_with_carry(
+            dw.dw_from_int(a), dw.dw_from_int(b), ci
+        )
+        assert dw.dw_value(result) + (carry << 128) == a + b + ci
+
+    def test_add_carry_edge(self):
+        top = (1 << 128) - 1
+        result, carry = dw.dw_add(dw.dw_from_int(top), dw.dw_from_int(1))
+        assert dw.dw_value(result) == 0
+        assert carry == 1
+
+    def test_invalid_carry_rejected(self):
+        with pytest.raises(ArithmeticDomainError):
+            dw.dw_add_with_carry((0, 0), (0, 0), 2)
+
+
+class TestSub:
+    @given(U128, U128)
+    def test_equation7(self, a, b):
+        result, borrow = dw.dw_sub(dw.dw_from_int(a), dw.dw_from_int(b))
+        assert dw.dw_value(result) - (borrow << 128) == a - b
+
+    def test_borrow_edge(self):
+        result, borrow = dw.dw_sub(dw.dw_from_int(0), dw.dw_from_int(1))
+        assert dw.dw_value(result) == (1 << 128) - 1
+        assert borrow == 1
+
+
+class TestMul:
+    @given(U128, U128)
+    @settings(max_examples=300)
+    def test_schoolbook_exact(self, a, b):
+        hi, lo = dw.dw_mul_schoolbook(dw.dw_from_int(a), dw.dw_from_int(b))
+        assert (dw.dw_value(hi) << 128) | dw.dw_value(lo) == a * b
+
+    @given(U128, U128)
+    @settings(max_examples=300)
+    def test_karatsuba_exact(self, a, b):
+        hi, lo = dw.dw_mul_karatsuba(dw.dw_from_int(a), dw.dw_from_int(b))
+        assert (dw.dw_value(hi) << 128) | dw.dw_value(lo) == a * b
+
+    @given(U128, U128)
+    def test_algorithms_agree(self, a, b):
+        pa, pb = dw.dw_from_int(a), dw.dw_from_int(b)
+        assert dw.dw_mul_schoolbook(pa, pb) == dw.dw_mul_karatsuba(pa, pb)
+
+    def test_all_ones_edge(self):
+        top = dw.dw_from_int((1 << 128) - 1)
+        hi, lo = dw.dw_mul_schoolbook(top, top)
+        expected = ((1 << 128) - 1) ** 2
+        assert (dw.dw_value(hi) << 128) | dw.dw_value(lo) == expected
+
+    def test_karatsuba_65bit_sum_edge(self):
+        # Both operand halves near max: (a0 + a1) overflows 64 bits.
+        a = dw.dw_from_int((MASK64 << 64) | MASK64)
+        b = dw.dw_from_int((MASK64 << 64) | (MASK64 - 1))
+        hi, lo = dw.dw_mul_karatsuba(a, b)
+        assert (dw.dw_value(hi) << 128) | dw.dw_value(lo) == dw.dw_value(
+            a
+        ) * dw.dw_value(b)
+
+
+class TestShift:
+    @given(
+        st.integers(min_value=0, max_value=(1 << 256) - 1),
+        st.integers(min_value=128, max_value=255),
+    )
+    def test_shift_right_matches_python(self, value, amount):
+        words = tuple((value >> (64 * i)) & MASK64 for i in range(4))
+        expected = value >> amount
+        assert dw.dw_value(dw.dw_shift_right(words, amount)) == expected
+
+    def test_shift_overflow_detected(self):
+        words = (0, 0, 0, 1 << 63)
+        with pytest.raises(ArithmeticDomainError):
+            dw.dw_shift_right(words, 1)
+
+    def test_shift_amount_range(self):
+        with pytest.raises(ArithmeticDomainError):
+            dw.dw_shift_right((0, 0, 0, 0), 256)

@@ -1,0 +1,129 @@
+"""Tests for reference double-word modular arithmetic (Section 3.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith.barrett import BarrettParams
+from repro.arith.doubleword import dw_from_int, dw_value
+from repro.arith.dwmod import (
+    MAX_MODULUS_BITS,
+    addmod128,
+    check_modulus_128,
+    mulmod128,
+    submod128,
+)
+from repro.errors import ArithmeticDomainError
+
+from tests.conftest import BIG_Q, MID_Q, SMALL_Q
+
+MODULI = [SMALL_Q, MID_Q, BIG_Q]
+
+
+class TestModulusValidation:
+    def test_max_bits_is_paper_bound(self):
+        assert MAX_MODULUS_BITS == 124
+
+    def test_accepts_124_bit_prime(self):
+        assert check_modulus_128(BIG_Q) == BIG_Q
+
+    def test_rejects_125_bits(self):
+        with pytest.raises(ArithmeticDomainError):
+            check_modulus_128(1 << 124)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ArithmeticDomainError):
+            check_modulus_128(2)
+
+
+@given(st.data())
+@settings(max_examples=300)
+def test_addmod_matches_reference(data):
+    q = data.draw(st.sampled_from(MODULI))
+    a = data.draw(st.integers(min_value=0, max_value=q - 1))
+    b = data.draw(st.integers(min_value=0, max_value=q - 1))
+    out = addmod128(dw_from_int(a), dw_from_int(b), dw_from_int(q))
+    assert dw_value(out) == (a + b) % q
+
+
+@given(st.data())
+@settings(max_examples=300)
+def test_submod_matches_reference(data):
+    q = data.draw(st.sampled_from(MODULI))
+    a = data.draw(st.integers(min_value=0, max_value=q - 1))
+    b = data.draw(st.integers(min_value=0, max_value=q - 1))
+    out = submod128(dw_from_int(a), dw_from_int(b), dw_from_int(q))
+    assert dw_value(out) == (a - b) % q
+
+
+@given(st.data())
+@settings(max_examples=300)
+def test_mulmod_matches_reference_both_algorithms(data):
+    q = data.draw(st.sampled_from(MODULI))
+    a = data.draw(st.integers(min_value=0, max_value=q - 1))
+    b = data.draw(st.integers(min_value=0, max_value=q - 1))
+    algorithm = data.draw(st.sampled_from(["schoolbook", "karatsuba"]))
+    out = mulmod128(
+        dw_from_int(a), dw_from_int(b), dw_from_int(q), algorithm=algorithm
+    )
+    assert dw_value(out) == (a * b) % q
+
+
+class TestEdgeCases:
+    def test_add_at_wraparound(self):
+        q = BIG_Q
+        out = addmod128(dw_from_int(q - 1), dw_from_int(q - 1), dw_from_int(q))
+        assert dw_value(out) == q - 2
+
+    def test_add_exactly_q(self):
+        q = BIG_Q
+        out = addmod128(dw_from_int(1), dw_from_int(q - 1), dw_from_int(q))
+        assert dw_value(out) == 0
+
+    def test_sub_identical_operands(self):
+        q = BIG_Q
+        out = submod128(dw_from_int(5), dw_from_int(5), dw_from_int(q))
+        assert dw_value(out) == 0
+
+    def test_mul_with_max_residues(self):
+        q = BIG_Q
+        out = mulmod128(
+            dw_from_int(q - 1), dw_from_int(q - 1), dw_from_int(q)
+        )
+        assert dw_value(out) == (q - 1) * (q - 1) % q
+
+    def test_mul_by_zero_and_one(self):
+        q = MID_Q
+        assert dw_value(
+            mulmod128(dw_from_int(0), dw_from_int(5), dw_from_int(q))
+        ) == 0
+        assert dw_value(
+            mulmod128(dw_from_int(1), dw_from_int(5), dw_from_int(q))
+        ) == 5
+
+
+class TestErrorPaths:
+    def test_unreduced_operand_rejected(self):
+        q = SMALL_Q
+        with pytest.raises(ArithmeticDomainError):
+            addmod128(dw_from_int(q), dw_from_int(0), dw_from_int(q))
+        with pytest.raises(ArithmeticDomainError):
+            mulmod128(dw_from_int(0), dw_from_int(q), dw_from_int(q))
+
+    def test_mismatched_params_rejected(self):
+        with pytest.raises(ArithmeticDomainError):
+            mulmod128(
+                dw_from_int(1),
+                dw_from_int(1),
+                dw_from_int(MID_Q),
+                params=BarrettParams(SMALL_Q),
+            )
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ArithmeticDomainError):
+            mulmod128(
+                dw_from_int(1),
+                dw_from_int(1),
+                dw_from_int(MID_Q),
+                algorithm="toom-cook",
+            )

@@ -1,0 +1,80 @@
+"""Tests for scalar modular arithmetic (Equations 1-4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith.barrett import BarrettParams
+from repro.arith.modular import add_mod, inv_mod, mul_mod, pow_mod, sub_mod
+from repro.errors import ArithmeticDomainError
+
+from tests.conftest import MID_Q, SMALL_Q
+
+residues = st.integers(min_value=0, max_value=MID_Q - 1)
+
+
+class TestAddSub:
+    @given(residues, residues)
+    def test_add_matches_mod(self, a, b):
+        assert add_mod(a, b, MID_Q) == (a + b) % MID_Q
+
+    @given(residues, residues)
+    def test_sub_matches_mod(self, a, b):
+        assert sub_mod(a, b, MID_Q) == (a - b) % MID_Q
+
+    def test_add_boundary_wraps(self):
+        assert add_mod(MID_Q - 1, MID_Q - 1, MID_Q) == MID_Q - 2
+
+    def test_sub_zero_minus_one_wraps(self):
+        assert sub_mod(0, 1, MID_Q) == MID_Q - 1
+
+    def test_rejects_unreduced_input(self):
+        with pytest.raises(ArithmeticDomainError):
+            add_mod(MID_Q, 0, MID_Q)
+        with pytest.raises(ArithmeticDomainError):
+            sub_mod(0, MID_Q, MID_Q)
+
+
+class TestMul:
+    @given(residues, residues)
+    @settings(max_examples=200)
+    def test_mul_matches_mod(self, a, b):
+        assert mul_mod(a, b, MID_Q) == (a * b) % MID_Q
+
+    def test_reuses_precomputed_params(self):
+        params = BarrettParams(SMALL_Q)
+        assert mul_mod(5, 7, SMALL_Q, params) == 35 % SMALL_Q
+
+    def test_rejects_mismatched_params(self):
+        with pytest.raises(ArithmeticDomainError):
+            mul_mod(1, 1, MID_Q, BarrettParams(SMALL_Q))
+
+
+class TestPowInv:
+    @given(residues)
+    def test_pow_matches_builtin(self, base):
+        assert pow_mod(base, 65537, MID_Q) == pow(base, 65537, MID_Q)
+
+    def test_pow_zero_exponent(self):
+        assert pow_mod(5, 0, MID_Q) == 1
+
+    def test_pow_rejects_negative_exponent(self):
+        with pytest.raises(ArithmeticDomainError):
+            pow_mod(2, -1, MID_Q)
+
+    @given(st.integers(min_value=1, max_value=MID_Q - 1))
+    def test_inverse_property(self, a):
+        assert a * inv_mod(a, MID_Q) % MID_Q == 1
+
+    def test_inv_of_zero_rejected(self):
+        with pytest.raises(ArithmeticDomainError):
+            inv_mod(0, MID_Q)
+
+    def test_inv_of_noncoprime_rejected(self):
+        with pytest.raises(ArithmeticDomainError):
+            inv_mod(3, 9)
+
+    def test_fermat_consistency(self):
+        # For prime q, a^(q-2) is the inverse.
+        a = 123456789 % SMALL_Q
+        assert inv_mod(a, SMALL_Q) == pow(a, SMALL_Q - 2, SMALL_Q)

@@ -1,0 +1,101 @@
+"""Tests for prime generation and roots of unity."""
+
+import pytest
+
+from repro.arith.modular import pow_mod
+from repro.arith.primes import (
+    default_modulus,
+    find_ntt_prime,
+    find_primitive_root,
+    is_prime,
+    root_of_unity,
+)
+from repro.errors import ArithmeticDomainError, NttParameterError
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("p", [2, 3, 5, 7, 97, 7681, 12289, (1 << 61) - 1])
+    def test_known_primes(self, p):
+        assert is_prime(p)
+
+    @pytest.mark.parametrize("n", [0, 1, 4, 100, 561, 1729, (1 << 61) - 3])
+    def test_known_composites(self, n):
+        # 561 and 1729 are Carmichael numbers (Fermat pseudoprimes).
+        assert not is_prime(n)
+
+    def test_large_prime(self):
+        assert is_prime(default_modulus())
+
+
+class TestFindNttPrime:
+    @pytest.mark.parametrize("bits,order", [(20, 256), (60, 1024), (124, 1 << 20)])
+    def test_properties(self, bits, order):
+        q = find_ntt_prime(bits, order)
+        assert q.bit_length() == bits
+        assert q % order == 1
+        assert is_prime(q)
+
+    def test_is_largest_such_prime(self):
+        q = find_ntt_prime(20, 256)
+        k = (q - 1) // 256
+        for bigger_k in range(k + 1, ((1 << 20) - 1) // 256 + 1):
+            candidate = bigger_k * 256 + 1
+            if candidate.bit_length() > 20:
+                break
+            assert not is_prime(candidate)
+
+    def test_rejects_impossible_request(self):
+        with pytest.raises(ArithmeticDomainError):
+            find_ntt_prime(8, 1 << 10)
+
+    def test_rejects_non_power_of_two_order(self):
+        with pytest.raises(NttParameterError):
+            find_ntt_prime(20, 100)
+
+
+class TestRootOfUnity:
+    @pytest.mark.parametrize("n", [2, 8, 256, 1 << 14])
+    def test_primitive_order(self, n):
+        q = default_modulus()
+        w = root_of_unity(n, q)
+        assert pow(w, n, q) == 1
+        if n > 1:
+            assert pow(w, n // 2, q) != 1
+
+    def test_n_one(self):
+        assert root_of_unity(1, 17) == 1
+
+    def test_rejects_unsupported_order(self):
+        q = find_ntt_prime(20, 256)
+        with pytest.raises(NttParameterError):
+            root_of_unity(1 << 19, q)
+
+    def test_deterministic(self):
+        q = find_ntt_prime(60, 1024)
+        assert root_of_unity(512, q) == root_of_unity(512, q)
+
+
+class TestPrimitiveRoot:
+    def test_small_prime_generator(self):
+        g = find_primitive_root(17)
+        seen = {pow_mod(g, e, 17) for e in range(16)}
+        assert seen == set(range(1, 17))
+
+    def test_refuses_large_prime(self):
+        with pytest.raises(ArithmeticDomainError):
+            find_primitive_root(default_modulus())
+
+    def test_rejects_composite(self):
+        with pytest.raises(ArithmeticDomainError):
+            find_primitive_root(16)
+
+
+class TestDefaultModulus:
+    def test_is_124_bit_ntt_prime(self):
+        q = default_modulus()
+        assert q.bit_length() == 124
+        assert q % (1 << 20) == 1
+        assert is_prime(q)
+
+    def test_cached(self):
+        assert default_modulus() is default_modulus()

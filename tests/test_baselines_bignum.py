@@ -1,0 +1,157 @@
+"""Tests for the GMP-style mpn substrate (limb arithmetic + Knuth D)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bignum import (
+    GmpContext,
+    int_from_limbs,
+    limbs_from_int,
+    mpn_add_n,
+    mpn_lshift,
+    mpn_mul,
+    mpn_rshift,
+    mpn_sub_n,
+    mpn_tdiv_qr,
+)
+from repro.errors import ArithmeticDomainError
+from repro.isa.trace import tracing
+
+from tests.conftest import BIG_Q, MID_Q
+
+U256 = st.integers(min_value=0, max_value=(1 << 256) - 1)
+U128 = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+class TestLimbConversion:
+    @given(U256)
+    def test_roundtrip(self, x):
+        assert int_from_limbs(limbs_from_int(x)) == x
+
+    def test_padding(self):
+        assert limbs_from_int(1, count=4) == [1, 0, 0, 0]
+
+    def test_zero(self):
+        assert limbs_from_int(0) == [0]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ArithmeticDomainError):
+            limbs_from_int(-5)
+
+
+class TestMpnAddSub:
+    @given(U128, U128)
+    def test_add_n(self, a, b):
+        out, carry = mpn_add_n(limbs_from_int(a, 2), limbs_from_int(b, 2))
+        assert int_from_limbs(out) + (carry << 128) == a + b
+
+    @given(U128, U128)
+    def test_sub_n(self, a, b):
+        out, borrow = mpn_sub_n(limbs_from_int(a, 2), limbs_from_int(b, 2))
+        assert int_from_limbs(out) - (borrow << 128) == a - b
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ArithmeticDomainError):
+            mpn_add_n([1], [1, 2])
+        with pytest.raises(ArithmeticDomainError):
+            mpn_sub_n([1], [1, 2])
+
+
+class TestMpnMul:
+    @given(U128, U128)
+    @settings(max_examples=150)
+    def test_exact_product(self, a, b):
+        out = mpn_mul(limbs_from_int(a, 2), limbs_from_int(b, 2))
+        assert int_from_limbs(out) == a * b
+
+    @given(U256, st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_asymmetric_product(self, a, b):
+        out = mpn_mul(limbs_from_int(a, 4), limbs_from_int(b, 1))
+        assert int_from_limbs(out) == a * b
+
+    def test_all_ones_edge(self):
+        top = (1 << 128) - 1
+        out = mpn_mul(limbs_from_int(top, 2), limbs_from_int(top, 2))
+        assert int_from_limbs(out) == top * top
+
+
+class TestMpnShift:
+    @given(U128, st.integers(min_value=0, max_value=63))
+    def test_lshift(self, a, amount):
+        out = mpn_lshift(limbs_from_int(a, 2), amount)
+        assert int_from_limbs(out) == a << amount
+
+    @given(U128, st.integers(min_value=0, max_value=63))
+    def test_rshift(self, a, amount):
+        out = mpn_rshift(limbs_from_int(a, 2), amount)
+        assert int_from_limbs(out) == a >> amount
+
+    def test_range_checked(self):
+        with pytest.raises(ArithmeticDomainError):
+            mpn_lshift([0], 64)
+
+
+class TestKnuthDivision:
+    @given(U256, st.integers(min_value=1, max_value=(1 << 128) - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_tdiv_qr_exact(self, num, den):
+        q, r = mpn_tdiv_qr(limbs_from_int(num, 4), limbs_from_int(den))
+        assert int_from_limbs(q) == num // den
+        assert int_from_limbs(r) == num % den
+
+    def test_single_limb_divisor(self):
+        q, r = mpn_tdiv_qr(limbs_from_int(12345678901234567890123, 3), [97])
+        assert int_from_limbs(q) == 12345678901234567890123 // 97
+        assert int_from_limbs(r) == 12345678901234567890123 % 97
+
+    def test_divide_by_zero_rejected(self):
+        with pytest.raises(ArithmeticDomainError):
+            mpn_tdiv_qr([1, 2], [0])
+
+    def test_numerator_smaller_than_divisor(self):
+        q, r = mpn_tdiv_qr([5, 0], [0, 1])
+        assert int_from_limbs(q) == 0
+        assert int_from_limbs(r) == 5
+
+    def test_qhat_correction_path(self):
+        # Divisor with max top limb forces the q_hat = LIMB_MASK branch.
+        num = ((1 << 64) - 1) << 100
+        den = ((1 << 64) - 1) << 32
+        q, r = mpn_tdiv_qr(limbs_from_int(num, 3), limbs_from_int(den, 2))
+        assert int_from_limbs(q) == num // den
+        assert int_from_limbs(r) == num % den
+
+
+class TestGmpContext:
+    @given(st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_modular_ops(self, data):
+        q = data.draw(st.sampled_from([MID_Q, BIG_Q]))
+        ctx = GmpContext(q)
+        a = data.draw(st.integers(min_value=0, max_value=q - 1))
+        b = data.draw(st.integers(min_value=0, max_value=q - 1))
+        assert ctx.addmod(a, b) == (a + b) % q
+        assert ctx.submod(a, b) == (a - b) % q
+        assert ctx.mulmod(a, b) == (a * b) % q
+
+    def test_butterfly(self):
+        q = BIG_Q
+        ctx = GmpContext(q)
+        hi, lo = ctx.butterfly(5, 7, 11)
+        assert hi == (5 + 7 * 11) % q
+        assert lo == (5 - 7 * 11) % q
+
+    def test_cost_structure_in_trace(self):
+        ctx = GmpContext(BIG_Q)
+        with tracing() as t:
+            ctx.mulmod(BIG_Q - 1, BIG_Q - 2)
+        counts = t.op_counts()
+        assert counts["call"] >= 2          # mpz_mul + mpz_mod entries
+        assert counts["alloc"] >= 2         # heap temporaries
+        assert counts["div64"] >= 1         # division-based reduction
+        assert counts["mul64"] >= 4         # 2x2 limb product
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(ArithmeticDomainError):
+            GmpContext(2)

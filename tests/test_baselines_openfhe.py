@@ -1,0 +1,107 @@
+"""Tests for the OpenFHE-style 32-bit-limb backend substitute."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.openfhe import (
+    OpenFheContext,
+    divrem_limbs32,
+    int_from_limbs32,
+    limbs32_from_int,
+)
+from repro.errors import ArithmeticDomainError
+from repro.isa.trace import tracing
+
+from tests.conftest import BIG_Q, MID_Q, SMALL_Q
+
+U128 = st.integers(min_value=0, max_value=(1 << 128) - 1)
+U256 = st.integers(min_value=0, max_value=(1 << 256) - 1)
+
+
+class TestLimbConversion:
+    @given(U128)
+    def test_roundtrip(self, x):
+        assert int_from_limbs32(limbs32_from_int(x, 4)) == x
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ArithmeticDomainError):
+            limbs32_from_int(1 << 128, 4)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ArithmeticDomainError):
+            limbs32_from_int(-1, 4)
+
+
+class TestDivision32:
+    @given(U256, st.integers(min_value=1, max_value=(1 << 124) - 1))
+    @settings(max_examples=150, deadline=None)
+    def test_divrem_exact(self, num, den):
+        den_limbs = limbs32_from_int(den, 4)
+        q, r = divrem_limbs32(limbs32_from_int(num, 8), den_limbs)
+        assert int_from_limbs32(q) == num // den
+        assert int_from_limbs32(r) == num % den
+
+    def test_single_limb_divisor(self):
+        q, r = divrem_limbs32(limbs32_from_int(10**20, 8), [97])
+        assert int_from_limbs32(q) == 10**20 // 97
+        assert int_from_limbs32(r) == 10**20 % 97
+
+    def test_divide_by_zero_rejected(self):
+        with pytest.raises(ArithmeticDomainError):
+            divrem_limbs32([1, 2], [0])
+
+    def test_small_numerator(self):
+        q, r = divrem_limbs32([7, 0, 0, 0], [0, 0, 1, 0])
+        assert int_from_limbs32(q) == 0
+        assert int_from_limbs32(r) == 7
+
+
+class TestContext:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_modular_ops(self, data):
+        q = data.draw(st.sampled_from([SMALL_Q, MID_Q, BIG_Q]))
+        ctx = OpenFheContext(q)
+        a = data.draw(st.integers(min_value=0, max_value=q - 1))
+        b = data.draw(st.integers(min_value=0, max_value=q - 1))
+        assert ctx.addmod(a, b) == (a + b) % q
+        assert ctx.submod(a, b) == (a - b) % q
+        assert ctx.mulmod(a, b) == (a * b) % q
+
+    def test_butterfly(self):
+        q = MID_Q
+        ctx = OpenFheContext(q)
+        hi, lo = ctx.butterfly(3, 4, 5)
+        assert hi == (3 + 20) % q
+        assert lo == (3 - 20) % q
+
+    def test_division_based_cost_structure(self):
+        ctx = OpenFheContext(BIG_Q)
+        with tracing() as t:
+            ctx.mulmod(BIG_Q - 1, BIG_Q - 2)
+        counts = t.op_counts()
+        assert counts["call"] == 1
+        # Knuth loop over 5 quotient limbs (some may take the q_hat
+        # saturation branch, which skips the hardware divide).
+        assert counts["div64"] >= 3
+        assert counts["imul64"] >= 16    # 4x4 limb schoolbook product
+        # No Barrett here: the generic path divides.
+        assert counts.get("alloc", 0) == 0  # fixed-size objects, no heap
+
+    def test_modulus_width_checked(self):
+        with pytest.raises(ArithmeticDomainError):
+            OpenFheContext(1 << 125)
+        with pytest.raises(ArithmeticDomainError):
+            OpenFheContext(2)
+
+    def test_heavier_than_gmp_per_instruction_count(self):
+        """Trace sanity: the 32-bit-limb path runs ~4x more instructions."""
+        from repro.baselines.bignum import GmpContext
+
+        gmp, ofhe = GmpContext(BIG_Q), OpenFheContext(BIG_Q)
+        with tracing() as t_gmp:
+            gmp.mulmod(BIG_Q - 1, BIG_Q - 2)
+        with tracing() as t_ofhe:
+            ofhe.mulmod(BIG_Q - 1, BIG_Q - 2)
+        assert len(t_ofhe) > 2 * len(t_gmp)

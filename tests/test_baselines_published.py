@@ -1,0 +1,72 @@
+"""Tests for the synthesized published-baseline series (Figure 7 inputs)."""
+
+import pytest
+
+from repro.baselines.published import (
+    FPMM_SIZES,
+    MOMA_SIZES,
+    RPU_SIZES,
+    get_published,
+    synthesize_published,
+)
+from repro.errors import ExperimentError
+
+
+@pytest.fixture(scope="module")
+def anchor():
+    """A synthetic AMD MQX-SOL anchor covering all needed sizes."""
+    return {logn: 100.0 * (1 << logn) / 1024 for logn in range(10, 18)}
+
+
+class TestSynthesis:
+    def test_all_four_series_built(self, anchor):
+        series = synthesize_published(anchor)
+        assert set(series) == {"rpu", "fpmm", "moma", "openfhe_32core"}
+
+    def test_size_coverage(self, anchor):
+        series = synthesize_published(anchor)
+        assert tuple(series["rpu"].sizes) == RPU_SIZES
+        assert tuple(series["fpmm"].sizes) == FPMM_SIZES
+        assert tuple(series["moma"].sizes) == MOMA_SIZES
+
+    def test_paper_average_ratios_hold(self, anchor):
+        series = synthesize_published(anchor)
+        for name, expected in (("rpu", 2.5), ("fpmm", 2.9), ("moma", 1.7)):
+            ratios = [
+                series[name].runtime(s) / anchor[s] for s in series[name].sizes
+            ]
+            assert abs(sum(ratios) / len(ratios) - expected) < 0.05, name
+
+    def test_rpu_over_openfhe_range(self, anchor):
+        series = synthesize_published(anchor)
+        for s in RPU_SIZES:
+            ratio = series["openfhe_32core"].runtime(s) / series["rpu"].runtime(s)
+            assert 545.0 <= ratio <= 1485.0
+
+    def test_missing_anchor_sizes_rejected(self):
+        with pytest.raises(ExperimentError, match="missing"):
+            synthesize_published({10: 1.0})
+
+    def test_unknown_size_rejected(self, anchor):
+        series = synthesize_published(anchor)
+        with pytest.raises(ExperimentError):
+            series["fpmm"].runtime(11)
+
+
+class TestGetPublished:
+    def test_with_explicit_anchor(self, anchor):
+        rpu = get_published("rpu", anchor)
+        assert rpu.kind == "asic"
+        assert rpu.runtime(12) > 0
+
+    def test_default_anchor_from_model(self):
+        rpu = get_published("rpu")
+        moma = get_published("moma")
+        # The GPU sits between the CPU SOL and nothing in particular, but
+        # both must be positive and RPU slower than our SOL anchor.
+        assert rpu.runtime(12) > 0
+        assert moma.runtime(12) > 0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ExperimentError):
+            get_published("tpu")

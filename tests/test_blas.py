@@ -1,0 +1,115 @@
+"""Tests for the BLAS layer (Section 2.3's four operations)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blas.ops import (
+    BLAS_OPERATIONS,
+    BlasPlan,
+    axpy,
+    vector_add,
+    vector_pointwise_mul,
+    vector_sub,
+)
+from repro.errors import ArithmeticDomainError
+from repro.kernels import get_backend
+
+from tests.conftest import ALL_BACKEND_NAMES, BIG_Q, MID_Q, random_residues
+
+
+class TestOperations:
+    def test_paper_lists_four_operations(self):
+        assert BLAS_OPERATIONS == ("vector_add", "vector_sub", "vector_mul", "axpy")
+
+    def test_vector_add(self, backend, rng):
+        q = BIG_Q
+        x = random_residues(rng, q, 32)
+        y = random_residues(rng, q, 32)
+        assert vector_add(x, y, q, backend) == [(a + b) % q for a, b in zip(x, y)]
+
+    def test_vector_sub(self, backend, rng):
+        q = BIG_Q
+        x = random_residues(rng, q, 32)
+        y = random_residues(rng, q, 32)
+        assert vector_sub(x, y, q, backend) == [(a - b) % q for a, b in zip(x, y)]
+
+    def test_vector_mul(self, backend, rng):
+        q = BIG_Q
+        x = random_residues(rng, q, 32)
+        y = random_residues(rng, q, 32)
+        assert vector_pointwise_mul(x, y, q, backend) == [
+            (a * b) % q for a, b in zip(x, y)
+        ]
+
+    def test_axpy(self, backend, rng):
+        q = BIG_Q
+        a = rng.randrange(q)
+        x = random_residues(rng, q, 32)
+        y = random_residues(rng, q, 32)
+        assert axpy(a, x, y, q, backend) == [
+            (a * xi + yi) % q for xi, yi in zip(x, y)
+        ]
+
+    def test_backends_agree(self, rng):
+        q = MID_Q
+        x = random_residues(rng, q, 64)
+        y = random_residues(rng, q, 64)
+        results = [
+            vector_pointwise_mul(x, y, q, get_backend(name))
+            for name in ALL_BACKEND_NAMES
+        ]
+        assert all(r == results[0] for r in results)
+
+
+class TestPlan:
+    def test_plan_reuse_across_calls(self, rng):
+        q = BIG_Q
+        plan = BlasPlan(q, get_backend("mqx"))
+        x = random_residues(rng, q, 16)
+        y = random_residues(rng, q, 16)
+        assert plan.vector_add(x, y) == [(a + b) % q for a, b in zip(x, y)]
+        assert plan.vector_mul(x, y) == [(a * b) % q for a, b in zip(x, y)]
+
+    def test_karatsuba_plan(self, rng):
+        q = BIG_Q
+        plan = BlasPlan(q, get_backend("avx512"), algorithm="karatsuba")
+        x = random_residues(rng, q, 16)
+        y = random_residues(rng, q, 16)
+        assert plan.vector_mul(x, y) == [(a * b) % q for a, b in zip(x, y)]
+
+    def test_length_mismatch_rejected(self):
+        plan = BlasPlan(MID_Q, get_backend("scalar"))
+        with pytest.raises(ArithmeticDomainError):
+            plan.vector_add([1, 2], [1])
+
+    def test_non_multiple_of_lanes_rejected(self):
+        plan = BlasPlan(MID_Q, get_backend("avx512"))
+        with pytest.raises(ArithmeticDomainError):
+            plan.vector_add([0] * 12, [0] * 12)
+
+    def test_unreduced_elements_rejected(self):
+        plan = BlasPlan(MID_Q, get_backend("scalar"))
+        with pytest.raises(ArithmeticDomainError):
+            plan.vector_add([MID_Q], [0])
+        with pytest.raises(ArithmeticDomainError):
+            plan.axpy(MID_Q, [0], [0])
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_blas_algebraic_identities(data):
+    """axpy(1, x, 0) == x; add/sub inverse; mul distributes over add."""
+    q = MID_Q
+    backend = get_backend(data.draw(st.sampled_from(["scalar", "mqx"])))
+    n = 2 * backend.lanes
+    x = [data.draw(st.integers(min_value=0, max_value=q - 1)) for _ in range(n)]
+    y = [data.draw(st.integers(min_value=0, max_value=q - 1)) for _ in range(n)]
+    plan = BlasPlan(q, backend)
+    zeros = [0] * n
+
+    assert plan.axpy(1, x, zeros) == x
+    assert plan.vector_sub(plan.vector_add(x, y), y) == x
+    left = plan.vector_mul(x, plan.vector_add(y, y))
+    right = plan.vector_add(plan.vector_mul(x, y), plan.vector_mul(x, y))
+    assert left == right

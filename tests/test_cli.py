@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["estimate"])
+        assert args.kernel == "ntt"
+        assert args.backend == "mqx"
+        assert args.logn == 14
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["estimate", "--backend", "sse2"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "mqx" in out and "amd_epyc_9654" in out
+
+    def test_estimate_ntt(self, capsys):
+        assert main(["estimate", "--kernel", "ntt", "--logn", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "ns/butterfly" in out
+
+    def test_estimate_ntt_baseline(self, capsys):
+        assert main(["estimate", "--backend", "openfhe", "--logn", "12"]) == 0
+        assert "openfhe" in capsys.readouterr().out
+
+    def test_estimate_blas(self, capsys):
+        code = main(
+            ["estimate", "--kernel", "blas", "--backend", "avx512",
+             "--operation", "axpy"]
+        )
+        assert code == 0
+        assert "ns/element" in capsys.readouterr().out
+
+    def test_validate(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "epsilon" in out and "8%" in out
+
+    def test_mca(self, capsys):
+        assert main(["mca", "--microarch", "zen4"]) == 0
+        assert "Resource pressure" in capsys.readouterr().out
+
+    def test_sol(self, capsys):
+        assert main(["sol", "--vendor", "amd"]) == 0
+        assert "RPU" in capsys.readouterr().out
+
+    def test_experiments_writes_file(self, tmp_path, capsys):
+        output = tmp_path / "EXP.md"
+        assert main(["experiments", "--output", str(output)]) == 0
+        assert output.exists()
+        assert "Figure 5a" in output.read_text()
+
+
+class TestCodegenCommand:
+    def test_writes_artifact_files(self, tmp_path, capsys):
+        out = tmp_path / "gen"
+        assert main(["codegen", "--output", str(out)]) == 0
+        assert (out / "mqx.h").exists()
+        assert (out / "butterfly128_mqx.c").exists()
+        assert (out / "mulmod128_avx512.c").exists()
+        source = (out / "butterfly128_mqx.c").read_text()
+        assert '#include "mqx.h"' in source

@@ -1,0 +1,51 @@
+"""Smoke tests: every shipped example must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = _run("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "NTT roundtrip OK" in result.stdout
+        assert "modeled NTT runtime" in result.stdout
+
+    def test_fhe_rns_pipeline(self):
+        result = _run("fhe_rns_pipeline.py")
+        assert result.returncode == 0, result.stderr
+        assert "verified via CRT" in result.stdout
+        assert "near-linear" in result.stdout
+
+    def test_isa_extension_study(self):
+        result = _run("isa_extension_study.py")
+        assert result.returncode == 0, result.stderr
+        assert "PISA validation" in result.stdout
+        assert "Resource pressure" in result.stdout
+        assert "co-design conclusions" in result.stdout
+
+    def test_roofline_analysis(self):
+        result = _run("roofline_analysis.py")
+        assert result.returncode == 0, result.stderr
+        assert "MQX speed-of-light" in result.stdout
+        assert "custom CPU" in result.stdout
+
+    def test_codegen_artifact(self, tmp_path):
+        result = _run("codegen_artifact.py", str(tmp_path / "gen"))
+        assert result.returncode == 0, result.stderr
+        assert (tmp_path / "gen" / "mqx.h").exists()
+        assert "addmod128_mqx.c" in result.stdout

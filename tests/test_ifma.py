@@ -1,0 +1,257 @@
+"""Tests for the AVX-512 IFMA52 extension."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith.primes import default_modulus, find_ntt_prime
+from repro.errors import ArithmeticDomainError, BackendError, NttParameterError
+from repro.ifma.kernel import MASK52, IfmaKernel
+from repro.ifma.ntt import IfmaNtt
+from repro.ifma.perf import estimate_ifma_ntt
+from repro.isa import avx512 as v
+from repro.isa.trace import tracing
+from repro.isa.types import Vec
+from repro.machine.cpu import get_cpu
+from repro.ntt.reference import naive_ntt
+from repro.perf.estimator import estimate_ntt
+
+from tests.conftest import BIG_Q, random_residues
+
+Q110 = find_ntt_prime(110, 1 << 10)
+
+
+class TestIfmaIntrinsics:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1),
+                 min_size=8, max_size=8),
+        st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1),
+                 min_size=8, max_size=8),
+        st.lists(st.integers(min_value=0, max_value=(1 << 60)),
+                 min_size=8, max_size=8),
+    )
+    def test_madd52_semantics(self, a, b, acc):
+        va, vb, vacc = Vec(a), Vec(b), Vec(acc)
+        lo = v.mm512_madd52lo_epu64(vacc, va, vb)
+        hi = v.mm512_madd52hi_epu64(vacc, va, vb)
+        for i in range(8):
+            product = (a[i] & MASK52) * (b[i] & MASK52)
+            assert lo.lane(i) == (acc[i] + (product & MASK52)) & ((1 << 64) - 1)
+            assert hi.lane(i) == (acc[i] + (product >> 52)) & ((1 << 64) - 1)
+
+    def test_emits_single_instruction(self):
+        a = Vec([1] * 8)
+        with tracing() as t:
+            v.mm512_madd52lo_epu64(a, a, a)
+        assert [e.op for e in t] == ["vpmadd52luq_zmm"]
+
+
+@pytest.mark.parametrize("q", [BIG_Q, Q110], ids=["q124", "q110"])
+class TestKernelArithmetic:
+    def test_modular_ops(self, q, rng):
+        kernel = IfmaKernel(q)
+        for _ in range(15):
+            a = random_residues(rng, q, 8)
+            b = random_residues(rng, q, 8)
+            blk_a, blk_b = kernel.load_block(a), kernel.load_block(b)
+            assert kernel.block_values(kernel.addmod(blk_a, blk_b)) == [
+                (x + y) % q for x, y in zip(a, b)
+            ]
+            assert kernel.block_values(kernel.submod(blk_a, blk_b)) == [
+                (x - y) % q for x, y in zip(a, b)
+            ]
+            assert kernel.block_values(kernel.mulmod(blk_a, blk_b)) == [
+                (x * y) % q for x, y in zip(a, b)
+            ]
+
+    def test_extreme_residues(self, q, rng):
+        kernel = IfmaKernel(q)
+        for x in (0, 1, q - 1, q // 2):
+            for y in (0, 1, q - 1):
+                blk_a = kernel.load_block([x] * 8)
+                blk_b = kernel.load_block([y] * 8)
+                assert kernel.block_values(kernel.mulmod(blk_a, blk_b)) == [
+                    x * y % q
+                ] * 8
+                assert kernel.block_values(kernel.submod(blk_a, blk_b)) == [
+                    (x - y) % q
+                ] * 8
+
+    def test_shoup_mulmod(self, q, rng):
+        kernel = IfmaKernel(q)
+        for _ in range(15):
+            w = rng.randrange(q)
+            w_regs = kernel.broadcast_residue(w)
+            ws = kernel._load([kernel.shoup_constant(w)] * 8, bound=1 << 156)
+            y = random_residues(rng, q, 8)
+            out = kernel.block_values(
+                kernel.mulmod_shoup(kernel.load_block(y), w_regs, ws)
+            )
+            assert out == [w * value % q for value in y]
+
+    def test_lazy_shoup_stays_below_2q(self, q, rng):
+        kernel = IfmaKernel(q)
+        for _ in range(15):
+            w = rng.randrange(q)
+            ws = kernel._load([kernel.shoup_constant(w)] * 8, bound=1 << 156)
+            y = [rng.randrange(4 * q) for _ in range(8)]
+            out = kernel.lazy_values(
+                kernel.mulmod_shoup_lazy(
+                    kernel.load_block_lazy(y), kernel.broadcast_residue(w), ws
+                )
+            )
+            for o, yv in zip(out, y):
+                assert o % q == w * yv % q
+                assert o < 2 * q
+
+    def test_lazy_butterfly_range_and_value(self, q, rng):
+        kernel = IfmaKernel(q)
+        for _ in range(10):
+            x = [rng.randrange(4 * q) for _ in range(8)]
+            y = [rng.randrange(4 * q) for _ in range(8)]
+            w = rng.randrange(q)
+            ws = kernel._load([kernel.shoup_constant(w)] * 8, bound=1 << 156)
+            plus, minus = kernel.butterfly_lazy(
+                kernel.load_block_lazy(x),
+                kernel.load_block_lazy(y),
+                kernel.broadcast_residue(w),
+                ws,
+            )
+            for i in range(8):
+                p = kernel.lazy_values(plus)[i]
+                m = kernel.lazy_values(minus)[i]
+                assert p < 4 * q and m < 4 * q
+                assert p % q == (x[i] + w * y[i]) % q
+                assert m % q == (x[i] - w * y[i]) % q
+
+    def test_reduce_from_lazy(self, q, rng):
+        kernel = IfmaKernel(q)
+        values = [rng.randrange(4 * q) for _ in range(8)]
+        out = kernel.block_values(
+            kernel.reduce_from_lazy(kernel.load_block_lazy(values))
+        )
+        assert out == [value % q for value in values]
+
+
+class TestValidation:
+    def test_beta_range(self):
+        with pytest.raises(ArithmeticDomainError):
+            IfmaKernel(find_ntt_prime(60, 1 << 10))
+        with pytest.raises(ArithmeticDomainError):
+            IfmaKernel(1 << 125)
+
+    def test_load_checks(self):
+        kernel = IfmaKernel(BIG_Q)
+        with pytest.raises(BackendError):
+            kernel.load_block([0] * 4)
+        with pytest.raises(ArithmeticDomainError):
+            kernel.load_block([BIG_Q] * 8)
+        kernel.load_block_lazy([2 * BIG_Q] * 8)  # lazy range OK
+        with pytest.raises(ArithmeticDomainError):
+            kernel.load_block_lazy([4 * BIG_Q] * 8)
+
+    def test_shoup_constant_checks(self):
+        kernel = IfmaKernel(BIG_Q)
+        with pytest.raises(ArithmeticDomainError):
+            kernel.shoup_constant(BIG_Q)
+
+
+class TestIfmaNtt:
+    @pytest.mark.parametrize("mode", ["barrett", "shoup", "lazy"])
+    def test_matches_naive(self, mode, rng):
+        q = BIG_Q
+        plan = IfmaNtt(32, q, mode=mode)
+        x = random_residues(rng, q, 32)
+        assert plan.forward(x) == naive_ntt(x, q, root=plan.table.root)
+
+    @pytest.mark.parametrize("mode", ["barrett", "shoup", "lazy"])
+    def test_roundtrip(self, mode, rng):
+        q = BIG_Q
+        plan = IfmaNtt(32, q, mode=mode)
+        x = random_residues(rng, q, 32)
+        assert plan.inverse(plan.forward(x)) == x
+
+    def test_modes_agree(self, rng):
+        q = BIG_Q
+        x = random_residues(rng, q, 32)
+        outs = []
+        root = None
+        for mode in ("barrett", "shoup", "lazy"):
+            plan = IfmaNtt(32, q, root=root, mode=mode)
+            root = plan.table.root
+            outs.append(plan.forward(x))
+        assert outs[0] == outs[1] == outs[2]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(NttParameterError):
+            IfmaNtt(32, BIG_Q, mode="montgomery")
+
+    def test_undersized_rejected(self):
+        with pytest.raises(NttParameterError):
+            IfmaNtt(8, BIG_Q)
+
+
+class TestPerf:
+    def test_tuning_ladder_monotone_on_intel(self):
+        q = BIG_Q
+        cpu = get_cpu("intel_xeon_8352y")
+        from repro.kernels import get_backend
+
+        portable = estimate_ntt(1 << 14, q, get_backend("avx512"), cpu).ns
+        shoup = estimate_ntt(
+            1 << 14, q, get_backend("avx512"), cpu, twiddle_mode="shoup"
+        ).ns
+        ifma_lazy = estimate_ifma_ntt(1 << 14, q, cpu, "lazy").ns
+        assert ifma_lazy < shoup < portable
+
+    def test_tuned_gap_reaches_paper_regime(self):
+        """The fully tuned rung must approach the paper's measured 2.4x."""
+        q = BIG_Q
+        cpu = get_cpu("intel_xeon_8352y")
+        from repro.kernels import get_backend
+
+        scalar = estimate_ntt(1 << 14, q, get_backend("scalar"), cpu).ns
+        tuned = estimate_ifma_ntt(1 << 14, q, cpu, "lazy").ns
+        assert 1.5 < scalar / tuned < 3.0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(Exception):
+            estimate_ifma_ntt(1 << 12, BIG_Q, get_cpu("amd_epyc_9654"), "fast")
+
+    def test_experiment_table(self):
+        from repro.experiments.extension_ifma import run
+
+        result = run()
+        assert len(result.rows) == 10  # 2 CPUs x 5 rungs
+        intel_rows = [r for r in result.rows if r[0] == "intel_xeon_8352y"]
+        speedups = [float(r[3]) for r in intel_rows]
+        assert speedups == sorted(speedups)  # monotone ladder on Intel
+        assert speedups[-1] > 1.5
+
+    def test_avx512_lazy_mode_on_simd_ntt(self):
+        """The 64-bit lazy rung exists on the portable backends too."""
+        import random
+
+        from repro.kernels import get_backend
+        from repro.ntt.reference import naive_ntt
+        from repro.ntt.simd import SimdNtt
+
+        rng = random.Random(4)
+        q = BIG_Q
+        x = [rng.randrange(q) for _ in range(32)]
+        for name in ("scalar", "avx2", "avx512", "mqx"):
+            plan = SimdNtt(32, q, get_backend(name), twiddle_mode="lazy")
+            assert plan.forward(x) == naive_ntt(x, q, root=plan.table.root)
+            assert plan.inverse(plan.forward(x)) == x
+
+    def test_lazy_beats_shoup_beats_barrett(self):
+        q = BIG_Q
+        from repro.kernels import get_backend
+
+        for cpu_key in ("intel_xeon_8352y", "amd_epyc_9654"):
+            cpu = get_cpu(cpu_key)
+            be = get_backend("avx512")
+            barrett = estimate_ntt(1 << 14, q, be, cpu).ns
+            shoup = estimate_ntt(1 << 14, q, be, cpu, twiddle_mode="shoup").ns
+            lazy = estimate_ntt(1 << 14, q, be, cpu, twiddle_mode="lazy").ns
+            assert lazy < shoup < barrett

@@ -1,0 +1,152 @@
+"""Semantics tests for the AVX2 intrinsic simulator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import IsaError
+from repro.isa import avx2 as y
+from repro.isa.trace import tracing
+from repro.isa.types import Vec
+
+MASK64 = (1 << 64) - 1
+LANES = y.LANES
+
+lane_values = st.lists(
+    st.integers(min_value=0, max_value=MASK64), min_size=LANES, max_size=LANES
+)
+
+
+class TestArithmetic:
+    @given(lane_values, lane_values)
+    def test_add_sub(self, a, b):
+        assert y.mm256_add_epi64(Vec(a), Vec(b)).to_list() == [
+            (x + z) & MASK64 for x, z in zip(a, b)
+        ]
+        assert y.mm256_sub_epi64(Vec(a), Vec(b)).to_list() == [
+            (x - z) & MASK64 for x, z in zip(a, b)
+        ]
+
+    def test_rejects_zmm_shape(self):
+        with pytest.raises(IsaError):
+            y.mm256_add_epi64(Vec([0] * 8), Vec([0] * 8))
+
+
+class TestCompareEmulation:
+    def test_signed_cmpgt(self):
+        a = Vec([MASK64, 5, 0, 0])  # -1 signed in lane 0
+        b = Vec([0, 3, 0, 0])
+        out = y.mm256_cmpgt_epi64(a, b)
+        assert out.to_list() == [0, MASK64, 0, 0]
+
+    @given(lane_values, lane_values)
+    def test_cmplt_epu64_unsigned_semantics(self, a, b):
+        out = y.cmplt_epu64(Vec(a), Vec(b))
+        assert out.to_list() == [
+            MASK64 if x < z else 0 for x, z in zip(a, b)
+        ]
+
+    @given(lane_values, lane_values)
+    def test_cmple_epu64(self, a, b):
+        out = y.cmple_epu64(Vec(a), Vec(b))
+        assert out.to_list() == [
+            MASK64 if x <= z else 0 for x, z in zip(a, b)
+        ]
+
+    def test_cmplt_costs_three_instructions(self):
+        with tracing() as t:
+            y.cmplt_epu64(Vec([1] * 4), Vec([2] * 4))
+        assert [e.op for e in t] == ["vpxor_ymm", "vpxor_ymm", "vpcmpgtq_ymm"]
+
+    def test_cmpeq(self):
+        out = y.mm256_cmpeq_epi64(Vec([1, 2, 3, 4]), Vec([1, 0, 3, 0]))
+        assert out.to_list() == [MASK64, 0, MASK64, 0]
+
+
+class TestMaskVectorIdioms:
+    def test_add_with_mask_carry_increments_where_set(self):
+        mask = Vec([MASK64, 0, MASK64, 0])
+        out = y.add_with_mask_carry(Vec([10, 10, MASK64, 10]), mask)
+        assert out.to_list() == [11, 10, 0, 10]
+
+    def test_blendv_uses_lane_msb(self):
+        a, b = Vec([0] * 4), Vec([7] * 4)
+        mask = Vec([MASK64, 0, 1 << 63, 5])
+        assert y.mm256_blendv_epi8(a, b, mask).to_list() == [7, 0, 7, 0]
+
+    def test_andnot(self):
+        out = y.mm256_andnot_si256(Vec([0b1100] * 4), Vec([0b1010] * 4))
+        assert out.to_list() == [0b0010] * 4
+
+
+class TestMultiply:
+    @given(lane_values, lane_values)
+    def test_mul_epu32(self, a, b):
+        mask32 = (1 << 32) - 1
+        out = y.mm256_mul_epu32(Vec(a), Vec(b))
+        assert out.to_list() == [
+            (x & mask32) * (z & mask32) for x, z in zip(a, b)
+        ]
+
+    @given(lane_values, lane_values)
+    def test_mullo_epi32_two_products_per_lane(self, a, b):
+        mask32 = (1 << 32) - 1
+        out = y.mm256_mullo_epi32(Vec(a), Vec(b))
+        for i in range(LANES):
+            lo = ((a[i] & mask32) * (b[i] & mask32)) & mask32
+            hi = ((a[i] >> 32) * (b[i] >> 32)) & mask32
+            assert out.lane(i) == (hi << 32) | lo
+
+    @given(lane_values, lane_values)
+    def test_wide_mul_emulation_exact(self, a, b):
+        hi, lo = y.mul64_wide_emulated(Vec(a), Vec(b))
+        for i in range(LANES):
+            assert (hi.lane(i) << 64) | lo.lane(i) == a[i] * b[i]
+
+    def test_wide_mul_all_ones_edge(self):
+        ones = Vec([MASK64] * 4)
+        hi, lo = y.mul64_wide_emulated(ones, ones)
+        product = MASK64 * MASK64
+        assert hi.to_list() == [product >> 64] * 4
+        assert lo.to_list() == [product & MASK64] * 4
+
+
+class TestPermutes:
+    def test_unpacklo_hi(self):
+        a, b = Vec([0, 1, 2, 3]), Vec([10, 11, 12, 13])
+        assert y.mm256_unpacklo_epi64(a, b).to_list() == [0, 10, 2, 12]
+        assert y.mm256_unpackhi_epi64(a, b).to_list() == [1, 11, 3, 13]
+
+    def test_permute2x128(self):
+        a, b = Vec([0, 1, 2, 3]), Vec([10, 11, 12, 13])
+        assert y.mm256_permute2x128_si256(a, b, 0x20).to_list() == [0, 1, 10, 11]
+        assert y.mm256_permute2x128_si256(a, b, 0x31).to_list() == [2, 3, 12, 13]
+
+    def test_permute4x64(self):
+        a = Vec([10, 20, 30, 40])
+        assert y.mm256_permute4x64_epi64(a, 0b00_01_10_11).to_list() == [
+            40, 30, 20, 10,
+        ]
+
+
+class TestShiftsAndMemory:
+    @given(lane_values, st.integers(min_value=0, max_value=64))
+    def test_shifts(self, a, amount):
+        va = Vec(a)
+        assert y.mm256_srli_epi64(va, amount).to_list() == [
+            x >> amount if amount < 64 else 0 for x in a
+        ]
+        assert y.mm256_slli_epi64(va, amount).to_list() == [
+            (x << amount) & MASK64 if amount < 64 else 0 for x in a
+        ]
+
+    def test_load_store_tags(self):
+        with tracing() as t:
+            x = y.mm256_load_si256([1, 2, 3, 4])
+            y.mm256_store_si256(x)
+        assert t.memory_ops() == (1, 1)
+
+    def test_set1_hoisted_default(self):
+        with tracing() as t:
+            y.mm256_set1_epi64x(5)
+        assert len(t) == 0

@@ -1,0 +1,216 @@
+"""Semantics tests for the AVX-512 intrinsic simulator."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import IsaError
+from repro.isa import avx512 as v
+from repro.isa.trace import tracing
+from repro.isa.types import Mask, Vec
+
+MASK64 = (1 << 64) - 1
+LANES = v.LANES
+
+lane_values = st.lists(
+    st.integers(min_value=0, max_value=MASK64), min_size=LANES, max_size=LANES
+)
+
+
+def vecs(draw_a, draw_b):
+    return Vec(draw_a), Vec(draw_b)
+
+
+class TestArithmetic:
+    @given(lane_values, lane_values)
+    def test_add_wraps_per_lane(self, a, b):
+        out = v.mm512_add_epi64(Vec(a), Vec(b))
+        assert out.to_list() == [(x + y) & MASK64 for x, y in zip(a, b)]
+
+    @given(lane_values, lane_values)
+    def test_sub_wraps_per_lane(self, a, b):
+        out = v.mm512_sub_epi64(Vec(a), Vec(b))
+        assert out.to_list() == [(x - y) & MASK64 for x, y in zip(a, b)]
+
+    @given(lane_values, lane_values, st.integers(min_value=0, max_value=255))
+    def test_masked_add_merges(self, a, b, bits):
+        k = Mask(bits, LANES)
+        src = Vec([i * 111 for i in range(LANES)])
+        out = v.mm512_mask_add_epi64(src, k, Vec(a), Vec(b))
+        for i in range(LANES):
+            expected = (a[i] + b[i]) & MASK64 if k.bit(i) else src.lane(i)
+            assert out.lane(i) == expected
+
+    @given(lane_values, lane_values, st.integers(min_value=0, max_value=255))
+    def test_masked_sub_merges(self, a, b, bits):
+        k = Mask(bits, LANES)
+        src = Vec([i for i in range(LANES)])
+        out = v.mm512_mask_sub_epi64(src, k, Vec(a), Vec(b))
+        for i in range(LANES):
+            expected = (a[i] - b[i]) & MASK64 if k.bit(i) else src.lane(i)
+            assert out.lane(i) == expected
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(IsaError):
+            v.mm512_add_epi64(Vec([1, 2, 3, 4]), Vec([1, 2, 3, 4]))
+
+
+class TestCompare:
+    @given(lane_values, lane_values)
+    def test_unsigned_lt(self, a, b):
+        mask = v.mm512_cmp_epu64_mask(Vec(a), Vec(b), v.CMPINT_LT)
+        assert mask.to_bools() == [x < y for x, y in zip(a, b)]
+
+    @pytest.mark.parametrize(
+        "predicate,op",
+        [
+            (v.CMPINT_EQ, lambda x, y: x == y),
+            (v.CMPINT_LE, lambda x, y: x <= y),
+            (v.CMPINT_NE, lambda x, y: x != y),
+            (v.CMPINT_NLT, lambda x, y: x >= y),
+            (v.CMPINT_NLE, lambda x, y: x > y),
+            (v.CMPINT_FALSE, lambda x, y: False),
+            (v.CMPINT_TRUE, lambda x, y: True),
+        ],
+    )
+    def test_all_predicates(self, predicate, op):
+        rng = random.Random(predicate)
+        a = [rng.randrange(1 << 64) for _ in range(LANES)]
+        b = list(a)
+        b[0] = a[0]  # force an equal lane
+        mask = v.mm512_cmp_epu64_mask(Vec(a), Vec(b), predicate)
+        assert mask.to_bools() == [op(x, y) for x, y in zip(a, b)]
+
+    def test_unknown_predicate_rejected(self):
+        with pytest.raises(IsaError):
+            v.mm512_cmp_epu64_mask(Vec.zeros(8), Vec.zeros(8), 99)
+
+    def test_signed_compare(self):
+        a = Vec([MASK64, 1] + [0] * 6)  # -1 signed
+        b = Vec([0] * 8)
+        mask = v.mm512_cmp_epi64_mask(a, b, v.CMPINT_LT)
+        assert mask.to_bools() == [True] + [False] * 7
+
+    def test_masked_compare_zeroing(self):
+        a = Vec([0] * 8)
+        b = Vec([1] * 8)
+        k = Mask(0b1010_1010, 8)
+        out = v.mm512_mask_cmp_epu64_mask(k, a, b, v.CMPINT_LT)
+        assert out.value == 0b1010_1010
+
+
+class TestBlendAndMaskOps:
+    def test_blend_selects_b_where_set(self):
+        a, b = Vec([0] * 8), Vec([9] * 8)
+        out = v.mm512_mask_blend_epi64(Mask(0b0000_1111, 8), a, b)
+        assert out.to_list() == [9, 9, 9, 9, 0, 0, 0, 0]
+
+    def test_mask_register_ops(self):
+        a, b = Mask(0b1100, 8), Mask(0b1010, 8)
+        assert v.kor8(a, b).value == 0b1110
+        assert v.kand8(a, b).value == 0b1000
+        assert v.kxor8(a, b).value == 0b0110
+        assert v.knot8(a).value == 0b1111_0011
+        assert v.kandn8(a, b).value == 0b0010
+
+
+class TestMultiply:
+    @given(lane_values, lane_values)
+    def test_mullo_low_64(self, a, b):
+        out = v.mm512_mullo_epi64(Vec(a), Vec(b))
+        assert out.to_list() == [(x * y) & MASK64 for x, y in zip(a, b)]
+
+    @given(lane_values, lane_values)
+    def test_mul_epu32_uses_low_halves(self, a, b):
+        out = v.mm512_mul_epu32(Vec(a), Vec(b))
+        mask32 = (1 << 32) - 1
+        assert out.to_list() == [(x & mask32) * (y & mask32) for x, y in zip(a, b)]
+
+    @given(lane_values, lane_values)
+    def test_wide_mul_emulation_exact(self, a, b):
+        hi, lo = v.mul64_wide_emulated(Vec(a), Vec(b))
+        for i in range(LANES):
+            assert (hi.lane(i) << 64) | lo.lane(i) == a[i] * b[i]
+
+    def test_wide_mul_edge_all_ones(self):
+        ones = Vec([MASK64] * 8)
+        hi, lo = v.mul64_wide_emulated(ones, ones)
+        product = MASK64 * MASK64
+        assert hi.to_list() == [product >> 64] * 8
+        assert lo.to_list() == [product & MASK64] * 8
+
+
+class TestShiftsLogic:
+    @given(lane_values, st.integers(min_value=0, max_value=64))
+    def test_srli_slli(self, a, amount):
+        va = Vec(a)
+        assert v.mm512_srli_epi64(va, amount).to_list() == [
+            x >> amount if amount < 64 else 0 for x in a
+        ]
+        assert v.mm512_slli_epi64(va, amount).to_list() == [
+            (x << amount) & MASK64 if amount < 64 else 0 for x in a
+        ]
+
+    def test_bitwise(self):
+        a, b = Vec([0b1100] * 8), Vec([0b1010] * 8)
+        assert v.mm512_and_epi64(a, b).to_list() == [0b1000] * 8
+        assert v.mm512_or_epi64(a, b).to_list() == [0b1110] * 8
+        assert v.mm512_xor_epi64(a, b).to_list() == [0b0110] * 8
+
+    def test_max_epu64_is_unsigned(self):
+        a = Vec([MASK64] + [0] * 7)
+        b = Vec([1] * 8)
+        assert v.mm512_max_epu64(a, b).lane(0) == MASK64
+
+
+class TestPermutes:
+    def test_unpacklo(self):
+        a = Vec(list(range(8)))
+        b = Vec([x + 10 for x in range(8)])
+        assert v.mm512_unpacklo_epi64(a, b).to_list() == [0, 10, 2, 12, 4, 14, 6, 16]
+
+    def test_unpackhi(self):
+        a = Vec(list(range(8)))
+        b = Vec([x + 10 for x in range(8)])
+        assert v.mm512_unpackhi_epi64(a, b).to_list() == [1, 11, 3, 13, 5, 15, 7, 17]
+
+    def test_permutex2var_selects_across_sources(self):
+        a = Vec(list(range(8)))
+        b = Vec([x + 100 for x in range(8)])
+        idx = Vec([0, 8, 1, 9, 2, 10, 3, 11])
+        out = v.mm512_permutex2var_epi64(a, idx, b)
+        assert out.to_list() == [0, 100, 1, 101, 2, 102, 3, 103]
+
+    def test_permutexvar(self):
+        a = Vec([10, 11, 12, 13, 14, 15, 16, 17])
+        idx = Vec([7, 6, 5, 4, 3, 2, 1, 0])
+        assert v.mm512_permutexvar_epi64(idx, a).to_list() == list(
+            reversed(a.to_list())
+        )
+
+
+class TestTracing:
+    def test_set1_hoisted_by_default(self):
+        with tracing() as t:
+            v.mm512_set1_epi64(5)
+        assert len(t) == 0
+
+    def test_set1_costed_when_requested(self):
+        with tracing() as t:
+            v.mm512_set1_epi64(5, hoisted=False)
+        assert t.entries[0].op == "vpbroadcastq_zmm"
+
+    def test_load_store_tags(self):
+        with tracing() as t:
+            x = v.mm512_load_si512(list(range(8)))
+            v.mm512_store_si512(x)
+        assert t.memory_ops() == (1, 1)
+        assert t.entries[0].op == "vmovdqu64_load_zmm"
+
+    def test_register_copy(self):
+        with tracing() as t:
+            out = v.mm512_movdqa64(Vec(list(range(8))))
+        assert out.to_list() == list(range(8))
+        assert t.entries[0].op == "vmovdqa64_zmm"

@@ -1,0 +1,86 @@
+"""Tests for the KNC heritage instructions and MQX's lineage claim."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import IsaError
+from repro.isa import knc
+from repro.isa import mqx
+from repro.isa.types import Mask, Vec
+
+MASK32 = (1 << 32) - 1
+lane32 = st.lists(
+    st.integers(min_value=0, max_value=MASK32), min_size=16, max_size=16
+)
+mask16 = st.integers(min_value=0, max_value=(1 << 16) - 1)
+
+
+class TestKncSemantics:
+    @given(lane32, lane32, mask16)
+    def test_adc(self, a, b, ci_bits):
+        ci = Mask(ci_bits, 16)
+        total, co = knc.mm512_adc_epi32(Vec(a, width=32), ci, Vec(b, width=32))
+        for i in range(16):
+            wide = a[i] + b[i] + (1 if ci.bit(i) else 0)
+            assert total.lane(i) == wide & MASK32
+            assert co.bit(i) == (wide >> 32 != 0)
+
+    @given(lane32, lane32, mask16)
+    def test_sbb(self, a, b, bi_bits):
+        bi = Mask(bi_bits, 16)
+        diff, bo = knc.mm512_sbb_epi32(Vec(a, width=32), bi, Vec(b, width=32))
+        for i in range(16):
+            wide = a[i] - b[i] - (1 if bi.bit(i) else 0)
+            assert diff.lane(i) == wide & MASK32
+            assert bo.bit(i) == (wide < 0)
+
+    @given(lane32, lane32)
+    def test_mulhi_mullo_form_widening_pair(self, a, b):
+        hi = knc.mm512_mulhi_epi32(Vec(a, width=32), Vec(b, width=32))
+        lo = knc.mm512_mullo_epi32(Vec(a, width=32), Vec(b, width=32))
+        for i in range(16):
+            assert (hi.lane(i) << 32) | lo.lane(i) == a[i] * b[i]
+
+    def test_rejects_64bit_registers(self):
+        with pytest.raises(IsaError):
+            knc.mm512_adc_epi32(Vec([0] * 8), Mask.zeros(16), Vec([0] * 8))
+        with pytest.raises(IsaError):
+            knc.mm512_adc_epi32(
+                Vec([0] * 16, width=32), Mask.zeros(8), Vec([0] * 16, width=32)
+            )
+
+
+class TestMqxLineage:
+    """Section 4.1: each MQX instruction is a width-doubled KNC ancestor."""
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=MASK32), min_size=8, max_size=8),
+        st.lists(st.integers(min_value=0, max_value=MASK32), min_size=8, max_size=8),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_adc_widens_consistently(self, a, b, ci_bits):
+        """On values that fit 32 bits, MQX adc and KNC adc agree lane-wise."""
+        ci8 = Mask(ci_bits, 8)
+        mqx_sum, mqx_co = mqx.mm512_adc_epi64(Vec(a), Vec(b), ci8)
+        ci16 = Mask.from_bools(
+            [ci8.bit(i) for i in range(8)] + [False] * 8
+        )
+        knc_sum, knc_co = knc.mm512_adc_epi32(
+            Vec(a + [0] * 8, width=32), ci16, Vec(b + [0] * 8, width=32)
+        )
+        for i in range(8):
+            wide = a[i] + b[i] + (1 if ci8.bit(i) else 0)
+            # The 64-bit op never carries for 32-bit operands...
+            assert not mqx_co.bit(i)
+            assert mqx_sum.lane(i) == wide
+            # ...while the 32-bit ancestor carries exactly at 2^32.
+            assert knc_sum.lane(i) == wide & MASK32
+            assert knc_co.bit(i) == (wide >> 32 != 0)
+
+    def test_mulhi_lineage(self):
+        """MQX's +Mh variant mirrors KNC's vmulhpi at double width."""
+        a = Vec([3 << 60] * 8)
+        b = Vec([5 << 60] * 8)
+        hi = mqx.mm512_mulhi_epi64(a, b)
+        assert hi.lane(0) == ((3 << 60) * (5 << 60)) >> 64

@@ -1,0 +1,138 @@
+"""Semantics tests for the MQX extension (Table 2's emulation column)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import IsaError
+from repro.isa import mqx as x
+from repro.isa.trace import tracing
+from repro.isa.types import Mask, Vec
+
+MASK64 = (1 << 64) - 1
+LANES = x.LANES
+
+lane_values = st.lists(
+    st.integers(min_value=0, max_value=MASK64), min_size=LANES, max_size=LANES
+)
+mask_bits = st.integers(min_value=0, max_value=(1 << LANES) - 1)
+
+
+class TestWideningMultiply:
+    @given(lane_values, lane_values)
+    def test_table2_semantics(self, a, b):
+        hi, lo = x.mm512_mul_epi64(Vec(a), Vec(b))
+        for i in range(LANES):
+            assert hi.lane(i) == (a[i] * b[i]) >> 64
+            assert lo.lane(i) == (a[i] * b[i]) & MASK64
+
+    @given(lane_values, lane_values)
+    def test_mulhi_matches_wide_high(self, a, b):
+        hi, _ = x.mm512_mul_epi64(Vec(a), Vec(b))
+        assert x.mm512_mulhi_epi64(Vec(a), Vec(b)) == hi
+
+    def test_single_instruction(self):
+        with tracing() as t:
+            x.mm512_mul_epi64(Vec([1] * 8), Vec([1] * 8))
+        assert [e.op for e in t] == ["vpmulwq_zmm"]
+
+    def test_rejects_ymm(self):
+        with pytest.raises(IsaError):
+            x.mm512_mul_epi64(Vec([1] * 4), Vec([1] * 4))
+
+
+class TestAdc:
+    @given(lane_values, lane_values, mask_bits)
+    def test_table2_semantics(self, a, b, ci_bits):
+        ci = Mask(ci_bits, LANES)
+        total, co = x.mm512_adc_epi64(Vec(a), Vec(b), ci)
+        for i in range(LANES):
+            wide = a[i] + b[i] + (1 if ci.bit(i) else 0)
+            assert total.lane(i) == wide & MASK64
+            assert co.bit(i) == (wide >> 64 != 0)
+
+    def test_carry_edge_max_plus_max_plus_one(self):
+        ones = Vec([MASK64] * 8)
+        total, co = x.mm512_adc_epi64(ones, ones, Mask.ones(8))
+        assert total.to_list() == [MASK64] * 8
+        assert co.value == 0xFF
+
+    def test_single_instruction(self):
+        with tracing() as t:
+            x.mm512_adc_epi64(Vec([1] * 8), Vec([1] * 8), Mask.zeros(8))
+        assert [e.op for e in t] == ["vpadcq_zmm"]
+
+
+class TestSbb:
+    @given(lane_values, lane_values, mask_bits)
+    def test_table2_semantics(self, a, b, bi_bits):
+        bi = Mask(bi_bits, LANES)
+        diff, bo = x.mm512_sbb_epi64(Vec(a), Vec(b), bi)
+        for i in range(LANES):
+            wide = a[i] - b[i] - (1 if bi.bit(i) else 0)
+            assert diff.lane(i) == wide & MASK64
+            assert bo.bit(i) == (wide < 0)
+
+    def test_borrow_edge_zero_minus_zero_minus_one(self):
+        zeros = Vec([0] * 8)
+        diff, bo = x.mm512_sbb_epi64(zeros, zeros, Mask.ones(8))
+        assert diff.to_list() == [MASK64] * 8
+        assert bo.value == 0xFF
+
+
+class TestPredicated:
+    @given(lane_values, lane_values, mask_bits, mask_bits)
+    def test_mask_adc_merges_src(self, a, b, k_bits, ci_bits):
+        src = Vec([i * 7 for i in range(LANES)])
+        k, ci = Mask(k_bits, LANES), Mask(ci_bits, LANES)
+        out = x.mm512_mask_adc_epi64(src, k, Vec(a), Vec(b), ci)
+        for i in range(LANES):
+            if k.bit(i):
+                expected = (a[i] + b[i] + (1 if ci.bit(i) else 0)) & MASK64
+            else:
+                expected = src.lane(i)
+            assert out.lane(i) == expected
+
+    @given(lane_values, lane_values, mask_bits, mask_bits)
+    def test_mask_sbb_merges_src(self, a, b, k_bits, bi_bits):
+        src = Vec([i * 3 for i in range(LANES)])
+        k, bi = Mask(k_bits, LANES), Mask(bi_bits, LANES)
+        out = x.mm512_mask_sbb_epi64(src, k, Vec(a), Vec(b), bi)
+        for i in range(LANES):
+            if k.bit(i):
+                expected = (a[i] - b[i] - (1 if bi.bit(i) else 0)) & MASK64
+            else:
+                expected = src.lane(i)
+            assert out.lane(i) == expected
+
+    def test_predicated_produces_no_carry_out(self):
+        # Per the paper, the predicated forms return only the value.
+        out = x.mm512_mask_adc_epi64(
+            Vec([0] * 8), Mask.ones(8), Vec([1] * 8), Vec([2] * 8), Mask.zeros(8)
+        )
+        assert isinstance(out, Vec)
+
+
+class TestScalarAncestry:
+    """MQX mirrors the scalar ADC/SBB/MUL exactly (Section 4.1)."""
+
+    @given(lane_values, lane_values, mask_bits)
+    def test_adc_matches_scalar_adc_lanewise(self, a, b, ci_bits):
+        from repro.isa import scalar as s
+
+        ci = Mask(ci_bits, LANES)
+        total, co = x.mm512_adc_epi64(Vec(a), Vec(b), ci)
+        for i in range(LANES):
+            st_total, st_carry = s.adc64(a[i], b[i], 1 if ci.bit(i) else 0)
+            assert total.lane(i) == int(st_total)
+            assert co.bit(i) == bool(int(st_carry))
+
+    @given(lane_values, lane_values)
+    def test_mul_matches_scalar_mul_lanewise(self, a, b):
+        from repro.isa import scalar as s
+
+        hi, lo = x.mm512_mul_epi64(Vec(a), Vec(b))
+        for i in range(LANES):
+            st_hi, st_lo = s.mul64(a[i], b[i])
+            assert hi.lane(i) == int(st_hi)
+            assert lo.lane(i) == int(st_lo)

@@ -1,0 +1,171 @@
+"""Semantics tests for the scalar x86-64 instruction simulator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import IsaError
+from repro.isa import scalar as s
+from repro.isa.trace import tracing
+
+MASK64 = (1 << 64) - 1
+U64 = st.integers(min_value=0, max_value=MASK64)
+BIT = st.integers(min_value=0, max_value=1)
+
+
+class TestAddSub:
+    @given(U64, U64)
+    def test_add64_matches_wide_sum(self, a, b):
+        total, carry = s.add64(a, b)
+        assert int(total) == (a + b) & MASK64
+        assert int(carry) == (a + b) >> 64
+
+    @given(U64, U64, BIT)
+    def test_adc64_matches_wide_sum(self, a, b, ci):
+        total, carry = s.adc64(a, b, ci)
+        assert int(total) == (a + b + ci) & MASK64
+        assert int(carry) == (a + b + ci) >> 64
+
+    def test_adc_carry_chain_edge(self):
+        # max + max + 1 = 2^65 - 1: result all-ones, carry set.
+        total, carry = s.adc64(MASK64, MASK64, 1)
+        assert int(total) == MASK64
+        assert int(carry) == 1
+
+    @given(U64, U64)
+    def test_sub64_borrow(self, a, b):
+        diff, borrow = s.sub64(a, b)
+        assert int(diff) == (a - b) & MASK64
+        assert int(borrow) == (1 if a < b else 0)
+
+    @given(U64, U64, BIT)
+    def test_sbb64(self, a, b, bi):
+        diff, borrow = s.sbb64(a, b, bi)
+        assert int(diff) == (a - b - bi) & MASK64
+        assert int(borrow) == (1 if a - b - bi < 0 else 0)
+
+    def test_sbb_borrow_edge(self):
+        diff, borrow = s.sbb64(0, 0, 1)
+        assert int(diff) == MASK64
+        assert int(borrow) == 1
+
+
+class TestMultiply:
+    @given(U64, U64)
+    def test_mul64_widening(self, a, b):
+        hi, lo = s.mul64(a, b)
+        assert (int(hi) << 64) | int(lo) == a * b
+
+    @given(U64, U64)
+    def test_imul64_low_only(self, a, b):
+        assert int(s.imul64(a, b)) == (a * b) & MASK64
+
+
+class TestShifts:
+    @given(U64, st.integers(min_value=0, max_value=63))
+    def test_shl_shr_semantics(self, a, amount):
+        assert int(s.shl64(a, amount)) == (a << amount) & MASK64
+        assert int(s.shr64(a, amount)) == a >> amount
+
+    def test_shift_range_checked(self):
+        with pytest.raises(IsaError):
+            s.shl64(1, 64)
+        with pytest.raises(IsaError):
+            s.shr64(1, -1)
+
+    @given(U64, U64, st.integers(min_value=1, max_value=63))
+    def test_shrd_double_shift(self, hi, lo, amount):
+        combined = (hi << 64) | lo
+        assert int(s.shrd64(hi, lo, amount)) == (combined >> amount) & MASK64
+
+    def test_shrd_rejects_zero_and_64(self):
+        with pytest.raises(IsaError):
+            s.shrd64(1, 1, 0)
+        with pytest.raises(IsaError):
+            s.shrd64(1, 1, 64)
+
+
+class TestLogicCompare:
+    @given(U64, U64)
+    def test_bitwise_ops(self, a, b):
+        assert int(s.and64(a, b)) == a & b
+        assert int(s.or64(a, b)) == a | b
+        assert int(s.xor64(a, b)) == a ^ b
+
+    @given(U64, U64)
+    def test_unsigned_compares(self, a, b):
+        assert bool(s.cmp_lt64(a, b)) == (a < b)
+        assert bool(s.cmp_le64(a, b)) == (a <= b)
+        assert bool(s.cmp_eq64(a, b)) == (a == b)
+
+    @given(BIT, BIT)
+    def test_flag_logic(self, a, b):
+        assert int(s.or1(a, b)) == (a | b)
+        assert int(s.and1(a, b)) == (a & b)
+        assert int(s.not1(a)) == 1 - a
+
+    @given(BIT, U64, U64)
+    def test_cmov(self, flag, x, y):
+        assert int(s.cmov64(flag, x, y)) == (x if flag else y)
+
+
+class TestDivide:
+    @given(U64, U64, st.integers(min_value=1, max_value=MASK64))
+    def test_div64_when_quotient_fits(self, hi, lo, d):
+        numerator = (hi << 64) | lo
+        if numerator // d > MASK64:
+            with pytest.raises(IsaError):
+                s.div64(hi, lo, d)
+        else:
+            q, r = s.div64(hi, lo, d)
+            assert int(q) == numerator // d
+            assert int(r) == numerator % d
+
+    def test_div_by_zero_faults(self):
+        with pytest.raises(IsaError):
+            s.div64(0, 1, 0)
+
+    def test_quotient_overflow_faults(self):
+        with pytest.raises(IsaError):
+            s.div64(1, 0, 1)  # 2^64 / 1 does not fit 64 bits
+
+
+class TestMemoryAndOverhead:
+    def test_load_store_tagging(self):
+        with tracing() as t:
+            value = s.load64(42)
+            s.store64(value)
+        assert int(value) == 42
+        assert t.memory_ops() == (1, 1)
+
+    def test_call_overhead_kinds(self):
+        with tracing() as t:
+            s.call_overhead("call")
+            s.call_overhead("alloc")
+        assert [e.op for e in t] == ["call", "alloc"]
+
+    def test_call_overhead_rejects_unknown(self):
+        with pytest.raises(IsaError):
+            s.call_overhead("teleport")
+
+    def test_mov_copies(self):
+        with tracing() as t:
+            out = s.mov64(7)
+        assert int(out) == 7
+        assert t.entries[0].op == "mov64"
+
+
+class TestTracingShape:
+    def test_add_emits_one_entry_with_dataflow(self):
+        with tracing() as t:
+            total, carry = s.add64(3, 4)
+        (entry,) = t.entries
+        assert entry.op == "add64"
+        assert set(entry.dests) == {total.vid, carry.vid}
+
+    def test_flag_dependency_preserved_through_adc(self):
+        with tracing() as t:
+            _, c = s.add64(MASK64, 1)
+            out, _ = s.adc64(0, 0, c)
+        assert c.vid in t.entries[1].srcs
+        assert int(out) == 1

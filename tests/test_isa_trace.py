@@ -1,0 +1,82 @@
+"""Unit tests for the instruction tracer."""
+
+from repro.isa import scalar as s
+from repro.isa.trace import TraceEntry, Tracer, current_tracer, emit, tracing
+
+
+class TestTracerBasics:
+    def test_no_active_tracer_is_noop(self):
+        assert current_tracer() is None
+        emit("add64")  # must not raise
+
+    def test_tracing_collects_entries(self):
+        with tracing() as t:
+            emit("add64", [], [])
+            emit("mul64", [], [])
+        assert len(t) == 2
+        assert [e.op for e in t] == ["add64", "mul64"]
+
+    def test_nested_tracers_innermost_records(self):
+        with tracing() as outer:
+            with tracing() as inner:
+                emit("add64")
+            emit("sub64")
+        assert [e.op for e in inner] == ["add64"]
+        assert [e.op for e in outer] == ["sub64"]
+
+    def test_tracer_popped_on_exception(self):
+        try:
+            with tracing():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_tracer() is None
+
+    def test_emit_resolves_vids(self):
+        with tracing() as t:
+            a, _ = s.add64(1, 2)
+            b, _ = s.add64(a, 3)
+        assert t.entries[1].srcs[0] == a.vid
+        assert b.vid in t.entries[1].dests
+
+
+class TestTracerQueries:
+    def test_op_counts(self):
+        with tracing() as t:
+            s.add64(1, 2)
+            s.add64(3, 4)
+            s.mul64(5, 6)
+        counts = t.op_counts()
+        assert counts["add64"] == 2
+        assert counts["mul64"] == 1
+        assert t.count("add64") == 2
+        assert t.count("missing") == 0
+
+    def test_memory_ops(self):
+        with tracing() as t:
+            s.load64(1)
+            s.load64(2)
+            s.store64(3)
+        assert t.memory_ops() == (2, 1)
+
+    def test_extend(self):
+        a = Tracer()
+        a.emit("add64")
+        b = Tracer()
+        b.emit("sub64")
+        a.extend(b)
+        assert [e.op for e in a] == ["add64", "sub64"]
+
+    def test_repr_includes_count(self):
+        t = Tracer("kernel")
+        t.emit("add64")
+        assert "1 instructions" in repr(t)
+
+    def test_entry_is_frozen(self):
+        entry = TraceEntry("add64")
+        try:
+            entry.op = "sub64"
+            raised = False
+        except Exception:
+            raised = True
+        assert raised

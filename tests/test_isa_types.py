@@ -1,0 +1,123 @@
+"""Unit tests for the register-value types (Vec, Mask, SVal)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import IsaError, LaneMismatchError, MaskWidthError
+from repro.isa.types import Mask, SVal, Vec, check_mask_fits, check_same_shape
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestVec:
+    def test_lanes_and_bits(self):
+        v = Vec([1, 2, 3, 4, 5, 6, 7, 8])
+        assert v.lanes == 8
+        assert v.width == 64
+        assert v.bits == 512
+
+    def test_values_are_wrapped_to_width(self):
+        v = Vec([1 << 64, (1 << 64) + 3], width=64)
+        assert v.to_list() == [0, 3]
+
+    def test_broadcast_fills_all_lanes(self):
+        v = Vec.broadcast(7, 4)
+        assert v.to_list() == [7, 7, 7, 7]
+
+    def test_zeros(self):
+        assert Vec.zeros(8).to_list() == [0] * 8
+
+    def test_lane_access(self):
+        v = Vec([10, 20, 30, 40])
+        assert v.lane(2) == 30
+
+    def test_empty_vector_rejected(self):
+        with pytest.raises(IsaError):
+            Vec([])
+
+    def test_immutable(self):
+        v = Vec([1, 2])
+        with pytest.raises(AttributeError):
+            v.width = 32
+
+    def test_equality_ignores_vid(self):
+        assert Vec([1, 2, 3, 4]) == Vec([1, 2, 3, 4])
+        assert Vec([1, 2, 3, 4]) != Vec([1, 2, 3, 5])
+
+    def test_fresh_vids_are_unique(self):
+        a, b = Vec([1]), Vec([1])
+        assert a.vid != b.vid
+
+    def test_hashable(self):
+        assert len({Vec([1, 2]), Vec([1, 2]), Vec([3, 4])}) == 2
+
+    def test_repr_shows_shape(self):
+        assert "Vec4x64" in repr(Vec([0, 0, 0, 0]))
+
+    def test_check_same_shape_rejects_mismatch(self):
+        with pytest.raises(LaneMismatchError):
+            check_same_shape(Vec([1, 2]), Vec([1, 2, 3, 4]))
+
+
+class TestMask:
+    def test_from_bools_lane_order(self):
+        m = Mask.from_bools([True, False, False, True])
+        assert m.value == 0b1001
+        assert m.to_bools() == [True, False, False, True]
+
+    def test_value_is_truncated_to_lanes(self):
+        assert Mask(0xFFFF, 8).value == 0xFF
+
+    def test_zeros_and_ones(self):
+        assert Mask.zeros(8).value == 0
+        assert Mask.ones(8).value == 0xFF
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(MaskWidthError):
+            Mask(0, 8).bit(8)
+
+    def test_zero_lanes_rejected(self):
+        with pytest.raises(IsaError):
+            Mask(0, 0)
+
+    def test_immutable(self):
+        m = Mask(3, 8)
+        with pytest.raises(AttributeError):
+            m.value = 0
+
+    def test_equality(self):
+        assert Mask(5, 8) == Mask(5, 8)
+        assert Mask(5, 8) != Mask(5, 4)
+
+    def test_check_mask_fits(self):
+        with pytest.raises(MaskWidthError):
+            check_mask_fits(Mask(0, 4), Vec([0] * 8))
+
+
+class TestSVal:
+    @given(U64)
+    def test_int_roundtrip(self, x):
+        assert int(SVal(x)) == x
+
+    def test_wraps_to_width(self):
+        assert SVal((1 << 64) + 9).value == 9
+
+    def test_flag_width(self):
+        assert SVal(3, width=1).value == 1
+
+    def test_bool_conversion(self):
+        assert bool(SVal(1, width=1))
+        assert not bool(SVal(0, width=1))
+
+    def test_index_protocol(self):
+        assert [10, 20, 30][SVal(1)] == 20
+
+    def test_equality_with_int(self):
+        assert SVal(5) == 5
+        assert SVal(5) == SVal(5)
+
+    def test_immutable(self):
+        v = SVal(1)
+        with pytest.raises(AttributeError):
+            v.value = 2

@@ -1,0 +1,207 @@
+"""Cross-backend correctness: every backend must match the references
+bit-for-bit (the paper's functional-correctness requirement, Section 4.2).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BackendError
+from repro.kernels import Backend, get_backend
+from repro.kernels.backend import DWPair, split_dw_words
+from repro.kernels.mqx_backend import FEATURE_PRESETS, MqxFeatures
+
+from tests.conftest import ALL_BACKEND_NAMES, BIG_Q, MID_Q, SMALL_Q, random_residues
+
+MODULI = [SMALL_Q, MID_Q, BIG_Q]
+
+
+def _blocks(rng, backend, q):
+    a = random_residues(rng, q, backend.lanes)
+    b = random_residues(rng, q, backend.lanes)
+    return a, b, backend.load_block(a), backend.load_block(b)
+
+
+class TestRegistry:
+    def test_all_four_backends_registered(self):
+        for name in ALL_BACKEND_NAMES:
+            assert name in Backend.available()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(BackendError):
+            get_backend("avx1024")
+
+    def test_lane_counts_match_paper(self):
+        assert get_backend("scalar").lanes == 1
+        assert get_backend("avx2").lanes == 4
+        assert get_backend("avx512").lanes == 8
+        assert get_backend("mqx").lanes == 8
+
+
+@pytest.mark.parametrize("q", MODULI, ids=["q20", "q60", "q124"])
+class TestModularOps:
+    def test_addmod(self, backend, q, rng):
+        ctx = backend.make_modulus(q)
+        for _ in range(10):
+            a, b, blk_a, blk_b = _blocks(rng, backend, q)
+            out = backend.block_values(backend.addmod(blk_a, blk_b, ctx))
+            assert out == [(x + y) % q for x, y in zip(a, b)]
+
+    def test_submod(self, backend, q, rng):
+        ctx = backend.make_modulus(q)
+        for _ in range(10):
+            a, b, blk_a, blk_b = _blocks(rng, backend, q)
+            out = backend.block_values(backend.submod(blk_a, blk_b, ctx))
+            assert out == [(x - y) % q for x, y in zip(a, b)]
+
+    def test_mulmod_schoolbook(self, backend, q, rng):
+        ctx = backend.make_modulus(q, algorithm="schoolbook")
+        for _ in range(10):
+            a, b, blk_a, blk_b = _blocks(rng, backend, q)
+            out = backend.block_values(backend.mulmod(blk_a, blk_b, ctx))
+            assert out == [(x * y) % q for x, y in zip(a, b)]
+
+    def test_mulmod_karatsuba(self, backend, q, rng):
+        ctx = backend.make_modulus(q, algorithm="karatsuba")
+        for _ in range(10):
+            a, b, blk_a, blk_b = _blocks(rng, backend, q)
+            out = backend.block_values(backend.mulmod(blk_a, blk_b, ctx))
+            assert out == [(x * y) % q for x, y in zip(a, b)]
+
+    def test_butterfly(self, backend, q, rng):
+        ctx = backend.make_modulus(q)
+        for _ in range(5):
+            a, b, blk_a, blk_b = _blocks(rng, backend, q)
+            w = rng.randrange(q)
+            plus, minus = backend.butterfly(blk_a, blk_b, backend.broadcast_dw(w), ctx)
+            for i in range(backend.lanes):
+                t = b[i] * w % q
+                assert backend.block_values(plus)[i] == (a[i] + t) % q
+                assert backend.block_values(minus)[i] == (a[i] - t) % q
+
+
+class TestOperandEdgeCases:
+    """Boundary residues that stress carry/borrow paths."""
+
+    @pytest.mark.parametrize("name", ALL_BACKEND_NAMES)
+    def test_extremes(self, name):
+        backend = get_backend(name)
+        q = BIG_Q
+        ctx = backend.make_modulus(q)
+        extremes = [0, 1, q - 1, q - 2, q // 2, (1 << 64) - 1, 1 << 64]
+        pairs = [(x, z) for x in extremes for z in extremes]
+        for chunk_start in range(0, len(pairs), backend.lanes):
+            chunk = pairs[chunk_start : chunk_start + backend.lanes]
+            while len(chunk) < backend.lanes:
+                chunk.append((0, 0))
+            a = [p[0] for p in chunk]
+            b = [p[1] for p in chunk]
+            blk_a, blk_b = backend.load_block(a), backend.load_block(b)
+            assert backend.block_values(backend.addmod(blk_a, blk_b, ctx)) == [
+                (x + z) % q for x, z in chunk
+            ]
+            assert backend.block_values(backend.submod(blk_a, blk_b, ctx)) == [
+                (x - z) % q for x, z in chunk
+            ]
+            assert backend.block_values(backend.mulmod(blk_a, blk_b, ctx)) == [
+                (x * z) % q for x, z in chunk
+            ]
+
+
+class TestMqxFeaturePresets:
+    @pytest.mark.parametrize("label", sorted(FEATURE_PRESETS))
+    def test_every_preset_is_correct(self, label, rng):
+        backend = get_backend("mqx", features=FEATURE_PRESETS[label])
+        q = BIG_Q
+        ctx = backend.make_modulus(q)
+        for _ in range(8):
+            a, b, blk_a, blk_b = _blocks(rng, backend, q)
+            assert backend.block_values(backend.mulmod(blk_a, blk_b, ctx)) == [
+                (x * y) % q for x, y in zip(a, b)
+            ]
+            assert backend.block_values(backend.addmod(blk_a, blk_b, ctx)) == [
+                (x + y) % q for x, y in zip(a, b)
+            ]
+            assert backend.block_values(backend.submod(blk_a, blk_b, ctx)) == [
+                (x - y) % q for x, y in zip(a, b)
+            ]
+
+    def test_labels(self):
+        assert MqxFeatures().label == "+M,C"
+        assert FEATURE_PRESETS["+Mh,C"].label == "+Mh,C"
+        assert FEATURE_PRESETS["+M,C,P"].label == "+M,C,P"
+
+    def test_invalid_combinations_rejected(self):
+        with pytest.raises(BackendError):
+            MqxFeatures(wide_mul=True, mulhi_only=True)
+        with pytest.raises(BackendError):
+            MqxFeatures(wide_mul=True, carry=False, predication=True)
+        with pytest.raises(BackendError):
+            MqxFeatures(wide_mul=False, carry=False)
+
+
+class TestBlockIO:
+    def test_wrong_block_size_rejected(self, backend):
+        with pytest.raises(BackendError):
+            backend.load_block([0] * (backend.lanes + 1))
+
+    def test_split_dw_words(self):
+        his, los = split_dw_words([(3 << 64) | 5, 7])
+        assert his == [3, 0]
+        assert los == [5, 7]
+
+    def test_split_rejects_129_bits(self):
+        with pytest.raises(BackendError):
+            split_dw_words([1 << 128])
+
+    def test_store_returns_loaded_values(self, backend, rng):
+        values = random_residues(rng, BIG_Q, backend.lanes)
+        block = backend.load_block(values)
+        assert backend.store_block(block) == values
+        assert backend.block_values(block) == values
+
+    def test_interleave_order(self, backend, rng):
+        even_vals = random_residues(rng, BIG_Q, backend.lanes)
+        odd_vals = random_residues(rng, BIG_Q, backend.lanes)
+        even = backend.load_block(even_vals)
+        odd = backend.load_block(odd_vals)
+        out0, out1 = backend.interleave(even, odd)
+        combined = backend.block_values(out0) + backend.block_values(out1)
+        expected = []
+        for e, o in zip(even_vals, odd_vals):
+            expected.extend([e, o])
+        assert combined == expected
+
+
+class TestModulusContext:
+    def test_bad_algorithm_rejected(self, backend):
+        with pytest.raises(BackendError):
+            backend.make_modulus(BIG_Q, algorithm="fft")
+
+    def test_context_carries_barrett_state(self, backend):
+        ctx = backend.make_modulus(MID_Q)
+        assert ctx.q == MID_Q
+        assert ctx.beta == MID_Q.bit_length()
+        assert ctx.params.mu == (1 << (2 * ctx.beta)) // MID_Q
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_property_scalar_and_mqx_match_bigint(data):
+    """Deep hypothesis pass on the cheapest and the headline backend."""
+    q = data.draw(st.sampled_from(MODULI))
+    name = data.draw(st.sampled_from(["scalar", "mqx"]))
+    backend = get_backend(name)
+    a = [data.draw(st.integers(min_value=0, max_value=q - 1)) for _ in range(backend.lanes)]
+    b = [data.draw(st.integers(min_value=0, max_value=q - 1)) for _ in range(backend.lanes)]
+    blk_a, blk_b = backend.load_block(a), backend.load_block(b)
+    ctx = backend.make_modulus(q)
+    assert backend.block_values(backend.addmod(blk_a, blk_b, ctx)) == [
+        (x + y) % q for x, y in zip(a, b)
+    ]
+    assert backend.block_values(backend.submod(blk_a, blk_b, ctx)) == [
+        (x - y) % q for x, y in zip(a, b)
+    ]
+    assert backend.block_values(backend.mulmod(blk_a, blk_b, ctx)) == [
+        (x * y) % q for x, y in zip(a, b)
+    ]

@@ -1,0 +1,267 @@
+"""Tests for the machine model: CPUs, uop tables, scheduler, cache, MCA."""
+
+import random
+
+import pytest
+
+from repro.errors import MachineModelError, UnknownInstructionError
+from repro.isa.trace import TraceEntry, Tracer, tracing
+from repro.machine.cache import CacheModel, MemoryTraffic
+from repro.machine.cpu import CpuSpec, get_cpu, list_cpus, register_cpu
+from repro.machine.mca import pressure_summary, resource_pressure_report
+from repro.machine.scheduler import schedule_trace
+from repro.machine.uops import SUNNY_COVE, ZEN4, get_microarch
+
+
+class TestCpuRegistry:
+    def test_paper_cpus_present(self):
+        keys = list_cpus()
+        for key in (
+            "intel_xeon_8352y",
+            "amd_epyc_9654",
+            "intel_xeon_6980p",
+            "amd_epyc_9965s",
+        ):
+            assert key in keys
+
+    def test_table4_specs(self):
+        intel = get_cpu("intel_xeon_8352y")
+        amd = get_cpu("amd_epyc_9654")
+        assert intel.base_ghz == 2.2 and intel.max_ghz == 3.4
+        assert amd.base_ghz == 2.4 and amd.max_ghz == 3.7
+        assert intel.l3_bytes == 48 * 1024 * 1024
+        assert amd.l3_bytes == 384 * 1024 * 1024
+
+    def test_sol_targets(self):
+        assert get_cpu("intel_xeon_6980p").cores == 128
+        assert get_cpu("intel_xeon_6980p").allcore_ghz == 3.2
+        assert get_cpu("amd_epyc_9965s").cores == 192
+        assert get_cpu("amd_epyc_9965s").allcore_ghz == 3.35
+
+    def test_unknown_cpu_rejected(self):
+        with pytest.raises(MachineModelError):
+            get_cpu("pentium3")
+
+    def test_register_custom_cpu(self):
+        spec = CpuSpec(
+            key="test_custom_cpu",
+            name="Test CPU",
+            microarch="zen4",
+            cores=64,
+            base_ghz=2.0,
+            max_ghz=3.0,
+            allcore_ghz=2.5,
+            l1d_bytes=32 * 1024,
+            l2_bytes_per_core=1024 * 1024,
+            l3_bytes=256 * 1024 * 1024,
+            memory="DDR5",
+        )
+        register_cpu(spec)
+        assert get_cpu("test_custom_cpu") is spec
+        with pytest.raises(MachineModelError):
+            register_cpu(spec)
+
+
+class TestUopTables:
+    def test_lookup_unknown_rejected(self):
+        with pytest.raises(UnknownInstructionError):
+            SUNNY_COVE.lookup("vfmadd231pd_zmm")
+
+    def test_unknown_microarch_rejected(self):
+        with pytest.raises(UnknownInstructionError):
+            get_microarch("alder_lake")
+
+    def test_both_tables_cover_same_mnemonics(self):
+        assert set(SUNNY_COVE.table) == set(ZEN4.table)
+
+    def test_tables_cover_every_emitted_opcode(self):
+        """Run whole kernels and check no opcode is missing from the tables.
+
+        This is the consistency test that keeps the ISA simulator and the
+        machine model in lock-step as instructions are added.
+        """
+        from repro.arith.primes import default_modulus
+        from repro.baselines.bignum import GmpContext
+        from repro.baselines.openfhe import OpenFheContext
+        from repro.kernels import get_backend
+        from repro.kernels.mqx_backend import FEATURE_PRESETS
+
+        q = default_modulus()
+        rng = random.Random(1)
+        tracer = Tracer()
+        with tracing() as t:
+            for name in ("scalar", "avx2", "avx512", "mqx"):
+                be = get_backend(name)
+                ctx_s = be.make_modulus(q, algorithm="schoolbook")
+                ctx_k = be.make_modulus(q, algorithm="karatsuba")
+                a = be.load_block([rng.randrange(q) for _ in range(be.lanes)])
+                b = be.load_block([rng.randrange(q) for _ in range(be.lanes)])
+                for ctx in (ctx_s, ctx_k):
+                    be.store_block(be.addmod(a, b, ctx))
+                    be.store_block(be.submod(a, b, ctx))
+                    be.store_block(be.mulmod(a, b, ctx))
+                be.interleave(a, b)
+                be.broadcast_twiddle(rng.randrange(q))
+            for label in FEATURE_PRESETS:
+                be = get_backend("mqx", features=FEATURE_PRESETS[label])
+                ctx = be.make_modulus(q)
+                a = be.load_block([rng.randrange(q) for _ in range(8)])
+                b = be.load_block([rng.randrange(q) for _ in range(8)])
+                be.butterfly(a, b, be.broadcast_dw(3), ctx)
+            GmpContext(q).butterfly(1, 2, 3)
+            OpenFheContext(q).butterfly(1, 2, 3)
+        tracer.extend(t)
+        ops = {entry.op for entry in tracer.entries}
+        for microarch in (SUNNY_COVE, ZEN4):
+            missing = sorted(op for op in ops if op not in microarch.table)
+            assert not missing, f"{microarch.name} missing {missing}"
+
+    def test_vpmullq_contrast(self):
+        """Zen 4's native vpmullq vs Intel's microcoded one (Section 5.4)."""
+        intel = SUNNY_COVE.lookup("vpmullq_zmm")
+        amd = ZEN4.lookup("vpmullq_zmm")
+        assert intel.uops == 3 and intel.latency == 15
+        assert amd.uops == 1 and amd.latency == 3
+
+    def test_pisa_proxies_share_costs(self):
+        """MQX mnemonics must carry their Table 3 proxy's characteristics."""
+        for microarch in (SUNNY_COVE, ZEN4):
+            assert microarch.lookup("vpmulwq_zmm") == microarch.lookup(
+                "vpmullq_zmm"
+            )
+            assert microarch.lookup("vpadcq_zmm") == microarch.lookup(
+                "vpaddq_masked_zmm"
+            )
+            assert microarch.lookup("vpsbbq_zmm") == microarch.lookup(
+                "vpsubq_masked_zmm"
+            )
+
+    def test_adc_costs_same_as_add(self):
+        """Section 4.2's grounding observation: ADD == ADC, SUB == SBB."""
+        for microarch in (SUNNY_COVE, ZEN4):
+            assert (
+                microarch.lookup("adc64").latency
+                == microarch.lookup("add64").latency
+            )
+            assert (
+                microarch.lookup("sbb64").latency
+                == microarch.lookup("sub64").latency
+            )
+
+
+class TestScheduler:
+    def _trace(self, *ops):
+        t = Tracer()
+        for op in ops:
+            t.emit(op)
+        return t
+
+    def test_port_pressure_balances(self):
+        # Four adds over Intel's four scalar ALU ports: one each.
+        result = schedule_trace(self._trace(*["add64"] * 4), SUNNY_COVE)
+        assert result.port_bound == 1.0
+
+    def test_single_port_instruction_serializes(self):
+        # imul64 is p1-only: four of them stack on one port.
+        result = schedule_trace(self._trace(*["imul64"] * 4), SUNNY_COVE)
+        assert result.port_bound == 4.0
+
+    def test_weight_models_occupancy(self):
+        result = schedule_trace(self._trace("div64"), SUNNY_COVE)
+        assert result.port_bound == 15.0  # divider occupancy
+
+    def test_frontend_bound(self):
+        result = schedule_trace(self._trace(*["add64"] * 50), SUNNY_COVE)
+        assert result.frontend_bound == 50 / SUNNY_COVE.decode_width
+
+    def test_critical_path_follows_dependencies(self):
+        t = Tracer()
+        t.entries.append(TraceEntry("mul64", dests=(1, 2), srcs=()))
+        t.entries.append(TraceEntry("mul64", dests=(3, 4), srcs=(2,)))
+        t.entries.append(TraceEntry("add64", dests=(5,), srcs=(4,)))
+        result = schedule_trace(t, SUNNY_COVE)
+        assert result.critical_path == 4 + 4 + 1
+
+    def test_independent_chains_do_not_extend_path(self):
+        t = Tracer()
+        t.entries.append(TraceEntry("mul64", dests=(1,), srcs=()))
+        t.entries.append(TraceEntry("mul64", dests=(2,), srcs=()))
+        result = schedule_trace(t, SUNNY_COVE)
+        assert result.critical_path == 4
+
+    def test_throughput_cycles_overlap(self):
+        t = Tracer()
+        prev = 0
+        for i in range(1, 11):  # a 10-deep add chain
+            t.entries.append(TraceEntry("add64", dests=(i,), srcs=(prev,)))
+            prev = i
+        result = schedule_trace(t, SUNNY_COVE)
+        serial = result.throughput_cycles(independent_blocks=1)
+        parallel = result.throughput_cycles(independent_blocks=8)
+        assert serial == 10.0  # latency-bound
+        assert parallel < serial
+
+    def test_invalid_overlap_rejected(self):
+        result = schedule_trace(self._trace("add64"), SUNNY_COVE)
+        with pytest.raises(MachineModelError):
+            result.throughput_cycles(independent_blocks=0.5)
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(UnknownInstructionError):
+            schedule_trace(self._trace("hcf"), SUNNY_COVE)
+
+
+class TestCacheModel:
+    def test_level_selection_matches_capacities(self):
+        cache = CacheModel(get_cpu("intel_xeon_8352y"))
+        assert cache.level_name(16 * 1024) == "L1"
+        assert cache.level_name(512 * 1024) == "L2"
+        assert cache.level_name(2 * 1024 * 1024) == "L3"
+        assert cache.level_name(1 << 30) == "DRAM"
+
+    def test_paper_spill_boundary(self):
+        """Section 5.4: 2^15 stage (~1.25 MB) fits Intel L2; 2^16 does not."""
+        cache = CacheModel(get_cpu("intel_xeon_8352y"))
+        ws_15 = 2 * (1 << 15) * 16 + (1 << 14) * 16
+        ws_16 = 2 * (1 << 16) * 16 + (1 << 15) * 16
+        assert cache.level_name(ws_15) == "L2"
+        assert cache.level_name(ws_16) == "L3"
+
+    def test_bandwidth_monotone_nonincreasing(self):
+        cache = CacheModel(get_cpu("amd_epyc_9654"))
+        sizes = [1 << 12, 1 << 19, 1 << 22, 1 << 30]
+        bws = [cache.bandwidth_for(s) for s in sizes]
+        assert bws == sorted(bws, reverse=True)
+
+    def test_memory_cycles(self):
+        cache = CacheModel(get_cpu("intel_xeon_8352y"))
+        traffic = MemoryTraffic(load_bytes=512, store_bytes=128)
+        assert traffic.total_bytes == 640
+        cycles = cache.memory_cycles(traffic, 16 * 1024)
+        assert cycles == 640 / 128.0  # L1 bandwidth
+
+    def test_negative_working_set_rejected(self):
+        cache = CacheModel(get_cpu("intel_xeon_8352y"))
+        with pytest.raises(MachineModelError):
+            cache.bandwidth_for(-1)
+
+
+class TestMcaReport:
+    def test_report_structure(self):
+        t = Tracer()
+        t.emit("vpaddq_zmm")
+        t.emit("vpcmpuq_zmm")
+        result = schedule_trace(t, SUNNY_COVE)
+        report = resource_pressure_report(result, title="AVX-512")
+        assert "AVX-512 - Resource pressure by instruction:" in report
+        assert "vpaddq_zmm" in report
+        assert "vpcmpuq_zmm" in report
+        assert "port bound" in report
+
+    def test_pressure_summary_drops_zeroes(self):
+        t = Tracer()
+        t.emit("vpaddq_zmm")
+        result = schedule_trace(t, SUNNY_COVE)
+        summary = pressure_summary(result)
+        assert all(v > 0 for v in summary.values())
+        assert summary  # at least one port used

@@ -1,0 +1,107 @@
+"""Tests for the multi-core batch scaling model."""
+
+import pytest
+
+from repro.arith.primes import default_modulus
+from repro.errors import ExperimentError
+from repro.kernels import get_backend
+from repro.machine.cpu import get_cpu
+from repro.multicore.model import BatchScalingModel
+from repro.perf.estimator import estimate_ntt
+
+Q = default_modulus()
+MEASURED = get_cpu("amd_epyc_9654")
+TARGET = get_cpu("amd_epyc_9965s")
+
+
+@pytest.fixture(scope="module")
+def est_14():
+    return estimate_ntt(1 << 14, Q, get_backend("mqx"), MEASURED)
+
+
+@pytest.fixture(scope="module")
+def est_16():
+    return estimate_ntt(1 << 16, Q, get_backend("mqx"), MEASURED)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return BatchScalingModel(TARGET)
+
+
+class TestScaling:
+    def test_single_core_near_parity(self, model, est_14):
+        mc = model.run(est_14, batch=1, cores=1)
+        # Only the clock rescaling separates it from the measurement.
+        expected = est_14.ns * MEASURED.measured_ghz / TARGET.allcore_ghz
+        assert mc.makespan_ns == pytest.approx(expected)
+
+    def test_compute_bound_scales_linearly(self, model, est_14):
+        small = model.run(est_14, batch=32, cores=8)
+        big = model.run(est_14, batch=32, cores=32)
+        assert big.speedup == pytest.approx(4 * small.speedup, rel=0.01)
+        assert small.bound == "compute"
+
+    def test_spilled_size_hits_bandwidth_wall(self, model, est_16):
+        full = model.run(est_16, batch=4 * 192, cores=192)
+        assert full.bound == "shared-bandwidth"
+        assert full.efficiency < 0.5
+
+    def test_l2_resident_size_avoids_wall(self, model, est_14):
+        full = model.run(est_14, batch=4 * 192, cores=192)
+        assert full.bound == "compute"
+        assert full.efficiency > 0.8
+
+    def test_makespan_waves(self, model, est_14):
+        one_wave = model.run(est_14, batch=8, cores=8)
+        two_waves = model.run(est_14, batch=16, cores=8)
+        assert two_waves.makespan_ns == pytest.approx(2 * one_wave.makespan_ns)
+        assert two_waves.ns_per_ntt == pytest.approx(one_wave.ns_per_ntt)
+
+    def test_speedup_monotone_in_cores(self, model, est_16):
+        curve = model.scaling_curve(est_16, [1, 8, 32, 96, 192])
+        speedups = [point.speedup for point in curve]
+        assert all(b >= a for a, b in zip(speedups, speedups[1:]))
+
+    def test_batch_smaller_than_cores(self, model, est_14):
+        mc = model.run(est_14, batch=4, cores=192)
+        # Only 4 transforms in flight; speedup capped by the batch.
+        assert mc.speedup <= 4.0
+
+
+class TestValidation:
+    def test_cross_vendor_rejected(self, model):
+        intel_est = estimate_ntt(
+            1 << 12, Q, get_backend("mqx"), get_cpu("intel_xeon_8352y")
+        )
+        with pytest.raises(ExperimentError):
+            model.run(intel_est, batch=8)
+
+    def test_bad_batch_rejected(self, model, est_14):
+        with pytest.raises(ExperimentError):
+            model.run(est_14, batch=0)
+
+    def test_core_range_checked(self, model, est_14):
+        with pytest.raises(ExperimentError):
+            model.run(est_14, batch=8, cores=0)
+        with pytest.raises(ExperimentError):
+            model.run(est_14, batch=8, cores=TARGET.cores + 1)
+
+
+class TestExperiment:
+    def test_table_and_notes(self):
+        from repro.experiments.extension_multicore import run
+
+        result = run()
+        bounds = result.column("bound")
+        assert "compute" in bounds
+        assert "shared-bandwidth" in bounds
+        assert any("48x" in note for note in result.notes)
+
+    def test_sol_realizable_for_resident_sizes(self):
+        from repro.experiments.extension_multicore import run
+
+        result = run()
+        rows14 = [row for row in result.rows if row[0] == 14 and row[1] == 192]
+        (row,) = rows14
+        assert float(row[2]) > 150  # near-linear on 192 cores

@@ -1,0 +1,203 @@
+"""Tests for the multi-word (Section 7) generalization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith.primes import find_ntt_prime
+from repro.errors import ArithmeticDomainError, NttParameterError
+from repro.kernels import get_backend
+from repro.multiword.arith import MwKernel, MwModContext
+from repro.multiword.ntt import MultiWordNtt
+from repro.multiword.perf import estimate_multiword_ntt
+from repro.multiword.wordops import word_ops_for
+from repro.ntt.reference import naive_ntt
+
+from tests.conftest import ALL_BACKEND_NAMES, BIG_Q, random_residues
+
+Q256 = find_ntt_prime(252, 1 << 12)
+Q192 = find_ntt_prime(188, 1 << 12)
+
+
+class TestWordOps:
+    @pytest.mark.parametrize("name", ALL_BACKEND_NAMES)
+    def test_adapter_exists(self, name):
+        ops = word_ops_for(get_backend(name))
+        assert ops.lanes == get_backend(name).lanes
+
+    def test_mqx_adapter_uses_mqx_instructions(self):
+        from repro.isa.trace import tracing
+
+        ops = word_ops_for(get_backend("mqx"))
+        a = ops.broadcast(5)
+        b = ops.broadcast(7)
+        with tracing() as t:
+            ops.adc(a, b, ops.zero_cond)
+            ops.wide_mul(a, b)
+        assert t.count("vpadcq_zmm") == 1
+        assert t.count("vpmulwq_zmm") == 1
+
+    def test_avx512_adapter_uses_baseline_instructions(self):
+        from repro.isa.trace import tracing
+
+        ops = word_ops_for(get_backend("avx512"))
+        a = ops.broadcast(5)
+        b = ops.broadcast(7)
+        with tracing() as t:
+            ops.adc(a, b, ops.zero_cond)
+        assert t.count("vpadcq_zmm") == 0
+        assert t.count("vpaddq_zmm") >= 1
+
+
+@pytest.mark.parametrize("q,words", [(Q256, 4), (Q192, 3), (BIG_Q, 2)],
+                         ids=["256b", "192b", "128b"])
+class TestArithmetic:
+    def test_modular_ops(self, backend, q, words, rng):
+        ctx = MwModContext(backend, q, words)
+        kernel = MwKernel(ctx)
+        lanes = ctx.ops.lanes
+        for _ in range(6):
+            a = random_residues(rng, q, lanes)
+            b = random_residues(rng, q, lanes)
+            blk_a, blk_b = kernel.load_block(a), kernel.load_block(b)
+            assert kernel.block_values(kernel.addmod(blk_a, blk_b)) == [
+                (x + y) % q for x, y in zip(a, b)
+            ]
+            assert kernel.block_values(kernel.submod(blk_a, blk_b)) == [
+                (x - y) % q for x, y in zip(a, b)
+            ]
+            assert kernel.block_values(kernel.mulmod(blk_a, blk_b)) == [
+                (x * y) % q for x, y in zip(a, b)
+            ]
+
+    def test_butterfly(self, backend, q, words, rng):
+        ctx = MwModContext(backend, q, words)
+        kernel = MwKernel(ctx)
+        lanes = ctx.ops.lanes
+        a = random_residues(rng, q, lanes)
+        b = random_residues(rng, q, lanes)
+        w = rng.randrange(q)
+        plus, minus = kernel.butterfly(
+            kernel.load_block(a), kernel.load_block(b), kernel.broadcast_residue(w)
+        )
+        for i in range(lanes):
+            t = b[i] * w % q
+            assert kernel.block_values(plus)[i] == (a[i] + t) % q
+            assert kernel.block_values(minus)[i] == (a[i] - t) % q
+
+
+class TestArithmeticEdges:
+    def test_extreme_residues_256(self, rng):
+        q = Q256
+        kernel = MwKernel(MwModContext(get_backend("mqx"), q, 4))
+        extremes = [0, 1, q - 1, q - 2, (1 << 128) - 1, 1 << 192]
+        for x in extremes:
+            for y in extremes:
+                a = kernel.load_block([x] * 8)
+                b = kernel.load_block([y] * 8)
+                assert kernel.block_values(kernel.mulmod(a, b))[0] == x * y % q
+                assert kernel.block_values(kernel.addmod(a, b))[0] == (x + y) % q
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_property_scalar_256(self, data):
+        q = Q256
+        kernel = MwKernel(MwModContext(get_backend("scalar"), q, 4))
+        a = data.draw(st.integers(min_value=0, max_value=q - 1))
+        b = data.draw(st.integers(min_value=0, max_value=q - 1))
+        blk_a, blk_b = kernel.load_block([a]), kernel.load_block([b])
+        assert kernel.block_values(kernel.mulmod(blk_a, blk_b)) == [a * b % q]
+        assert kernel.block_values(kernel.submod(blk_a, blk_b)) == [(a - b) % q]
+
+
+class TestValidation:
+    def test_modulus_width_bound(self):
+        with pytest.raises(ArithmeticDomainError):
+            MwModContext(get_backend("scalar"), 1 << 125, 2)  # > 124 bits
+        MwModContext(get_backend("scalar"), Q192, 3)  # 188 <= 188
+
+    def test_needs_two_words(self):
+        with pytest.raises(ArithmeticDomainError):
+            MwModContext(get_backend("scalar"), 97, 1)
+
+    def test_two_words_matches_dw_backend(self, rng):
+        """W = 2 must agree with the paper's double-word kernels."""
+        q = BIG_Q
+        backend = get_backend("avx512")
+        kernel = MwKernel(MwModContext(backend, q, 2))
+        ctx = backend.make_modulus(q)
+        a = random_residues(rng, q, 8)
+        b = random_residues(rng, q, 8)
+        mw = kernel.block_values(
+            kernel.mulmod(kernel.load_block(a), kernel.load_block(b))
+        )
+        dw = backend.block_values(
+            backend.mulmod(backend.load_block(a), backend.load_block(b), ctx)
+        )
+        assert mw == dw
+
+
+class TestMultiWordNtt:
+    @pytest.mark.parametrize("name", ALL_BACKEND_NAMES)
+    def test_256bit_ntt_matches_naive(self, name, rng):
+        q = Q256
+        plan = MultiWordNtt(16, q, get_backend(name), words=4)
+        x = random_residues(rng, q, 16)
+        assert plan.forward(x) == naive_ntt(x, q, root=plan.table.root)
+
+    def test_roundtrip(self, rng):
+        q = Q256
+        plan = MultiWordNtt(32, q, get_backend("mqx"), words=4)
+        x = random_residues(rng, q, 32)
+        assert plan.inverse(plan.forward(x)) == x
+
+    def test_undersized_rejected(self):
+        with pytest.raises(NttParameterError):
+            MultiWordNtt(8, Q256, get_backend("avx512"), words=4)
+
+    def test_properties(self):
+        plan = MultiWordNtt(32, Q192, get_backend("scalar"), words=3)
+        assert plan.n == 32 and plan.q == Q192 and plan.words == 3
+
+
+class TestMultiWordPerf:
+    def test_estimate_runs(self):
+        from repro.machine.cpu import get_cpu
+
+        est = estimate_multiword_ntt(
+            1 << 12, Q256, get_backend("mqx"), get_cpu("amd_epyc_9654"), 4
+        )
+        assert est.ns > 0
+        assert est.backend == "mqx/256b"
+
+    def test_mqx_gain_grows_with_width(self):
+        """The extension experiment's headline: MQX pays off more at 256b."""
+        from repro.machine.cpu import get_cpu
+
+        cpu = get_cpu("amd_epyc_9654")
+
+        def gain(q, words):
+            avx = estimate_multiword_ntt(1 << 12, q, get_backend("avx512"), cpu, words)
+            mqx = estimate_multiword_ntt(1 << 12, q, get_backend("mqx"), cpu, words)
+            return avx.ns / mqx.ns
+
+        assert gain(Q256, 4) > gain(BIG_Q, 2)
+
+    def test_wider_residues_cost_more(self):
+        from repro.machine.cpu import get_cpu
+
+        cpu = get_cpu("intel_xeon_8352y")
+        narrow = estimate_multiword_ntt(1 << 12, BIG_Q, get_backend("mqx"), cpu, 2)
+        wide = estimate_multiword_ntt(1 << 12, Q256, get_backend("mqx"), cpu, 4)
+        assert wide.ns > 2 * narrow.ns
+
+
+class TestExtensionExperiment:
+    def test_table_shape(self):
+        from repro.experiments.extension_multiword import run
+
+        result = run()
+        assert [int(b) for b in result.column("bits")] == [128, 192, 256]
+        gains = [float(v) for v in result.column("mqx speedup over avx512")]
+        assert gains == sorted(gains)  # monotone growth with width
+        assert all(g > 2 for g in gains)

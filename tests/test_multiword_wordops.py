@@ -1,0 +1,180 @@
+"""Direct semantics tests for the word-operation adapters.
+
+Every adapter operation must match scalar 64-bit semantics lane-wise on
+every backend - the contract the multi-word, special-prime and IFMA
+layers all build on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BackendError
+from repro.kernels import get_backend
+from repro.multiword.wordops import word_ops_for
+
+from tests.conftest import ALL_BACKEND_NAMES
+
+MASK64 = (1 << 64) - 1
+U64 = st.integers(min_value=0, max_value=MASK64)
+
+
+def _ops(name):
+    return word_ops_for(get_backend(name))
+
+
+def _load(ops, value):
+    return ops.load([value] * ops.lanes)
+
+
+@pytest.fixture(params=ALL_BACKEND_NAMES)
+def ops(request):
+    return _ops(request.param)
+
+
+class TestDataMovement:
+    def test_load_store_roundtrip(self, ops, rng):
+        values = [rng.randrange(1 << 64) for _ in range(ops.lanes)]
+        reg = ops.load(values)
+        assert ops.store(reg) == values
+        assert ops.values(reg) == values
+
+    def test_broadcast(self, ops):
+        reg = ops.broadcast(0xDEAD)
+        assert ops.values(reg) == [0xDEAD] * ops.lanes
+
+    def test_zero(self, ops):
+        assert ops.values(ops.zero) == [0] * ops.lanes
+
+
+class TestCarries:
+    @given(U64, U64)
+    @settings(max_examples=25, deadline=None)
+    def test_add_carry_out(self, a, b):
+        for name in ALL_BACKEND_NAMES:
+            ops = _ops(name)
+            total, carry = ops.add_carry_out(_load(ops, a), _load(ops, b))
+            assert ops.values(total) == [(a + b) & MASK64] * ops.lanes
+
+    @given(U64, U64)
+    @settings(max_examples=25, deadline=None)
+    def test_adc_chains(self, a, b):
+        for name in ALL_BACKEND_NAMES:
+            ops = _ops(name)
+            _, carry = ops.add_carry_out(
+                _load(ops, MASK64), _load(ops, 1)
+            )  # carry set everywhere
+            total, carry_out = ops.adc(_load(ops, a), _load(ops, b), carry)
+            assert ops.values(total) == [(a + b + 1) & MASK64] * ops.lanes
+            nocout = ops.add_nocarry(_load(ops, a), _load(ops, b), carry)
+            assert ops.values(nocout) == [(a + b + 1) & MASK64] * ops.lanes
+
+    def test_adc_edge_all_ones(self):
+        """The blind spot hypothesis found in Table 1's pattern: robust here."""
+        for name in ALL_BACKEND_NAMES:
+            ops = _ops(name)
+            _, carry = ops.add_carry_out(_load(ops, MASK64), _load(ops, 1))
+            total, carry_out = ops.adc(
+                _load(ops, MASK64), _load(ops, MASK64), carry
+            )
+            assert ops.values(total) == [MASK64] * ops.lanes
+            # carry_out must be set in every lane; verify via an adc probe.
+            probe, _ = ops.adc(ops.zero, ops.zero, carry_out)
+            assert ops.values(probe) == [1] * ops.lanes, name
+
+    @given(U64, U64)
+    @settings(max_examples=25, deadline=None)
+    def test_sbb_chains(self, a, b):
+        for name in ALL_BACKEND_NAMES:
+            ops = _ops(name)
+            _, borrow = ops.sub_borrow_out(ops.zero, _load(ops, 1))
+            diff, _ = ops.sbb(_load(ops, a), _load(ops, b), borrow)
+            assert ops.values(diff) == [(a - b - 1) & MASK64] * ops.lanes
+            nobout = ops.sub_noborrow(_load(ops, a), _load(ops, b), borrow)
+            assert ops.values(nobout) == [(a - b - 1) & MASK64] * ops.lanes
+
+
+class TestMultiplyShift:
+    @given(U64, U64)
+    @settings(max_examples=25, deadline=None)
+    def test_wide_mul(self, a, b):
+        for name in ALL_BACKEND_NAMES:
+            ops = _ops(name)
+            hi, lo = ops.wide_mul(_load(ops, a), _load(ops, b))
+            assert ops.values(hi) == [(a * b) >> 64] * ops.lanes
+            assert ops.values(lo) == [(a * b) & MASK64] * ops.lanes
+
+    @given(U64, U64)
+    @settings(max_examples=25, deadline=None)
+    def test_mullo(self, a, b):
+        for name in ALL_BACKEND_NAMES:
+            ops = _ops(name)
+            out = ops.mullo(_load(ops, a), _load(ops, b))
+            assert ops.values(out) == [(a * b) & MASK64] * ops.lanes
+
+    @given(U64, U64, st.integers(min_value=1, max_value=63))
+    @settings(max_examples=25, deadline=None)
+    def test_shrd_and_shr(self, hi, lo, amount):
+        for name in ALL_BACKEND_NAMES:
+            ops = _ops(name)
+            out = ops.shrd(_load(ops, hi), _load(ops, lo), amount)
+            expected = (((hi << 64) | lo) >> amount) & MASK64
+            assert ops.values(out) == [expected] * ops.lanes
+            assert ops.values(ops.shr(_load(ops, hi), amount)) == [
+                hi >> amount
+            ] * ops.lanes
+
+    @given(U64, U64)
+    @settings(max_examples=25, deadline=None)
+    def test_band(self, a, b):
+        for name in ALL_BACKEND_NAMES:
+            ops = _ops(name)
+            out = ops.band(_load(ops, a), _load(ops, b))
+            assert ops.values(out) == [a & b] * ops.lanes
+
+
+class TestConditions:
+    def test_select_and_logic(self, ops):
+        _, true_cond = ops.add_carry_out(
+            _load(ops, MASK64), _load(ops, 1)
+        )
+        false_cond = ops.zero_cond
+        a, b = _load(ops, 7), _load(ops, 9)
+        assert ops.values(ops.select(true_cond, a, b)) == [7] * ops.lanes
+        assert ops.values(ops.select(false_cond, a, b)) == [9] * ops.lanes
+        assert ops.values(
+            ops.select(ops.cond_not(true_cond), a, b)
+        ) == [9] * ops.lanes
+        either = ops.cond_or(true_cond, false_cond)
+        assert ops.values(ops.select(either, a, b)) == [7] * ops.lanes
+
+    def test_interleave_plane(self, ops, rng):
+        even = ops.load([rng.randrange(1 << 64) for _ in range(ops.lanes)])
+        odd = ops.load([rng.randrange(1 << 64) for _ in range(ops.lanes)])
+        out0, out1 = ops.interleave_plane(even, odd)
+        combined = ops.values(out0) + ops.values(out1)
+        expected = []
+        for e, o in zip(ops.values(even), ops.values(odd)):
+            expected.extend([e, o])
+        assert combined == expected
+
+
+class TestAdapterDispatch:
+    def test_unknown_backend_rejected(self):
+        class FakeBackend:
+            name = "fake"
+
+        with pytest.raises(BackendError):
+            word_ops_for(FakeBackend())
+
+    def test_mqx_features_flow_through(self):
+        from repro.isa.trace import tracing
+        from repro.kernels.mqx_backend import FEATURE_PRESETS
+
+        ops = word_ops_for(get_backend("mqx", features=FEATURE_PRESETS["+C"]))
+        a = ops.broadcast(5)
+        with tracing() as t:
+            ops.adc(a, a, ops.zero_cond)
+            ops.wide_mul(a, a)
+        assert t.count("vpadcq_zmm") == 1  # +C active
+        assert t.count("vpmulwq_zmm") == 0  # no widening multiply in +C

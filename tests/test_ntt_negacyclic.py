@@ -1,0 +1,103 @@
+"""Tests for the negacyclic NTT (the RLWE/FHE ring)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith.primes import find_ntt_prime
+from repro.errors import NttParameterError
+from repro.kernels import get_backend
+from repro.ntt.negacyclic import NegacyclicNtt, negacyclic_polymul
+from repro.ntt.reference import negacyclic_schoolbook_polymul
+
+from tests.conftest import ALL_BACKEND_NAMES, BIG_Q, MID_Q, random_residues
+
+
+class TestMultiply:
+    @pytest.mark.parametrize("name", ALL_BACKEND_NAMES)
+    def test_matches_schoolbook(self, name, rng):
+        q = BIG_Q
+        backend = get_backend(name)
+        f = random_residues(rng, q, 32)
+        g = random_residues(rng, q, 32)
+        assert negacyclic_polymul(f, g, q, backend) == (
+            negacyclic_schoolbook_polymul(f, g, q)
+        )
+
+    def test_x_to_n_is_minus_one(self):
+        """x^(n/2) * x^(n/2) = x^n = -1 in the negacyclic ring."""
+        q = MID_Q
+        n = 16
+        backend = get_backend("scalar")
+        half = [0] * n
+        half[n // 2] = 1
+        out = negacyclic_polymul(half, half, q, backend)
+        assert out == [q - 1] + [0] * (n - 1)
+
+    def test_multiplicative_identity(self, rng):
+        q = BIG_Q
+        backend = get_backend("mqx")
+        f = random_residues(rng, q, 16)
+        one = [1] + [0] * 15
+        assert negacyclic_polymul(f, one, q, backend) == f
+
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_commutativity(self, data):
+        q = MID_Q
+        backend = get_backend("scalar")
+        n = 8
+        f = [data.draw(st.integers(min_value=0, max_value=q - 1)) for _ in range(n)]
+        g = [data.draw(st.integers(min_value=0, max_value=q - 1)) for _ in range(n)]
+        plan = NegacyclicNtt(n, q, backend)
+        assert plan.multiply(f, g) == plan.multiply(g, f)
+
+    def test_karatsuba_variant(self, rng):
+        q = BIG_Q
+        backend = get_backend("avx512")
+        f = random_residues(rng, q, 16)
+        g = random_residues(rng, q, 16)
+        assert negacyclic_polymul(f, g, q, backend, algorithm="karatsuba") == (
+            negacyclic_schoolbook_polymul(f, g, q)
+        )
+
+
+class TestTransformPair:
+    def test_forward_inverse_roundtrip(self, backend, rng):
+        q = BIG_Q
+        n = 4 * backend.lanes
+        plan = NegacyclicNtt(n, q, backend)
+        f = random_residues(rng, q, n)
+        assert plan.inverse(plan.forward(f)) == f
+
+    def test_forward_is_pointwise_homomorphic(self, rng):
+        """forward(f*g) point-wise equals forward(f) . forward(g)."""
+        q = MID_Q
+        backend = get_backend("scalar")
+        n = 8
+        plan = NegacyclicNtt(n, q, backend)
+        f = random_residues(rng, q, n)
+        g = random_residues(rng, q, n)
+        fa, ga = plan.forward(f), plan.forward(g)
+        product = negacyclic_schoolbook_polymul(f, g, q)
+        pa = plan.forward(product)
+        assert pa == [a * b % q for a, b in zip(fa, ga)]
+
+
+class TestValidation:
+    def test_requires_2n_dividing_q_minus_1(self):
+        q = find_ntt_prime(60, 16)  # supports order 16 only
+        NegacyclicNtt(8, q, get_backend("scalar"))  # 2n = 16 OK
+        with pytest.raises(NttParameterError):
+            NegacyclicNtt(16, q, get_backend("scalar"))  # 2n = 32 not
+
+    def test_rejects_bad_psi(self):
+        with pytest.raises(NttParameterError):
+            NegacyclicNtt(8, MID_Q, get_backend("scalar"), psi=1)
+
+    def test_rejects_wrong_lengths(self):
+        plan = NegacyclicNtt(16, MID_Q, get_backend("scalar"))
+        with pytest.raises(NttParameterError):
+            plan.forward([0] * 8)
+        with pytest.raises(NttParameterError):
+            negacyclic_polymul([1, 2], [1], MID_Q, get_backend("scalar"))

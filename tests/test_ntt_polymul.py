@@ -1,0 +1,67 @@
+"""Polynomial multiplication via NTT must equal schoolbook (Equation 10)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NttParameterError
+from repro.kernels import get_backend
+from repro.ntt.polymul import ntt_polymul, simd_ntt_polymul
+from repro.ntt.reference import schoolbook_polymul
+from repro.ntt.simd import SimdNtt
+
+from tests.conftest import ALL_BACKEND_NAMES, BIG_Q, MID_Q, random_residues
+
+
+class TestPlainPolymul:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_schoolbook(self, data):
+        q = MID_Q
+        len_f = data.draw(st.integers(min_value=1, max_value=12))
+        len_g = data.draw(st.integers(min_value=1, max_value=12))
+        f = [data.draw(st.integers(min_value=0, max_value=q - 1)) for _ in range(len_f)]
+        g = [data.draw(st.integers(min_value=0, max_value=q - 1)) for _ in range(len_g)]
+        assert ntt_polymul(f, g, q) == schoolbook_polymul(f, g, q)
+
+    def test_degree_zero(self):
+        assert ntt_polymul([3], [4], MID_Q) == [12 % MID_Q]
+
+    def test_rejects_empty(self):
+        with pytest.raises(NttParameterError):
+            ntt_polymul([], [1], MID_Q)
+
+
+class TestSimdPolymul:
+    @pytest.mark.parametrize("name", ALL_BACKEND_NAMES)
+    def test_matches_schoolbook(self, name, rng):
+        q = BIG_Q
+        backend = get_backend(name)
+        f = random_residues(rng, q, 16)
+        g = random_residues(rng, q, 16)
+        assert simd_ntt_polymul(f, g, q, backend) == schoolbook_polymul(f, g, q)
+
+    def test_reusable_plan(self, rng):
+        q = BIG_Q
+        backend = get_backend("mqx")
+        plan = SimdNtt(32, q, backend)
+        f = random_residues(rng, q, 16)
+        g = random_residues(rng, q, 16)
+        out = simd_ntt_polymul(f, g, q, backend, plan=plan)
+        assert out == schoolbook_polymul(f, g, q)
+
+    def test_rejects_mismatched_plan(self, rng):
+        q = BIG_Q
+        backend = get_backend("mqx")
+        plan = SimdNtt(64, q, backend)
+        with pytest.raises(NttParameterError):
+            simd_ntt_polymul([1] * 16, [1] * 16, q, backend, plan=plan)
+
+    def test_karatsuba_backend_agrees(self, rng):
+        q = BIG_Q
+        backend = get_backend("avx512")
+        f = random_residues(rng, q, 16)
+        g = random_residues(rng, q, 16)
+        assert simd_ntt_polymul(f, g, q, backend, algorithm="karatsuba") == (
+            schoolbook_polymul(f, g, q)
+        )

@@ -1,0 +1,114 @@
+"""Tests for the definitional NTT and schoolbook polynomial multiply."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith.primes import find_ntt_prime, root_of_unity
+from repro.errors import NttParameterError
+from repro.ntt.reference import (
+    naive_intt,
+    naive_ntt,
+    negacyclic_schoolbook_polymul,
+    schoolbook_polymul,
+)
+
+from tests.conftest import MID_Q, SMALL_Q, random_residues
+
+
+class TestNaiveNtt:
+    def test_worked_example_mod_5(self):
+        # The paper's Section 2.3 example ring: polynomials mod 5, n = 4.
+        q = 5
+        w = root_of_unity(4, q)
+        x = [1, 2, 3, 1]  # f(x) = x^3 + 3x^2 + 2x + 1
+        y = naive_ntt(x, q, root=w)
+        # y_k = f(w^k) by definition.
+        assert y == [
+            sum(c * pow(w, j * k, q) for j, c in enumerate(x)) % q
+            for k in range(4)
+        ]
+
+    def test_constant_input_transforms_to_impulse(self):
+        q = SMALL_Q
+        n = 8
+        y = naive_ntt([1] * n, q)
+        assert y[0] == n % q
+        assert all(v == 0 for v in y[1:])
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip(self, data):
+        q = MID_Q
+        n = data.draw(st.sampled_from([2, 4, 8, 16]))
+        x = [data.draw(st.integers(min_value=0, max_value=q - 1)) for _ in range(n)]
+        assert naive_intt(naive_ntt(x, q), q) == x
+
+    def test_linearity(self, rng):
+        q = SMALL_Q
+        n = 8
+        x = random_residues(rng, q, n)
+        y = random_residues(rng, q, n)
+        combined = [(a + b) % q for a, b in zip(x, y)]
+        fx, fy = naive_ntt(x, q), naive_ntt(y, q)
+        assert naive_ntt(combined, q) == [(a + b) % q for a, b in zip(fx, fy)]
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(NttParameterError):
+            naive_ntt([1, 2, 3], SMALL_Q)
+
+    def test_rejects_unreduced(self):
+        with pytest.raises(Exception):
+            naive_ntt([SMALL_Q, 0], SMALL_Q)
+
+
+class TestSchoolbookPolymul:
+    def test_known_product(self):
+        # (x + 1)(x + 2) = x^2 + 3x + 2 mod 7.
+        assert schoolbook_polymul([1, 1], [2, 1], 7) == [2, 3, 1]
+
+    def test_output_length(self):
+        out = schoolbook_polymul([1] * 5, [1] * 3, 17)
+        assert len(out) == 7
+
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_matches_bigint_polynomial_product(self, data):
+        q = SMALL_Q
+        f = [data.draw(st.integers(min_value=0, max_value=q - 1)) for _ in range(4)]
+        g = [data.draw(st.integers(min_value=0, max_value=q - 1)) for _ in range(4)]
+        out = schoolbook_polymul(f, g, q)
+        for k in range(len(out)):
+            expected = sum(
+                f[i] * g[k - i]
+                for i in range(len(f))
+                if 0 <= k - i < len(g)
+            ) % q
+            assert out[k] == expected
+
+    def test_rejects_empty(self):
+        with pytest.raises(NttParameterError):
+            schoolbook_polymul([], [1], 7)
+
+
+class TestNegacyclic:
+    def test_wraparound_is_negated(self):
+        # x * x = x^2 = -1 in Z_q[x]/(x^2 + 1).
+        q = 17
+        out = negacyclic_schoolbook_polymul([0, 1], [0, 1], q)
+        assert out == [q - 1, 0]
+
+    def test_matches_full_product_reduction(self, rng):
+        q = SMALL_Q
+        n = 8
+        f = random_residues(rng, q, n)
+        g = random_residues(rng, q, n)
+        full = schoolbook_polymul(f, g, q)
+        out = negacyclic_schoolbook_polymul(f, g, q)
+        for k in range(n):
+            high = full[k + n] if k + n < len(full) else 0
+            assert out[k] == (full[k] - high) % q
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(NttParameterError):
+            negacyclic_schoolbook_polymul([1, 2], [1], 7)

@@ -1,0 +1,128 @@
+"""Tests for the backend-driven SIMD NTT (all four ISA variants)."""
+
+import pytest
+
+from repro.errors import NttParameterError
+from repro.isa.trace import tracing
+from repro.kernels import get_backend
+from repro.kernels.mqx_backend import FEATURE_PRESETS
+from repro.ntt.reference import naive_ntt
+from repro.ntt.simd import SimdNtt
+from repro.ntt.twiddles import bit_reverse_permutation
+
+from tests.conftest import ALL_BACKEND_NAMES, BIG_Q, MID_Q, random_residues
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [16, 32, 64])
+    def test_forward_matches_naive(self, backend, n, rng):
+        q = BIG_Q
+        plan = SimdNtt(n, q, backend)
+        x = random_residues(rng, q, n)
+        assert plan.forward(x) == naive_ntt(x, q, root=plan.table.root)
+
+    def test_inverse_roundtrip(self, backend, rng):
+        q = BIG_Q
+        plan = SimdNtt(32, q, backend)
+        x = random_residues(rng, q, 32)
+        assert plan.inverse(plan.forward(x)) == x
+
+    def test_raw_order_roundtrip(self, backend, rng):
+        q = BIG_Q
+        plan = SimdNtt(32, q, backend)
+        x = random_residues(rng, q, 32)
+        raw = plan.forward(x, natural_order=False)
+        assert bit_reverse_permutation(raw) == plan.forward(x)
+        assert plan.inverse(raw, natural_order=False) == x
+
+    def test_karatsuba_plan_matches(self, backend, rng):
+        q = BIG_Q
+        plan = SimdNtt(32, q, backend, algorithm="karatsuba")
+        x = random_residues(rng, q, 32)
+        assert plan.forward(x) == naive_ntt(x, q, root=plan.table.root)
+
+    def test_backends_agree_with_each_other(self, rng):
+        q = MID_Q
+        x = random_residues(rng, q, 64)
+        results = []
+        root = None
+        for name in ALL_BACKEND_NAMES:
+            plan = SimdNtt(64, q, get_backend(name), root=root)
+            root = plan.table.root  # pin all plans to the same root
+            results.append(plan.forward(x))
+        assert all(result == results[0] for result in results)
+
+    def test_mqx_presets_compute_identical_transforms(self, rng):
+        q = BIG_Q
+        x = random_residues(rng, q, 32)
+        baseline = None
+        root = None
+        for label, features in sorted(FEATURE_PRESETS.items()):
+            plan = SimdNtt(32, q, get_backend("mqx", features=features), root=root)
+            root = plan.table.root
+            out = plan.forward(x)
+            if baseline is None:
+                baseline = out
+            assert out == baseline, label
+
+
+class TestValidation:
+    def test_rejects_undersized_transform(self):
+        with pytest.raises(NttParameterError):
+            SimdNtt(8, BIG_Q, get_backend("avx512"))  # needs n >= 16
+
+    def test_scalar_accepts_smallest(self):
+        plan = SimdNtt(2, MID_Q, get_backend("scalar"))
+        assert plan.forward([1, 2]) == naive_ntt([1, 2], MID_Q, root=plan.table.root)
+
+    def test_rejects_wrong_length_input(self):
+        plan = SimdNtt(32, MID_Q, get_backend("scalar"))
+        with pytest.raises(NttParameterError):
+            plan.forward([0] * 16)
+
+    def test_rejects_unreduced_input(self):
+        plan = SimdNtt(32, MID_Q, get_backend("scalar"))
+        with pytest.raises(Exception):
+            plan.forward([MID_Q] + [0] * 31)
+
+    def test_properties(self):
+        plan = SimdNtt(64, BIG_Q, get_backend("avx512"))
+        assert plan.n == 64
+        assert plan.q == BIG_Q
+        assert plan.butterflies == 32 * 6
+        assert plan.blocks_per_stage() == 4
+        assert plan.stage_working_set() == 2 * 64 * 16 + 32 * 16
+
+
+class TestPaperMemoryClaims:
+    def test_2_15_stage_holds_about_1mb(self):
+        """Section 5.4: a 2^15-point NTT stage holds ~1 MB of residues."""
+        plan = SimdNtt.__new__(SimdNtt)  # working-set math only needs n
+        buffers = 2 * (1 << 15) * 16
+        assert buffers == 1 << 20  # exactly 1 MiB
+
+    def test_2_16_exceeds_intel_l2(self):
+        from repro.machine.cpu import get_cpu
+
+        stage_bytes = 2 * (1 << 16) * 16
+        assert stage_bytes > get_cpu("intel_xeon_8352y").l2_bytes_per_core
+
+
+class TestTracing:
+    def test_trace_counts_scale_with_size(self):
+        q = MID_Q
+        plan = SimdNtt(32, q, get_backend("avx512"))
+        x = list(range(32))
+        with tracing() as t:
+            plan.forward(x)
+        # 5 stages x 2 blocks per stage; each block: 6 loads + 4 stores.
+        loads, stores = t.memory_ops()
+        assert loads == 5 * 2 * 6
+        assert stores == 5 * 2 * 4
+
+    def test_interleave_instructions_present(self):
+        q = MID_Q
+        plan = SimdNtt(32, q, get_backend("avx512"))
+        with tracing() as t:
+            plan.forward(list(range(32)))
+        assert t.count("vpermt2q_zmm") == 5 * 2 * 4  # 4 per block

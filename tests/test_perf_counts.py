@@ -1,0 +1,68 @@
+"""Tests for the analytic instruction-count module."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.kernels import get_backend
+from repro.perf.counts import count_table, kernel_counts
+
+from tests.conftest import ALL_BACKEND_NAMES
+
+
+@pytest.fixture(scope="module")
+def table():
+    return count_table()
+
+
+class TestCounts:
+    def test_all_instructions_classified(self, table):
+        for backend_counts in table.values():
+            for counts in backend_counts.values():
+                assert counts.by_class.get("other", 0) == 0
+                assert sum(counts.by_class.values()) == counts.instructions
+
+    def test_mqx_shrinks_every_kernel(self, table):
+        for kernel in ("addmod", "submod", "mulmod", "butterfly"):
+            assert (
+                table["mqx"][kernel].instructions
+                < table["avx512"][kernel].instructions
+            )
+
+    def test_paper_headline_count_ratios(self, table):
+        """Section 4: MQX cuts the AVX-512 butterfly by roughly 4x."""
+        ratio = (
+            table["avx512"]["butterfly"].instructions
+            / table["mqx"]["butterfly"].instructions
+        )
+        assert 3.0 < ratio < 5.0
+
+    def test_mulmod_is_multiply_dominated_for_avx512(self, table):
+        counts = table["avx512"]["mulmod"]
+        assert counts.share("multiply") > 0.1
+        assert counts.by_class["multiply"] >= 36  # 9+ emulated wide muls
+
+    def test_mqx_compare_footprint_vanishes(self, table):
+        """MQX's carry instructions eliminate most compares."""
+        avx512 = table["avx512"]["butterfly"]
+        mqx = table["mqx"]["butterfly"]
+        assert mqx.by_class.get("compare", 0) < avx512.by_class["compare"] / 4
+
+    def test_per_element_ordering(self, table):
+        """Per-residue counts: mqx < avx512 < avx2 (scalar separate)."""
+        bf = {name: table[name]["butterfly"].per_element for name in table}
+        assert bf["mqx"] < bf["avx512"] < bf["avx2"]
+
+    def test_deterministic(self):
+        a = kernel_counts(get_backend("avx512"), "mulmod")
+        b = kernel_counts(get_backend("avx512"), "mulmod")
+        assert a == b
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ExperimentError):
+            kernel_counts(get_backend("scalar"), "fft")
+
+    @pytest.mark.parametrize("name", ALL_BACKEND_NAMES)
+    def test_memory_counted_from_tags(self, name, table):
+        counts = table[name]["butterfly"]
+        # The tracer region has no loads/stores (blocks preloaded).
+        assert counts.by_class.get("memory", 0) == 0

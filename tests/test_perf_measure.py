@@ -1,0 +1,77 @@
+"""Tests for the Section 5.1 measurement protocol model."""
+
+import pytest
+
+from repro.arith.primes import default_modulus
+from repro.errors import ExperimentError
+from repro.kernels import get_backend
+from repro.machine.cpu import get_cpu
+from repro.perf.measure import (
+    BLAS_KEEP,
+    BLAS_RUNS,
+    NTT_KEEP,
+    NTT_RUNS,
+    measure_blas,
+    measure_ntt,
+)
+
+Q = default_modulus()
+CPU = get_cpu("amd_epyc_9654")
+
+
+class TestProtocolParameters:
+    def test_paper_values(self):
+        assert (NTT_RUNS, NTT_KEEP) == (100, 50)
+        assert (BLAS_RUNS, BLAS_KEEP) == (1000, 500)
+
+
+class TestMeasureNtt:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return measure_ntt(1 << 12, Q, get_backend("mqx"), CPU)
+
+    def test_mean_converges_to_steady_state(self, result):
+        assert result.mean_ns == pytest.approx(result.steady_ns, rel=0.02)
+
+    def test_first_iterations_are_cold(self, result):
+        assert result.samples_ns[0] > 1.05 * result.steady_ns
+
+    def test_discarding_warmup_matters(self, result):
+        """Averaging ALL runs (no warm-up discard) biases upward."""
+        assert result.warmup_bias > 1.0
+
+    def test_deterministic_given_seed(self):
+        a = measure_ntt(1 << 12, Q, get_backend("avx512"), CPU, seed=7)
+        b = measure_ntt(1 << 12, Q, get_backend("avx512"), CPU, seed=7)
+        assert a.samples_ns == b.samples_ns
+
+    def test_different_seeds_differ(self):
+        a = measure_ntt(1 << 12, Q, get_backend("avx512"), CPU, seed=1)
+        b = measure_ntt(1 << 12, Q, get_backend("avx512"), CPU, seed=2)
+        assert a.samples_ns != b.samples_ns
+        assert a.mean_ns == pytest.approx(b.mean_ns, rel=0.02)
+
+    def test_sample_count(self, result):
+        assert len(result.samples_ns) == NTT_RUNS
+        assert result.kept == NTT_KEEP
+
+
+class TestMeasureBlas:
+    def test_blas_protocol(self):
+        result = measure_blas(
+            "vector_mul", 1024, Q, get_backend("avx512"), CPU, runs=200, keep=100
+        )
+        assert result.mean_ns == pytest.approx(result.steady_ns, rel=0.02)
+        assert result.runs == 200
+
+    def test_invalid_keep_rejected(self):
+        with pytest.raises(ExperimentError):
+            measure_blas(
+                "vector_add", 1024, Q, get_backend("scalar"), CPU, runs=10, keep=20
+            )
+
+    def test_measured_ordering_matches_model(self):
+        """The protocol must preserve the Figure 4 ordering."""
+        mqx = measure_blas("vector_mul", 1024, Q, get_backend("mqx"), CPU)
+        avx512 = measure_blas("vector_mul", 1024, Q, get_backend("avx512"), CPU)
+        assert mqx.mean_ns < avx512.mean_ns

@@ -1,0 +1,121 @@
+"""Tests for PISA: proxy maps, trace projection, Table 6 validation."""
+
+import pytest
+
+from repro.isa.trace import TraceEntry, Tracer
+from repro.machine.uops import SUNNY_COVE, ZEN4
+from repro.pisa.projection import substitute_trace, substitution_count
+from repro.pisa.proxy import MQX_PROXY_MAP, VALIDATION_PROXY_MAP
+from repro.pisa.validation import (
+    VALIDATION_LOG_SIZE,
+    max_absolute_error,
+    validate_pisa,
+)
+
+
+class TestProxyMaps:
+    def test_table3_covers_all_mqx_mnemonics(self):
+        expected = {
+            "vpmulwq_zmm",
+            "vpmulhq_zmm",
+            "vpadcq_zmm",
+            "vpsbbq_zmm",
+            "vpadcq_pred_zmm",
+            "vpsbbq_pred_zmm",
+        }
+        assert set(MQX_PROXY_MAP) == expected
+
+    def test_table3_core_mappings(self):
+        assert MQX_PROXY_MAP["vpmulwq_zmm"].proxies == ("vpmullq_zmm",)
+        assert MQX_PROXY_MAP["vpadcq_zmm"].proxies == ("vpaddq_masked_zmm",)
+        assert MQX_PROXY_MAP["vpsbbq_zmm"].proxies == ("vpsubq_masked_zmm",)
+
+    def test_table5_validation_targets(self):
+        assert set(VALIDATION_PROXY_MAP) == {
+            "vpmuludq_ymm",
+            "vpaddq_masked_zmm",
+            "vpsubq_masked_zmm",
+        }
+
+    def test_proxies_exist_in_both_uop_tables(self):
+        for rules in (MQX_PROXY_MAP, VALIDATION_PROXY_MAP):
+            for rule in rules.values():
+                for proxy in rule.proxies:
+                    assert proxy in SUNNY_COVE.table
+                    assert proxy in ZEN4.table
+
+
+class TestSubstitution:
+    def _trace(self):
+        t = Tracer("test")
+        t.entries.append(TraceEntry("vpaddq_zmm", (1,), ()))
+        t.entries.append(TraceEntry("vpaddq_masked_zmm", (2,), (1,)))
+        t.entries.append(TraceEntry("vpmuludq_ymm", (3,), (2,)))
+        return t
+
+    def test_unmapped_entries_pass_through(self):
+        out = substitute_trace(self._trace(), VALIDATION_PROXY_MAP)
+        assert out.entries[0].op == "vpaddq_zmm"
+
+    def test_single_proxy_rewrite(self):
+        out = substitute_trace(self._trace(), VALIDATION_PROXY_MAP)
+        assert out.count("vpmulld_ymm") == 1
+        assert out.count("vpmuludq_ymm") == 0
+
+    def test_guard_appended_with_dependency(self):
+        out = substitute_trace(self._trace(), VALIDATION_PROXY_MAP)
+        ops = [e.op for e in out.entries]
+        idx = ops.index("guard")
+        guard = out.entries[idx]
+        replaced = out.entries[idx - 1]
+        assert replaced.op == "vpaddq_zmm"
+        assert guard.srcs == replaced.dests
+
+    def test_original_trace_untouched(self):
+        trace = self._trace()
+        substitute_trace(trace, VALIDATION_PROXY_MAP)
+        assert [e.op for e in trace.entries] == [
+            "vpaddq_zmm",
+            "vpaddq_masked_zmm",
+            "vpmuludq_ymm",
+        ]
+
+    def test_substitution_count(self):
+        assert substitution_count(self._trace(), VALIDATION_PROXY_MAP) == 2
+
+
+class TestValidation:
+    @pytest.fixture(scope="class")
+    def cases(self):
+        return validate_pisa()
+
+    def test_six_cases_two_cpus(self, cases):
+        assert len(cases) == 6
+        assert {c.cpu for c in cases} == {"intel_xeon_8352y", "amd_epyc_9654"}
+
+    def test_paper_bound_holds(self, cases):
+        """Table 6: |epsilon| below 8% for all six cases."""
+        assert max_absolute_error(cases) < 8.0
+
+    def test_conservative_or_exact(self, cases):
+        """Our deterministic model never projects an optimistic runtime."""
+        for case in cases:
+            assert case.relative_error_pct <= 0.0
+
+    def test_validation_uses_paper_size(self):
+        assert VALIDATION_LOG_SIZE == 14
+
+    def test_substitutions_actually_happen(self, cases):
+        for case in cases:
+            assert case.substitutions > 0
+
+    def test_masked_add_most_conservative(self, cases):
+        """The guard-per-masked-add case produces the largest error."""
+        by_target = {}
+        for c in cases:
+            by_target.setdefault(c.target_intrinsic, []).append(
+                abs(c.relative_error_pct)
+            )
+        assert max(by_target["_mm512_mask_add_epi64"]) == pytest.approx(
+            max_absolute_error(cases)
+        )

@@ -1,0 +1,58 @@
+"""Public API surface tests (what the README promises)."""
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestQuickstart:
+    def test_docstring_example(self):
+        q = repro.default_modulus()
+        ntt = repro.SimdNtt(1 << 10, q, repro.get_backend("mqx"))
+        data = list(range(1 << 10))
+        spectrum = ntt.forward(data)
+        assert ntt.inverse(spectrum) == data
+
+    def test_polynomial_pipeline(self):
+        q = repro.default_modulus()
+        backend = repro.get_backend("avx512")
+        f = [1, 2, 3, 4] * 4
+        g = [5, 6, 7, 8] * 4
+        product = repro.simd_ntt_polymul(f, g, q, backend)
+        from repro.ntt.reference import schoolbook_polymul
+
+        assert product == schoolbook_polymul(f, g, q)
+
+    def test_estimation_entrypoints(self):
+        q = repro.default_modulus()
+        cpu = repro.get_cpu("amd_epyc_9654")
+        est = repro.estimate_ntt(1 << 12, q, repro.get_backend("mqx"), cpu)
+        assert est.ns > 0
+        blas = repro.estimate_blas(
+            "vector_mul", 1024, q, repro.get_backend("avx512"), cpu
+        )
+        assert blas.ns_per_element > 0
+
+    def test_custom_mqx_features(self):
+        features = repro.MqxFeatures(wide_mul=False, carry=True, mulhi_only=True)
+        backend = repro.get_backend("mqx", features=features)
+        assert backend.features.label == "+Mh,C"
+
+    def test_sol_entrypoint(self):
+        sweep = repro.sol_sweep(
+            "mqx", "amd_epyc_9654", "amd_epyc_9965s", log_sizes=[12]
+        )
+        assert 12 in sweep
+
+    def test_pisa_entrypoint(self):
+        cases = repro.validate_pisa(repro.get_cpu("amd_epyc_9654"))
+        assert len(cases) == 3

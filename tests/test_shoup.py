@@ -1,0 +1,156 @@
+"""Tests for the Shoup/Harvey precomputed-twiddle butterfly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExperimentError, NttParameterError
+from repro.isa.trace import tracing
+from repro.kernels import get_backend
+from repro.machine.cpu import get_cpu
+from repro.ntt.reference import naive_ntt
+from repro.ntt.simd import SimdNtt
+from repro.perf.estimator import estimate_ntt
+
+from tests.conftest import ALL_BACKEND_NAMES, BIG_Q, MID_Q, random_residues
+
+
+class TestMulmodShoup:
+    @pytest.mark.parametrize("q", [MID_Q, BIG_Q], ids=["q60", "q124"])
+    def test_matches_reference(self, backend, q, rng):
+        ctx = backend.make_modulus(q)
+        for _ in range(15):
+            w = rng.randrange(q)
+            w_shoup = (w << 128) // q
+            y = random_residues(rng, q, backend.lanes)
+            out = backend.block_values(
+                backend.mulmod_shoup(
+                    backend.load_block(y),
+                    backend.broadcast_dw(w),
+                    backend.broadcast_dw(w_shoup),
+                    ctx,
+                )
+            )
+            assert out == [w * v % q for v in y]
+
+    def test_edge_twiddles(self, backend):
+        q = BIG_Q
+        ctx = backend.make_modulus(q)
+        for w in (0, 1, q - 1):
+            w_shoup = (w << 128) // q
+            for y in (0, 1, q - 1):
+                out = backend.block_values(
+                    backend.mulmod_shoup(
+                        backend.load_block([y] * backend.lanes),
+                        backend.broadcast_dw(w),
+                        backend.broadcast_dw(w_shoup),
+                        ctx,
+                    )
+                )
+                assert out == [w * y % q] * backend.lanes
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_property_mqx(self, data):
+        q = BIG_Q
+        backend = get_backend("mqx")
+        ctx = backend.make_modulus(q)
+        w = data.draw(st.integers(min_value=0, max_value=q - 1))
+        y = [data.draw(st.integers(min_value=0, max_value=q - 1)) for _ in range(8)]
+        out = backend.block_values(
+            backend.mulmod_shoup(
+                backend.load_block(y),
+                backend.broadcast_dw(w),
+                backend.broadcast_dw((w << 128) // q),
+                ctx,
+            )
+        )
+        assert out == [w * v % q for v in y]
+
+    def test_cheaper_than_barrett(self, backend, rng):
+        q = BIG_Q
+        ctx = backend.make_modulus(q)
+        y = backend.load_block(random_residues(rng, q, backend.lanes))
+        w = backend.broadcast_dw(7)
+        ws = backend.broadcast_dw((7 << 128) // q)
+        with tracing() as barrett:
+            backend.mulmod(y, w, ctx)
+        with tracing() as shoup:
+            backend.mulmod_shoup(y, w, ws, ctx)
+        assert len(shoup) < len(barrett)
+
+
+class TestShoupNtt:
+    def test_forward_matches_naive(self, backend, rng):
+        q = BIG_Q
+        plan = SimdNtt(32, q, backend, twiddle_mode="shoup")
+        x = random_residues(rng, q, 32)
+        assert plan.forward(x) == naive_ntt(x, q, root=plan.table.root)
+
+    def test_modes_agree(self, rng):
+        q = BIG_Q
+        backend = get_backend("avx512")
+        barrett = SimdNtt(64, q, backend)
+        shoup = SimdNtt(64, q, backend, root=barrett.table.root,
+                        twiddle_mode="shoup")
+        x = random_residues(rng, q, 64)
+        assert barrett.forward(x) == shoup.forward(x)
+
+    def test_inverse_roundtrip(self, rng):
+        q = BIG_Q
+        plan = SimdNtt(32, q, get_backend("mqx"), twiddle_mode="shoup")
+        x = random_residues(rng, q, 32)
+        assert plan.inverse(plan.forward(x)) == x
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(NttParameterError):
+            SimdNtt(32, MID_Q, get_backend("scalar"), twiddle_mode="montgomery")
+
+
+class TestShoupEstimates:
+    def test_faster_on_every_backend_and_cpu(self):
+        from repro.arith.primes import default_modulus
+
+        q = default_modulus()
+        for cpu_key in ("intel_xeon_8352y", "amd_epyc_9654"):
+            cpu = get_cpu(cpu_key)
+            for name in ALL_BACKEND_NAMES:
+                backend = get_backend(name)
+                barrett = estimate_ntt(1 << 14, q, backend, cpu)
+                shoup = estimate_ntt(1 << 14, q, backend, cpu, twiddle_mode="shoup")
+                assert shoup.ns < barrett.ns, (cpu_key, name)
+                assert 1.1 < barrett.ns / shoup.ns < 2.0, (cpu_key, name)
+
+    def test_algorithm_label(self):
+        from repro.arith.primes import default_modulus
+
+        est = estimate_ntt(
+            1 << 12,
+            default_modulus(),
+            get_backend("mqx"),
+            get_cpu("amd_epyc_9654"),
+            twiddle_mode="shoup",
+        )
+        assert est.algorithm == "schoolbook+shoup"
+
+    def test_unknown_mode_rejected(self):
+        from repro.arith.primes import default_modulus
+
+        with pytest.raises(ExperimentError):
+            estimate_ntt(
+                1 << 12,
+                default_modulus(),
+                get_backend("mqx"),
+                get_cpu("amd_epyc_9654"),
+                twiddle_mode="montgomery",
+            )
+
+
+class TestExperiment:
+    def test_table(self):
+        from repro.experiments.extension_shoup import run
+
+        result = run()
+        assert len(result.rows) == 8  # 2 CPUs x 4 variants
+        for speedup in result.column("speedup"):
+            assert 1.1 < float(speedup) < 2.0

@@ -1,0 +1,121 @@
+"""Tests for pseudo-Mersenne (special-prime) reduction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith.primes import is_prime
+from repro.arith.specialprime import (
+    EXPONENT,
+    SpecialPrimeKernel,
+    find_pseudo_mersenne,
+    reduce_pseudo_mersenne,
+)
+from repro.errors import ArithmeticDomainError
+from repro.isa.trace import tracing
+from repro.kernels import get_backend
+
+from tests.conftest import ALL_BACKEND_NAMES, random_residues
+
+Q, C = find_pseudo_mersenne()
+
+
+class TestPrimeSearch:
+    def test_shape(self):
+        assert Q + C == 1 << EXPONENT
+        assert is_prime(Q)
+        assert Q % (1 << 20) == 1  # NTT-friendly to order 2^20
+
+    def test_cached(self):
+        assert find_pseudo_mersenne() == (Q, C)
+
+    def test_other_order(self):
+        q, c = find_pseudo_mersenne(1 << 10)
+        assert q % (1 << 10) == 1
+        assert is_prime(q)
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ArithmeticDomainError):
+            find_pseudo_mersenne(100)
+
+
+class TestReferenceReduction:
+    @given(st.integers(min_value=0, max_value=Q * Q - 1))
+    @settings(max_examples=300)
+    def test_matches_mod(self, x):
+        assert reduce_pseudo_mersenne(x, Q, C) == x % Q
+
+    def test_boundaries(self):
+        assert reduce_pseudo_mersenne(0, Q, C) == 0
+        assert reduce_pseudo_mersenne(Q, Q, C) == 0
+        assert reduce_pseudo_mersenne(Q * Q - 1, Q, C) == (Q * Q - 1) % Q
+
+    def test_domain_checked(self):
+        with pytest.raises(ArithmeticDomainError):
+            reduce_pseudo_mersenne(Q * Q, Q, C)
+        with pytest.raises(ArithmeticDomainError):
+            reduce_pseudo_mersenne(0, Q + 1, C)
+
+
+class TestKernel:
+    @pytest.mark.parametrize("name", ALL_BACKEND_NAMES)
+    def test_mulmod_matches_bigint(self, name, rng):
+        kernel = SpecialPrimeKernel(get_backend(name), Q, C)
+        lanes = kernel.ops.lanes
+        for _ in range(10):
+            a = random_residues(rng, Q, lanes)
+            b = random_residues(rng, Q, lanes)
+            out = kernel.block_values(
+                kernel.mulmod(kernel.load_block(a), kernel.load_block(b))
+            )
+            assert out == [x * y % Q for x, y in zip(a, b)]
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_property_mqx(self, data):
+        kernel = SpecialPrimeKernel(get_backend("mqx"), Q, C)
+        a = [data.draw(st.integers(min_value=0, max_value=Q - 1)) for _ in range(8)]
+        b = [data.draw(st.integers(min_value=0, max_value=Q - 1)) for _ in range(8)]
+        out = kernel.block_values(
+            kernel.mulmod(kernel.load_block(a), kernel.load_block(b))
+        )
+        assert out == [x * y % Q for x, y in zip(a, b)]
+
+    def test_cheaper_than_barrett(self, rng):
+        for name in ALL_BACKEND_NAMES:
+            backend = get_backend(name)
+            kernel = SpecialPrimeKernel(backend, Q, C)
+            ctx = backend.make_modulus(Q)
+            a = kernel.load_block(random_residues(rng, Q, kernel.ops.lanes))
+            b = kernel.load_block(random_residues(rng, Q, kernel.ops.lanes))
+            with tracing() as special:
+                kernel.mulmod(a, b)
+            da = backend.load_block(random_residues(rng, Q, backend.lanes))
+            db = backend.load_block(random_residues(rng, Q, backend.lanes))
+            with tracing() as barrett:
+                backend.mulmod(da, db, ctx)
+            assert len(special) < len(barrett), name
+
+    def test_rejects_prime_far_from_power_of_two(self):
+        from repro.arith.primes import find_ntt_prime
+
+        q = find_ntt_prime(123, 1 << 10)  # c would need ~2^123 bits
+        with pytest.raises(ArithmeticDomainError):
+            SpecialPrimeKernel(get_backend("scalar"), q, (1 << EXPONENT) - q)
+
+    def test_default_modulus_happens_to_qualify(self):
+        """The library default (largest 124-bit NTT prime) is itself close
+        enough to 2^124 to use folding - a nice consistency check."""
+        from repro.arith.primes import default_modulus
+
+        q = default_modulus()
+        c = (1 << EXPONENT) - q
+        kernel = SpecialPrimeKernel(get_backend("scalar"), q, c)
+        out = kernel.block_values(
+            kernel.mulmod(kernel.load_block([q - 1]), kernel.load_block([q - 1]))
+        )
+        assert out == [(q - 1) * (q - 1) % q]
+
+    def test_rejects_wide_constant(self):
+        with pytest.raises(ArithmeticDomainError):
+            SpecialPrimeKernel(get_backend("scalar"), (1 << 124) - (1 << 50), 1 << 50)

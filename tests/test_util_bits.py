@@ -1,0 +1,90 @@
+"""Unit and property tests for repro.util.bits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import bits
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+U128 = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+class TestWrapping:
+    def test_wrap64_masks_to_64_bits(self):
+        assert bits.wrap64((1 << 64) + 5) == 5
+
+    def test_wrap128_masks_to_128_bits(self):
+        assert bits.wrap128((1 << 128) + 7) == 7
+
+    @given(U128)
+    def test_wrap64_idempotent(self, x):
+        assert bits.wrap64(bits.wrap64(x)) == bits.wrap64(x)
+
+
+class TestHiLo:
+    @given(U128)
+    def test_make128_roundtrip(self, x):
+        assert bits.make128(bits.hi64(x), bits.lo64(x)) == x
+
+    def test_lo64_of_small_value(self):
+        assert bits.lo64(42) == 42
+
+    def test_hi64_of_small_value(self):
+        assert bits.hi64(42) == 0
+
+    def test_hi64_extracts_upper_word(self):
+        assert bits.hi64((3 << 64) | 9) == 3
+
+    def test_make128_masks_inputs(self):
+        assert bits.make128(1 << 65, 1 << 65) == 0
+
+
+class TestSplitJoin:
+    @given(U128, st.integers(min_value=2, max_value=4))
+    def test_split_join_roundtrip(self, x, count):
+        assert bits.join_words(bits.split_words(x, count)) == x
+
+    def test_split_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits.split_words(-1, 2)
+
+    def test_split_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            bits.split_words(1 << 128, 2)
+
+    def test_join_rejects_oversized_word(self):
+        with pytest.raises(ValueError):
+            bits.join_words([1 << 64])
+
+    def test_split_is_little_endian(self):
+        assert bits.split_words((2 << 64) | 1, 2) == [1, 2]
+
+    def test_split_custom_width(self):
+        assert bits.split_words(0x1234, 4, width=8) == [0x34, 0x12, 0, 0]
+
+
+class TestDoubleWordPairs:
+    @given(U128)
+    def test_to_from_dw_roundtrip(self, x):
+        assert bits.from_dw(*bits.to_dw(x)) == x
+
+    def test_to_dw_rejects_129_bits(self):
+        with pytest.raises(ValueError):
+            bits.to_dw(1 << 128)
+
+    def test_to_dw_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits.to_dw(-1)
+
+
+class TestBitLengthWords:
+    @pytest.mark.parametrize(
+        "bits_in,expected", [(1, 1), (64, 1), (65, 2), (128, 2), (129, 3)]
+    )
+    def test_word_counts(self, bits_in, expected):
+        assert bits.bit_length_words(bits_in) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bits.bit_length_words(0)

@@ -1,0 +1,90 @@
+"""Unit tests for repro.util.checks and the error hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.util import checks
+
+
+class TestCheckUint:
+    def test_accepts_boundary(self):
+        assert checks.check_uint((1 << 64) - 1, 64) == (1 << 64) - 1
+
+    def test_rejects_overflow(self):
+        with pytest.raises(errors.ArithmeticDomainError):
+            checks.check_uint(1 << 64, 64)
+
+    def test_rejects_negative(self):
+        with pytest.raises(errors.ArithmeticDomainError):
+            checks.check_uint(-1, 64)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(errors.ArithmeticDomainError):
+            checks.check_uint(1.5, 64)
+
+    def test_error_mentions_name(self):
+        with pytest.raises(errors.ArithmeticDomainError, match="coefficient"):
+            checks.check_uint(-1, 64, name="coefficient")
+
+
+class TestCheckReduced:
+    def test_accepts_zero_and_top(self):
+        assert checks.check_reduced(0, 17) == 0
+        assert checks.check_reduced(16, 17) == 16
+
+    def test_rejects_equal_to_modulus(self):
+        with pytest.raises(errors.ArithmeticDomainError):
+            checks.check_reduced(17, 17)
+
+    def test_rejects_negative(self):
+        with pytest.raises(errors.ArithmeticDomainError):
+            checks.check_reduced(-1, 17)
+
+
+class TestCheckPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 1 << 20])
+    def test_accepts_powers(self, value):
+        assert checks.check_power_of_two(value) == value
+
+    @pytest.mark.parametrize("value", [0, -4, 3, 6, 12])
+    def test_rejects_non_powers(self, value):
+        with pytest.raises(errors.NttParameterError):
+            checks.check_power_of_two(value)
+
+
+class TestCheckVectorLength:
+    def test_accepts_multiple(self):
+        assert checks.check_vector_length(1024, 8) == 1024
+
+    def test_rejects_non_multiple(self):
+        with pytest.raises(errors.ArithmeticDomainError):
+            checks.check_vector_length(1022, 8)
+
+    def test_rejects_zero(self):
+        with pytest.raises(errors.ArithmeticDomainError):
+            checks.check_vector_length(0, 8)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            errors.IsaError,
+            errors.LaneMismatchError,
+            errors.MaskWidthError,
+            errors.MachineModelError,
+            errors.UnknownInstructionError,
+            errors.ArithmeticDomainError,
+            errors.NttParameterError,
+            errors.BackendError,
+            errors.ExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, cls):
+        assert issubclass(cls, errors.ReproError)
+
+    def test_lane_mismatch_is_isa_error(self):
+        assert issubclass(errors.LaneMismatchError, errors.IsaError)
+
+    def test_unknown_instruction_is_machine_error(self):
+        assert issubclass(errors.UnknownInstructionError, errors.MachineModelError)
