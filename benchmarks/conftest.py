@@ -5,9 +5,34 @@ full pipeline (ISA simulation -> trace -> machine model -> runtimes),
 asserts the paper's shape claims on the result, and prints the regenerated
 series (visible with ``pytest -s``; also written to EXPERIMENTS.md by
 ``python -m repro.experiments.runner``).
+
+Every benchmarked regeneration also records its best round time into the
+repository's perf-snapshot history (``BENCH_pipeline.json``, see
+:mod:`repro.obs.snapshot`), so the wall-clock trajectory of the pipeline
+accumulates across benchmark runs and ``python -m repro profile`` can
+diff against it. Set ``REPRO_BENCH_SNAPSHOT=0`` to opt out.
 """
 
+import os
+from pathlib import Path
+
 import pytest
+
+from repro.obs.snapshot import SnapshotStore
+
+#: The repository-root snapshot file the benchmarks accumulate into.
+SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+
+
+def _record_round(exp_id, benchmark):
+    """Fold this benchmark's best round into the latest snapshot."""
+    if os.environ.get("REPRO_BENCH_SNAPSHOT", "1") == "0":
+        return
+    try:
+        seconds = float(benchmark.stats.stats.min)
+    except (AttributeError, TypeError, ValueError):
+        return  # pytest-benchmark disabled or stats unavailable
+    SnapshotStore(SNAPSHOT_PATH).merge({f"bench.{exp_id}.wall_s": seconds})
 
 
 def run_and_report(benchmark, fn):
@@ -15,6 +40,7 @@ def run_and_report(benchmark, fn):
     result = benchmark.pedantic(fn, rounds=3, iterations=1, warmup_rounds=1)
     print()
     print(result.format_table())
+    _record_round(result.exp_id, benchmark)
     return result
 
 

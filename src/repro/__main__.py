@@ -9,6 +9,7 @@ Usage::
     python -m repro mca [--microarch sunny_cove]
     python -m repro sol --vendor amd
     python -m repro experiments [--output EXPERIMENTS.md]
+    python -m repro profile --experiment headline --export chrome
 """
 
 from __future__ import annotations
@@ -131,6 +132,42 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return runner_main(["runner", args.output])
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.errors import ObservabilityError
+    from repro.obs.profile import (
+        available_experiments,
+        export_profile,
+        format_summary,
+        profile_experiment,
+        record_snapshot,
+    )
+
+    try:
+        report = profile_experiment(args.experiment)
+    except ObservabilityError:
+        print(
+            f"unknown experiment {args.experiment!r}; choose from: "
+            + ", ".join(available_experiments()),
+            file=sys.stderr,
+        )
+        return 2
+    print(format_summary(report))
+
+    formats = [] if args.export == "none" else args.export.split("+")
+    for path in export_profile(report, args.output_dir, formats):
+        print(f"wrote {path}")
+
+    if not args.no_snapshot:
+        diff = record_snapshot(
+            report, snapshot_path=args.snapshot, threshold=args.threshold
+        )
+        print(f"recorded snapshot to {args.snapshot}")
+        if diff is not None:
+            print()
+            print(diff.format())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -173,6 +210,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     gen.add_argument("--output", default="generated")
 
+    prof = sub.add_parser(
+        "profile",
+        help="run one experiment under the observability layer "
+        "(spans + metrics + trace export + perf snapshot)",
+    )
+    prof.add_argument(
+        "--experiment",
+        default="headline",
+        help="experiment key (e.g. headline, figure5a, table1; an unknown "
+        "key prints the full list)",
+    )
+    prof.add_argument(
+        "--export",
+        default="none",
+        choices=["none", "chrome", "jsonl", "chrome+jsonl"],
+        help="trace export format(s); chrome output loads in "
+        "chrome://tracing or ui.perfetto.dev",
+    )
+    prof.add_argument(
+        "--output-dir", default=".", help="directory for exported trace files"
+    )
+    prof.add_argument(
+        "--snapshot",
+        default="BENCH_pipeline.json",
+        help="perf-snapshot history file to record into and diff against",
+    )
+    prof.add_argument(
+        "--no-snapshot",
+        action="store_true",
+        help="skip recording/diffing the perf snapshot",
+    )
+    prof.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative change flagged as a snapshot regression",
+    )
+
     return parser
 
 
@@ -184,6 +259,7 @@ _COMMANDS = {
     "mca": _cmd_mca,
     "sol": _cmd_sol,
     "experiments": _cmd_experiments,
+    "profile": _cmd_profile,
 }
 
 

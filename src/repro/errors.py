@@ -49,3 +49,7 @@ class BackendError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was given inconsistent configuration."""
+
+
+class ObservabilityError(ReproError):
+    """The observability layer was misused (metric type clash, bad export)."""

@@ -17,7 +17,9 @@ from __future__ import annotations
 from collections import Counter
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.obs.hooks import record_trace
 
 
 @dataclass(frozen=True)
@@ -82,9 +84,50 @@ class Tracer:
         """Append all of ``other``'s entries to this tracer."""
         self.entries.extend(other.entries)
 
+    def summary(self) -> Dict[str, object]:
+        """Structured digest of the trace in one pass.
+
+        Returns op counts, load/store op counts, load/store byte totals
+        (from :func:`op_bytes` widths) and the entry count — everything
+        the estimator and the observability hooks previously re-derived
+        with ad-hoc loops.
+        """
+        op_counts: Counter = Counter()
+        loads = stores = load_bytes = store_bytes = 0
+        for entry in self.entries:
+            op_counts[entry.op] += 1
+            if entry.tag == "load":
+                loads += 1
+                load_bytes += op_bytes(entry.op)
+            elif entry.tag == "store":
+                stores += 1
+                store_bytes += op_bytes(entry.op)
+        return {
+            "label": self.label,
+            "entries": len(self.entries),
+            "op_counts": dict(op_counts),
+            "loads": loads,
+            "stores": stores,
+            "load_bytes": load_bytes,
+            "store_bytes": store_bytes,
+        }
+
     def __repr__(self) -> str:
         label = f" {self.label!r}" if self.label else ""
         return f"Tracer{label}({len(self.entries)} instructions)"
+
+
+def op_bytes(op: str) -> int:
+    """Memory bytes implied by an op's register class.
+
+    ZMM ops move 64 bytes, YMM ops 32, everything else (scalar GPRs and
+    the 64-bit halves of double-word values) 8.
+    """
+    if op.endswith("_zmm"):
+        return 64
+    if op.endswith("_ymm"):
+        return 32
+    return 8
 
 
 _ACTIVE_TRACERS: List[Tracer] = []
@@ -138,3 +181,6 @@ def tracing(label: str = "") -> Iterator[Tracer]:
         yield tracer
     finally:
         _ACTIVE_TRACERS.pop()
+        # Account the finished region once, keeping obs cost off the
+        # per-instruction emit path (no-op unless repro.obs is enabled).
+        record_trace(tracer)

@@ -19,6 +19,10 @@ from typing import List, Tuple
 
 from repro.errors import MachineModelError
 from repro.machine.cpu import CpuSpec
+from repro.obs.hooks import record_cache_access, record_cache_traffic
+
+#: Level names, index-aligned with :attr:`CacheModel.levels`.
+_LEVEL_NAMES = ("L1", "L2", "L3", "DRAM")
 
 #: Per-core sustained bandwidth in bytes/cycle by level and microarch.
 #: Ice Lake's mesh interconnect limits one core's L3 bandwidth far below
@@ -60,25 +64,28 @@ class CacheModel:
             (float("inf"), bw["DRAM"]),
         ]
 
+    def _level_index(self, working_set_bytes: float) -> int:
+        """Index of the smallest level holding the working set."""
+        for index, (capacity, _) in enumerate(self.levels):
+            if working_set_bytes <= capacity:
+                return index
+        raise AssertionError("unreachable: DRAM level has infinite capacity")
+
     def bandwidth_for(self, working_set_bytes: float) -> float:
         """Sustained bytes/cycle for a streaming working set of this size."""
         if working_set_bytes < 0:
             raise MachineModelError("working set must be non-negative")
-        for capacity, bandwidth in self.levels:
-            if working_set_bytes <= capacity:
-                return bandwidth
-        raise AssertionError("unreachable: DRAM level has infinite capacity")
+        index = self._level_index(working_set_bytes)
+        record_cache_access(_LEVEL_NAMES[index])
+        return self.levels[index][1]
 
     def memory_cycles(
         self, traffic: MemoryTraffic, working_set_bytes: float
     ) -> float:
         """Cycles needed to move one block's bytes at the working-set BW."""
+        record_cache_traffic(traffic.total_bytes)
         return traffic.total_bytes / self.bandwidth_for(working_set_bytes)
 
     def level_name(self, working_set_bytes: float) -> str:
         """Which level the working set streams from (for reporting)."""
-        names = ["L1", "L2", "L3", "DRAM"]
-        for (capacity, _), name in zip(self.levels, names):
-            if working_set_bytes <= capacity:
-                return name
-        return "DRAM"
+        return _LEVEL_NAMES[self._level_index(working_set_bytes)]

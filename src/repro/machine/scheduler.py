@@ -27,6 +27,7 @@ from typing import Dict, Iterable, List, Tuple
 from repro.errors import MachineModelError
 from repro.isa.trace import TraceEntry, Tracer
 from repro.machine.uops import Microarch
+from repro.obs.hooks import record_schedule
 
 
 @dataclass
@@ -108,7 +109,7 @@ def schedule_trace(
             ready_at[dest] = finish
         critical_path = max(critical_path, finish)
 
-    return ScheduleResult(
+    result = ScheduleResult(
         microarch=microarch.name,
         instructions=len(entries),
         uops=total_uops,
@@ -118,6 +119,8 @@ def schedule_trace(
         rob_size=microarch.rob_size,
         assignments=assignments,
     )
+    record_schedule(result)
+    return result
 
 
 def _least_loaded(

@@ -1,0 +1,80 @@
+"""``repro.obs`` — end-to-end instrumentation for the simulation pipeline.
+
+The reproduction's results all flow through one pipeline (ISA simulation
+-> trace -> machine model -> runtime estimate -> figure regeneration);
+this package makes that pipeline observable the way the paper's own
+methodology is (LLVM-MCA port-pressure reports, PISA validation tables):
+
+* :mod:`repro.obs.spans` — nestable wall-clock spans with a no-op
+  disabled path (``with span("schedule"): ...``).
+* :mod:`repro.obs.metrics` — counters / gauges / histograms with exact
+  percentiles.
+* :mod:`repro.obs.hooks` — the permanent instrumentation points wired
+  into :mod:`repro.isa.trace`, :mod:`repro.machine.scheduler` and
+  :mod:`repro.machine.cache`.
+* :mod:`repro.obs.export` — JSON-lines and Chrome trace-event exporters
+  (open the latter in ``chrome://tracing`` or Perfetto) plus text tables.
+* :mod:`repro.obs.snapshot` — the ``BENCH_pipeline.json`` perf-snapshot
+  history with regression diffing.
+* :mod:`repro.obs.profile` — the ``python -m repro profile`` engine.
+
+Typical use::
+
+    from repro.obs import observing, span
+
+    with observing() as session:
+        with span("my-phase"):
+            ...
+        print(session.metrics.snapshot())
+
+Everything is disabled by default; see docs/OBSERVABILITY.md.
+"""
+
+from repro.obs.export import (
+    format_span_table,
+    from_jsonl,
+    to_chrome_trace,
+    to_jsonl,
+    validate_chrome_trace,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.session import (
+    ObsSession,
+    current,
+    disable,
+    enable,
+    is_enabled,
+    observing,
+)
+from repro.obs.snapshot import (
+    DEFAULT_SNAPSHOT_NAME,
+    SnapshotDiff,
+    SnapshotStore,
+    diff_values,
+)
+from repro.obs.spans import SpanRecord, SpanSink, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsSession",
+    "SnapshotDiff",
+    "SnapshotStore",
+    "SpanRecord",
+    "SpanSink",
+    "DEFAULT_SNAPSHOT_NAME",
+    "current",
+    "diff_values",
+    "disable",
+    "enable",
+    "format_span_table",
+    "from_jsonl",
+    "is_enabled",
+    "observing",
+    "span",
+    "to_chrome_trace",
+    "to_jsonl",
+    "validate_chrome_trace",
+]

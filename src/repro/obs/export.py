@@ -1,0 +1,155 @@
+"""Exporters: JSON-lines, Chrome trace-event format, and summary tables.
+
+Three consumers, three formats:
+
+* **JSON-lines** — one object per line (``{"kind": "span", ...}`` /
+  ``{"kind": "metric", ...}``), the grep/jq-friendly archival form.
+* **Chrome trace-event** — the ``{"traceEvents": [...]}`` JSON that
+  ``chrome://tracing`` and https://ui.perfetto.dev load directly; spans
+  become complete ("ph": "X") events with microsecond timestamps.
+* **Text table** — :func:`format_span_table` renders the per-phase
+  aggregate for terminals (the ``profile`` subcommand's summary).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import ObservabilityError
+from repro.obs.spans import SpanRecord
+
+
+def span_to_dict(record: SpanRecord) -> Dict[str, object]:
+    """Plain-dict form of one span (the JSON-lines payload)."""
+    return {
+        "kind": "span",
+        "name": record.name,
+        "start_s": record.start_s,
+        "duration_s": record.duration_s,
+        "depth": record.depth,
+        "parent": record.parent,
+        "index": record.index,
+        "attrs": record.attrs,
+    }
+
+
+def to_jsonl(
+    spans: Iterable[SpanRecord],
+    metrics_snapshot: Optional[Dict[str, Dict[str, object]]] = None,
+) -> str:
+    """Serialize spans (and optionally a metrics snapshot) as JSON-lines."""
+    lines = [json.dumps(span_to_dict(record)) for record in spans]
+    for name, data in (metrics_snapshot or {}).items():
+        payload = {"kind": "metric", "name": name}
+        payload.update(data)
+        lines.append(json.dumps(payload))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def from_jsonl(text: str) -> List[Dict[str, object]]:
+    """Parse JSON-lines back into dicts (round-trip of :func:`to_jsonl`)."""
+    records = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(
+                f"invalid JSON-lines record at line {lineno}: {exc}"
+            ) from exc
+    return records
+
+
+def to_chrome_trace(
+    spans: Iterable[SpanRecord], process_name: str = "repro-pipeline"
+) -> Dict[str, object]:
+    """Build a Chrome trace-event JSON object from completed spans.
+
+    Spans map to complete events (``"ph": "X"``) with microsecond
+    ``ts``/``dur`` on one pid/tid; nesting is reconstructed by the viewer
+    from timestamp containment, which our LIFO spans guarantee.
+    """
+    events: List[Dict[str, object]] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "name": "process_name",
+            "args": {"name": process_name},
+        }
+    ]
+    for record in spans:
+        events.append(
+            {
+                "name": record.name,
+                "cat": "pipeline",
+                "ph": "X",
+                "ts": record.start_s * 1e6,
+                "dur": record.duration_s * 1e6,
+                "pid": 1,
+                "tid": 1,
+                "args": dict(record.attrs),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(obj: object) -> None:
+    """Check Chrome trace-event structure; raises on schema violations.
+
+    Validates the subset of the trace-event spec this library emits:
+    a ``traceEvents`` list whose complete events carry ``name``/``ph``
+    plus non-negative numeric ``ts``/``dur``.
+    """
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        raise ObservabilityError("chrome trace must be a dict with 'traceEvents'")
+    events = obj["traceEvents"]
+    if not isinstance(events, list):
+        raise ObservabilityError("'traceEvents' must be a list")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ObservabilityError(f"event {i} is not an object")
+        if "ph" not in event:
+            raise ObservabilityError(f"event {i} missing phase 'ph'")
+        if event["ph"] == "M":
+            continue
+        for key in ("name", "ts", "pid", "tid"):
+            if key not in event:
+                raise ObservabilityError(f"event {i} missing {key!r}")
+        if event["ph"] == "X":
+            if "dur" not in event:
+                raise ObservabilityError(f"complete event {i} missing 'dur'")
+            if not isinstance(event["dur"], (int, float)) or event["dur"] < 0:
+                raise ObservabilityError(f"event {i} has invalid 'dur'")
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            raise ObservabilityError(f"event {i} has invalid 'ts'")
+
+
+def format_span_table(
+    aggregate: Dict[str, Dict[str, float]], title: str = "pipeline phases"
+) -> str:
+    """Render a span aggregate (``SpanSink.aggregate()``) as a text table."""
+    header = ["phase", "calls", "total ms", "mean ms", "max ms"]
+    rows = [header]
+    for name in sorted(aggregate, key=lambda n: -aggregate[n]["total_s"]):
+        stats = aggregate[name]
+        rows.append(
+            [
+                name,
+                f"{int(stats['count'])}",
+                f"{stats['total_s'] * 1e3:.2f}",
+                f"{stats['mean_s'] * 1e3:.3f}",
+                f"{stats['max_s'] * 1e3:.3f}",
+            ]
+        )
+    widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+    lines = [f"-- {title} --"]
+    for i, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+        if i == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Instrumentation hooks called from the library's hot layers.
+
+Each hook is a module-level function with an immediate ``is None`` bail
+when no observability session is active, so the permanent call sites in
+:mod:`repro.isa.trace`, :mod:`repro.machine.scheduler` and
+:mod:`repro.machine.cache` cost one global read + one call when disabled.
+Crucially, none of the hooks sits *inside* a per-instruction loop:
+
+* :func:`record_trace` fires once per traced region (on ``tracing()``
+  exit), deriving per-mnemonic counts and load/store bytes from
+  :meth:`repro.isa.trace.Tracer.summary` — the ``emit`` path itself is
+  untouched, which is what the overhead guard in
+  ``tests/test_obs_overhead.py`` asserts.
+* :func:`record_schedule` fires once per scheduled block with the port
+  occupancies and critical path.
+* :func:`record_cache_access` / :func:`record_cache_traffic` fire once
+  per cache-model query with the serving level and bytes moved.
+"""
+
+from __future__ import annotations
+
+from repro.obs.session import current
+
+
+def record_trace(tracer) -> None:
+    """Account one finished traced region into the metrics registry.
+
+    ``tracer`` is duck-typed (anything with a ``summary()`` shaped like
+    :meth:`repro.isa.trace.Tracer.summary`) so this module never imports
+    the ISA layer.
+    """
+    session = current()
+    if session is None:
+        return
+    summary = tracer.summary()
+    m = session.metrics
+    for op, count in summary["op_counts"].items():
+        m.counter(f"isa.ops.{op}").inc(count)
+    m.counter("isa.instructions").inc(summary["entries"])
+    m.counter("isa.loads").inc(summary["loads"])
+    m.counter("isa.stores").inc(summary["stores"])
+    m.counter("isa.load_bytes").inc(summary["load_bytes"])
+    m.counter("isa.store_bytes").inc(summary["store_bytes"])
+    m.counter("isa.traced_regions").inc()
+
+
+def record_schedule(result) -> None:
+    """Account one block-scheduling result (port pressure, chains)."""
+    session = current()
+    if session is None:
+        return
+    m = session.metrics
+    m.counter("sched.blocks").inc()
+    m.histogram("sched.instructions_per_block").observe(result.instructions)
+    m.histogram("sched.uops_per_block").observe(result.uops)
+    m.histogram("sched.critical_path_cycles").observe(result.critical_path)
+    bound = result.port_bound
+    for port, occupancy in result.port_pressure.items():
+        m.histogram(f"sched.port.{port}").observe(occupancy)
+        if bound > 0:
+            m.histogram(f"sched.util.{port}").observe(occupancy / bound)
+
+
+def record_cache_access(level: str) -> None:
+    """Count one cache-model query served by ``level`` (L1/L2/L3/DRAM)."""
+    session = current()
+    if session is None:
+        return
+    session.metrics.counter(f"cache.access.{level}").inc()
+
+
+def record_cache_traffic(total_bytes: float) -> None:
+    """Account the bytes one memory-cycles query moved through the model."""
+    session = current()
+    if session is None:
+        return
+    session.metrics.counter("cache.bytes_modeled").inc(total_bytes)
+
+
+def cache_hit_rates(metrics) -> dict:
+    """Fraction of cache-model accesses served at each level.
+
+    Derived view over the ``cache.access.*`` counters: the "hit rate" at
+    level X is the share of queries whose working set fit in X (and not
+    in any faster level) — the simulation analogue of a hit-ratio PMU
+    counter. Returns ``{}`` when no accesses were recorded.
+    """
+    levels = ("L1", "L2", "L3", "DRAM")
+    counts = {}
+    for level in levels:
+        metric = metrics.get(f"cache.access.{level}")
+        counts[level] = metric.value if metric is not None else 0.0
+    total = sum(counts.values())
+    if total <= 0:
+        return {}
+    return {level: counts[level] / total for level in levels}

@@ -1,0 +1,167 @@
+"""Counters, gauges, and histograms for the simulation pipeline.
+
+The registry is deliberately small: metric names are dotted strings
+(``"isa.ops.vpmulq_zmm"``, ``"sched.port.p0"``, ``"cache.access.L2"``)
+and each name is bound to exactly one metric kind for the lifetime of a
+session — asking for the same name with a different kind raises
+:class:`~repro.errors.ObservabilityError`, which catches the classic
+"counter silently shadowed by a gauge" instrumentation bug.
+
+``snapshot()`` renders everything to plain JSON-serializable dicts; the
+exporters in :mod:`repro.obs.export` and the summary tables in
+:mod:`repro.obs.profile` are built on that form alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import ObservabilityError
+
+
+class Counter:
+    """Monotonically increasing count (instructions, bytes, accesses)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value (a level, a ratio, a configuration knob)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updates += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": "gauge", "value": self.value, "updates": self.updates}
+
+
+class Histogram:
+    """Distribution of observed values with exact percentiles.
+
+    Keeps raw observations (pipeline runs observe thousands, not
+    millions, of values) so percentiles are exact rather than bucketed.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        if not self.values:
+            raise ObservabilityError(f"histogram {self.name!r} is empty")
+        return self.sum / len(self.values)
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile ``p`` in [0, 100], linearly interpolated."""
+        if not self.values:
+            raise ObservabilityError(f"histogram {self.name!r} is empty")
+        if not 0.0 <= p <= 100.0:
+            raise ObservabilityError(f"percentile {p} outside [0, 100]")
+        ordered = sorted(self.values)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        frac = rank - low
+        return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+    def snapshot(self) -> Dict[str, object]:
+        if not self.values:
+            return {"type": "histogram", "count": 0}
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "min": min(self.values),
+            "max": max(self.values),
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed store of counters/gauges/histograms for one session."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ObservabilityError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested as {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def get(self, name: str):
+        """The metric registered under ``name``, or ``None``."""
+        return self._metrics.get(name)
+
+    def names(self, prefix: str = "") -> List[str]:
+        """Sorted metric names, optionally filtered by dotted prefix."""
+        return sorted(n for n in self._metrics if n.startswith(prefix))
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All metrics as plain dicts, sorted by name."""
+        return {name: self._metrics[name].snapshot() for name in self.names()}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics

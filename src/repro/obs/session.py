@@ -1,0 +1,84 @@
+"""Global observability session state.
+
+One process-wide session holds a :class:`~repro.obs.spans.SpanSink` and a
+:class:`~repro.obs.metrics.MetricsRegistry`. While no session is active,
+every instrumentation point in the library — ``span(...)`` context
+managers, the trace/scheduler/cache hooks in :mod:`repro.obs.hooks` —
+reduces to a single ``is None`` check, mirroring the no-op pattern of
+:func:`repro.isa.trace.emit`. This is what keeps the instrumentation
+safe to leave permanently wired into the hot layers.
+
+This module is a dependency leaf (its imports of the sink/registry
+classes happen at session construction) so that instrumented subsystems
+(:mod:`repro.isa`, :mod:`repro.machine`, :mod:`repro.perf`) can import it
+without creating a cycle: :mod:`repro.obs` never imports them back.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+
+class ObsSession:
+    """One observability capture: a span sink plus a metrics registry."""
+
+    def __init__(self) -> None:
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.spans import SpanSink
+
+        self.spans = SpanSink()
+        self.metrics = MetricsRegistry()
+
+    def __repr__(self) -> str:
+        return (
+            f"ObsSession({len(self.spans.records)} spans, "
+            f"{len(self.metrics)} metrics)"
+        )
+
+
+_SESSION: Optional[ObsSession] = None
+
+
+def current() -> Optional[ObsSession]:
+    """The active session, or ``None`` when observability is disabled."""
+    return _SESSION
+
+
+def is_enabled() -> bool:
+    """Whether an observability session is currently capturing."""
+    return _SESSION is not None
+
+
+def enable() -> ObsSession:
+    """Start (or return the already-active) observability session."""
+    global _SESSION
+    if _SESSION is None:
+        _SESSION = ObsSession()
+    return _SESSION
+
+
+def disable() -> None:
+    """Stop capturing and drop the active session, if any."""
+    global _SESSION
+    _SESSION = None
+
+
+@contextmanager
+def observing() -> Iterator[ObsSession]:
+    """Capture spans and metrics for the duration of the ``with`` block.
+
+    Re-entrant: nesting inside an already-active session joins it rather
+    than resetting it, so library code can instrument itself defensively
+    (e.g. the experiment runner) without clobbering an outer profile.
+    """
+    global _SESSION
+    if _SESSION is not None:
+        yield _SESSION
+        return
+    session = enable()
+    try:
+        yield session
+    finally:
+        if _SESSION is session:
+            disable()

@@ -1,0 +1,172 @@
+"""Perf-snapshot harness: record pipeline numbers, diff against history.
+
+``BENCH_pipeline.json`` accumulates a bounded history of snapshots, each
+a flat ``{key: value}`` dict (wall-clock seconds per experiment, headline
+simulated-cycle numbers, benchmark round times). Recording a new snapshot
+diffs it against the previous one and flags keys that moved beyond a
+relative threshold — the lightweight regression tripwire the paper's own
+methodology implies but that ``pytest-benchmark`` alone does not give us
+across runs.
+
+Convention: **every recorded value is lower-is-better** (seconds, cycles,
+nanoseconds). A key whose value grew by more than the threshold is a
+regression; one that shrank by more is an improvement.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ObservabilityError
+
+#: Default snapshot file, at the repository root by convention.
+DEFAULT_SNAPSHOT_NAME = "BENCH_pipeline.json"
+
+#: Relative change flagged as a regression/improvement by default.
+DEFAULT_THRESHOLD = 0.10
+
+
+@dataclass
+class SnapshotDiff:
+    """Outcome of comparing one snapshot against its predecessor."""
+
+    threshold: float
+    #: (key, old, new) triples where new > old * (1 + threshold).
+    regressions: List[Tuple[str, float, float]] = field(default_factory=list)
+    #: (key, old, new) triples where new < old * (1 - threshold).
+    improvements: List[Tuple[str, float, float]] = field(default_factory=list)
+    added: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+    unchanged: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format(self) -> str:
+        """Human-readable diff report."""
+        lines = [
+            f"-- snapshot diff (threshold {self.threshold * 100:.0f}%) --"
+        ]
+        for key, old, new in sorted(self.regressions):
+            lines.append(
+                f"REGRESSION  {key}: {old:.6g} -> {new:.6g} "
+                f"({(new / old - 1) * 100:+.1f}%)"
+            )
+        for key, old, new in sorted(self.improvements):
+            lines.append(
+                f"improved    {key}: {old:.6g} -> {new:.6g} "
+                f"({(new / old - 1) * 100:+.1f}%)"
+            )
+        for key in sorted(self.added):
+            lines.append(f"new key     {key}")
+        for key in sorted(self.removed):
+            lines.append(f"removed     {key}")
+        lines.append(
+            f"{self.unchanged} within threshold, "
+            f"{len(self.regressions)} regressions, "
+            f"{len(self.improvements)} improvements"
+        )
+        return "\n".join(lines)
+
+
+def diff_values(
+    old: Dict[str, float],
+    new: Dict[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> SnapshotDiff:
+    """Compare two flat value dicts under the lower-is-better convention."""
+    if threshold < 0:
+        raise ObservabilityError("diff threshold must be non-negative")
+    diff = SnapshotDiff(threshold=threshold)
+    for key in new:
+        if key not in old:
+            diff.added.append(key)
+            continue
+        before, after = float(old[key]), float(new[key])
+        if before <= 0:
+            # Cannot form a ratio against a zero/negative baseline.
+            diff.unchanged += 1
+        elif after > before * (1.0 + threshold):
+            diff.regressions.append((key, before, after))
+        elif after < before * (1.0 - threshold):
+            diff.improvements.append((key, before, after))
+        else:
+            diff.unchanged += 1
+    diff.removed = [key for key in old if key not in new]
+    return diff
+
+
+class SnapshotStore:
+    """Bounded history of perf snapshots backed by one JSON file."""
+
+    def __init__(self, path, keep: int = 20) -> None:
+        if keep < 1:
+            raise ObservabilityError("snapshot history must keep >= 1 entries")
+        self.path = Path(path)
+        self.keep = keep
+
+    def load(self) -> List[Dict[str, object]]:
+        """All stored snapshots, oldest first; tolerates a missing file."""
+        if not self.path.exists():
+            return []
+        try:
+            data = json.loads(self.path.read_text())
+        except (json.JSONDecodeError, OSError) as exc:
+            raise ObservabilityError(
+                f"unreadable snapshot file {self.path}: {exc}"
+            ) from exc
+        snapshots = data.get("snapshots", []) if isinstance(data, dict) else []
+        return [s for s in snapshots if isinstance(s, dict) and "values" in s]
+
+    def latest(self) -> Optional[Dict[str, object]]:
+        snapshots = self.load()
+        return snapshots[-1] if snapshots else None
+
+    def _write(self, snapshots: List[Dict[str, object]]) -> None:
+        payload = {
+            "format": "repro.obs.snapshot/v1",
+            "snapshots": snapshots[-self.keep :],
+        }
+        self.path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    def record(
+        self,
+        values: Dict[str, float],
+        label: str = "",
+        threshold: float = DEFAULT_THRESHOLD,
+    ) -> Optional[SnapshotDiff]:
+        """Append a snapshot; returns the diff vs the previous one (if any)."""
+        clean = {key: float(value) for key, value in values.items()}
+        snapshots = self.load()
+        diff = None
+        if snapshots:
+            diff = diff_values(
+                dict(snapshots[-1]["values"]), clean, threshold
+            )
+        snapshots.append(
+            {"label": label, "unix_time": time.time(), "values": clean}
+        )
+        self._write(snapshots)
+        return diff
+
+    def merge(self, values: Dict[str, float], label: str = "benchmarks") -> None:
+        """Fold keys into the latest snapshot in place (no new history entry).
+
+        Benchmarks record one key at a time; merging keeps one snapshot
+        per "era" rather than one per benchmark test, so diffs compare
+        like against like.
+        """
+        clean = {key: float(value) for key, value in values.items()}
+        snapshots = self.load()
+        if snapshots:
+            snapshots[-1]["values"].update(clean)
+        else:
+            snapshots = [
+                {"label": label, "unix_time": time.time(), "values": clean}
+            ]
+        self._write(snapshots)

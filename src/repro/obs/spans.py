@@ -1,0 +1,123 @@
+"""Wall-clock span tracing for pipeline phases.
+
+A *span* times one phase of the simulation pipeline — capturing an
+instruction trace, scheduling it onto ports, applying the cache model,
+regenerating one figure. Spans nest (``parent``/``depth`` record the
+structure) and are cheap enough to leave in library code permanently:
+when no session is active, :func:`span` performs one global read and
+yields ``None``.
+
+Timing uses :func:`time.perf_counter` relative to the sink's epoch, so
+exported timestamps start near zero and stay monotonic — exactly the
+form the Chrome trace-event format expects.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.obs.session import current as _current_session
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or still-open) span.
+
+    Attributes:
+        name: Phase name, e.g. ``"trace-capture"`` or ``"experiment:figure5a"``.
+        start_s: Start time in seconds since the sink's epoch.
+        duration_s: Wall-clock duration; ``0.0`` while the span is open.
+        depth: Nesting depth (0 for top-level spans).
+        parent: Index of the enclosing span in the sink, or ``None``.
+        index: This span's own index in the sink's record list.
+        attrs: Free-form annotations (kernel name, backend, sizes...).
+    """
+
+    name: str
+    start_s: float
+    duration_s: float
+    depth: int
+    parent: Optional[int]
+    index: int
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+class SpanSink:
+    """Collects spans for one observability session."""
+
+    def __init__(self) -> None:
+        self.records: List[SpanRecord] = []
+        self._stack: List[int] = []
+        self.epoch_s = time.perf_counter()
+
+    def open(self, name: str, attrs: Dict[str, object]) -> int:
+        """Start a span; returns its index for the matching :meth:`close`."""
+        index = len(self.records)
+        self.records.append(
+            SpanRecord(
+                name=name,
+                start_s=time.perf_counter() - self.epoch_s,
+                duration_s=0.0,
+                depth=len(self._stack),
+                parent=self._stack[-1] if self._stack else None,
+                index=index,
+                attrs=dict(attrs),
+            )
+        )
+        self._stack.append(index)
+        return index
+
+    def close(self, index: int) -> SpanRecord:
+        """Finish the span opened as ``index`` (spans close LIFO)."""
+        record = self.records[index]
+        record.duration_s = (
+            time.perf_counter() - self.epoch_s - record.start_s
+        )
+        if self._stack and self._stack[-1] == index:
+            self._stack.pop()
+        return record
+
+    def aggregate(self) -> Dict[str, Dict[str, float]]:
+        """Per-name totals: ``{name: {count, total_s, mean_s, max_s}}``."""
+        out: Dict[str, Dict[str, float]] = {}
+        for record in self.records:
+            stats = out.setdefault(
+                record.name,
+                {"count": 0.0, "total_s": 0.0, "mean_s": 0.0, "max_s": 0.0},
+            )
+            stats["count"] += 1
+            stats["total_s"] += record.duration_s
+            stats["max_s"] = max(stats["max_s"], record.duration_s)
+        for stats in out.values():
+            stats["mean_s"] = stats["total_s"] / stats["count"]
+        return out
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+@contextmanager
+def span(name: str, **attrs: object) -> Iterator[Optional[SpanRecord]]:
+    """Time one pipeline phase on the active session.
+
+    Yields the live :class:`SpanRecord` (so callers may add attrs while
+    the span is open), or ``None`` when observability is disabled — the
+    disabled path does no timing, no allocation beyond the generator.
+    """
+    active = _current_session()
+    if active is None:
+        yield None
+        return
+    sink = active.spans
+    index = sink.open(name, attrs)
+    try:
+        yield sink.records[index]
+    finally:
+        sink.close(index)

@@ -27,6 +27,7 @@ from repro.machine.cache import CacheModel, MemoryTraffic
 from repro.machine.cpu import CpuSpec
 from repro.machine.scheduler import ScheduleResult, schedule_trace
 from repro.machine.uops import get_microarch
+from repro.obs.spans import span
 
 
 #: Overlap assumed for library-call-structured baselines: call/return and
@@ -54,22 +55,10 @@ _SEED = 0x5CA1AB1E
 
 def _trace_bytes(trace: Tracer) -> MemoryTraffic:
     """Bytes moved by a traced block, from load/store tags + op widths."""
-    loads = 0
-    stores = 0
-    for entry in trace.entries:
-        if entry.tag not in ("load", "store"):
-            continue
-        if entry.op.endswith("_zmm"):
-            width = 64
-        elif entry.op.endswith("_ymm"):
-            width = 32
-        else:
-            width = 8
-        if entry.tag == "load":
-            loads += width
-        else:
-            stores += width
-    return MemoryTraffic(load_bytes=loads, store_bytes=stores)
+    summary = trace.summary()
+    return MemoryTraffic(
+        load_bytes=summary["load_bytes"], store_bytes=summary["store_bytes"]
+    )
 
 
 @dataclass
@@ -177,20 +166,23 @@ def estimate_ntt(
     stages = n.bit_length() - 1
     blocks_per_stage = n // (2 * backend.lanes)
 
-    trace = _trace_ntt_stage_block(backend, q, algorithm, twiddle_mode)
+    with span("trace-capture", kernel="ntt", backend=backend.name):
+        trace = _trace_ntt_stage_block(backend, q, algorithm, twiddle_mode)
     microarch = get_microarch(cpu.microarch)
-    schedule = schedule_trace(trace, microarch)
-    cost = KernelCost(schedule, _trace_bytes(trace))
-    cache = CacheModel(cpu)
+    with span("schedule", kernel="ntt", microarch=cpu.microarch):
+        schedule = schedule_trace(trace, microarch)
+    with span("cache-model", kernel="ntt", cpu=cpu.key):
+        cost = KernelCost(schedule, _trace_bytes(trace))
+        cache = CacheModel(cpu)
 
-    # Shoup/lazy modes keep a second twiddle table resident.
-    twiddle_tables = 2 if twiddle_mode in ("shoup", "lazy") else 1
-    working_set = 2 * n * 16 + twiddle_tables * (n // 2) * 16
-    per_block = cost.cycles_per_block(
-        cache, working_set, independent_blocks=max(1, blocks_per_stage)
-    )
-    compute = schedule.throughput_cycles(max(1, blocks_per_stage))
-    memory = cache.memory_cycles(cost.traffic, working_set)
+        # Shoup/lazy modes keep a second twiddle table resident.
+        twiddle_tables = 2 if twiddle_mode in ("shoup", "lazy") else 1
+        working_set = 2 * n * 16 + twiddle_tables * (n // 2) * 16
+        per_block = cost.cycles_per_block(
+            cache, working_set, independent_blocks=max(1, blocks_per_stage)
+        )
+        compute = schedule.throughput_cycles(max(1, blocks_per_stage))
+        memory = cache.memory_cycles(cost.traffic, working_set)
 
     cycles = per_block * blocks_per_stage * stages
     ns = cycles / cpu.measured_ghz
@@ -251,17 +243,20 @@ def estimate_blas(
             f"length {length} is not a multiple of {backend.lanes} lanes"
         )
     blocks = length // backend.lanes
-    trace = _trace_blas_block(backend, q, operation, algorithm)
+    with span("trace-capture", kernel="blas", backend=backend.name):
+        trace = _trace_blas_block(backend, q, operation, algorithm)
     microarch = get_microarch(cpu.microarch)
-    schedule = schedule_trace(trace, microarch)
-    cost = KernelCost(schedule, _trace_bytes(trace))
-    cache = CacheModel(cpu)
+    with span("schedule", kernel="blas", microarch=cpu.microarch):
+        schedule = schedule_trace(trace, microarch)
+    with span("cache-model", kernel="blas", cpu=cpu.key):
+        cost = KernelCost(schedule, _trace_bytes(trace))
+        cache = CacheModel(cpu)
 
-    working_set = 3 * length * 16
-    per_block = cost.cycles_per_block(
-        cache, working_set, independent_blocks=max(1, blocks)
-    )
-    cycles = per_block * blocks
+        working_set = 3 * length * 16
+        per_block = cost.cycles_per_block(
+            cache, working_set, independent_blocks=max(1, blocks)
+        )
+        cycles = per_block * blocks
     ns = cycles / cpu.measured_ghz
     return BlasEstimate(
         backend=backend.name,
@@ -310,17 +305,20 @@ def estimate_baseline_ntt(kind: str, n: int, q: int, cpu: CpuSpec) -> NttEstimat
     """Model a GMP- or OpenFHE-style radix-2 NTT (one core)."""
     stages = n.bit_length() - 1
     butterflies_per_stage = n // 2
-    trace = _trace_baseline_butterfly(kind, q)
+    with span("trace-capture", kernel="ntt", backend=kind):
+        trace = _trace_baseline_butterfly(kind, q)
     microarch = get_microarch(cpu.microarch)
-    schedule = schedule_trace(trace, microarch)
-    cost = KernelCost(schedule, _trace_bytes(trace))
-    cache = CacheModel(cpu)
+    with span("schedule", kernel="ntt", microarch=cpu.microarch):
+        schedule = schedule_trace(trace, microarch)
+    with span("cache-model", kernel="ntt", cpu=cpu.key):
+        cost = KernelCost(schedule, _trace_bytes(trace))
+        cache = CacheModel(cpu)
 
-    working_set = n * 16 * 2
-    per_block = max(
-        _baseline_cycles(schedule),
-        cache.memory_cycles(cost.traffic, working_set),
-    )
+        working_set = n * 16 * 2
+        per_block = max(
+            _baseline_cycles(schedule),
+            cache.memory_cycles(cost.traffic, working_set),
+        )
     cycles = per_block * butterflies_per_stage * stages
     ns = cycles / cpu.measured_ghz
     butterflies = butterflies_per_stage * stages
@@ -367,17 +365,20 @@ def estimate_baseline_blas(
     kind: str, operation: str, length: int, q: int, cpu: CpuSpec
 ) -> BlasEstimate:
     """Model a GMP- or OpenFHE-style BLAS vector operation (one core)."""
-    trace = _trace_baseline_blas(kind, q, operation)
+    with span("trace-capture", kernel="blas", backend=kind):
+        trace = _trace_baseline_blas(kind, q, operation)
     microarch = get_microarch(cpu.microarch)
-    schedule = schedule_trace(trace, microarch)
-    cost = KernelCost(schedule, _trace_bytes(trace))
-    cache = CacheModel(cpu)
+    with span("schedule", kernel="blas", microarch=cpu.microarch):
+        schedule = schedule_trace(trace, microarch)
+    with span("cache-model", kernel="blas", cpu=cpu.key):
+        cost = KernelCost(schedule, _trace_bytes(trace))
+        cache = CacheModel(cpu)
 
-    working_set = 3 * length * 16
-    per_element = max(
-        _baseline_cycles(schedule),
-        cache.memory_cycles(cost.traffic, working_set),
-    )
+        working_set = 3 * length * 16
+        per_element = max(
+            _baseline_cycles(schedule),
+            cache.memory_cycles(cost.traffic, working_set),
+        )
     cycles = per_element * length
     ns = cycles / cpu.measured_ghz
     return BlasEstimate(

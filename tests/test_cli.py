@@ -61,7 +61,12 @@ class TestCommands:
         output = tmp_path / "EXP.md"
         assert main(["experiments", "--output", str(output)]) == 0
         assert output.exists()
-        assert "Figure 5a" in output.read_text()
+        text = output.read_text()
+        assert "Figure 5a" in text
+        # Regeneration runs under repro.obs and appends phase timings.
+        assert "## Pipeline phase timings" in text
+        assert "experiment:figure5a" in text
+        assert "trace-capture" in text
 
 
 class TestCodegenCommand:

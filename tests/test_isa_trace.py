@@ -1,7 +1,14 @@
 """Unit tests for the instruction tracer."""
 
 from repro.isa import scalar as s
-from repro.isa.trace import TraceEntry, Tracer, current_tracer, emit, tracing
+from repro.isa.trace import (
+    TraceEntry,
+    Tracer,
+    current_tracer,
+    emit,
+    op_bytes,
+    tracing,
+)
 
 
 class TestTracerBasics:
@@ -80,3 +87,43 @@ class TestTracerQueries:
         except Exception:
             raised = True
         assert raised
+
+
+class TestOpBytes:
+    def test_register_class_widths(self):
+        assert op_bytes("vmovdqu64_load_zmm") == 64
+        assert op_bytes("vmovdqu_load_ymm") == 32
+        assert op_bytes("load64") == 8
+
+
+class TestTracerSummary:
+    def test_counts_and_bytes(self):
+        t = Tracer("block")
+        t.emit("vmovdqu64_load_zmm", tag="load")
+        t.emit("vmovdqu64_load_zmm", tag="load")
+        t.emit("vpaddq_zmm")
+        t.emit("vmovdqu64_store_zmm", tag="store")
+        t.emit("load64", tag="load")
+        summary = t.summary()
+        assert summary["label"] == "block"
+        assert summary["entries"] == 5
+        assert summary["op_counts"]["vmovdqu64_load_zmm"] == 2
+        assert summary["loads"] == 3
+        assert summary["stores"] == 1
+        assert summary["load_bytes"] == 64 + 64 + 8
+        assert summary["store_bytes"] == 64
+
+    def test_empty_tracer(self):
+        summary = Tracer().summary()
+        assert summary["entries"] == 0
+        assert summary["op_counts"] == {}
+        assert summary["load_bytes"] == 0
+
+    def test_matches_query_helpers(self):
+        with tracing() as t:
+            s.load64(1)
+            s.add64(2, 3)
+            s.store64(4)
+        summary = t.summary()
+        assert summary["op_counts"] == dict(t.op_counts())
+        assert (summary["loads"], summary["stores"]) == t.memory_ops()

@@ -1,0 +1,134 @@
+"""Exporter round-trips: JSON-lines and Chrome trace-event schema."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import session as obs_session
+from repro.obs.export import (
+    format_span_table,
+    from_jsonl,
+    to_chrome_trace,
+    to_jsonl,
+    validate_chrome_trace,
+)
+from repro.obs.spans import span
+
+
+@pytest.fixture(autouse=True)
+def _clean_session():
+    obs_session.disable()
+    yield
+    obs_session.disable()
+
+
+def _sample_spans():
+    with obs_session.observing() as session:
+        with span("outer", kernel="ntt"):
+            with span("inner"):
+                pass
+        with span("sibling"):
+            pass
+        return list(session.spans.records), session.metrics
+
+
+class TestJsonl:
+    def test_round_trip(self):
+        spans, _ = _sample_spans()
+        text = to_jsonl(spans)
+        records = from_jsonl(text)
+        assert [r["name"] for r in records] == ["outer", "inner", "sibling"]
+        outer = records[0]
+        assert outer["kind"] == "span"
+        assert outer["attrs"] == {"kernel": "ntt"}
+        assert outer["duration_s"] >= records[1]["duration_s"]
+
+    def test_metrics_included(self):
+        spans, metrics = _sample_spans()
+        metrics.counter("isa.instructions").inc(7)
+        text = to_jsonl(spans, metrics.snapshot())
+        kinds = [r["kind"] for r in from_jsonl(text)]
+        assert kinds.count("metric") == 1
+        metric = [r for r in from_jsonl(text) if r["kind"] == "metric"][0]
+        assert metric["name"] == "isa.instructions"
+        assert metric["value"] == 7.0
+
+    def test_every_line_is_valid_json(self):
+        spans, _ = _sample_spans()
+        for line in to_jsonl(spans).splitlines():
+            json.loads(line)
+
+    def test_empty_input(self):
+        assert to_jsonl([]) == ""
+        assert from_jsonl("") == []
+
+    def test_corrupt_line_raises(self):
+        with pytest.raises(ObservabilityError):
+            from_jsonl('{"kind": "span"}\nnot json\n')
+
+
+class TestChromeTrace:
+    def test_structure_and_validation(self):
+        spans, _ = _sample_spans()
+        trace = to_chrome_trace(spans, process_name="unit-test")
+        validate_chrome_trace(trace)  # must not raise
+        events = trace["traceEvents"]
+        meta, rest = events[0], events[1:]
+        assert meta["ph"] == "M"
+        assert meta["args"]["name"] == "unit-test"
+        assert [e["name"] for e in rest] == ["outer", "inner", "sibling"]
+        for event in rest:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0 and event["dur"] >= 0
+
+    def test_microsecond_units(self):
+        spans, _ = _sample_spans()
+        trace = to_chrome_trace(spans)
+        outer = trace["traceEvents"][1]
+        assert outer["ts"] == pytest.approx(spans[0].start_s * 1e6)
+        assert outer["dur"] == pytest.approx(spans[0].duration_s * 1e6)
+
+    def test_nesting_preserved_by_timestamps(self):
+        spans, _ = _sample_spans()
+        trace = to_chrome_trace(spans)
+        by_name = {e["name"]: e for e in trace["traceEvents"][1:]}
+        outer, inner = by_name["outer"], by_name["inner"]
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-6
+
+    def test_serializes_to_json(self):
+        spans, _ = _sample_spans()
+        text = json.dumps(to_chrome_trace(spans))
+        validate_chrome_trace(json.loads(text))
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            [],
+            {"events": []},
+            {"traceEvents": "nope"},
+            {"traceEvents": [{"name": "x"}]},  # missing ph
+            {"traceEvents": [{"ph": "X", "name": "x", "ts": -1, "pid": 1, "tid": 1, "dur": 0}]},
+            {"traceEvents": [{"ph": "X", "name": "x", "ts": 0, "pid": 1, "tid": 1}]},  # no dur
+        ],
+    )
+    def test_validator_rejects_malformed(self, bad):
+        with pytest.raises(ObservabilityError):
+            validate_chrome_trace(bad)
+
+
+class TestSpanTable:
+    def test_renders_sorted_by_total(self):
+        with obs_session.observing() as session:
+            for _ in range(2):
+                with span("hot"):
+                    for _ in range(10000):
+                        pass
+            with span("cold"):
+                pass
+        text = format_span_table(session.spans.aggregate())
+        lines = text.splitlines()
+        assert "phase" in lines[1]
+        assert lines[3].strip().startswith("hot")
+        assert "cold" in text

@@ -1,0 +1,123 @@
+"""Metrics registry: counters, gauges, histogram percentiles."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ObservabilityError):
+            Counter("n").inc(-1)
+
+    def test_snapshot(self):
+        c = Counter("n")
+        c.inc(4)
+        assert c.snapshot() == {"type": "counter", "value": 4.0}
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("g")
+        g.set(1.0)
+        g.set(7.0)
+        assert g.value == 7.0
+        assert g.updates == 2
+
+
+class TestHistogram:
+    def test_basic_stats(self):
+        h = Histogram("h")
+        for v in (4.0, 1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 10.0
+        assert h.mean == 2.5
+
+    def test_percentiles_exact(self):
+        h = Histogram("h")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(90) == pytest.approx(90.1)
+
+    def test_percentile_interpolates(self):
+        h = Histogram("h")
+        h.observe(0.0)
+        h.observe(10.0)
+        assert h.percentile(50) == pytest.approx(5.0)
+        assert h.percentile(25) == pytest.approx(2.5)
+
+    def test_single_value(self):
+        h = Histogram("h")
+        h.observe(42.0)
+        assert h.percentile(0) == h.percentile(50) == h.percentile(100) == 42.0
+
+    def test_empty_histogram_raises(self):
+        h = Histogram("h")
+        with pytest.raises(ObservabilityError):
+            h.mean
+        with pytest.raises(ObservabilityError):
+            h.percentile(50)
+
+    def test_out_of_range_percentile(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        with pytest.raises(ObservabilityError):
+            h.percentile(101)
+
+    def test_snapshot_includes_quantiles(self):
+        h = Histogram("h")
+        for v in range(10):
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert snap["count"] == 10
+        assert snap["min"] == 0.0 and snap["max"] == 9.0
+        assert snap["p50"] == pytest.approx(4.5)
+
+    def test_empty_snapshot(self):
+        assert Histogram("h").snapshot() == {"type": "histogram", "count": 0}
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("a")
+        with pytest.raises(ObservabilityError):
+            reg.histogram("a")
+
+    def test_names_prefix_filter(self):
+        reg = MetricsRegistry()
+        reg.counter("isa.ops.add64")
+        reg.counter("isa.ops.mul64")
+        reg.counter("cache.access.L1")
+        assert reg.names("isa.ops.") == ["isa.ops.add64", "isa.ops.mul64"]
+        assert "cache.access.L1" in reg
+        assert reg.get("missing") is None
+
+    def test_snapshot_is_plain_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc(2)
+        reg.gauge("a").set(1.5)
+        reg.histogram("c").observe(3.0)
+        snap = reg.snapshot()
+        assert list(snap) == ["a", "b", "c"]
+        assert snap["a"]["type"] == "gauge"
+        assert snap["b"]["value"] == 2.0
+        assert snap["c"]["count"] == 1

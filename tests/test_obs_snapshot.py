@@ -1,0 +1,116 @@
+"""Perf-snapshot harness: history, regression/improvement/new-key diffs."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.snapshot import SnapshotStore, diff_values
+
+
+class TestDiffValues:
+    def test_regression_flagged(self):
+        diff = diff_values({"a": 1.0}, {"a": 1.5}, threshold=0.10)
+        assert diff.regressions == [("a", 1.0, 1.5)]
+        assert not diff.ok
+
+    def test_improvement_flagged(self):
+        diff = diff_values({"a": 1.0}, {"a": 0.5}, threshold=0.10)
+        assert diff.improvements == [("a", 1.0, 0.5)]
+        assert diff.ok
+
+    def test_within_threshold_unchanged(self):
+        diff = diff_values({"a": 1.0}, {"a": 1.05}, threshold=0.10)
+        assert diff.unchanged == 1
+        assert not diff.regressions and not diff.improvements
+
+    def test_new_and_removed_keys(self):
+        diff = diff_values({"old": 1.0}, {"new": 2.0})
+        assert diff.added == ["new"]
+        assert diff.removed == ["old"]
+        assert diff.ok  # new/removed keys are not regressions
+
+    def test_exact_threshold_boundary_not_flagged(self):
+        diff = diff_values({"a": 1.0}, {"a": 1.10}, threshold=0.10)
+        assert diff.unchanged == 1
+
+    def test_zero_baseline_not_a_ratio(self):
+        diff = diff_values({"a": 0.0}, {"a": 5.0})
+        assert diff.unchanged == 1
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ObservabilityError):
+            diff_values({}, {}, threshold=-0.1)
+
+    def test_format_mentions_all_classes(self):
+        diff = diff_values(
+            {"worse": 1.0, "better": 1.0, "same": 1.0, "gone": 1.0},
+            {"worse": 2.0, "better": 0.5, "same": 1.0, "fresh": 3.0},
+        )
+        text = diff.format()
+        assert "REGRESSION  worse" in text
+        assert "improved    better" in text
+        assert "new key     fresh" in text
+        assert "removed     gone" in text
+        assert "1 within threshold" in text
+
+
+class TestSnapshotStore:
+    def test_first_record_has_no_diff(self, tmp_path):
+        store = SnapshotStore(tmp_path / "BENCH.json")
+        assert store.record({"a": 1.0}, label="first") is None
+        assert store.latest()["values"] == {"a": 1.0}
+        assert store.latest()["label"] == "first"
+
+    def test_second_record_diffs_against_previous(self, tmp_path):
+        store = SnapshotStore(tmp_path / "BENCH.json")
+        store.record({"a": 1.0})
+        diff = store.record({"a": 2.0, "b": 9.0})
+        assert diff.regressions == [("a", 1.0, 2.0)]
+        assert diff.added == ["b"]
+        assert len(store.load()) == 2
+
+    def test_history_bounded(self, tmp_path):
+        store = SnapshotStore(tmp_path / "BENCH.json", keep=3)
+        for i in range(6):
+            store.record({"a": float(i + 1)})
+        history = store.load()
+        assert len(history) == 3
+        assert history[-1]["values"]["a"] == 6.0
+
+    def test_merge_folds_into_latest(self, tmp_path):
+        store = SnapshotStore(tmp_path / "BENCH.json")
+        store.record({"a": 1.0})
+        store.merge({"bench.figure1.wall_s": 0.25})
+        assert store.latest()["values"] == {
+            "a": 1.0,
+            "bench.figure1.wall_s": 0.25,
+        }
+        assert len(store.load()) == 1  # merge adds no history entry
+
+    def test_merge_creates_first_snapshot(self, tmp_path):
+        store = SnapshotStore(tmp_path / "BENCH.json")
+        store.merge({"bench.x.wall_s": 0.5})
+        assert store.latest()["values"] == {"bench.x.wall_s": 0.5}
+
+    def test_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        SnapshotStore(path).record({"a": 1.0})
+        data = json.loads(path.read_text())
+        assert data["format"].startswith("repro.obs.snapshot/")
+        assert data["snapshots"][0]["values"] == {"a": 1.0}
+
+    def test_missing_file_is_empty_history(self, tmp_path):
+        store = SnapshotStore(tmp_path / "missing.json")
+        assert store.load() == []
+        assert store.latest() is None
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text("not json{")
+        with pytest.raises(ObservabilityError):
+            SnapshotStore(path).load()
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(ObservabilityError):
+            SnapshotStore(tmp_path / "BENCH.json", keep=0)

@@ -1,0 +1,124 @@
+"""Span tracer: nesting, disabled no-op behavior, session lifecycle."""
+
+import pytest
+
+from repro.obs import session as obs_session
+from repro.obs.spans import span
+
+
+@pytest.fixture(autouse=True)
+def _clean_session():
+    """Never leak an observability session across tests."""
+    obs_session.disable()
+    yield
+    obs_session.disable()
+
+
+class TestDisabled:
+    def test_disabled_span_yields_none(self):
+        with span("phase") as record:
+            assert record is None
+
+    def test_disabled_records_nothing(self):
+        with span("phase"):
+            pass
+        assert obs_session.current() is None
+
+    def test_enable_disable_roundtrip(self):
+        assert not obs_session.is_enabled()
+        session = obs_session.enable()
+        assert obs_session.is_enabled()
+        assert obs_session.current() is session
+        obs_session.disable()
+        assert not obs_session.is_enabled()
+
+
+class TestObserving:
+    def test_context_manager_scopes_session(self):
+        with obs_session.observing() as session:
+            assert obs_session.current() is session
+        assert obs_session.current() is None
+
+    def test_reentrant_joins_outer_session(self):
+        with obs_session.observing() as outer:
+            with obs_session.observing() as inner:
+                assert inner is outer
+            # Leaving the inner block must not kill the outer session.
+            assert obs_session.current() is outer
+        assert obs_session.current() is None
+
+    def test_session_dropped_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with obs_session.observing():
+                raise RuntimeError("boom")
+        assert obs_session.current() is None
+
+
+class TestSpanRecording:
+    def test_records_name_and_duration(self):
+        with obs_session.observing() as session:
+            with span("work") as record:
+                assert record is not None
+                assert record.name == "work"
+        [record] = session.spans.records
+        assert record.duration_s >= 0.0
+        assert record.end_s >= record.start_s
+
+    def test_attrs_captured(self):
+        with obs_session.observing() as session:
+            with span("work", kernel="ntt", logn=14):
+                pass
+        assert session.spans.records[0].attrs == {"kernel": "ntt", "logn": 14}
+
+    def test_nesting_depth_and_parent(self):
+        with obs_session.observing() as session:
+            with span("outer"):
+                with span("inner-a"):
+                    pass
+                with span("inner-b"):
+                    with span("leaf"):
+                        pass
+        by_name = {r.name: r for r in session.spans.records}
+        assert by_name["outer"].depth == 0
+        assert by_name["outer"].parent is None
+        assert by_name["inner-a"].depth == 1
+        assert by_name["inner-a"].parent == by_name["outer"].index
+        assert by_name["leaf"].depth == 2
+        assert by_name["leaf"].parent == by_name["inner-b"].index
+
+    def test_children_contained_in_parent_interval(self):
+        with obs_session.observing() as session:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        outer, inner = session.spans.records
+        assert outer.start_s <= inner.start_s
+        assert inner.end_s <= outer.end_s
+
+    def test_span_closed_on_exception(self):
+        with obs_session.observing() as session:
+            with pytest.raises(ValueError):
+                with span("fails"):
+                    raise ValueError("boom")
+            with span("continues"):
+                pass
+        fails, continues = session.spans.records
+        assert fails.duration_s > 0.0
+        assert continues.depth == 0  # stack unwound despite the exception
+
+
+class TestAggregate:
+    def test_aggregate_counts_and_totals(self):
+        with obs_session.observing() as session:
+            for _ in range(3):
+                with span("repeated"):
+                    pass
+            with span("once"):
+                pass
+        agg = session.spans.aggregate()
+        assert agg["repeated"]["count"] == 3
+        assert agg["once"]["count"] == 1
+        assert agg["repeated"]["total_s"] >= agg["repeated"]["max_s"]
+        assert agg["repeated"]["mean_s"] == pytest.approx(
+            agg["repeated"]["total_s"] / 3
+        )
