@@ -1,9 +1,12 @@
 """Quickstart: 128-bit modular NTTs and BLAS on four ISA backends.
 
 Runs a polynomial multiplication through the full paper pipeline (SIMD NTT
--> point-wise multiply -> inverse NTT) on every backend, checks the result
-against schoolbook multiplication, and prints modeled runtimes for the
-paper's testbed CPUs.
+-> point-wise multiply -> inverse NTT), checks the result against
+schoolbook multiplication, and prints modeled runtimes for the paper's
+testbed CPUs. Value computation runs on the vectorized fast engine
+(``engine="fast"``, see docs/PERFORMANCE.md); the ISA-faithful backends
+are cross-checked against it bit for bit, and the runtime estimates come
+from the faithful instruction traces as always.
 
 Usage::
 
@@ -33,24 +36,32 @@ def main() -> None:
     rng = random.Random(2025)
     n = 256
 
-    # --- forward/inverse NTT on every backend --------------------------
+    # --- forward/inverse NTT on the fast engine -------------------------
     data = [rng.randrange(q) for _ in range(n)]
+    fast = SimdNtt(n, q, get_backend("scalar"), engine="fast")
+    spectrum = fast.forward(data)
+    assert fast.inverse(spectrum) == data
+    print(f"   fast: {n}-point NTT roundtrip OK "
+          f"(root of unity {fast.table.root % 10**6}... )")
+
+    # --- every ISA-faithful backend agrees with it bit for bit ----------
+    small = data[:32]
+    small_spectrum = SimdNtt(32, q, get_backend("scalar"), engine="fast").forward(small)
     for name in ("scalar", "avx2", "avx512", "mqx"):
-        plan = SimdNtt(n, q, get_backend(name))
-        spectrum = plan.forward(data)
-        assert plan.inverse(spectrum) == data
-        print(f"{name:>7}: {n}-point NTT roundtrip OK "
-              f"(root of unity {plan.table.root % 10**6}... )")
+        plan = SimdNtt(32, q, get_backend(name))
+        assert plan.forward(small) == small_spectrum
+        assert plan.inverse(small_spectrum) == small
+        print(f"{name:>7}: 32-point NTT roundtrip OK, matches fast engine")
 
     # --- polynomial multiplication via the convolution theorem ---------
     f = [rng.randrange(q) for _ in range(64)]
     g = [rng.randrange(q) for _ in range(64)]
-    product = simd_ntt_polymul(f, g, q, get_backend("mqx"))
+    product = simd_ntt_polymul(f, g, q, get_backend("mqx"), engine="fast")
     assert product == schoolbook_polymul(f, g, q)
     print(f"polymul: degree-63 x degree-63 product verified against schoolbook")
 
     # --- BLAS operations ------------------------------------------------
-    plan = BlasPlan(q, get_backend("avx512"))
+    plan = BlasPlan(q, get_backend("avx512"), engine="fast")
     x = [rng.randrange(q) for _ in range(1024)]
     y = [rng.randrange(q) for _ in range(1024)]
     a = rng.randrange(q)
@@ -58,6 +69,8 @@ def main() -> None:
     print("BLAS: 1024-element axpy verified")
 
     # --- modeled runtimes (the paper's Figure 5 numbers) ----------------
+    # Estimation always runs on the faithful engine: the instruction
+    # trace is the model's input.
     print("\nmodeled NTT runtime, n = 2^14 (ns per butterfly):")
     for cpu_key in ("intel_xeon_8352y", "amd_epyc_9654"):
         cpu = get_cpu(cpu_key)

@@ -20,14 +20,20 @@ Quick start::
     from repro import SimdNtt, default_modulus, get_backend
 
     q = default_modulus()
-    ntt = SimdNtt(1 << 10, q, get_backend("mqx"))
+    ntt = SimdNtt(1 << 10, q, get_backend("mqx"), engine="fast")
     spectrum = ntt.forward(list(range(1 << 10)))
     assert ntt.inverse(spectrum) == list(range(1 << 10))
+
+``engine="fast"`` computes on the NumPy-vectorized engine
+(:mod:`repro.fast`); the default ``engine="faithful"`` runs the
+lane-accurate ISA simulation that feeds tracing and runtime estimation.
+Both produce bit-identical results (see docs/PERFORMANCE.md).
 """
 
 from repro.arith.barrett import BarrettParams
 from repro.arith.primes import default_modulus, find_ntt_prime, root_of_unity
 from repro.blas.ops import BlasPlan
+from repro.fast import FastBlasPlan, FastModulus, FastNegacyclic, FastNtt
 from repro.ifma.kernel import IfmaKernel
 from repro.ifma.ntt import IfmaNtt
 from repro.kernels import MqxFeatures, get_backend
@@ -55,6 +61,10 @@ __all__ = [
     "BarrettParams",
     "BatchScalingModel",
     "BlasPlan",
+    "FastBlasPlan",
+    "FastModulus",
+    "FastNegacyclic",
+    "FastNtt",
     "IfmaKernel",
     "IfmaNtt",
     "MqxFeatures",

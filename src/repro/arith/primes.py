@@ -63,10 +63,16 @@ def find_ntt_prime(bits: int, order: int) -> int:
     ``order`` must be a power of two; any NTT of size ``n <= order`` (and
     negacyclic size ``n <= order/2``) is then supported by ``q``.
     """
-    check_power_of_two(order, "order")
+    if order <= 0 or order & (order - 1):
+        raise NttParameterError(
+            f"find_ntt_prime(bits={bits}, order={order}): order must be a "
+            f"positive power of two (the signature is "
+            f"find_ntt_prime(bits, order) - were the arguments swapped?)"
+        )
     if bits < order.bit_length() + 1:
         raise ArithmeticDomainError(
-            f"a {bits}-bit prime cannot satisfy q = 1 mod {order}"
+            f"find_ntt_prime(bits={bits}, order={order}): a {bits}-bit prime "
+            f"cannot satisfy q = 1 mod {order}"
         )
     top = (1 << bits) - 1
     k = (top - 1) // order

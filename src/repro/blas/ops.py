@@ -12,6 +12,7 @@ from typing import List, Sequence
 
 from repro.errors import ArithmeticDomainError
 from repro.kernels.backend import Backend, ModulusContext
+from repro.obs.hooks import record_engine_call
 from repro.util.checks import check_reduced, check_vector_length
 
 #: The four operations of Figure 4, in presentation order.
@@ -24,12 +25,36 @@ class BlasPlan:
     Precomputes the modulus context once (Barrett ``mu``, broadcast
     registers) so repeated vector operations do not repay setup costs -
     matching how the paper's benchmarks hoist per-modulus constants.
+
+    With ``engine="fast"`` every operation runs on the NumPy-vectorized
+    engine (:mod:`repro.fast`) instead of the ISA simulator — identical
+    results, whole-vector execution (see docs/PERFORMANCE.md).
     """
 
-    def __init__(self, q: int, backend: Backend, algorithm: str = "schoolbook") -> None:
+    def __init__(
+        self,
+        q: int,
+        backend: Backend,
+        algorithm: str = "schoolbook",
+        engine: str = "faithful",
+    ) -> None:
         self.q = q
         self.backend = backend
         self.ctx: ModulusContext = backend.make_modulus(q, algorithm=algorithm)
+        if engine not in ("faithful", "fast"):
+            raise ArithmeticDomainError(
+                f"engine must be 'faithful' or 'fast', got {engine!r}"
+            )
+        self.engine = engine
+        if engine == "fast":
+            # Deferred import: the faithful path must not require NumPy.
+            from repro.fast.blas import FastBlasPlan
+
+            #: The vectorized twin plan (checks operands vectorized, so
+            #: the per-element Python validation loop is skipped).
+            self.fast_plan = FastBlasPlan(q)
+        else:
+            self.fast_plan = None
 
     def _check(self, x: Sequence[int], y: Sequence[int]) -> None:
         if len(x) != len(y):
@@ -53,24 +78,48 @@ class BlasPlan:
             out.extend(backend.store_block(method(a, b, self.ctx)))
         return out
 
+    def _fast_lengths(self, x: Sequence[int], y: Sequence[int]) -> None:
+        """Fast-path argument shape checks (values are checked vectorized)."""
+        if len(x) != len(y):
+            raise ArithmeticDomainError(
+                f"vector length mismatch: {len(x)} vs {len(y)}"
+            )
+        check_vector_length(len(x), self.backend.lanes)
+
     def vector_add(self, x: Sequence[int], y: Sequence[int]) -> List[int]:
         """Point-wise ``(x + y) mod q``."""
+        if self.fast_plan is not None:
+            self._fast_lengths(x, y)
+            return self.fast_plan.vector_add(x, y)
+        record_engine_call("faithful", "blas.vector_add", len(x))
         self._check(x, y)
         return self._blocked(x, y, "addmod")
 
     def vector_sub(self, x: Sequence[int], y: Sequence[int]) -> List[int]:
         """Point-wise ``(x - y) mod q``."""
+        if self.fast_plan is not None:
+            self._fast_lengths(x, y)
+            return self.fast_plan.vector_sub(x, y)
+        record_engine_call("faithful", "blas.vector_sub", len(x))
         self._check(x, y)
         return self._blocked(x, y, "submod")
 
     def vector_mul(self, x: Sequence[int], y: Sequence[int]) -> List[int]:
         """Point-wise ``(x * y) mod q`` (the gemv special case)."""
+        if self.fast_plan is not None:
+            self._fast_lengths(x, y)
+            return self.fast_plan.vector_mul(x, y)
+        record_engine_call("faithful", "blas.vector_mul", len(x))
         self._check(x, y)
         return self._blocked(x, y, "mulmod")
 
     def axpy(self, a: int, x: Sequence[int], y: Sequence[int]) -> List[int]:
         """BLAS Level 1 ``axpy``: ``(a * x + y) mod q`` for scalar ``a``."""
         check_reduced(a, self.q, "a")
+        if self.fast_plan is not None:
+            self._fast_lengths(x, y)
+            return self.fast_plan.axpy(a, x, y)
+        record_engine_call("faithful", "blas.axpy", len(x))
         self._check(x, y)
         backend = self.backend
         lanes = backend.lanes
@@ -85,28 +134,32 @@ class BlasPlan:
 
 
 def vector_add(
-    x: Sequence[int], y: Sequence[int], q: int, backend: Backend
+    x: Sequence[int], y: Sequence[int], q: int, backend: Backend,
+    engine: str = "faithful",
 ) -> List[int]:
     """One-shot point-wise modular vector addition."""
-    return BlasPlan(q, backend).vector_add(x, y)
+    return BlasPlan(q, backend, engine=engine).vector_add(x, y)
 
 
 def vector_sub(
-    x: Sequence[int], y: Sequence[int], q: int, backend: Backend
+    x: Sequence[int], y: Sequence[int], q: int, backend: Backend,
+    engine: str = "faithful",
 ) -> List[int]:
     """One-shot point-wise modular vector subtraction."""
-    return BlasPlan(q, backend).vector_sub(x, y)
+    return BlasPlan(q, backend, engine=engine).vector_sub(x, y)
 
 
 def vector_pointwise_mul(
-    x: Sequence[int], y: Sequence[int], q: int, backend: Backend
+    x: Sequence[int], y: Sequence[int], q: int, backend: Backend,
+    engine: str = "faithful",
 ) -> List[int]:
     """One-shot point-wise modular vector multiplication."""
-    return BlasPlan(q, backend).vector_mul(x, y)
+    return BlasPlan(q, backend, engine=engine).vector_mul(x, y)
 
 
 def axpy(
-    a: int, x: Sequence[int], y: Sequence[int], q: int, backend: Backend
+    a: int, x: Sequence[int], y: Sequence[int], q: int, backend: Backend,
+    engine: str = "faithful",
 ) -> List[int]:
     """One-shot modular ``axpy``."""
-    return BlasPlan(q, backend).axpy(a, x, y)
+    return BlasPlan(q, backend, engine=engine).axpy(a, x, y)

@@ -1,0 +1,43 @@
+"""``repro.fast`` — the NumPy-vectorized execution engine.
+
+The library has two ways to run the paper's kernels:
+
+* the **faithful** engine (:mod:`repro.kernels`): lane-accurate ISA
+  simulation, one instruction at a time — the thing that gets traced,
+  scheduled and estimated;
+* this **fast** engine: the same double-word Barrett algorithms computed
+  on whole ``uint64`` limb ndarrays at once — the thing that computes
+  actual results at speed (examples, the RNS pipeline, verification).
+
+Both produce bit-identical outputs for every modulus up to 124 bits; the
+``engine="fast"`` switch on :class:`~repro.ntt.simd.SimdNtt`,
+:class:`~repro.ntt.negacyclic.NegacyclicNtt`,
+:class:`~repro.blas.ops.BlasPlan` and
+:class:`~repro.rns.poly.RnsPolynomialRing` selects between them.
+See ``docs/PERFORMANCE.md`` for the design and measured speedups.
+"""
+
+from repro.fast.blas import (
+    FastBlasPlan,
+    fast_axpy,
+    fast_vector_add,
+    fast_vector_mul,
+    fast_vector_sub,
+)
+from repro.fast.limbs import limbs_from_ints, limbs_to_ints
+from repro.fast.modular import FastModulus
+from repro.fast.ntt import FastNegacyclic, FastNtt, fast_negacyclic_polymul
+
+__all__ = [
+    "FastBlasPlan",
+    "FastModulus",
+    "FastNegacyclic",
+    "FastNtt",
+    "fast_axpy",
+    "fast_negacyclic_polymul",
+    "fast_vector_add",
+    "fast_vector_mul",
+    "fast_vector_sub",
+    "limbs_from_ints",
+    "limbs_to_ints",
+]

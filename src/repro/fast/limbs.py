@@ -1,0 +1,271 @@
+"""Vectorized 128-bit limb arithmetic on ``uint64`` ndarrays.
+
+The fast engine represents a vector of 128-bit values as a
+``(..., 2)``-shaped ``uint64`` array — ``[..., 0]`` is the low word,
+``[..., 1]`` the high word, exactly the (high, low) register-pair split
+the paper's SIMD kernels use (Figure 2), but with the lane dimension
+grown to the whole vector. NumPy has no 128-bit integer dtype, so every
+primitive here is built from 64-bit word operations with explicit
+carry/borrow propagation, and the 64x64->128 widening multiply is
+decomposed into 32-bit half-limbs (four partial products), the same
+trick RPU-style vector units and MoMA's limb arithmetic rely on.
+
+All operations broadcast: a single value stored as a ``(2,)`` array
+combines with a whole ``(n, 2)`` vector or a ``(batch, n, 2)`` stack of
+RNS residue channels.
+
+NumPy's unsigned arithmetic wraps modulo ``2^64``, which is precisely
+the word semantics the carry chains need — no masking required.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ArithmeticDomainError
+
+#: Dtype of every limb array.
+LIMB_DTYPE = np.uint64
+
+#: Low 32 bits of a word (for the 32-bit half-limb decomposition).
+_HALF_MASK = np.uint64(0xFFFFFFFF)
+_THIRTY_TWO = np.uint64(32)
+
+IntVector = Union[int, Sequence[int], Sequence[Sequence[int]], np.ndarray]
+
+
+# ---------------------------------------------------------------------------
+# Conversions
+# ---------------------------------------------------------------------------
+
+
+def limbs_from_ints(values: IntVector) -> np.ndarray:
+    """Pack Python ints (< 2^128) into a ``(..., 2)`` uint64 limb array.
+
+    Accepts a single int (-> shape ``(2,)``), a flat sequence
+    (-> ``(n, 2)``), or a nested sequence of equal-length rows
+    (-> ``(batch, n, 2)``). The packing goes through ``int.to_bytes``
+    so the per-element Python cost is one C call, not bigint shifting.
+    """
+    if isinstance(values, np.ndarray):
+        if values.dtype != LIMB_DTYPE or values.shape[-1:] != (2,):
+            raise ArithmeticDomainError(
+                "limb arrays must be uint64 with trailing dimension 2; "
+                f"got dtype {values.dtype}, shape {values.shape}"
+            )
+        return values
+    if isinstance(values, int):
+        return _pack_flat([values]).reshape(2)
+    values = list(values)
+    if values and not isinstance(values[0], int):
+        rows = [_pack_flat(list(row)) for row in values]
+        width = rows[0].shape[0]
+        for row in rows:
+            if row.shape[0] != width:
+                raise ArithmeticDomainError(
+                    "batched rows must all have the same length"
+                )
+        return np.stack(rows)
+    return _pack_flat(values)
+
+
+def _pack_flat(values: List[int]) -> np.ndarray:
+    try:
+        raw = b"".join(v.to_bytes(16, "little") for v in values)
+    except (OverflowError, AttributeError) as exc:
+        raise ArithmeticDomainError(
+            f"values must be ints in [0, 2^128): {exc}"
+        ) from exc
+    return (
+        np.frombuffer(raw, dtype=LIMB_DTYPE).reshape(-1, 2).copy()
+        if values
+        else np.empty((0, 2), dtype=LIMB_DTYPE)
+    )
+
+
+def limbs_to_ints(limbs: np.ndarray) -> Union[int, List[int], List[List[int]]]:
+    """Unpack a limb array back into Python ints (shape-preserving)."""
+    if limbs.ndim == 1:
+        lo, hi = limbs.tolist()
+        return (hi << 64) | lo
+    if limbs.ndim == 2:
+        return [(hi << 64) | lo for lo, hi in limbs.tolist()]
+    if limbs.ndim == 3:
+        return [
+            [(hi << 64) | lo for lo, hi in row] for row in limbs.tolist()
+        ]
+    raise ArithmeticDomainError(
+        f"cannot unpack a limb array of rank {limbs.ndim}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Word-level helpers
+# ---------------------------------------------------------------------------
+
+
+def _wrapping(fn):
+    """Silence NumPy's 0-d overflow warning: wraparound is the semantics.
+
+    Array operations wrap silently, but the same primitives applied to a
+    single broadcast value (0-d views of a ``(2,)`` array) go through
+    NumPy's scalar path, which warns on intended modular wraparound.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        with np.errstate(over="ignore"):
+            return fn(*args, **kwargs)
+
+    return wrapper
+
+
+def _addc(x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Word add with carry out (as a uint64 0/1 array)."""
+    s = x + y
+    return s, (s < x).astype(LIMB_DTYPE)
+
+
+@_wrapping
+def mul_64x64(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Widening 64x64 -> 128 multiply on word arrays: ``(high, low)``.
+
+    NumPy's ``uint64 * uint64`` keeps only the low word, so the product
+    is assembled from four 32x32->64 partial products (half-limb
+    decomposition). The middle-term accumulator ``mid`` is at most
+    ``3 * (2^32 - 1) < 2^34``, so it never wraps; the high word is exact
+    because the true high half always fits in 64 bits.
+    """
+    a0 = a & _HALF_MASK
+    a1 = a >> _THIRTY_TWO
+    b0 = b & _HALF_MASK
+    b1 = b >> _THIRTY_TWO
+    ll = a0 * b0
+    lh = a0 * b1
+    hl = a1 * b0
+    hh = a1 * b1
+    mid = (ll >> _THIRTY_TWO) + (lh & _HALF_MASK) + (hl & _HALF_MASK)
+    low = (mid << _THIRTY_TWO) | (ll & _HALF_MASK)
+    high = hh + (lh >> _THIRTY_TWO) + (hl >> _THIRTY_TWO) + (mid >> _THIRTY_TWO)
+    return high, low
+
+
+# ---------------------------------------------------------------------------
+# 128-bit (double-word) operations
+# ---------------------------------------------------------------------------
+
+
+@_wrapping
+def add128(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """128-bit add: ``(sum mod 2^128, carry_out)`` with vector carries."""
+    lo, c = _addc(a[..., 0], b[..., 0])
+    hi1, c2 = _addc(a[..., 1], b[..., 1])
+    hi, c3 = _addc(hi1, c)
+    return np.stack([lo, hi], axis=-1), (c2 | c3).astype(bool)
+
+
+@_wrapping
+def add128_nocarry(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """128-bit add when the carry-out is provably dead.
+
+    Matches the paper's 124-bit-modulus carry elision (Section 3.1): the
+    wrap modulo ``2^128`` is exactly what the conditional add-back in
+    modular subtraction wants.
+    """
+    lo = a[..., 0] + b[..., 0]
+    hi = a[..., 1] + b[..., 1] + (lo < a[..., 0])
+    return np.stack([lo, hi], axis=-1)
+
+
+@_wrapping
+def sub128(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """128-bit subtract: ``(diff mod 2^128, borrow_out)``."""
+    a_lo, a_hi = a[..., 0], a[..., 1]
+    b_lo, b_hi = b[..., 0], b[..., 1]
+    lo = a_lo - b_lo
+    borrow_lo = (a_lo < b_lo).astype(LIMB_DTYPE)
+    hi1 = a_hi - b_hi
+    borrow1 = a_hi < b_hi
+    hi = hi1 - borrow_lo
+    borrow2 = hi1 < borrow_lo
+    return np.stack([lo, hi], axis=-1), borrow1 | borrow2
+
+
+def geq128(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-element ``a >= b`` on limb arrays (boolean array)."""
+    a_lo, a_hi = a[..., 0], a[..., 1]
+    b_lo, b_hi = b[..., 0], b[..., 1]
+    return (a_hi > b_hi) | ((a_hi == b_hi) & (a_lo >= b_lo))
+
+
+def select128(cond: np.ndarray, if_true: np.ndarray, if_false: np.ndarray) -> np.ndarray:
+    """Per-element select by a boolean condition (the SIMD blend)."""
+    return np.where(cond[..., None], if_true, if_false)
+
+
+@_wrapping
+def wide_mul_128(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Schoolbook 128x128 -> 256 multiply: ``(..., 4)`` word array.
+
+    Words are little-endian (Equation 8's four word multiplications with
+    full carry accumulation). The top word cannot overflow because the
+    exact product is below ``2^256``.
+    """
+    a0, a1 = a[..., 0], a[..., 1]
+    b0, b1 = b[..., 0], b[..., 1]
+    p00h, p00l = mul_64x64(a0, b0)
+    p01h, p01l = mul_64x64(a0, b1)
+    p10h, p10l = mul_64x64(a1, b0)
+    p11h, p11l = mul_64x64(a1, b1)
+
+    w1a, c1 = _addc(p00h, p01l)
+    w1, c2 = _addc(w1a, p10l)
+    carry1 = c1 + c2
+
+    w2a, c3 = _addc(p01h, p10h)
+    w2b, c4 = _addc(w2a, p11l)
+    w2, c5 = _addc(w2b, carry1)
+    carry2 = c3 + c4 + c5
+
+    w3 = p11h + carry2
+    return np.stack([p00l, w1, w2, w3], axis=-1)
+
+
+@_wrapping
+def mullo128(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Low 128 bits of a 128x128 product (three word multiplications)."""
+    a0, a1 = a[..., 0], a[..., 1]
+    b0, b1 = b[..., 0], b[..., 1]
+    high, low = mul_64x64(a0, b0)
+    cross = a0 * b1 + a1 * b0  # mullo only: wraps mod 2^64 by design
+    return np.stack([low, high + cross], axis=-1)
+
+
+def shift_right_256(words: np.ndarray, amount: int) -> np.ndarray:
+    """Right-shift a ``(..., 4)`` 256-bit word array into a limb array.
+
+    ``amount`` is a scalar (the Barrett shifts ``beta - 1`` and
+    ``beta + 1`` are per-modulus constants). The caller guarantees the
+    shifted value fits in 128 bits, as in the faithful kernels.
+    """
+    if not 0 <= amount < 256:
+        raise ArithmeticDomainError(
+            f"256-bit shift amount must be in [0, 256), got {amount}"
+        )
+    word, rem = divmod(amount, 64)
+
+    def pick(index: int) -> np.ndarray:
+        if index >= 4:
+            return np.zeros_like(words[..., 0])
+        return words[..., index]
+
+    if rem == 0:
+        return np.stack([pick(word), pick(word + 1)], axis=-1)
+    r = np.uint64(rem)
+    inv = np.uint64(64 - rem)
+    lo = (pick(word) >> r) | (pick(word + 1) << inv)
+    hi = (pick(word + 1) >> r) | (pick(word + 2) << inv)
+    return np.stack([lo, hi], axis=-1)

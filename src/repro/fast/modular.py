@@ -1,0 +1,142 @@
+"""Vectorized double-word modular arithmetic (the fast engine's core).
+
+:class:`FastModulus` is the NumPy analogue of a kernel backend's
+:class:`~repro.kernels.backend.ModulusContext`: one precomputation of
+the Barrett constants per modulus, then whole-vector ``addmod`` /
+``submod`` / ``mulmod`` over ``(..., 2)`` uint64 limb arrays. Every
+operation runs the *same algorithm* as the ISA-faithful path —
+Listing 1's carry structure for addition, Equation 7's borrow/add-back
+for subtraction, and the shift-refined Barrett reduction of
+:func:`repro.arith.dwmod.mulmod128` (wide product, quotient estimate,
+``mullo``/subtract, two conditional corrections) — so the results agree
+bit for bit with :mod:`repro.arith.dwmod` and with all four kernel
+backends for any modulus up to 124 bits.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.arith.barrett import BarrettParams
+from repro.arith.dwmod import check_modulus_128
+from repro.errors import ArithmeticDomainError
+from repro.fast.limbs import (
+    IntVector,
+    add128_nocarry,
+    geq128,
+    limbs_from_ints,
+    limbs_to_ints,
+    mullo128,
+    select128,
+    shift_right_256,
+    sub128,
+    wide_mul_128,
+)
+
+
+class FastModulus:
+    """Per-modulus state for vectorized modular arithmetic (``q <= 2^124``).
+
+    Attributes:
+        q: The modulus (Python int).
+        params: The shared :class:`~repro.arith.barrett.BarrettParams`.
+        m: The modulus as a ``(2,)`` limb array (broadcasts over vectors).
+        mu: Barrett ``mu`` as a ``(2,)`` limb array.
+    """
+
+    def __init__(self, q: int) -> None:
+        check_modulus_128(q)
+        self.q = q
+        self.params = BarrettParams(q)
+        self.params.check_width(128)
+        self.beta = self.params.beta
+        self.m = limbs_from_ints(q)
+        self.mu = limbs_from_ints(self.params.mu)
+
+    def __repr__(self) -> str:
+        return f"FastModulus(q={self.q})"
+
+    # ------------------------------------------------------------------
+    # Input handling
+    # ------------------------------------------------------------------
+
+    def to_limbs(self, values: IntVector, name: str = "values") -> np.ndarray:
+        """Pack and range-check operands: every element must be in [0, q)."""
+        arr = limbs_from_ints(values)
+        self.check_reduced(arr, name)
+        return arr
+
+    def check_reduced(self, arr: np.ndarray, name: str = "values") -> None:
+        """Vectorized reduced-operand check (mirrors ``check_reduced``)."""
+        bad = geq128(arr, self.m)
+        if bad.any():
+            index = np.argwhere(np.atleast_1d(bad))[0]
+            raise ArithmeticDomainError(
+                f"{name}[{', '.join(str(i) for i in index)}] is not reduced "
+                f"modulo {self.q}"
+            )
+
+    # ------------------------------------------------------------------
+    # Modular operations (bit-exact against repro.arith.dwmod)
+    # ------------------------------------------------------------------
+
+    def addmod(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``(a + b) mod q`` element-wise on limb arrays.
+
+        The sum of two reduced operands is below ``2q < 2^125``, so the
+        128-bit add cannot carry out (the paper's carry elision) and one
+        trial subtraction finishes the job.
+        """
+        total = add128_nocarry(a, b)
+        diff, borrow = sub128(total, self.m)
+        return select128(~borrow, diff, total)
+
+    def submod(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``(a - b) mod q`` element-wise: borrow then conditional add-back."""
+        diff, borrow = sub128(a, b)
+        fixed = add128_nocarry(diff, self.m)
+        return select128(borrow, fixed, diff)
+
+    def mulmod(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``(a * b) mod q`` element-wise via Barrett reduction.
+
+        Steps (identical to :func:`repro.arith.dwmod.mulmod128` and
+        :meth:`repro.kernels.backend.Backend.mulmod`):
+
+        1. ``t = a * b`` (256-bit schoolbook),
+        2. quotient estimate ``((t >> (beta-1)) * mu) >> (beta+1)``,
+        3. ``c = t - estimate * q`` modulo ``2^128``,
+        4. two conditional subtractions of ``q``.
+        """
+        t_words = wide_mul_128(a, b)
+        t_shifted = shift_right_256(t_words, self.beta - 1)
+        g_words = wide_mul_128(t_shifted, self.mu)
+        estimate = shift_right_256(g_words, self.beta + 1)
+        est_q_low = mullo128(estimate, self.m)
+        c, _ = sub128(t_words[..., :2], est_q_low)
+        c = self._cond_sub(c)
+        c = self._cond_sub(c)
+        return c
+
+    def _cond_sub(self, x: np.ndarray) -> np.ndarray:
+        """One Barrett correction: ``x - q`` where ``x >= q``."""
+        diff, borrow = sub128(x, self.m)
+        return select128(~borrow, diff, x)
+
+    # ------------------------------------------------------------------
+    # Int-level conveniences (the engine's scalar escape hatch)
+    # ------------------------------------------------------------------
+
+    def addmod_ints(self, x: IntVector, y: IntVector) -> Union[int, list]:
+        """``(x + y) mod q`` on Python-int inputs (packs, computes, unpacks)."""
+        return limbs_to_ints(self.addmod(self.to_limbs(x, "x"), self.to_limbs(y, "y")))
+
+    def submod_ints(self, x: IntVector, y: IntVector) -> Union[int, list]:
+        """``(x - y) mod q`` on Python-int inputs."""
+        return limbs_to_ints(self.submod(self.to_limbs(x, "x"), self.to_limbs(y, "y")))
+
+    def mulmod_ints(self, x: IntVector, y: IntVector) -> Union[int, list]:
+        """``(x * y) mod q`` on Python-int inputs."""
+        return limbs_to_ints(self.mulmod(self.to_limbs(x, "x"), self.to_limbs(y, "y")))

@@ -1,0 +1,226 @@
+"""Full-vector Pease NTT on the fast engine (plus negacyclic polymul).
+
+Where :class:`repro.ntt.simd.SimdNtt` walks each stage one SIMD block at
+a time through an ISA simulator, :class:`FastNtt` runs the *same*
+constant-geometry dataflow — read ``x[i]`` and ``x[i + n/2]``, butterfly,
+write the pair to ``2i``/``2i + 1`` — on entire ``(n,)`` vectors of
+128-bit limb pairs at once: one vectorized ``mulmod`` / ``addmod`` /
+``submod`` triple per stage and a strided scatter for the interleave.
+Twiddle tables come from the same :class:`~repro.ntt.twiddles.TwiddleTable`
+the faithful path uses, so the two engines agree bit for bit.
+
+The batched API accepts ``(batch, n)`` inputs, transforming every row in
+the same NumPy operations — this is how the RNS pipeline's independent
+residue channels amortize kernel-launch overhead.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.arith.modular import inv_mod
+from repro.arith.primes import root_of_unity
+from repro.errors import NttParameterError
+from repro.fast.limbs import IntVector, limbs_from_ints, limbs_to_ints
+from repro.fast.modular import FastModulus
+from repro.ntt.twiddles import TwiddleTable, bit_reverse
+from repro.obs.hooks import record_engine_call
+from repro.util.checks import check_power_of_two
+
+IntMatrix = Union[List[int], List[List[int]], np.ndarray]
+
+
+class FastNtt:
+    """An ``n``-point NTT over ``Z_q`` computed on whole uint64 vectors.
+
+    Args:
+        n: Transform size (power of two, at least 2).
+        q: NTT-friendly modulus (``n | q - 1``, at most 124 bits).
+        root: Optional explicit primitive ``n``-th root of unity.
+        table: Optional pre-built twiddle table to share with a faithful
+            plan (guarantees both engines use identical twiddles).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        q: int,
+        root: Optional[int] = None,
+        table: Optional[TwiddleTable] = None,
+    ) -> None:
+        if table is not None:
+            if table.n != n or table.q != q:
+                raise NttParameterError(
+                    f"twiddle table is for ({table.n}, {table.q}), "
+                    f"not ({n}, {q})"
+                )
+            self.table = table
+        else:
+            self.table = TwiddleTable(n, q, root or 0)
+        self.mod = FastModulus(q)
+        bits = n.bit_length() - 1
+        self._bitrev = np.array(
+            [bit_reverse(i, bits) for i in range(n)], dtype=np.intp
+        )
+        self._n_inv = limbs_from_ints(self.table.n_inverse)
+        self._stage_tw: dict = {}
+
+    @property
+    def n(self) -> int:
+        """Transform size."""
+        return self.table.n
+
+    @property
+    def q(self) -> int:
+        """Modulus."""
+        return self.table.q
+
+    # ------------------------------------------------------------------
+    # Public transforms
+    # ------------------------------------------------------------------
+
+    def forward(self, values: IntMatrix, natural_order: bool = True) -> IntMatrix:
+        """Forward NTT; batched when given ``(batch, n)`` input.
+
+        Bit-exact with :meth:`repro.ntt.simd.SimdNtt.forward` on every
+        kernel backend (raw bit-reversed output unless ``natural_order``).
+        """
+        x, as_ints = self._coerce(values)
+        record_engine_call("fast", "ntt.forward", x.size // 2)
+        out = self._run_stages(x, inverse=False)
+        if natural_order:
+            out = out[..., self._bitrev, :]
+        return limbs_to_ints(out) if as_ints else out
+
+    def inverse(self, values: IntMatrix, natural_order: bool = True) -> IntMatrix:
+        """Inverse NTT including the ``1/n`` scaling (batched-aware)."""
+        x, as_ints = self._coerce(values)
+        record_engine_call("fast", "ntt.inverse", x.size // 2)
+        if not natural_order:
+            x = x[..., self._bitrev, :]
+        out = self._run_stages(x, inverse=True)
+        out = out[..., self._bitrev, :]
+        out = self.mod.mulmod(out, self._n_inv)
+        return limbs_to_ints(out) if as_ints else out
+
+    def pointwise_mul(self, f: IntMatrix, g: IntMatrix) -> IntMatrix:
+        """Element-wise spectral product (the convolution-theorem middle)."""
+        fa, as_ints = self._coerce(f)
+        ga, _ = self._coerce(g)
+        record_engine_call("fast", "ntt.pointwise", fa.size // 2)
+        out = self.mod.mulmod(fa, ga)
+        return limbs_to_ints(out) if as_ints else out
+
+    def cyclic_multiply(self, f: IntMatrix, g: IntMatrix) -> IntMatrix:
+        """Length-``n`` cyclic convolution via the transform."""
+        fa = self.forward(f, natural_order=False)
+        ga = self.forward(g, natural_order=False)
+        prod = self.pointwise_mul(fa, ga)
+        return self.inverse(prod, natural_order=False)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _coerce(self, values: IntMatrix) -> Tuple[np.ndarray, bool]:
+        as_ints = not isinstance(values, np.ndarray)
+        arr = limbs_from_ints(values)
+        if arr.ndim not in (2, 3) or arr.shape[-2] != self.n:
+            got = arr.shape[-2] if arr.ndim >= 2 else 0
+            raise NttParameterError(f"expected {self.n} values, got {got}")
+        self.mod.check_reduced(arr)
+        return arr, as_ints
+
+    def _stage_twiddles(self, stage: int, inverse: bool) -> np.ndarray:
+        key = (stage, inverse)
+        cached = self._stage_tw.get(key)
+        if cached is None:
+            cached = limbs_from_ints(
+                self.table.pease_stage_twiddles(stage, inverse)
+            )
+            self._stage_tw[key] = cached
+        return cached
+
+    def _run_stages(self, x: np.ndarray, inverse: bool) -> np.ndarray:
+        half = self.n // 2
+        for stage in range(self.table.stages):
+            tw = self._stage_twiddles(stage, inverse)
+            top = x[..., :half, :]
+            bottom = x[..., half:, :]
+            t = self.mod.mulmod(bottom, tw)
+            out = np.empty_like(x)
+            out[..., 0::2, :] = self.mod.addmod(top, t)
+            out[..., 1::2, :] = self.mod.submod(top, t)
+            x = out
+        return x
+
+
+class FastNegacyclic:
+    """Negacyclic polynomial multiplication on the fast engine.
+
+    The same psi-twist formulation as :class:`repro.ntt.negacyclic.NegacyclicNtt`
+    (twist by powers of a primitive ``2n``-th root, cyclic convolve,
+    untwist), with the twist tables held as limb arrays so the whole
+    product is a handful of vectorized passes.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        q: int,
+        psi: Optional[int] = None,
+        plan: Optional[FastNtt] = None,
+    ) -> None:
+        check_power_of_two(n, "n")
+        if (q - 1) % (2 * n):
+            raise NttParameterError(
+                f"negacyclic multiplication needs 2n | q - 1; got n={n}, q={q}"
+            )
+        self.n = n
+        self.q = q
+        self.psi = psi or root_of_unity(2 * n, q)
+        if pow(self.psi, 2 * n, q) != 1 or pow(self.psi, n, q) == 1:
+            raise NttParameterError(
+                f"{self.psi} is not a primitive {2 * n}-th root of unity mod {q}"
+            )
+        omega = self.psi * self.psi % q
+        self.plan = plan or FastNtt(n, q, root=omega)
+        psi_inv = inv_mod(self.psi, q)
+        self._twist = limbs_from_ints([pow(self.psi, i, q) for i in range(n)])
+        self._untwist = limbs_from_ints([pow(psi_inv, i, q) for i in range(n)])
+
+    def forward(self, values: IntMatrix) -> IntMatrix:
+        """Twisted forward transform (raw bit-reversed order)."""
+        x, as_ints = self.plan._coerce(values)
+        twisted = self.plan.mod.mulmod(x, self._twist)
+        out = self.plan.forward(twisted, natural_order=False)
+        return limbs_to_ints(out) if as_ints else out
+
+    def inverse(self, values: IntMatrix) -> IntMatrix:
+        """Inverse of :meth:`forward` (untwist and ``1/n`` included)."""
+        x, as_ints = self.plan._coerce(values)
+        cyclic = self.plan.inverse(x, natural_order=False)
+        out = self.plan.mod.mulmod(cyclic, self._untwist)
+        return limbs_to_ints(out) if as_ints else out
+
+    def multiply(self, f: IntMatrix, g: IntMatrix) -> IntMatrix:
+        """Negacyclic product ``f * g mod (x^n + 1, q)`` (batched-aware)."""
+        record_engine_call("fast", "ntt.polymul", self.n)
+        fa = self.forward(f)
+        ga = self.forward(g)
+        prod = self.plan.pointwise_mul(fa, ga)
+        return self.inverse(prod)
+
+
+def fast_negacyclic_polymul(
+    f: IntVector, g: IntVector, q: int
+) -> Union[List[int], List[List[int]]]:
+    """One-shot negacyclic polynomial multiplication on the fast engine."""
+    f = list(f)
+    g = list(g)
+    if len(f) != len(g):
+        raise NttParameterError("negacyclic multiplication needs equal lengths")
+    n = len(f) if f and isinstance(f[0], int) else len(f[0])
+    return FastNegacyclic(n, q).multiply(f, g)

@@ -22,7 +22,7 @@ chains), which is exactly the effect that separates scalar from SIMD.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import MachineModelError
 from repro.isa.trace import TraceEntry, Tracer
@@ -57,7 +57,9 @@ class ScheduleResult:
         """Cycles per block from decode/rename width."""
         return self.uops / self.decode_width
 
-    def throughput_cycles(self, independent_blocks: float = None) -> float:
+    def throughput_cycles(
+        self, independent_blocks: Optional[float] = None
+    ) -> float:
         """Steady-state cycles per block when blocks are independent.
 
         ``independent_blocks`` caps how many block instances overlap (e.g.

@@ -24,6 +24,7 @@ from repro.arith.primes import root_of_unity
 from repro.errors import NttParameterError
 from repro.kernels.backend import Backend
 from repro.ntt.simd import SimdNtt
+from repro.obs.hooks import record_engine_call
 from repro.util.checks import check_power_of_two, check_reduced
 
 
@@ -43,6 +44,7 @@ class NegacyclicNtt:
         backend: Backend,
         algorithm: str = "schoolbook",
         psi: Optional[int] = None,
+        engine: str = "faithful",
     ) -> None:
         check_power_of_two(n, "n")
         if (q - 1) % (2 * n):
@@ -60,11 +62,23 @@ class NegacyclicNtt:
             )
         # The cyclic plan uses omega = psi^2, keeping the rings consistent.
         omega = self.psi * self.psi % q
-        self.plan = SimdNtt(n, q, backend, algorithm=algorithm, root=omega)
+        self.plan = SimdNtt(
+            n, q, backend, algorithm=algorithm, root=omega, engine=engine
+        )
+        self.engine = engine
 
         psi_inv = inv_mod(self.psi, q)
         self._twist = [pow(self.psi, i, q) for i in range(n)]
         self._untwist = [pow(psi_inv, i, q) for i in range(n)]
+        if engine == "fast":
+            from repro.fast.ntt import FastNegacyclic
+
+            #: Vectorized twin sharing this plan's psi and twiddle table.
+            self.fast_plan = FastNegacyclic(
+                n, q, psi=self.psi, plan=self.plan.fast_plan
+            )
+        else:
+            self.fast_plan = None
 
     def _pointwise(self, values: List[int], table: List[int]) -> List[int]:
         """Point-wise multiply by a precomputed table, on the backend."""
@@ -84,6 +98,8 @@ class NegacyclicNtt:
         point-wise operations don't care, and the matching
         :meth:`inverse` undoes it.
         """
+        if self.fast_plan is not None:
+            return self.fast_plan.forward(values)
         if len(values) != self.n:
             raise NttParameterError(f"expected {self.n} values, got {len(values)}")
         for i, value in enumerate(values):
@@ -93,6 +109,8 @@ class NegacyclicNtt:
 
     def inverse(self, values: List[int]) -> List[int]:
         """Inverse of :meth:`forward` (includes untwisting and 1/n)."""
+        if self.fast_plan is not None:
+            return self.fast_plan.inverse(values)
         if len(values) != self.n:
             raise NttParameterError(f"expected {self.n} values, got {len(values)}")
         cyclic = self.plan.inverse(values, natural_order=False)
@@ -100,6 +118,9 @@ class NegacyclicNtt:
 
     def multiply(self, f: List[int], g: List[int]) -> List[int]:
         """Negacyclic product: ``f * g mod (x^n + 1, q)``."""
+        if self.fast_plan is not None:
+            return self.fast_plan.multiply(f, g)
+        record_engine_call("faithful", "ntt.polymul", self.n)
         fa = self.forward(f)
         ga = self.forward(g)
         backend = self.backend
@@ -118,9 +139,10 @@ def negacyclic_polymul(
     q: int,
     backend: Backend,
     algorithm: str = "schoolbook",
+    engine: str = "faithful",
 ) -> List[int]:
     """One-shot negacyclic polynomial multiplication."""
     if len(f) != len(g):
         raise NttParameterError("negacyclic multiplication needs equal lengths")
-    plan = NegacyclicNtt(len(f), q, backend, algorithm=algorithm)
+    plan = NegacyclicNtt(len(f), q, backend, algorithm=algorithm, engine=engine)
     return plan.multiply(f, g)

@@ -49,6 +49,7 @@ def simd_ntt_polymul(
     backend: Backend,
     algorithm: str = "schoolbook",
     plan: Optional[SimdNtt] = None,
+    engine: str = "faithful",
 ) -> List[int]:
     """Polynomial multiplication through the backend-driven pipeline.
 
@@ -56,7 +57,9 @@ def simd_ntt_polymul(
     bit-reversed order - point-wise multiplication is order-agnostic),
     multiplies point-wise with the backend's ``mulmod``, and inverse
     transforms. A prebuilt ``plan`` (a :class:`SimdNtt` of the right size)
-    can be supplied to amortize twiddle precomputation.
+    can be supplied to amortize twiddle precomputation; its engine takes
+    precedence over the ``engine`` argument. With ``engine="fast"`` the
+    transforms and the point-wise multiply run on the vectorized engine.
     """
     if not f or not g:
         raise NttParameterError("polynomials must be non-empty")
@@ -64,7 +67,7 @@ def simd_ntt_polymul(
     size = _padded_size(out_len)
     check_power_of_two(size, "padded size")
     if plan is None:
-        plan = SimdNtt(size, q, backend, algorithm=algorithm)
+        plan = SimdNtt(size, q, backend, algorithm=algorithm, engine=engine)
     elif plan.n != size or plan.q != q:
         raise NttParameterError(
             f"plan is for n={plan.n}, q={plan.q}; need n={size}, q={q}"
@@ -73,11 +76,14 @@ def simd_ntt_polymul(
     fa = plan.forward(f + [0] * (size - len(f)), natural_order=False)
     ga = plan.forward(g + [0] * (size - len(g)), natural_order=False)
 
-    lanes = backend.lanes
-    prod: List[int] = []
-    for base in range(0, size, lanes):
-        a = backend.load_block(fa[base : base + lanes])
-        b = backend.load_block(ga[base : base + lanes])
-        prod.extend(backend.store_block(backend.mulmod(a, b, plan.ctx)))
+    if plan.fast_plan is not None:
+        prod = plan.fast_plan.pointwise_mul(fa, ga)
+    else:
+        lanes = backend.lanes
+        prod = []
+        for base in range(0, size, lanes):
+            a = backend.load_block(fa[base : base + lanes])
+            b = backend.load_block(ga[base : base + lanes])
+            prod.extend(backend.store_block(backend.mulmod(a, b, plan.ctx)))
 
     return plan.inverse(prod, natural_order=False)[:out_len]

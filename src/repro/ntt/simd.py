@@ -20,7 +20,14 @@ from typing import List, Optional
 from repro.errors import NttParameterError
 from repro.kernels.backend import Backend, ModulusContext
 from repro.ntt.twiddles import TwiddleTable, bit_reverse_permutation
+from repro.obs.hooks import record_engine_call
 from repro.util.checks import check_reduced
+
+#: The two execution engines a transform can run on (see
+#: docs/PERFORMANCE.md): ``"faithful"`` simulates the configured ISA
+#: backend instruction by instruction (traceable, estimable);
+#: ``"fast"`` computes the identical results on whole NumPy vectors.
+ENGINES = ("faithful", "fast")
 
 
 class SimdNtt:
@@ -33,6 +40,10 @@ class SimdNtt:
         algorithm: ``"schoolbook"`` or ``"karatsuba"`` for the modular
             multiplications (Section 5.5's sensitivity knob).
         root: Optional explicit primitive ``n``-th root of unity.
+        engine: ``"faithful"`` (default — every transform runs through
+            the ISA simulator, so it can be traced and estimated) or
+            ``"fast"`` (bit-identical results computed on the
+            NumPy-vectorized engine, for when only the values matter).
     """
 
     def __init__(
@@ -43,6 +54,7 @@ class SimdNtt:
         algorithm: str = "schoolbook",
         root: Optional[int] = None,
         twiddle_mode: str = "barrett",
+        engine: str = "faithful",
     ) -> None:
         self.table = TwiddleTable(n, q, root or 0)
         self.backend = backend
@@ -60,8 +72,22 @@ class SimdNtt:
         #: (Harvey's precomputed-twiddle butterfly) or "lazy" (Shoup plus
         #: Harvey's [0, 4q) lazy ranges with one final normalization).
         self.twiddle_mode = twiddle_mode
+        if engine not in ENGINES:
+            raise NttParameterError(
+                f"engine must be one of {ENGINES}, got {engine!r}"
+            )
+        self.engine = engine
         self.ctx: ModulusContext = backend.make_modulus(q, algorithm=algorithm)
         self._shoup_cache: dict = {}
+        if engine == "fast":
+            # Deferred import: the faithful path must not require NumPy.
+            from repro.fast.ntt import FastNtt
+
+            #: The vectorized twin plan, sharing this plan's twiddle
+            #: table so both engines use identical constants.
+            self.fast_plan = FastNtt(n, q, table=self.table)
+        else:
+            self.fast_plan = None
 
     @property
     def n(self) -> int:
@@ -80,6 +106,9 @@ class SimdNtt:
 
     def forward(self, values: List[int], natural_order: bool = True) -> List[int]:
         """Forward NTT (bit-reversed raw output unless ``natural_order``)."""
+        if self.fast_plan is not None:
+            return self.fast_plan.forward(values, natural_order=natural_order)
+        record_engine_call("faithful", "ntt.forward", self.n)
         x = self._run_stages(values, inverse=False)
         return bit_reverse_permutation(x) if natural_order else x
 
@@ -89,6 +118,9 @@ class SimdNtt:
         With ``natural_order=False`` the input is expected in the
         bit-reversed order :meth:`forward` produces raw.
         """
+        if self.fast_plan is not None:
+            return self.fast_plan.inverse(values, natural_order=natural_order)
+        record_engine_call("faithful", "ntt.inverse", self.n)
         x = list(values) if natural_order else bit_reverse_permutation(values)
         x = self._run_stages(x, inverse=True)
         x = bit_reverse_permutation(x)

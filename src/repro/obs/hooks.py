@@ -61,6 +61,24 @@ def record_schedule(result) -> None:
             m.histogram(f"sched.util.{port}").observe(occupancy / bound)
 
 
+def record_engine_call(engine: str, op: str, elements: int) -> None:
+    """Count one execution-engine entry point call and its element volume.
+
+    ``engine`` is ``"fast"`` (the NumPy-vectorized engine) or
+    ``"faithful"`` (the ISA-simulated backends); ``op`` is a dotted
+    operation name (``"ntt.forward"``, ``"blas.vector_mul"``, ...). The
+    pair of counters — calls and elements processed — is what lets a
+    profile show which engine actually computed the results and at what
+    data volume.
+    """
+    session = current()
+    if session is None:
+        return
+    m = session.metrics
+    m.counter(f"engine.{engine}.calls.{op}").inc()
+    m.counter(f"engine.{engine}.elements.{op}").inc(elements)
+
+
 def record_cache_access(level: str) -> None:
     """Count one cache-model query served by ``level`` (L1/L2/L3/DRAM)."""
     session = current()

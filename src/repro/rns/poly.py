@@ -56,6 +56,9 @@ class RnsPolynomialRing:
         backend: Kernel backend shared by all per-prime pipelines.
         negacyclic: ``True`` for the RLWE ring ``x^n + 1`` (default),
             ``False`` for the cyclic ring ``x^n - 1``.
+        engine: ``"faithful"`` (ISA-simulated, traceable) or ``"fast"``
+            (NumPy-vectorized, bit-identical results) for every
+            per-prime BLAS and NTT pipeline (see docs/PERFORMANCE.md).
     """
 
     def __init__(
@@ -64,12 +67,14 @@ class RnsPolynomialRing:
         basis: RnsBasis,
         backend: Backend,
         negacyclic: bool = True,
+        engine: str = "faithful",
     ) -> None:
         check_power_of_two(n, "n")
         self.n = n
         self.basis = basis
         self.backend = backend
         self.negacyclic = negacyclic
+        self.engine = engine
         self._blas: Dict[int, BlasPlan] = {}
         self._ntt: Dict[int, object] = {}
         required = 2 * n if negacyclic else n
@@ -80,11 +85,11 @@ class RnsPolynomialRing:
                     f"{'negacyclic' if negacyclic else 'cyclic'} ring of "
                     f"dimension {n}"
                 )
-            self._blas[q] = BlasPlan(q, backend)
+            self._blas[q] = BlasPlan(q, backend, engine=engine)
             if negacyclic:
-                self._ntt[q] = NegacyclicNtt(n, q, backend)
+                self._ntt[q] = NegacyclicNtt(n, q, backend, engine=engine)
             else:
-                self._ntt[q] = SimdNtt(n, q, backend)
+                self._ntt[q] = SimdNtt(n, q, backend, engine=engine)
 
     # ------------------------------------------------------------------
     # Encoding
@@ -173,6 +178,8 @@ class RnsPolynomialRing:
 
     def _cyclic_mul(self, q: int, f: List[int], g: List[int]) -> List[int]:
         plan: SimdNtt = self._ntt[q]  # type: ignore[assignment]
+        if plan.fast_plan is not None:
+            return plan.fast_plan.cyclic_multiply(f, g)
         fa = plan.forward(f, natural_order=False)
         ga = plan.forward(g, natural_order=False)
         backend = self.backend

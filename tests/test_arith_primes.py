@@ -52,6 +52,24 @@ class TestFindNttPrime:
         with pytest.raises(NttParameterError):
             find_ntt_prime(20, 100)
 
+    def test_swapped_arguments_error_names_both_parameters(self):
+        # find_ntt_prime(4096, 120) is the classic swap of
+        # find_ntt_prime(120, 4096); the message must show both values
+        # and hint at the argument order.
+        with pytest.raises(NttParameterError) as excinfo:
+            find_ntt_prime(4096, 120)
+        message = str(excinfo.value)
+        assert "bits=4096" in message
+        assert "order=120" in message
+        assert "swapped" in message
+
+    def test_impossible_request_error_names_both_parameters(self):
+        with pytest.raises(ArithmeticDomainError) as excinfo:
+            find_ntt_prime(8, 1 << 10)
+        message = str(excinfo.value)
+        assert "bits=8" in message
+        assert "order=1024" in message
+
 
 class TestRootOfUnity:
     @pytest.mark.parametrize("n", [2, 8, 256, 1 << 14])

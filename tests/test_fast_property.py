@@ -1,0 +1,117 @@
+"""Hypothesis property tests: fast engine == faithful path, any modulus.
+
+Randomized cross-validation over NTT-friendly primes drawn from the full
+64-124-bit range the paper's Barrett setup supports, with operand
+distributions biased toward the hazardous values: within a few ULPs of
+the modulus and of the ``2^64`` limb boundary, where the vectorized
+carry/borrow chains must agree exactly with the branch-structured
+reference algorithms.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro import SimdNtt, get_backend
+from repro.arith.doubleword import dw_from_int, dw_value
+from repro.arith.dwmod import addmod128, mulmod128, submod128
+from repro.arith.primes import find_ntt_prime
+from repro.fast.blas import FastBlasPlan
+from repro.fast.modular import FastModulus
+from repro.fast.ntt import FastNtt
+from repro.ntt.reference import naive_intt, naive_ntt
+
+#: Transform order every drawn prime supports (n <= 64 cyclic).
+ORDER = 64
+
+#: One NTT-friendly prime per width across the paper's full range.
+#: find_ntt_prime is lru_cached, so the draw cost is paid once.
+prime_widths = st.integers(min_value=64, max_value=124)
+
+
+@st.composite
+def modulus(draw):
+    bits = draw(prime_widths)
+    return find_ntt_prime(bits, ORDER)
+
+
+@st.composite
+def modulus_and_operands(draw, count):
+    """A prime plus ``count`` reduced operands biased toward edges."""
+    q = draw(modulus())
+    boundary = sorted(
+        {
+            v % q
+            for v in (
+                0, 1, 2, q - 1, q - 2, q - 3,
+                (1 << 64) - 2, (1 << 64) - 1, 1 << 64, (1 << 64) + 1,
+                (1 << 65) - 1, (1 << 100) - 1,
+            )
+        }
+    )
+    operand = st.one_of(
+        st.sampled_from(boundary), st.integers(min_value=0, max_value=q - 1)
+    )
+    return q, [draw(operand) for _ in range(count)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=modulus_and_operands(count=8))
+def test_modular_ops_match_dwmod(data):
+    q, operands = data
+    fm = FastModulus(q)
+    xs, ys = operands[:4], operands[4:]
+    m = dw_from_int(q)
+    assert fm.addmod_ints(xs, ys) == [
+        dw_value(addmod128(dw_from_int(x), dw_from_int(y), m))
+        for x, y in zip(xs, ys)
+    ]
+    assert fm.submod_ints(xs, ys) == [
+        dw_value(submod128(dw_from_int(x), dw_from_int(y), m))
+        for x, y in zip(xs, ys)
+    ]
+    assert fm.mulmod_ints(xs, ys) == [
+        dw_value(mulmod128(dw_from_int(x), dw_from_int(y), m))
+        for x, y in zip(xs, ys)
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=modulus_and_operands(count=8))
+def test_blas_ops_match_python_semantics(data):
+    q, operands = data
+    fast = FastBlasPlan(q)
+    x, y = operands[:4], operands[4:]
+    a = x[0]
+    assert fast.vector_add(x, y) == [(u + v) % q for u, v in zip(x, y)]
+    assert fast.vector_sub(x, y) == [(u - v) % q for u, v in zip(x, y)]
+    assert fast.vector_mul(x, y) == [(u * v) % q for u, v in zip(x, y)]
+    assert fast.axpy(a, x, y) == [(a * u + v) % q for u, v in zip(x, y)]
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=modulus_and_operands(count=16))
+def test_ntt_roundtrip_matches_scalar_backend_and_reference(data):
+    q, values = data
+    n = len(values)
+    plan = SimdNtt(n, q, get_backend("scalar"))
+    fast = FastNtt(n, q, table=plan.table)
+    spectrum = fast.forward(values)
+    assert spectrum == plan.forward(values)
+    assert spectrum == naive_ntt(values, q, root=plan.table.root)
+    assert fast.inverse(spectrum) == values
+    assert fast.inverse(spectrum) == naive_intt(
+        spectrum, q, root=plan.table.root
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=modulus_and_operands(count=16), natural=st.booleans())
+def test_inverse_is_left_inverse_in_both_orders(data, natural):
+    q, values = data
+    n = len(values)
+    fast = FastNtt(n, q)
+    spectrum = fast.forward(values, natural_order=natural)
+    assert fast.inverse(spectrum, natural_order=natural) == values

@@ -17,7 +17,7 @@ class TestExports:
 class TestQuickstart:
     def test_docstring_example(self):
         q = repro.default_modulus()
-        ntt = repro.SimdNtt(1 << 10, q, repro.get_backend("mqx"))
+        ntt = repro.SimdNtt(1 << 10, q, repro.get_backend("mqx"), engine="fast")
         data = list(range(1 << 10))
         spectrum = ntt.forward(data)
         assert ntt.inverse(spectrum) == data
