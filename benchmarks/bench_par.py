@@ -1,0 +1,191 @@
+"""Benchmark: sharded process-pool engine vs the in-process fast engine.
+
+Times the workloads ``repro.par`` shards — a batched forward NTT, a
+batched negacyclic polynomial multiply, and a fused multi-limb RNS ring
+multiply — on both ``engine="fast"`` (sequential, in-process) and
+``engine="parallel"`` (process pool), verifies the outputs are
+bit-identical, and records everything into ``BENCH_par.json`` via the
+``repro.obs.snapshot`` store.
+
+Correctness is the gate: outputs must match and no shard may have needed
+a retry or an in-process fallback. Speedup is *recorded* but only
+enforced when ``--min-speedup`` is passed, because the pool can only win
+on a multi-core host (on one core the shards serialize and the shared
+memory + coordination overhead makes the pool strictly slower; CI
+containers are frequently single-core).
+
+Runs two ways:
+
+* ``python benchmarks/bench_par.py [--workers N] [--min-speedup X]``
+  — the CI smoke (non-zero exit on mismatch, fallback, or a missed
+  explicit speedup floor);
+* ``pytest benchmarks/bench_par.py`` — the same correctness checks as
+  a test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.arith.primes import find_ntt_prime
+from repro.fast.ntt import FastNegacyclic, FastNtt
+from repro.kernels import get_backend
+from repro.par import ParNegacyclic, ParNtt, ParallelExecutor
+from repro.obs.snapshot import SnapshotStore
+from repro.rns.basis import RnsBasis
+from repro.rns.poly import RnsPolynomialRing
+
+#: Default snapshot file for pool-engine numbers, at the repo root.
+DEFAULT_SNAPSHOT = Path(__file__).resolve().parent.parent / "BENCH_par.json"
+
+NTT_N = 4096
+BATCH = 8
+RNS_LIMBS = 8
+RNS_N = 1024
+
+
+def _best_of(fn, rounds: int):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run(workers=None, rounds: int = 3) -> dict:
+    """Time fast vs parallel on the sharded workloads; verify bit-exactness."""
+    q = find_ntt_prime(124, 2 * NTT_N)
+    rng = random.Random(2025)
+    values = {"par.workers": float(workers or os.cpu_count() or 1)}
+
+    with ParallelExecutor(workers=workers) as pool:
+        # --- batched forward NTT (BATCH x NTT_N rows) ------------------
+        batch = [[rng.randrange(q) for _ in range(NTT_N)] for _ in range(BATCH)]
+        fast_plan = FastNtt(NTT_N, q)
+        par_plan = ParNtt(NTT_N, q, executor=pool)
+        par_plan.forward(batch)  # warm the pool + per-worker plan caches
+        fast_s, fast_out = _best_of(lambda: fast_plan.forward(batch), rounds)
+        par_s, par_out = _best_of(lambda: par_plan.forward(batch), rounds)
+        if par_out != fast_out:
+            raise AssertionError("parallel and fast NTT outputs differ")
+        values["par.ntt_batch.fast_s"] = fast_s
+        values["par.ntt_batch.par_s"] = par_s
+        values["par.ntt_batch.speedup"] = fast_s / par_s
+
+        # --- batched negacyclic polynomial multiply --------------------
+        f = [[rng.randrange(q) for _ in range(NTT_N)] for _ in range(BATCH)]
+        g = [[rng.randrange(q) for _ in range(NTT_N)] for _ in range(BATCH)]
+        fast_neg = FastNegacyclic(NTT_N, q)
+        par_neg = ParNegacyclic(NTT_N, q, executor=pool)
+        par_neg.multiply(f, g)
+        fast_s, fast_out = _best_of(lambda: fast_neg.multiply(f, g), rounds)
+        par_s, par_out = _best_of(lambda: par_neg.multiply(f, g), rounds)
+        if par_out != fast_out:
+            raise AssertionError("parallel and fast polymul outputs differ")
+        values["par.polymul_batch.fast_s"] = fast_s
+        values["par.polymul_batch.par_s"] = par_s
+        values["par.polymul_batch.speedup"] = fast_s / par_s
+
+        # --- fused RNS ring multiply (RNS_LIMBS residue channels) ------
+        backend = get_backend("mqx")
+        basis = RnsBasis.generate(RNS_LIMBS, 60, 2 * RNS_N)
+        ring_fast = RnsPolynomialRing(RNS_N, basis, backend, engine="fast")
+        ring_par = RnsPolynomialRing(RNS_N, basis, backend, engine="parallel")
+        coeffs_f = [rng.randrange(basis.modulus) for _ in range(RNS_N)]
+        coeffs_g = [rng.randrange(basis.modulus) for _ in range(RNS_N)]
+        pf_fast, pg_fast = ring_fast.encode(coeffs_f), ring_fast.encode(coeffs_g)
+        pf_par, pg_par = ring_par.encode(coeffs_f), ring_par.encode(coeffs_g)
+        ring_par.mul(pf_par, pg_par)
+        fast_s, fast_out = _best_of(lambda: ring_fast.mul(pf_fast, pg_fast), rounds)
+        par_s, par_out = _best_of(lambda: ring_par.mul(pf_par, pg_par), rounds)
+        if par_out.residues != fast_out.residues:
+            raise AssertionError("parallel and fast RNS mul outputs differ")
+        values["par.rns_mul.fast_s"] = fast_s
+        values["par.rns_mul.par_s"] = par_s
+        values["par.rns_mul.speedup"] = fast_s / par_s
+
+        values["par.stats.retries"] = float(pool.stats["retries"])
+        values["par.stats.fallbacks"] = float(pool.stats["fallbacks"])
+        values["par.stats.restarts"] = float(pool.stats["restarts"])
+    return values
+
+
+def record(values: dict, snapshot_path=DEFAULT_SNAPSHOT) -> None:
+    """Append the measurements to the pool-engine snapshot history."""
+    SnapshotStore(snapshot_path).record(values, label="bench_par")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--snapshot", type=Path, default=DEFAULT_SNAPSHOT)
+    parser.add_argument(
+        "--workers", type=int, default=None, help="pool size (default: cores)"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="enforce a parallel/fast speedup floor on the batched "
+        "workloads (only meaningful on a multi-core host)",
+    )
+    parser.add_argument("--rounds", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    values = run(workers=args.workers, rounds=args.rounds)
+    record(values, args.snapshot)
+
+    cores = os.cpu_count() or 1
+    print(f"host cores: {cores}, pool workers: {values['par.workers']:.0f}")
+    for key in ("ntt_batch", "polymul_batch", "rns_mul"):
+        print(
+            f"{key:14s} fast {values[f'par.{key}.fast_s'] * 1e3:8.2f}ms  "
+            f"parallel {values[f'par.{key}.par_s'] * 1e3:8.2f}ms  "
+            f"speedup {values[f'par.{key}.speedup']:5.2f}x"
+        )
+    print(
+        f"retries {values['par.stats.retries']:.0f}  "
+        f"fallbacks {values['par.stats.fallbacks']:.0f}  "
+        f"restarts {values['par.stats.restarts']:.0f}"
+    )
+    print(f"snapshot recorded to {args.snapshot}")
+
+    if values["par.stats.fallbacks"] or values["par.stats.retries"]:
+        print("FAIL: shards needed retries or fallbacks", file=sys.stderr)
+        return 1
+    if args.min_speedup is not None:
+        worst = min(
+            values["par.ntt_batch.speedup"],
+            values["par.polymul_batch.speedup"],
+            values["par.rns_mul.speedup"],
+        )
+        if worst < args.min_speedup:
+            print(
+                f"FAIL: worst speedup {worst:.2f}x is below the "
+                f"{args.min_speedup:.1f}x floor",
+                file=sys.stderr,
+            )
+            return 1
+    elif cores == 1:
+        print("note: single-core host; speedup recorded but not enforced")
+    return 0
+
+
+def test_parallel_engine_correctness(tmp_path):
+    """Pytest form of the CI gate (isolated snapshot file)."""
+    values = run(workers=2, rounds=1)
+    record(values, tmp_path / "BENCH_par.json")
+    assert values["par.stats.fallbacks"] == 0
+    assert values["par.stats.retries"] == 0
+    for key in ("ntt_batch", "polymul_batch", "rns_mul"):
+        assert values[f"par.{key}.speedup"] > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,8 +26,11 @@ Quick start::
 
 ``engine="fast"`` computes on the NumPy-vectorized engine
 (:mod:`repro.fast`); the default ``engine="faithful"`` runs the
-lane-accurate ISA simulation that feeds tracing and runtime estimation.
-Both produce bit-identical results (see docs/PERFORMANCE.md).
+lane-accurate ISA simulation that feeds tracing and runtime estimation;
+``engine="parallel"`` shards batched fast-engine work across a
+persistent process pool (:mod:`repro.par`, scope it with
+``with ParallelExecutor(workers=...):``). All three produce
+bit-identical results (see docs/PERFORMANCE.md).
 """
 
 from repro.arith.barrett import BarrettParams
@@ -43,6 +46,13 @@ from repro.multiword.ntt import MultiWordNtt
 from repro.ntt.negacyclic import NegacyclicNtt, negacyclic_polymul
 from repro.ntt.polymul import ntt_polymul, simd_ntt_polymul
 from repro.ntt.simd import SimdNtt
+from repro.par import (
+    ParallelExecutor,
+    ParBlasPlan,
+    ParNegacyclic,
+    ParNtt,
+    parallel_rns_mul,
+)
 from repro.perf.estimator import (
     estimate_baseline_blas,
     estimate_baseline_ntt,
@@ -70,6 +80,10 @@ __all__ = [
     "MqxFeatures",
     "MultiWordNtt",
     "NegacyclicNtt",
+    "ParBlasPlan",
+    "ParNegacyclic",
+    "ParNtt",
+    "ParallelExecutor",
     "RnsBasis",
     "RnsPolynomial",
     "RnsPolynomialRing",
@@ -87,6 +101,7 @@ __all__ = [
     "measure_ntt",
     "negacyclic_polymul",
     "ntt_polymul",
+    "parallel_rns_mul",
     "root_of_unity",
     "simd_ntt_polymul",
     "sol_runtime",

@@ -8,6 +8,7 @@ Usage::
     python -m repro validate
     python -m repro mca [--microarch sunny_cove]
     python -m repro sol --vendor amd
+    python -m repro par --workers 4 --logn 12 --batch 16
     python -m repro experiments [--output EXPERIMENTS.md]
     python -m repro profile --experiment headline --export chrome
 """
@@ -31,7 +32,14 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Backend names the ``estimate`` command accepts (ISA kernels plus the
+#: two modeled baselines).
+ESTIMATE_BACKENDS = ("scalar", "avx2", "avx512", "mqx", "gmp", "openfhe")
+
+
 def _cmd_estimate(args: argparse.Namespace) -> int:
+    from repro.blas.ops import BLAS_OPERATIONS
+    from repro.errors import ReproError
     from repro.perf.estimator import (
         estimate_baseline_blas,
         estimate_baseline_ntt,
@@ -40,34 +48,44 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     )
 
     q = default_modulus()
-    cpu = get_cpu(args.cpu)
-    if args.kernel == "ntt":
-        n = 1 << args.logn
-        if args.backend in ("gmp", "openfhe"):
-            est = estimate_baseline_ntt(args.backend, n, q, cpu)
-        else:
-            est = estimate_ntt(
-                n, q, get_backend(args.backend), cpu, args.algorithm
-            )
-        print(
-            f"{args.backend} NTT n=2^{args.logn} on {cpu.name}: "
-            f"{est.ns / 1000:.2f} us ({est.ns_per_butterfly:.2f} ns/butterfly, "
-            f"{'compute' if est.compute_bound else 'memory'}-bound, "
-            f"{est.memory_level})"
-        )
-    else:
-        if args.backend in ("gmp", "openfhe"):
-            est = estimate_baseline_blas(
-                args.backend, args.operation, args.length, q, cpu
+    try:
+        cpu = get_cpu(args.cpu)
+        if args.kernel == "ntt":
+            n = 1 << args.logn
+            if args.backend in ("gmp", "openfhe"):
+                est = estimate_baseline_ntt(args.backend, n, q, cpu)
+            else:
+                est = estimate_ntt(
+                    n, q, get_backend(args.backend), cpu, args.algorithm
+                )
+            print(
+                f"{args.backend} NTT n=2^{args.logn} on {cpu.name}: "
+                f"{est.ns / 1000:.2f} us ({est.ns_per_butterfly:.2f} ns/butterfly, "
+                f"{'compute' if est.compute_bound else 'memory'}-bound, "
+                f"{est.memory_level})"
             )
         else:
-            est = estimate_blas(
-                args.operation, args.length, q, get_backend(args.backend), cpu
+            if args.backend in ("gmp", "openfhe"):
+                est = estimate_baseline_blas(
+                    args.backend, args.operation, args.length, q, cpu
+                )
+            else:
+                est = estimate_blas(
+                    args.operation, args.length, q, get_backend(args.backend), cpu
+                )
+            print(
+                f"{args.backend} {args.operation} length {args.length} on "
+                f"{cpu.name}: {est.ns_per_element:.2f} ns/element"
             )
+    except (ReproError, KeyError) as exc:
         print(
-            f"{args.backend} {args.operation} length {args.length} on "
-            f"{cpu.name}: {est.ns_per_element:.2f} ns/element"
+            f"estimate: {exc} "
+            f"(backends: {', '.join(ESTIMATE_BACKENDS)}; "
+            f"cpus: {', '.join(list_cpus())}; "
+            f"blas operations: {', '.join(BLAS_OPERATIONS)})",
+            file=sys.stderr,
         )
+        return 2
     return 0
 
 
@@ -93,14 +111,80 @@ def _cmd_mca(args: argparse.Namespace) -> int:
 
 
 def _cmd_sol(args: argparse.Namespace) -> int:
-    from repro.roofline.compare import average_speedup, figure7_comparison
+    from repro.errors import ReproError
+    from repro.roofline.compare import (
+        SOL_TARGETS,
+        average_speedup,
+        figure7_comparison,
+    )
 
-    rows = figure7_comparison(args.vendor)
+    try:
+        rows = figure7_comparison(args.vendor)
+    except (ReproError, KeyError):
+        print(
+            f"sol: unknown vendor {args.vendor!r} "
+            f"(vendors: {', '.join(sorted(SOL_TARGETS))})",
+            file=sys.stderr,
+        )
+        return 2
     for design in ("RPU", "FPMM", "MoMA", "OpenFHE (32-core)"):
         print(
             f"MQX-SOL vs {design:18s}: "
             f"{average_speedup(rows, design):10.2f}x"
         )
+    return 0
+
+
+def _cmd_par(args: argparse.Namespace) -> int:
+    import random
+    import time
+
+    from repro.obs import observing
+    from repro.par import ParNtt, ParallelExecutor
+    from repro.rns.basis import RnsBasis
+    from repro.rns.poly import RnsPolynomialRing
+
+    n = 1 << args.logn
+    rng = random.Random(args.seed)
+    with observing() as session:
+        with ParallelExecutor(workers=args.workers) as pool:
+            print(f"pool: {pool.workers} workers")
+            basis = RnsBasis.generate(args.limbs, 62, 2 * n)
+            ring = RnsPolynomialRing(
+                n, basis, get_backend("mqx"), engine="parallel"
+            )
+            f = ring.encode([rng.randrange(basis.modulus) for _ in range(n)])
+            g = ring.encode([rng.randrange(basis.modulus) for _ in range(n)])
+            started = time.perf_counter()
+            ring.mul(f, g)
+            mul_s = time.perf_counter() - started
+            print(
+                f"rns mul   n=2^{args.logn}, {args.limbs} limbs fused: "
+                f"{mul_s * 1e3:8.2f} ms"
+            )
+
+            q = basis.primes[0]
+            plan = ParNtt(n, q, executor=pool)
+            batch = [
+                [rng.randrange(q) for _ in range(n)] for _ in range(args.batch)
+            ]
+            started = time.perf_counter()
+            plan.forward(batch)
+            ntt_s = time.perf_counter() - started
+            print(
+                f"ntt batch {args.batch} x 2^{args.logn} forward:       "
+                f"{ntt_s * 1e3:8.2f} ms"
+            )
+        for name in (
+            "par.shards.dispatched",
+            "par.shards.completed",
+            "par.retries",
+            "par.fallbacks",
+            "par.workers.restarted",
+        ):
+            metric = session.metrics.get(name)
+            value = metric.value if metric is not None else 0
+            print(f"{name}: {value:g}")
     return 0
 
 
@@ -202,6 +286,18 @@ def build_parser() -> argparse.ArgumentParser:
     sol = sub.add_parser("sol", help="Figure 7 speed-of-light summary")
     sol.add_argument("--vendor", choices=["intel", "amd"], default="amd")
 
+    par = sub.add_parser(
+        "par",
+        help="demo the sharded process-pool engine (engine='parallel')",
+    )
+    par.add_argument(
+        "--workers", type=int, default=None, help="pool size (default: cores)"
+    )
+    par.add_argument("--logn", type=int, default=10)
+    par.add_argument("--batch", type=int, default=8)
+    par.add_argument("--limbs", type=int, default=4)
+    par.add_argument("--seed", type=int, default=0)
+
     exp = sub.add_parser("experiments", help="regenerate EXPERIMENTS.md")
     exp.add_argument("--output", default="EXPERIMENTS.md")
 
@@ -258,6 +354,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "mca": _cmd_mca,
     "sol": _cmd_sol,
+    "par": _cmd_par,
     "experiments": _cmd_experiments,
     "profile": _cmd_profile,
 }

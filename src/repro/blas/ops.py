@@ -28,7 +28,9 @@ class BlasPlan:
 
     With ``engine="fast"`` every operation runs on the NumPy-vectorized
     engine (:mod:`repro.fast`) instead of the ISA simulator — identical
-    results, whole-vector execution (see docs/PERFORMANCE.md).
+    results, whole-vector execution (see docs/PERFORMANCE.md). With
+    ``engine="parallel"`` the element range is additionally sharded
+    across the :mod:`repro.par` worker pool.
     """
 
     def __init__(
@@ -41,12 +43,13 @@ class BlasPlan:
         self.q = q
         self.backend = backend
         self.ctx: ModulusContext = backend.make_modulus(q, algorithm=algorithm)
-        if engine not in ("faithful", "fast"):
+        if engine not in ("faithful", "fast", "parallel"):
             raise ArithmeticDomainError(
-                f"engine must be 'faithful' or 'fast', got {engine!r}"
+                f"engine must be 'faithful', 'fast' or 'parallel', "
+                f"got {engine!r}"
             )
         self.engine = engine
-        if engine == "fast":
+        if engine in ("fast", "parallel"):
             # Deferred import: the faithful path must not require NumPy.
             from repro.fast.blas import FastBlasPlan
 
@@ -55,6 +58,14 @@ class BlasPlan:
             self.fast_plan = FastBlasPlan(q)
         else:
             self.fast_plan = None
+        if engine == "parallel":
+            from repro.par.api import ParBlasPlan
+
+            #: Pool-sharded twin: the flattened element range is split
+            #: across the active ParallelExecutor's workers.
+            self.par_plan = ParBlasPlan(q, plan=self.fast_plan)
+        else:
+            self.par_plan = None
 
     def _check(self, x: Sequence[int], y: Sequence[int]) -> None:
         if len(x) != len(y):
@@ -88,6 +99,9 @@ class BlasPlan:
 
     def vector_add(self, x: Sequence[int], y: Sequence[int]) -> List[int]:
         """Point-wise ``(x + y) mod q``."""
+        if self.par_plan is not None:
+            self._fast_lengths(x, y)
+            return self.par_plan.vector_add(x, y)
         if self.fast_plan is not None:
             self._fast_lengths(x, y)
             return self.fast_plan.vector_add(x, y)
@@ -97,6 +111,9 @@ class BlasPlan:
 
     def vector_sub(self, x: Sequence[int], y: Sequence[int]) -> List[int]:
         """Point-wise ``(x - y) mod q``."""
+        if self.par_plan is not None:
+            self._fast_lengths(x, y)
+            return self.par_plan.vector_sub(x, y)
         if self.fast_plan is not None:
             self._fast_lengths(x, y)
             return self.fast_plan.vector_sub(x, y)
@@ -106,6 +123,9 @@ class BlasPlan:
 
     def vector_mul(self, x: Sequence[int], y: Sequence[int]) -> List[int]:
         """Point-wise ``(x * y) mod q`` (the gemv special case)."""
+        if self.par_plan is not None:
+            self._fast_lengths(x, y)
+            return self.par_plan.vector_mul(x, y)
         if self.fast_plan is not None:
             self._fast_lengths(x, y)
             return self.fast_plan.vector_mul(x, y)
@@ -116,6 +136,9 @@ class BlasPlan:
     def axpy(self, a: int, x: Sequence[int], y: Sequence[int]) -> List[int]:
         """BLAS Level 1 ``axpy``: ``(a * x + y) mod q`` for scalar ``a``."""
         check_reduced(a, self.q, "a")
+        if self.par_plan is not None:
+            self._fast_lengths(x, y)
+            return self.par_plan.axpy(a, x, y)
         if self.fast_plan is not None:
             self._fast_lengths(x, y)
             return self.fast_plan.axpy(a, x, y)

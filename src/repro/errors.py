@@ -53,3 +53,11 @@ class ExperimentError(ReproError):
 
 class ObservabilityError(ReproError):
     """The observability layer was misused (metric type clash, bad export)."""
+
+
+class ParallelExecutionError(ReproError):
+    """The process-pool execution layer was misconfigured or failed hard.
+
+    Raised for invalid pool parameters, use-after-close, and shards that
+    could not be completed even by the in-process fallback.
+    """

@@ -58,7 +58,7 @@ class FastNtt:
                 )
             self.table = table
         else:
-            self.table = TwiddleTable(n, q, root or 0)
+            self.table = TwiddleTable.get(n, q, root or 0)
         self.mod = FastModulus(q)
         bits = n.bit_length() - 1
         self._bitrev = np.array(

@@ -32,7 +32,7 @@ class IfmaNtt:
         root: Optional[int] = None,
         mode: str = "lazy",
     ) -> None:
-        self.table = TwiddleTable(n, q, root or 0)
+        self.table = TwiddleTable.get(n, q, root or 0)
         self.kernel = IfmaKernel(q)
         if n < 2 * LANES:
             raise NttParameterError(

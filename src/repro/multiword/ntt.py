@@ -27,7 +27,7 @@ class MultiWordNtt:
         words: int,
         root: Optional[int] = None,
     ) -> None:
-        self.table = TwiddleTable(n, q, root or 0)
+        self.table = TwiddleTable.get(n, q, root or 0)
         self.ctx = MwModContext(backend, q, words)
         self.kernel = MwKernel(self.ctx)
         if n < 2 * self.ctx.ops.lanes:

@@ -70,7 +70,7 @@ class NegacyclicNtt:
         psi_inv = inv_mod(self.psi, q)
         self._twist = [pow(self.psi, i, q) for i in range(n)]
         self._untwist = [pow(psi_inv, i, q) for i in range(n)]
-        if engine == "fast":
+        if engine in ("fast", "parallel"):
             from repro.fast.ntt import FastNegacyclic
 
             #: Vectorized twin sharing this plan's psi and twiddle table.
@@ -79,6 +79,14 @@ class NegacyclicNtt:
             )
         else:
             self.fast_plan = None
+        if engine == "parallel":
+            from repro.par.api import ParNegacyclic
+
+            #: Pool-sharded wrapper: ``multiply`` on a batch splits the
+            #: rows across the active ParallelExecutor's workers.
+            self.par_plan = ParNegacyclic.from_plan(self.fast_plan)
+        else:
+            self.par_plan = None
 
     def _pointwise(self, values: List[int], table: List[int]) -> List[int]:
         """Point-wise multiply by a precomputed table, on the backend."""
@@ -118,6 +126,8 @@ class NegacyclicNtt:
 
     def multiply(self, f: List[int], g: List[int]) -> List[int]:
         """Negacyclic product: ``f * g mod (x^n + 1, q)``."""
+        if self.par_plan is not None:
+            return self.par_plan.multiply(f, g)
         if self.fast_plan is not None:
             return self.fast_plan.multiply(f, g)
         record_engine_call("faithful", "ntt.polymul", self.n)

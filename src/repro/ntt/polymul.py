@@ -35,7 +35,7 @@ def ntt_polymul(f: List[int], g: List[int], q: int) -> List[int]:
         raise NttParameterError("polynomials must be non-empty")
     out_len = len(f) + len(g) - 1
     size = _padded_size(out_len)
-    table = TwiddleTable(size, q)
+    table = TwiddleTable.get(size, q)
     fa = ntt(f + [0] * (size - len(f)), q, table=table)
     ga = ntt(g + [0] * (size - len(g)), q, table=table)
     prod = [a * b % q for a, b in zip(fa, ga)]

@@ -25,7 +25,7 @@ def ntt(
     n = len(values)
     check_power_of_two(n, "length")
     if table is None:
-        table = TwiddleTable(n, q, root or 0)
+        table = TwiddleTable.get(n, q, root or 0)
     for i, value in enumerate(values):
         check_reduced(value, q, f"values[{i}]")
 
@@ -53,7 +53,7 @@ def intt(
     n = len(values)
     check_power_of_two(n, "length")
     if table is None:
-        table = TwiddleTable(n, q, root or 0)
+        table = TwiddleTable.get(n, q, root or 0)
     for i, value in enumerate(values):
         check_reduced(value, q, f"values[{i}]")
 

@@ -18,7 +18,7 @@ def naive_ntt(values: List[int], q: int, root: Optional[int] = None) -> List[int
     """Equation 11: ``y_k = sum_j x_j * w^(jk) mod q`` by direct evaluation."""
     n = len(values)
     check_power_of_two(n, "length")
-    table = TwiddleTable(n, q, root or 0)
+    table = TwiddleTable.get(n, q, root or 0)
     for i, value in enumerate(values):
         check_reduced(value, q, f"values[{i}]")
     return [
@@ -31,7 +31,7 @@ def naive_intt(values: List[int], q: int, root: Optional[int] = None) -> List[in
     """Inverse of :func:`naive_ntt`: ``x_j = n^-1 sum_k y_k w^(-jk) mod q``."""
     n = len(values)
     check_power_of_two(n, "length")
-    table = TwiddleTable(n, q, root or 0)
+    table = TwiddleTable.get(n, q, root or 0)
     n_inv = table.n_inverse
     return [
         n_inv

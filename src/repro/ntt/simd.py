@@ -23,11 +23,13 @@ from repro.ntt.twiddles import TwiddleTable, bit_reverse_permutation
 from repro.obs.hooks import record_engine_call
 from repro.util.checks import check_reduced
 
-#: The two execution engines a transform can run on (see
+#: The execution engines a transform can run on (see
 #: docs/PERFORMANCE.md): ``"faithful"`` simulates the configured ISA
 #: backend instruction by instruction (traceable, estimable);
-#: ``"fast"`` computes the identical results on whole NumPy vectors.
-ENGINES = ("faithful", "fast")
+#: ``"fast"`` computes the identical results on whole NumPy vectors;
+#: ``"parallel"`` shards batched fast-engine work across the
+#: :mod:`repro.par` worker pool (still bit-identical).
+ENGINES = ("faithful", "fast", "parallel")
 
 
 class SimdNtt:
@@ -41,9 +43,11 @@ class SimdNtt:
             multiplications (Section 5.5's sensitivity knob).
         root: Optional explicit primitive ``n``-th root of unity.
         engine: ``"faithful"`` (default — every transform runs through
-            the ISA simulator, so it can be traced and estimated) or
+            the ISA simulator, so it can be traced and estimated),
             ``"fast"`` (bit-identical results computed on the
-            NumPy-vectorized engine, for when only the values matter).
+            NumPy-vectorized engine, for when only the values matter) or
+            ``"parallel"`` (fast-engine results with batched rows
+            sharded across the :mod:`repro.par` worker pool).
     """
 
     def __init__(
@@ -56,7 +60,7 @@ class SimdNtt:
         twiddle_mode: str = "barrett",
         engine: str = "faithful",
     ) -> None:
-        self.table = TwiddleTable(n, q, root or 0)
+        self.table = TwiddleTable.get(n, q, root or 0)
         self.backend = backend
         if n < 2 * backend.lanes:
             raise NttParameterError(
@@ -79,7 +83,7 @@ class SimdNtt:
         self.engine = engine
         self.ctx: ModulusContext = backend.make_modulus(q, algorithm=algorithm)
         self._shoup_cache: dict = {}
-        if engine == "fast":
+        if engine in ("fast", "parallel"):
             # Deferred import: the faithful path must not require NumPy.
             from repro.fast.ntt import FastNtt
 
@@ -88,6 +92,14 @@ class SimdNtt:
             self.fast_plan = FastNtt(n, q, table=self.table)
         else:
             self.fast_plan = None
+        if engine == "parallel":
+            from repro.par.api import ParNtt
+
+            #: Pool-sharded wrapper around the fast plan (batched rows
+            #: are split across the default ParallelExecutor's workers).
+            self.par_plan = ParNtt.from_plan(self.fast_plan)
+        else:
+            self.par_plan = None
 
     @property
     def n(self) -> int:
@@ -106,6 +118,8 @@ class SimdNtt:
 
     def forward(self, values: List[int], natural_order: bool = True) -> List[int]:
         """Forward NTT (bit-reversed raw output unless ``natural_order``)."""
+        if self.par_plan is not None:
+            return self.par_plan.forward(values, natural_order=natural_order)
         if self.fast_plan is not None:
             return self.fast_plan.forward(values, natural_order=natural_order)
         record_engine_call("faithful", "ntt.forward", self.n)
@@ -118,6 +132,8 @@ class SimdNtt:
         With ``natural_order=False`` the input is expected in the
         bit-reversed order :meth:`forward` produces raw.
         """
+        if self.par_plan is not None:
+            return self.par_plan.inverse(values, natural_order=natural_order)
         if self.fast_plan is not None:
             return self.fast_plan.inverse(values, natural_order=natural_order)
         record_engine_call("faithful", "ntt.inverse", self.n)

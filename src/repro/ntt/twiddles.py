@@ -7,13 +7,22 @@ twiddle vectors from these tables inside the transform loop.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.arith.modular import inv_mod, pow_mod
 from repro.arith.primes import root_of_unity
 from repro.errors import NttParameterError
 from repro.util.checks import check_power_of_two
+
+#: Process-wide memoized tables, keyed by ``(n, q, root)`` with ``root=0``
+#: meaning "found automatically". Tables are immutable after construction
+#: (the per-stage caches only ever append), so sharing one instance across
+#: every plan in the process is safe — and saves the root search plus the
+#: O(n) power-table build at every construction site.
+_TABLE_CACHE: Dict[Tuple[int, int, int], "TwiddleTable"] = {}
+_TABLE_LOCK = threading.Lock()
 
 
 def bit_reverse(index: int, bits: int) -> int:
@@ -79,6 +88,39 @@ class TwiddleTable:
             self._inv_powers.append(inv_power)
             power = power * self.root % self.q
             inv_power = inv_power * inv_root % self.q
+
+    @classmethod
+    def get(cls, n: int, q: int, root: int = 0) -> "TwiddleTable":
+        """The process-wide memoized table for ``(n, q, root)``.
+
+        Every NTT wrapper in the library constructs its table through
+        this cache, so ten plans over the same ``(n, q)`` pair share one
+        root search and one power table instead of recomputing them.
+        A table built with ``root=0`` is additionally cached under the
+        root it resolved to, so a later explicit request for that root
+        hits the same instance.
+        """
+        key = (n, q, root or 0)
+        with _TABLE_LOCK:
+            table = _TABLE_CACHE.get(key)
+        if table is None:
+            table = cls(n, q, root or 0)
+            with _TABLE_LOCK:
+                table = _TABLE_CACHE.setdefault(key, table)
+                _TABLE_CACHE.setdefault((n, q, table.root), table)
+        return table
+
+    @classmethod
+    def clear_cache(cls) -> None:
+        """Drop all memoized tables (tests, long-lived processes)."""
+        with _TABLE_LOCK:
+            _TABLE_CACHE.clear()
+
+    @classmethod
+    def cache_size(cls) -> int:
+        """Number of cached table entries (aliases included)."""
+        with _TABLE_LOCK:
+            return len(_TABLE_CACHE)
 
     @property
     def stages(self) -> int:

@@ -64,7 +64,8 @@ def record_schedule(result) -> None:
 def record_engine_call(engine: str, op: str, elements: int) -> None:
     """Count one execution-engine entry point call and its element volume.
 
-    ``engine`` is ``"fast"`` (the NumPy-vectorized engine) or
+    ``engine`` is ``"fast"`` (the NumPy-vectorized engine),
+    ``"parallel"`` (the sharded process pool of :mod:`repro.par`) or
     ``"faithful"`` (the ISA-simulated backends); ``op`` is a dotted
     operation name (``"ntt.forward"``, ``"blas.vector_mul"``, ...). The
     pair of counters — calls and elements processed — is what lets a
@@ -77,6 +78,48 @@ def record_engine_call(engine: str, op: str, elements: int) -> None:
     m = session.metrics
     m.counter(f"engine.{engine}.calls.{op}").inc()
     m.counter(f"engine.{engine}.elements.{op}").inc(elements)
+
+
+def record_par_dispatch(shards: int) -> None:
+    """Count shards handed to the worker pool for one parallel batch."""
+    session = current()
+    if session is None:
+        return
+    session.metrics.counter("par.shards.dispatched").inc(shards)
+
+
+def record_par_shard_done(wall_s: float) -> None:
+    """Account one shard completed by a worker (count + wall-clock)."""
+    session = current()
+    if session is None:
+        return
+    m = session.metrics
+    m.counter("par.shards.completed").inc()
+    m.histogram("par.shard.wall_s").observe(wall_s)
+
+
+def record_par_retry() -> None:
+    """Count one shard re-enqueued after a worker crash or hang."""
+    session = current()
+    if session is None:
+        return
+    session.metrics.counter("par.retries").inc()
+
+
+def record_par_fallback() -> None:
+    """Count one shard degraded to in-process execution after retries."""
+    session = current()
+    if session is None:
+        return
+    session.metrics.counter("par.fallbacks").inc()
+
+
+def record_par_worker_restart() -> None:
+    """Count one replacement worker spawned after a crash or kill."""
+    session = current()
+    if session is None:
+        return
+    session.metrics.counter("par.workers.restarted").inc()
 
 
 def record_cache_access(level: str) -> None:

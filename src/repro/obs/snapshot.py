@@ -55,12 +55,12 @@ class SnapshotDiff:
         for key, old, new in sorted(self.regressions):
             lines.append(
                 f"REGRESSION  {key}: {old:.6g} -> {new:.6g} "
-                f"({(new / old - 1) * 100:+.1f}%)"
+                f"({_relative_pct(old, new)})"
             )
         for key, old, new in sorted(self.improvements):
             lines.append(
                 f"improved    {key}: {old:.6g} -> {new:.6g} "
-                f"({(new / old - 1) * 100:+.1f}%)"
+                f"({_relative_pct(old, new)})"
             )
         for key in sorted(self.added):
             lines.append(f"new key     {key}")
@@ -72,6 +72,17 @@ class SnapshotDiff:
             f"{len(self.improvements)} improvements"
         )
         return "\n".join(lines)
+
+
+def _relative_pct(old: float, new: float) -> str:
+    """``new`` vs ``old`` as a signed percentage, or ``n/a``.
+
+    A zero (or negative) baseline admits no ratio — a freshly appearing
+    cost can be flagged as a regression but not quantified relatively.
+    """
+    if old <= 0:
+        return "n/a"
+    return f"{(new / old - 1) * 100:+.1f}%"
 
 
 def diff_values(
@@ -88,8 +99,12 @@ def diff_values(
             diff.added.append(key)
             continue
         before, after = float(old[key]), float(new[key])
-        if before <= 0:
-            # Cannot form a ratio against a zero/negative baseline.
+        if before == 0.0 and after > 0.0:
+            # Under lower-is-better, a cost appearing where none existed
+            # is a regression even though no ratio can be formed.
+            diff.regressions.append((key, before, after))
+        elif before <= 0:
+            # A negative baseline (or zero -> zero) admits no verdict.
             diff.unchanged += 1
         elif after > before * (1.0 + threshold):
             diff.regressions.append((key, before, after))

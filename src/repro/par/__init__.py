@@ -1,0 +1,40 @@
+"""repro.par: sharded multi-process execution of batched kernels.
+
+The third execution engine (after ``"faithful"`` and ``"fast"``): batched
+``(batch, n)`` workloads — RNS residue channels, NTT batches, the four
+BLAS operations — are cut into contiguous shards and executed by a
+persistent pool of worker processes. Limb arrays travel through POSIX
+shared memory, per-worker plan/twiddle caches stay warm across calls,
+and a crashed or hung worker is retried once before the affected shard
+degrades gracefully to in-process execution.
+
+Select it with ``engine="parallel"`` on :class:`~repro.rns.poly.RnsPolynomialRing`,
+:class:`~repro.blas.ops.BlasPlan`, :class:`~repro.ntt.simd.SimdNtt` or
+:class:`~repro.ntt.negacyclic.NegacyclicNtt`, optionally scoping the
+pool with ``with ParallelExecutor(workers=...) :``. See
+docs/PERFORMANCE.md ("Parallel execution").
+"""
+
+from repro.par.api import (
+    ParBlasPlan,
+    ParNegacyclic,
+    ParNtt,
+    parallel_rns_mul,
+    shard_bounds,
+)
+from repro.par.executor import (
+    ParallelExecutor,
+    default_executor,
+    shutdown_default_executor,
+)
+
+__all__ = [
+    "ParBlasPlan",
+    "ParNegacyclic",
+    "ParNtt",
+    "ParallelExecutor",
+    "default_executor",
+    "parallel_rns_mul",
+    "shard_bounds",
+    "shutdown_default_executor",
+]

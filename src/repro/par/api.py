@@ -1,0 +1,413 @@
+"""User-facing parallel plans: the fast-engine API, sharded over workers.
+
+:class:`ParNtt`, :class:`ParNegacyclic` and :class:`ParBlasPlan` mirror
+their :mod:`repro.fast` twins — same coercion, same validation, same
+bit-exact results — but execute through a
+:class:`~repro.par.executor.ParallelExecutor`: the batched input is
+staged into shared memory, split into contiguous shards (whole rows for
+transforms, element ranges for BLAS), and each shard is computed by a
+pool worker whose plan and twiddle caches stay warm across calls.
+
+Two axes of parallelism are exposed:
+
+* **batch sharding** — a ``(batch, n)`` stack of transforms or a long
+  BLAS vector is cut into ``workers`` contiguous pieces;
+* **residue-channel fan-out** — :func:`parallel_rns_mul` dispatches the
+  per-prime convolutions of one RNS ring multiplication as independent
+  shards of a single batch (this is the paper's observation that RNS
+  limbs are embarrassingly parallel, applied at the process level).
+
+Plans accept an explicit executor; otherwise they dispatch to the
+process default (see :func:`~repro.par.executor.default_executor`),
+which a ``with ParallelExecutor(...)`` block temporarily replaces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fast.blas import FastBlasPlan, IntMatrix
+from repro.fast.limbs import limbs_from_ints, limbs_to_ints
+from repro.fast.ntt import FastNegacyclic, FastNtt
+from repro.ntt.twiddles import TwiddleTable
+from repro.obs.hooks import record_engine_call
+from repro.par import shm
+from repro.par.executor import ParallelExecutor, default_executor
+from repro.util.checks import check_reduced
+
+
+def shard_bounds(total: int, shards: int) -> List[Tuple[int, int]]:
+    """Split ``range(total)`` into balanced contiguous ``[start, stop)``.
+
+    At most ``min(shards, total)`` non-empty pieces, sizes differing by
+    at most one — the unit of work handed to each pool worker.
+    """
+    shards = max(1, min(int(shards), int(total)))
+    base, extra = divmod(int(total), shards)
+    bounds = []
+    start = 0
+    for i in range(shards):
+        stop = start + base + (1 if i < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def _run_sharded(
+    executor: Optional[ParallelExecutor],
+    meta: dict,
+    axis_key: str,
+    total: int,
+    inputs: Dict[str, np.ndarray],
+    shape: Sequence[int],
+) -> np.ndarray:
+    """Stage ``inputs`` into shared memory, shard, run, collect the output.
+
+    All input arrays and the output share ``shape``; ``axis_key`` is
+    ``"rows"`` (transforms shard whole batch rows) or ``"elems"`` (BLAS
+    shards the flattened element axis). Segments are always released
+    before returning, even when execution raises.
+    """
+    executor = executor or default_executor()
+    segments = []
+    try:
+        names = {}
+        for key, arr in inputs.items():
+            seg, view = shm.create_segment(shape)
+            view[...] = arr
+            del view
+            segments.append(seg)
+            names[key] = seg.name
+        out_seg, out_view = shm.create_segment(shape)
+        segments.append(out_seg)
+        specs = []
+        for start, stop in shard_bounds(total, executor.workers):
+            spec = dict(meta)
+            spec.update(names)
+            spec["shape"] = list(shape)
+            spec[axis_key] = [start, stop]
+            spec["out"] = out_seg.name
+            specs.append(spec)
+        executor.run(specs)
+        result = np.array(out_view, copy=True)
+        del out_view
+        return result
+    finally:
+        for seg in segments:
+            shm.release_segment(seg)
+
+
+class ParNtt:
+    """A batched NTT whose rows are computed across the worker pool.
+
+    Same contract as :class:`repro.fast.ntt.FastNtt` (bit-exact with the
+    faithful engine); a ``(batch, n)`` input is sharded into contiguous
+    row ranges, one per worker. Flat ``(n,)`` inputs degenerate to a
+    single shard — correct, but all the parallelism lives in the batch.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        q: int,
+        root: Optional[int] = None,
+        table: Optional[TwiddleTable] = None,
+        executor: Optional[ParallelExecutor] = None,
+    ) -> None:
+        self.plan = FastNtt(n, q, root=root, table=table)
+        self.executor = executor
+
+    @classmethod
+    def from_plan(
+        cls, plan: FastNtt, executor: Optional[ParallelExecutor] = None
+    ) -> "ParNtt":
+        """Wrap an existing fast plan (shares its twiddle table)."""
+        self = cls.__new__(cls)
+        self.plan = plan
+        self.executor = executor
+        return self
+
+    @property
+    def n(self) -> int:
+        """Transform size."""
+        return self.plan.n
+
+    @property
+    def q(self) -> int:
+        """Modulus."""
+        return self.plan.q
+
+    def forward(self, values, natural_order: bool = True):
+        """Forward NTT, row-sharded when given ``(batch, n)`` input."""
+        return self._transform(values, "forward", natural_order)
+
+    def inverse(self, values, natural_order: bool = True):
+        """Inverse NTT including the ``1/n`` scaling (row-sharded)."""
+        return self._transform(values, "inverse", natural_order)
+
+    def _transform(self, values, direction: str, natural_order: bool):
+        x, as_ints = self.plan._coerce(values)
+        record_engine_call("parallel", f"ntt.{direction}", x.size // 2)
+        flat = x.ndim == 2
+        batch = x[np.newaxis] if flat else x
+        meta = {
+            "op": "ntt",
+            "n": self.plan.n,
+            "q": self.plan.q,
+            "root": self.plan.table.root,
+            "direction": direction,
+            "natural_order": bool(natural_order),
+        }
+        out = _run_sharded(
+            self.executor, meta, "rows", batch.shape[0], {"x": batch}, batch.shape
+        )
+        if flat:
+            out = out[0]
+        return limbs_to_ints(out) if as_ints else out
+
+    def pointwise_mul(self, f, g):
+        """Element-wise spectral product (in-process: one vector pass)."""
+        return self.plan.pointwise_mul(f, g)
+
+    def cyclic_multiply(self, f, g):
+        """Length-``n`` cyclic convolution, row-sharded over the pool."""
+        fa, as_ints = self.plan._coerce(f)
+        ga, _ = self.plan._coerce(g)
+        record_engine_call("parallel", "ntt.cyclic_mul", fa.size // 2)
+        flat = fa.ndim == 2
+        if flat:
+            fa, ga = fa[np.newaxis], ga[np.newaxis]
+        meta = {
+            "op": "cyclic_mul",
+            "n": self.plan.n,
+            "q": self.plan.q,
+            "root": self.plan.table.root,
+        }
+        out = _run_sharded(
+            self.executor,
+            meta,
+            "rows",
+            fa.shape[0],
+            {"x": fa, "y": ga},
+            fa.shape,
+        )
+        if flat:
+            out = out[0]
+        return limbs_to_ints(out) if as_ints else out
+
+
+class ParNegacyclic:
+    """Negacyclic polynomial multiplication sharded across the pool.
+
+    Mirrors :class:`repro.fast.ntt.FastNegacyclic`; ``multiply`` on a
+    ``(batch, n)`` stack cuts the batch into per-worker row ranges.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        q: int,
+        psi: Optional[int] = None,
+        executor: Optional[ParallelExecutor] = None,
+    ) -> None:
+        self.fast = FastNegacyclic(n, q, psi=psi)
+        self.executor = executor
+
+    @classmethod
+    def from_plan(
+        cls, plan: FastNegacyclic, executor: Optional[ParallelExecutor] = None
+    ) -> "ParNegacyclic":
+        """Wrap an existing fast negacyclic plan (shares psi + twiddles)."""
+        self = cls.__new__(cls)
+        self.fast = plan
+        self.executor = executor
+        return self
+
+    @property
+    def n(self) -> int:
+        """Ring dimension."""
+        return self.fast.n
+
+    @property
+    def q(self) -> int:
+        """Modulus."""
+        return self.fast.q
+
+    @property
+    def psi(self) -> int:
+        """The primitive ``2n``-th root used for twisting."""
+        return self.fast.psi
+
+    def forward(self, values):
+        """Twisted forward transform (in-process on the fast engine)."""
+        return self.fast.forward(values)
+
+    def inverse(self, values):
+        """Inverse of :meth:`forward` (in-process on the fast engine)."""
+        return self.fast.inverse(values)
+
+    def multiply(self, f, g):
+        """Negacyclic product ``f * g mod (x^n + 1, q)``, row-sharded."""
+        fa, as_ints = self.fast.plan._coerce(f)
+        ga, _ = self.fast.plan._coerce(g)
+        record_engine_call("parallel", "ntt.polymul", fa.size // 2)
+        flat = fa.ndim == 2
+        if flat:
+            fa, ga = fa[np.newaxis], ga[np.newaxis]
+        meta = {
+            "op": "negacyclic_mul",
+            "n": self.fast.n,
+            "q": self.fast.q,
+            "psi": self.fast.psi,
+            "root": self.fast.plan.table.root,
+        }
+        out = _run_sharded(
+            self.executor,
+            meta,
+            "rows",
+            fa.shape[0],
+            {"x": fa, "y": ga},
+            fa.shape,
+        )
+        if flat:
+            out = out[0]
+        return limbs_to_ints(out) if as_ints else out
+
+
+class ParBlasPlan:
+    """The four BLAS operations sharded over the element axis.
+
+    Mirrors :class:`repro.fast.blas.FastBlasPlan`: operands are coerced
+    and validated in-process (so errors surface immediately with the
+    fast engine's messages), then the flattened element range is cut
+    into one contiguous piece per worker.
+    """
+
+    def __init__(
+        self,
+        q: int,
+        executor: Optional[ParallelExecutor] = None,
+        plan: Optional[FastBlasPlan] = None,
+    ) -> None:
+        self.q = q
+        self.fast = plan or FastBlasPlan(q)
+        self.executor = executor
+
+    def vector_add(self, x: IntMatrix, y: IntMatrix) -> IntMatrix:
+        """Point-wise ``(x + y) mod q``."""
+        return self._sharded("vector_add", x, y)
+
+    def vector_sub(self, x: IntMatrix, y: IntMatrix) -> IntMatrix:
+        """Point-wise ``(x - y) mod q``."""
+        return self._sharded("vector_sub", x, y)
+
+    def vector_mul(self, x: IntMatrix, y: IntMatrix) -> IntMatrix:
+        """Point-wise ``(x * y) mod q``."""
+        return self._sharded("vector_mul", x, y)
+
+    def axpy(self, a: int, x: IntMatrix, y: IntMatrix) -> IntMatrix:
+        """``(a * x + y) mod q`` for scalar ``a``."""
+        check_reduced(a, self.q, "a")
+        return self._sharded("axpy", x, y, a=a)
+
+    def _sharded(self, blas_op: str, x, y, a: Optional[int] = None):
+        xa, ya, as_ints = self.fast._coerce_pair(x, y)
+        record_engine_call("parallel", f"blas.{blas_op}", xa.size // 2)
+        shape = xa.shape
+        flat_x = np.ascontiguousarray(xa.reshape(-1, 2))
+        flat_y = np.ascontiguousarray(ya.reshape(-1, 2))
+        meta = {"op": "blas", "q": self.q, "blas_op": blas_op}
+        if a is not None:
+            meta["a"] = a
+        out = _run_sharded(
+            self.executor,
+            meta,
+            "elems",
+            flat_x.shape[0],
+            {"x": flat_x, "y": flat_y},
+            flat_x.shape,
+        )
+        out = out.reshape(shape)
+        return limbs_to_ints(out) if as_ints else out
+
+
+def parallel_rns_mul(
+    ring,
+    f_residues: List[List[int]],
+    g_residues: List[List[int]],
+    executor: Optional[ParallelExecutor] = None,
+) -> List[List[int]]:
+    """One RNS ring multiplication with all residue channels fused.
+
+    Packs the ``k`` per-prime residue polynomials of both operands into
+    single ``(k, n, 2)`` shared segments and dispatches ``k`` one-row
+    convolution shards (negacyclic or cyclic, matching the ring) in a
+    single pool batch — every prime's NTTs run concurrently instead of
+    the sequential per-prime loop of the in-process engines.
+
+    ``ring`` is an :class:`repro.rns.poly.RnsPolynomialRing` built with
+    ``engine="parallel"`` (anything exposing the same per-prime plans
+    works). Returns the residue rows as lists of ints.
+    """
+    primes = ring.basis.primes
+    k, n = len(primes), ring.n
+    fa = limbs_from_ints(f_residues)
+    ga = limbs_from_ints(g_residues)
+    # Validate in-process, per prime, so a bad operand fails fast with
+    # the fast engine's error instead of a retried worker failure.
+    for i, q in enumerate(primes):
+        plan = ring._ntt[q]
+        fast_ntt = plan.fast_plan.plan if ring.negacyclic else plan.fast_plan
+        fast_ntt.mod.check_reduced(fa[i])
+        fast_ntt.mod.check_reduced(ga[i])
+    record_engine_call("parallel", "rns.mul", k * n)
+    executor = executor or default_executor()
+    shape = (k, n, 2)
+    segments = []
+    try:
+        x_seg, x_view = shm.create_segment(shape)
+        x_view[...] = fa
+        del x_view
+        segments.append(x_seg)
+        y_seg, y_view = shm.create_segment(shape)
+        y_view[...] = ga
+        del y_view
+        segments.append(y_seg)
+        out_seg, out_view = shm.create_segment(shape)
+        segments.append(out_seg)
+        specs = []
+        for i, q in enumerate(primes):
+            plan = ring._ntt[q]
+            if ring.negacyclic:
+                neg = plan.fast_plan
+                spec = {
+                    "op": "negacyclic_mul",
+                    "n": n,
+                    "q": q,
+                    "psi": neg.psi,
+                    "root": neg.plan.table.root,
+                }
+            else:
+                spec = {
+                    "op": "cyclic_mul",
+                    "n": n,
+                    "q": q,
+                    "root": plan.fast_plan.table.root,
+                }
+            spec.update(
+                x=x_seg.name,
+                y=y_seg.name,
+                out=out_seg.name,
+                shape=list(shape),
+                rows=[i, i + 1],
+            )
+            specs.append(spec)
+        executor.run(specs)
+        out = np.array(out_view, copy=True)
+        del out_view
+    finally:
+        for seg in segments:
+            shm.release_segment(seg)
+    return [limbs_to_ints(out[i]) for i in range(k)]

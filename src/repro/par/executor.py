@@ -1,0 +1,347 @@
+"""The persistent, fault-tolerant worker pool behind ``engine="parallel"``.
+
+:class:`ParallelExecutor` owns N long-lived worker processes (forked
+when available, so they inherit the loaded library), a task queue of
+small shard specs, and a result queue. Shard payloads travel through
+shared memory (:mod:`repro.par.shm`); the queues carry only metadata.
+
+Fault tolerance
+---------------
+
+Each worker advertises the task it is currently executing in a shared
+``current`` array — a direct memory write that, unlike a queue message,
+cannot be lost in a buffered feeder thread when the worker dies. The
+coordinator's event loop therefore knows exactly which shard a crashed
+or killed worker was holding:
+
+* a **crashed** worker (process exited) is replaced and its in-flight
+  shard is re-enqueued, up to ``retries`` times;
+* a **hung** worker (shard in flight longer than ``task_timeout``) is
+  terminated, which turns it into the crashed case;
+* a shard that exhausts its retry budget **degrades gracefully**: the
+  coordinator runs it in-process via the same
+  :func:`~repro.par.worker.execute_spec` code path, so the batch still
+  completes with correct results.
+
+Every decision is mirrored to ``par.*`` observability counters
+(``par.shards.dispatched``, ``par.retries``, ``par.fallbacks``,
+``par.workers.restarted``, the ``par.shard.wall_s`` histogram) and the
+whole batch runs under a ``par.run`` span.
+
+Entering the executor as a context manager installs it as the process
+default, so ``engine="parallel"`` plans created inside the ``with``
+block dispatch to it::
+
+    with ParallelExecutor(workers=8) as pool:
+        ring = RnsPolynomialRing(n, basis, backend, engine="parallel")
+        product = ring.mul(f, g)   # residue channels sharded across 8 workers
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import queue as queue_mod
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ParallelExecutionError
+from repro.obs.hooks import (
+    record_par_dispatch,
+    record_par_fallback,
+    record_par_retry,
+    record_par_shard_done,
+    record_par_worker_restart,
+)
+from repro.obs.spans import span
+from repro.par.worker import execute_spec, worker_main
+
+#: Seconds between event-loop polls of the result queue.
+_POLL_S = 0.02
+
+#: ``current``-array value meaning "no task in flight".
+_IDLE = -1
+
+
+def _pool_context():
+    """Fork where available (workers inherit the loaded library)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+class ParallelExecutor:
+    """A persistent pool of fast-engine workers with crash recovery.
+
+    Args:
+        workers: Pool size; defaults to ``os.cpu_count()``.
+        task_timeout: Seconds a single shard may run in a worker before
+            that worker is declared hung and terminated.
+        retries: Times a failed shard is re-enqueued before degrading
+            to in-process execution.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        task_timeout: float = 60.0,
+        retries: int = 1,
+    ) -> None:
+        self.workers = int(workers) if workers else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ParallelExecutionError("worker pool needs >= 1 worker")
+        if task_timeout <= 0:
+            raise ParallelExecutionError("task_timeout must be positive")
+        if retries < 0:
+            raise ParallelExecutionError("retries must be non-negative")
+        self.task_timeout = float(task_timeout)
+        self.retries = int(retries)
+        #: Lifetime tallies, mirrored to ``par.*`` metrics when a
+        #: session is active: dispatched/completed/retries/fallbacks/restarts.
+        self.stats: Dict[str, int] = {
+            "dispatched": 0,
+            "completed": 0,
+            "retries": 0,
+            "fallbacks": 0,
+            "restarts": 0,
+        }
+        self._ctx = _pool_context()
+        self._procs: List[multiprocessing.Process] = []
+        self._tasks = None
+        self._results = None
+        self._current = None
+        self._started = False
+        self._closed = False
+        self._next_id = 0
+        self._inject_crashes = 0
+        self._previous_default: Optional["ParallelExecutor"] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live workers (introspection/tests)."""
+        return [p.pid for p in self._procs if p.is_alive()]
+
+    def start(self) -> "ParallelExecutor":
+        """Spawn the pool (idempotent; ``run`` calls this lazily)."""
+        if self._closed:
+            raise ParallelExecutionError("executor is closed")
+        if self._started:
+            return self
+        self._tasks = self._ctx.Queue()
+        self._results = self._ctx.Queue()
+        self._current = self._ctx.Array("q", [_IDLE] * self.workers)
+        self._procs = [self._spawn(slot) for slot in range(self.workers)]
+        self._started = True
+        return self
+
+    def _spawn(self, slot: int) -> multiprocessing.Process:
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(slot, self._current, self._tasks, self._results),
+            daemon=True,
+            name=f"repro-par-worker-{slot}",
+        )
+        proc.start()
+        return proc
+
+    def close(self) -> None:
+        """Stop the workers and release the queues (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._started:
+            return
+        for _ in self._procs:
+            try:
+                self._tasks.put(None)
+            except (OSError, ValueError):
+                break
+        deadline = time.monotonic() + 2.0
+        for proc in self._procs:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for q in (self._tasks, self._results):
+            try:
+                q.cancel_join_thread()
+                q.close()
+            except (OSError, ValueError):
+                pass
+        self._procs = []
+
+    def __enter__(self) -> "ParallelExecutor":
+        self.start()
+        self._previous_default = _swap_default(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _swap_default(self._previous_default)
+        self._previous_default = None
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Fault injection (tests)
+    # ------------------------------------------------------------------
+
+    def inject_crash(self, shards: int = 1) -> None:
+        """Mark the next ``shards`` dispatched shard specs to kill their
+        worker mid-task (every attempt crashes; only the in-process
+        fallback, which ignores the flag, can complete them)."""
+        self._inject_crashes += int(shards)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, specs: Sequence[dict]) -> None:
+        """Execute all shard specs; returns once every shard completed.
+
+        Results land in the shared-memory segments the specs name; this
+        method only coordinates. Raises only for executor misuse or for
+        errors that persist through the in-process fallback (e.g. a
+        genuinely invalid operand).
+        """
+        if self._closed:
+            raise ParallelExecutionError("executor is closed")
+        specs = [dict(spec) for spec in specs]
+        if not specs:
+            return
+        self.start()
+        for spec in specs:
+            if self._inject_crashes > 0:
+                spec["crash"] = True
+                self._inject_crashes -= 1
+        self.stats["dispatched"] += len(specs)
+        record_par_dispatch(len(specs))
+        with span("par.run", shards=len(specs)):
+            self._event_loop(specs)
+
+    def _event_loop(self, specs: List[dict]) -> None:
+        pending: Dict[int, dict] = {}
+        attempts: Dict[int, int] = {}
+        for spec in specs:
+            task_id = self._next_id
+            self._next_id += 1
+            pending[task_id] = spec
+            attempts[task_id] = 0
+            self._tasks.put((task_id, spec))
+
+        claimed_at: Dict[Tuple[int, int], float] = {}
+        last_progress = time.monotonic()
+
+        def clear_claims(task_id: int) -> None:
+            for key in [k for k in claimed_at if k[1] == task_id]:
+                del claimed_at[key]
+
+        def fail(task_id: int) -> None:
+            if task_id not in pending:
+                return
+            clear_claims(task_id)
+            attempts[task_id] += 1
+            if attempts[task_id] <= self.retries:
+                self.stats["retries"] += 1
+                record_par_retry()
+                self._tasks.put((task_id, pending[task_id]))
+            else:
+                spec = pending.pop(task_id)
+                self.stats["fallbacks"] += 1
+                record_par_fallback()
+                execute_spec(spec, in_worker=False)
+                self.stats["completed"] += 1
+
+        while pending:
+            try:
+                message = self._results.get(timeout=_POLL_S)
+            except queue_mod.Empty:
+                message = None
+            now = time.monotonic()
+
+            if message is not None:
+                kind, task_id = message[0], message[1]
+                last_progress = now
+                if kind == "done":
+                    if task_id in pending:
+                        del pending[task_id]
+                        clear_claims(task_id)
+                        self.stats["completed"] += 1
+                        record_par_shard_done(message[3])
+                elif kind == "error":
+                    fail(task_id)
+                continue
+
+            # No message: police the pool.
+            for slot, proc in enumerate(self._procs):
+                in_flight = self._current[slot]
+                if proc.is_alive():
+                    if in_flight != _IDLE and in_flight in pending:
+                        key = (slot, in_flight)
+                        if key not in claimed_at:
+                            claimed_at[key] = now
+                            last_progress = now
+                        elif now - claimed_at[key] > self.task_timeout:
+                            proc.terminate()  # hung: reaped as dead below
+                    continue
+                # Dead worker: replace it, recover its in-flight shard.
+                self._current[slot] = _IDLE
+                self._procs[slot] = self._spawn(slot)
+                self.stats["restarts"] += 1
+                record_par_worker_restart()
+                last_progress = now
+                if in_flight != _IDLE:
+                    fail(in_flight)
+
+            # Safety net: a worker that died between dequeuing a task
+            # and advertising it leaves the shard in limbo. After a
+            # quiet task_timeout, re-enqueue everything unclaimed.
+            if now - last_progress > self.task_timeout:
+                advertised = {self._current[s] for s in range(self.workers)}
+                for task_id in list(pending):
+                    if task_id not in advertised:
+                        fail(task_id)
+                last_progress = now
+
+
+# ---------------------------------------------------------------------------
+# Process-default executor (what engine="parallel" plans dispatch to)
+# ---------------------------------------------------------------------------
+
+_DEFAULT: Optional[ParallelExecutor] = None
+
+
+def _swap_default(executor: Optional[ParallelExecutor]) -> Optional[ParallelExecutor]:
+    global _DEFAULT
+    previous, _DEFAULT = _DEFAULT, executor
+    return previous
+
+
+def default_executor() -> ParallelExecutor:
+    """The process-default pool, created (not started) on first use."""
+    global _DEFAULT
+    if _DEFAULT is None or _DEFAULT.closed:
+        _DEFAULT = ParallelExecutor()
+    return _DEFAULT
+
+
+def shutdown_default_executor() -> None:
+    """Close the process-default pool, if any."""
+    previous = _swap_default(None)
+    if previous is not None:
+        previous.close()
+
+
+atexit.register(shutdown_default_executor)

@@ -1,0 +1,192 @@
+"""Worker-side execution of sharded fast-engine tasks.
+
+A worker is a long-lived process pulling task *specs* — small picklable
+dicts naming an operation, its modular parameters, shared-memory segment
+names, and the shard (row or element range) to compute — off a queue.
+All heavy data stays in shared memory; the worker maps it, runs the
+NumPy fast engine on its slice, and writes the result rows in place.
+
+Per-worker caches keep :class:`~repro.fast.ntt.FastNtt` /
+:class:`~repro.fast.ntt.FastNegacyclic` / :class:`~repro.fast.blas.FastBlasPlan`
+plans (and, through :meth:`repro.ntt.twiddles.TwiddleTable.get`, their
+twiddle tables) warm across calls, so a pool that serves a stream of
+batches pays root-finding and table construction once per worker, not
+once per shard.
+
+:func:`execute_spec` is deliberately runnable in-process too
+(``in_worker=False``): it is the graceful-degradation path the executor
+falls back to when a shard's worker crashed or hung past its retry
+budget. The test-only ``crash`` flag only fires inside a real worker,
+which is what lets crash-injection tests assert retry-then-fallback
+while still receiving correct results.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ParallelExecutionError
+from repro.fast.blas import FastBlasPlan
+from repro.fast.ntt import FastNegacyclic, FastNtt
+from repro.ntt.twiddles import TwiddleTable
+from repro.par import shm
+
+#: Exit code of a crash-injected worker (distinguishable in waitpid).
+CRASH_EXIT_CODE = 86
+
+_NTT_PLANS: Dict[Tuple[int, int, int], FastNtt] = {}
+_NEG_PLANS: Dict[Tuple[int, int, int, int], FastNegacyclic] = {}
+_BLAS_PLANS: Dict[int, FastBlasPlan] = {}
+
+
+def ntt_plan(n: int, q: int, root: int) -> FastNtt:
+    """The per-process cached fast NTT plan for ``(n, q, root)``."""
+    key = (n, q, root)
+    plan = _NTT_PLANS.get(key)
+    if plan is None:
+        plan = FastNtt(n, q, table=TwiddleTable.get(n, q, root))
+        _NTT_PLANS[key] = plan
+    return plan
+
+
+def negacyclic_plan(n: int, q: int, psi: int, root: int) -> FastNegacyclic:
+    """The per-process cached negacyclic plan for ``(n, q, psi, root)``."""
+    key = (n, q, psi, root)
+    plan = _NEG_PLANS.get(key)
+    if plan is None:
+        plan = FastNegacyclic(n, q, psi=psi, plan=ntt_plan(n, q, root))
+        _NEG_PLANS[key] = plan
+    return plan
+
+
+def blas_plan(q: int) -> FastBlasPlan:
+    """The per-process cached fast BLAS plan for modulus ``q``."""
+    plan = _BLAS_PLANS.get(q)
+    if plan is None:
+        plan = FastBlasPlan(q)
+        _BLAS_PLANS[q] = plan
+    return plan
+
+
+def plan_cache_sizes() -> Dict[str, int]:
+    """Sizes of the per-process plan caches (introspection for tests)."""
+    return {
+        "ntt": len(_NTT_PLANS),
+        "negacyclic": len(_NEG_PLANS),
+        "blas": len(_BLAS_PLANS),
+    }
+
+
+def _slice(view: np.ndarray, bounds) -> np.ndarray:
+    start, stop = bounds
+    # Copy out of the shared buffer: the fast engine allocates fresh
+    # outputs anyway, and a copy lets the segment unmap immediately.
+    return np.array(view[start:stop], copy=True)
+
+
+def execute_spec(spec: dict, in_worker: bool = False) -> None:
+    """Compute one shard described by ``spec``, writing into its segment.
+
+    Idempotent by construction (each shard owns a disjoint output
+    range), so a shard that is retried — or executed both by a dying
+    worker and by the fallback — converges to the same bytes.
+    """
+    if spec.get("crash") and in_worker:
+        os._exit(CRASH_EXIT_CODE)  # fault injection: die mid-task
+
+    op = spec["op"]
+    segments = []
+    try:
+        def view_of(key: str) -> np.ndarray:
+            seg = shm.attach_segment(spec[key])
+            segments.append(seg)
+            return shm.segment_view(seg, spec["shape"])
+
+        if op == "ntt":
+            plan = ntt_plan(spec["n"], spec["q"], spec["root"])
+            data = _slice(view_of("x"), spec["rows"])
+            if spec["direction"] == "forward":
+                result = plan.forward(data, natural_order=spec["natural_order"])
+            else:
+                result = plan.inverse(data, natural_order=spec["natural_order"])
+        elif op == "negacyclic_mul":
+            plan = negacyclic_plan(
+                spec["n"], spec["q"], spec["psi"], spec["root"]
+            )
+            f = _slice(view_of("x"), spec["rows"])
+            g = _slice(view_of("y"), spec["rows"])
+            result = plan.multiply(f, g)
+        elif op == "cyclic_mul":
+            plan = ntt_plan(spec["n"], spec["q"], spec["root"])
+            f = _slice(view_of("x"), spec["rows"])
+            g = _slice(view_of("y"), spec["rows"])
+            result = plan.cyclic_multiply(f, g)
+        elif op == "blas":
+            plan = blas_plan(spec["q"])
+            x = _slice(view_of("x"), spec["elems"])
+            y = _slice(view_of("y"), spec["elems"])
+            blas_op = spec["blas_op"]
+            if blas_op == "axpy":
+                result = plan.axpy(spec["a"], x, y)
+            else:
+                result = getattr(plan, blas_op)(x, y)
+        else:
+            raise ParallelExecutionError(f"unknown parallel op {op!r}")
+
+        out_seg = shm.attach_segment(spec["out"])
+        segments.append(out_seg)
+        out_view = shm.segment_view(out_seg, spec["shape"])
+        bounds = spec["rows"] if "rows" in spec else spec["elems"]
+        out_view[bounds[0] : bounds[1]] = result
+        del out_view
+    finally:
+        for seg in segments:
+            shm.detach_segment(seg)
+
+
+def worker_main(slot: int, current, task_queue, result_queue) -> None:
+    """Worker process entry: serve task specs until the ``None`` sentinel.
+
+    Before computing, the worker advertises the task id in
+    ``current[slot]`` — a shared array owned by the executor. Unlike a
+    queue message (buffered through a feeder thread that dies with the
+    process), this direct write survives a crash, so the executor can
+    always attribute in-flight work to a dead worker. Completion is
+    reported on ``result_queue`` as ``("done", task_id, slot, wall_s)``
+    or, when the spec itself raised (bad operands, unknown op),
+    ``("error", task_id, slot, message)``.
+    """
+    while True:
+        try:
+            item = task_queue.get()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if item is None:
+            return
+        task_id, spec = item
+        current[slot] = task_id
+        started = time.perf_counter()
+        try:
+            execute_spec(spec, in_worker=True)
+        except KeyboardInterrupt:
+            return
+        except BaseException as exc:  # report, never kill the worker
+            result_queue.put(
+                ("error", task_id, slot, f"{type(exc).__name__}: {exc}")
+            )
+        else:
+            result_queue.put(
+                ("done", task_id, slot, time.perf_counter() - started)
+            )
+        current[slot] = -1
+
+
+def reset_plan_caches() -> None:
+    """Drop the per-process plan caches (tests)."""
+    _NTT_PLANS.clear()
+    _NEG_PLANS.clear()
+    _BLAS_PLANS.clear()

@@ -56,9 +56,12 @@ class RnsPolynomialRing:
         backend: Kernel backend shared by all per-prime pipelines.
         negacyclic: ``True`` for the RLWE ring ``x^n + 1`` (default),
             ``False`` for the cyclic ring ``x^n - 1``.
-        engine: ``"faithful"`` (ISA-simulated, traceable) or ``"fast"``
-            (NumPy-vectorized, bit-identical results) for every
-            per-prime BLAS and NTT pipeline (see docs/PERFORMANCE.md).
+        engine: ``"faithful"`` (ISA-simulated, traceable), ``"fast"``
+            (NumPy-vectorized, bit-identical results) or ``"parallel"``
+            (fast-engine residue channels sharded across the
+            :mod:`repro.par` worker pool — ``mul`` dispatches all
+            primes as one fused batch) for every per-prime BLAS and
+            NTT pipeline (see docs/PERFORMANCE.md).
     """
 
     def __init__(
@@ -165,9 +168,17 @@ class RnsPolynomialRing:
 
         Negacyclic rings multiply directly at dimension ``n`` (via the
         psi-twisted transform); cyclic rings compute the length-``n``
-        cyclic convolution.
+        cyclic convolution. With ``engine="parallel"`` all residue
+        channels are dispatched to the worker pool as one fused batch
+        instead of this sequential per-prime loop.
         """
         self._check_membership(f, g)
+        if self.engine == "parallel":
+            from repro.par.api import parallel_rns_mul
+
+            return RnsPolynomial(
+                self, parallel_rns_mul(self, f.residues, g.residues)
+            )
         residues = []
         for q, fr, gr in zip(self.basis.primes, f.residues, g.residues):
             if self.negacyclic:

@@ -1,8 +1,26 @@
 """Tests for the command-line interface."""
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.__main__ import build_parser, main
+
+_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def _run_cli(*argv):
+    env = dict(os.environ, PYTHONPATH=_SRC)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
 
 
 class TestParser:
@@ -57,6 +75,17 @@ class TestCommands:
         assert main(["sol", "--vendor", "amd"]) == 0
         assert "RPU" in capsys.readouterr().out
 
+    def test_par_demo(self, capsys):
+        code = main(
+            ["par", "--workers", "2", "--logn", "5", "--batch", "3",
+             "--limbs", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pool: 2 workers" in out
+        assert "par.shards.dispatched" in out
+        assert "par.fallbacks: 0" in out
+
     def test_experiments_writes_file(self, tmp_path, capsys):
         output = tmp_path / "EXP.md"
         assert main(["experiments", "--output", str(output)]) == 0
@@ -67,6 +96,52 @@ class TestCommands:
         assert "## Pipeline phase timings" in text
         assert "experiment:figure5a" in text
         assert "trace-capture" in text
+
+
+class TestLookupErrorMessages:
+    """Unknown names exit nonzero with a one-line message, not a traceback."""
+
+    def test_unknown_blas_operation(self):
+        proc = _run_cli(
+            "estimate", "--kernel", "blas", "--operation", "bogus"
+        )
+        assert proc.returncode == 2
+        assert "Traceback" not in proc.stderr
+        assert len(proc.stderr.strip().splitlines()) == 1
+        # The message lists the valid choices.
+        assert "vector_mul" in proc.stderr and "axpy" in proc.stderr
+
+    def test_unknown_blas_operation_baseline_backend(self):
+        proc = _run_cli(
+            "estimate", "--kernel", "blas", "--backend", "gmp",
+            "--operation", "bogus",
+        )
+        assert proc.returncode == 2
+        assert "Traceback" not in proc.stderr
+        assert "vector_add" in proc.stderr
+
+    def test_unknown_backend_rejected_by_parser(self):
+        proc = _run_cli("estimate", "--backend", "nosuch")
+        assert proc.returncode == 2
+        assert "Traceback" not in proc.stderr
+        assert "invalid choice" in proc.stderr
+
+    def test_unknown_cpu_rejected_by_parser(self):
+        proc = _run_cli("estimate", "--cpu", "nosuch")
+        assert proc.returncode == 2
+        assert "Traceback" not in proc.stderr
+        assert "invalid choice" in proc.stderr
+
+    def test_sol_unknown_vendor(self, capsys):
+        # argparse guards the CLI path; the handler itself must also
+        # catch a bad vendor handed to it programmatically.
+        import argparse
+
+        from repro.__main__ import _cmd_sol
+
+        assert _cmd_sol(argparse.Namespace(vendor="arm")) == 2
+        err = capsys.readouterr().err
+        assert "intel" in err and "amd" in err
 
 
 class TestCodegenCommand:

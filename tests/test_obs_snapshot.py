@@ -34,9 +34,25 @@ class TestDiffValues:
         diff = diff_values({"a": 1.0}, {"a": 1.10}, threshold=0.10)
         assert diff.unchanged == 1
 
-    def test_zero_baseline_not_a_ratio(self):
+    def test_zero_to_positive_is_a_regression(self):
+        # 0 -> positive is an appearing cost: flagged even though no
+        # ratio exists against the zero baseline.
         diff = diff_values({"a": 0.0}, {"a": 5.0})
-        assert diff.unchanged == 1
+        assert diff.regressions == [("a", 0.0, 5.0)]
+        assert not diff.ok
+
+    def test_zero_to_zero_and_negative_baseline_unchanged(self):
+        diff = diff_values({"a": 0.0, "b": -1.0}, {"a": 0.0, "b": 5.0})
+        assert diff.unchanged == 2
+        assert diff.ok
+
+    def test_format_does_not_raise_on_zero_baseline(self):
+        # Regression guard: format() used to compute new/old and raise
+        # ZeroDivisionError whenever a recorded value was 0.0.
+        diff = diff_values({"a": 0.0}, {"a": 5.0})
+        text = diff.format()
+        assert "REGRESSION  a" in text
+        assert "n/a" in text
 
     def test_negative_threshold_rejected(self):
         with pytest.raises(ObservabilityError):

@@ -1,0 +1,242 @@
+"""Tests for repro.par: sharded multi-process batch execution.
+
+Covers bit-exactness against the fast engine (including
+hypothesis-sampled 64-124-bit primes), worker-crash injection
+(retry-then-fallback with correct results and ``par.*`` counters),
+executor lifecycle, and shared-memory cleanup on interpreter exit.
+"""
+
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith.primes import find_ntt_prime
+from repro.errors import ArithmeticDomainError, ParallelExecutionError
+from repro.fast.blas import FastBlasPlan
+from repro.fast.ntt import FastNegacyclic, FastNtt
+from repro.kernels import get_backend
+from repro.obs import observing
+from repro.par import (
+    ParallelExecutor,
+    ParBlasPlan,
+    ParNegacyclic,
+    ParNtt,
+    default_executor,
+    parallel_rns_mul,
+    shard_bounds,
+)
+from repro.par import shm
+from repro.rns.basis import RnsBasis
+from repro.rns.poly import RnsPolynomialRing
+
+N = 16
+Q = find_ntt_prime(62, 2 * N)
+
+_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def _vectors(seed, count=4, n=N, q=Q):
+    rng = random.Random(seed)
+    return [[rng.randrange(q) for _ in range(n)] for _ in range(count)]
+
+
+@pytest.fixture(scope="module")
+def pool():
+    executor = ParallelExecutor(workers=2, task_timeout=30.0)
+    executor.start()
+    yield executor
+    executor.close()
+
+
+class TestShardBounds:
+    def test_covers_range_without_overlap(self):
+        bounds = shard_bounds(10, 3)
+        assert bounds == [(0, 4), (4, 7), (7, 10)]
+
+    def test_never_more_shards_than_items(self):
+        assert shard_bounds(2, 8) == [(0, 1), (1, 2)]
+
+    def test_single_item(self):
+        assert shard_bounds(1, 4) == [(0, 1)]
+
+
+class TestBitExactness:
+    def test_ntt_forward_batch(self, pool):
+        batch = _vectors(1)
+        par, fast = ParNtt(N, Q, executor=pool), FastNtt(N, Q)
+        assert par.forward(batch) == fast.forward(batch)
+        assert par.forward(batch, natural_order=False) == fast.forward(
+            batch, natural_order=False
+        )
+
+    def test_ntt_inverse_roundtrip(self, pool):
+        batch = _vectors(2)
+        par = ParNtt(N, Q, executor=pool)
+        assert par.inverse(par.forward(batch)) == batch
+
+    def test_ntt_flat_input(self, pool):
+        vec = _vectors(3, count=1)[0]
+        assert ParNtt(N, Q, executor=pool).forward(vec) == FastNtt(N, Q).forward(vec)
+
+    def test_negacyclic_multiply(self, pool):
+        f, g = _vectors(4), _vectors(5)
+        par, fast = ParNegacyclic(N, Q, executor=pool), FastNegacyclic(N, Q)
+        assert par.multiply(f, g) == fast.multiply(f, g)
+
+    def test_cyclic_multiply(self, pool):
+        f, g = _vectors(6), _vectors(7)
+        par, fast = ParNtt(N, Q, executor=pool), FastNtt(N, Q)
+        assert par.cyclic_multiply(f, g) == fast.cyclic_multiply(f, g)
+
+    def test_blas_operations(self, pool):
+        f, g = _vectors(8), _vectors(9)
+        par, fast = ParBlasPlan(Q, executor=pool), FastBlasPlan(Q)
+        assert par.vector_add(f, g) == fast.vector_add(f, g)
+        assert par.vector_sub(f, g) == fast.vector_sub(f, g)
+        assert par.vector_mul(f, g) == fast.vector_mul(f, g)
+        assert par.axpy(12345, f, g) == fast.axpy(12345, f, g)
+
+    def test_axpy_rejects_unreduced_scalar(self, pool):
+        f, g = _vectors(10), _vectors(11)
+        with pytest.raises(ArithmeticDomainError):
+            ParBlasPlan(Q, executor=pool).axpy(Q, f, g)
+
+    @settings(deadline=None, max_examples=8)
+    @given(
+        bits=st.integers(min_value=64, max_value=124),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_wide_primes_match_fast(self, pool, bits, seed):
+        n = 8
+        q = find_ntt_prime(bits, 2 * n)
+        rng = random.Random(seed)
+        f = [[rng.randrange(q) for _ in range(n)] for _ in range(2)]
+        g = [[rng.randrange(q) for _ in range(n)] for _ in range(2)]
+        par = ParNegacyclic(n, q, executor=pool)
+        fast = FastNegacyclic(n, q)
+        assert par.multiply(f, g) == fast.multiply(f, g)
+
+
+class TestEnginePlumbing:
+    def test_rns_ring_parallel_matches_fast(self, pool):
+        backend = get_backend("mqx")
+        basis = RnsBasis.generate(3, 62, 2 * N)
+        rng = random.Random(12)
+        coeffs_f = [rng.randrange(basis.modulus) for _ in range(N)]
+        coeffs_g = [rng.randrange(basis.modulus) for _ in range(N)]
+        for negacyclic in (True, False):
+            ring_par = RnsPolynomialRing(
+                N, basis, backend, negacyclic=negacyclic, engine="parallel"
+            )
+            ring_fast = RnsPolynomialRing(
+                N, basis, backend, negacyclic=negacyclic, engine="fast"
+            )
+            got = ring_par.mul(ring_par.encode(coeffs_f), ring_par.encode(coeffs_g))
+            want = ring_fast.mul(
+                ring_fast.encode(coeffs_f), ring_fast.encode(coeffs_g)
+            )
+            assert got.residues == want.residues
+
+    def test_parallel_rns_mul_rejects_unreduced_residue(self, pool):
+        backend = get_backend("mqx")
+        basis = RnsBasis.generate(2, 62, 2 * N)
+        ring = RnsPolynomialRing(N, basis, backend, engine="parallel")
+        bad = [[basis.primes[0]] + [0] * (N - 1), [0] * N]
+        good = [[1] + [0] * (N - 1) for _ in basis.primes]
+        with pytest.raises(ArithmeticDomainError):
+            parallel_rns_mul(ring, bad, good, executor=pool)
+
+    def test_context_manager_installs_default(self):
+        with ParallelExecutor(workers=1) as executor:
+            assert default_executor() is executor
+        assert default_executor() is not executor
+
+
+class TestFaultTolerance:
+    def test_crash_retry_then_fallback(self):
+        batch = _vectors(13)
+        expected = FastNtt(N, Q).forward(batch)
+        with observing() as session:
+            with ParallelExecutor(workers=2, task_timeout=15.0) as executor:
+                plan = ParNtt(N, Q, executor=executor)
+                executor.inject_crash(1)
+                assert plan.forward(batch) == expected
+                # One retry (which crashes again), then in-process fallback.
+                assert executor.stats["retries"] == 1
+                assert executor.stats["fallbacks"] == 1
+                assert executor.stats["restarts"] >= 1
+                # The pool still serves work after the restarts.
+                assert plan.forward(batch) == expected
+            metrics = session.metrics
+            assert metrics.get("par.retries").value == 1
+            assert metrics.get("par.fallbacks").value == 1
+            assert metrics.get("par.workers.restarted").value >= 1
+            dispatched = metrics.get("par.shards.dispatched").value
+            completed = metrics.get("par.shards.completed").value
+            # The crashed shard completed in-process, not in a worker.
+            assert completed == dispatched - 1
+
+    def test_unknown_op_degrades_then_raises(self, pool):
+        before = dict(pool.stats)
+        with pytest.raises(ParallelExecutionError):
+            pool.run([{"op": "not-an-op"}])
+        assert pool.stats["retries"] == before["retries"] + 1
+        assert pool.stats["fallbacks"] == before["fallbacks"] + 1
+
+    def test_closed_executor_rejects_work(self):
+        executor = ParallelExecutor(workers=1)
+        executor.close()
+        with pytest.raises(ParallelExecutionError):
+            executor.run([{"op": "ntt"}])
+
+    def test_invalid_pool_parameters(self):
+        with pytest.raises(ParallelExecutionError):
+            ParallelExecutor(workers=-1)
+        with pytest.raises(ParallelExecutionError):
+            ParallelExecutor(task_timeout=0)
+        with pytest.raises(ParallelExecutionError):
+            ParallelExecutor(retries=-1)
+
+
+class TestSharedMemory:
+    def test_no_segments_leak_after_calls(self, pool):
+        ParNtt(N, Q, executor=pool).forward(_vectors(14))
+        assert shm.created_segments() == 0
+
+    def test_release_rejects_foreign_segment(self):
+        seg, _view = shm.create_segment((2, 2))
+        shm.release_segment(seg)
+        with pytest.raises(ParallelExecutionError):
+            shm.release_segment(seg)
+
+    def test_cleanup_on_interpreter_exit(self):
+        # A child process creates segments and exits without releasing
+        # them; its atexit hook must leave nothing to attach to.
+        code = (
+            "from repro.par import shm\n"
+            "seg1, _ = shm.create_segment((4, 2))\n"
+            "seg2, _ = shm.create_segment((4, 2))\n"
+            "print(seg1.name)\n"
+            "print(seg2.name)\n"
+        )
+        env = dict(os.environ, PYTHONPATH=_SRC)
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        names = proc.stdout.split()
+        assert len(names) == 2
+        for name in names:
+            assert name.startswith(shm.SEGMENT_PREFIX)
+            with pytest.raises(FileNotFoundError):
+                shm.attach_segment(name)

@@ -1,0 +1,64 @@
+"""Tests for the process-wide memoized TwiddleTable cache.
+
+``TwiddleTable.get`` must return one shared table per ``(n, q, root)``
+across every NTT wrapper construction site, so building many plans over
+the same modulus (the RNS pipeline, the repro.par workers) pays the
+root-finding and table construction once.
+"""
+
+import pytest
+
+from repro.arith.primes import find_ntt_prime
+from repro.fast.ntt import FastNtt
+from repro.kernels import get_backend
+from repro.ntt.simd import SimdNtt
+from repro.ntt.twiddles import TwiddleTable
+
+N = 16
+Q = find_ntt_prime(62, 2 * N)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    TwiddleTable.clear_cache()
+    yield
+    TwiddleTable.clear_cache()
+
+
+class TestTwiddleTableGet:
+    def test_memoizes_identical_parameters(self):
+        assert TwiddleTable.get(N, Q) is TwiddleTable.get(N, Q)
+
+    def test_resolved_root_aliases_default_request(self):
+        table = TwiddleTable.get(N, Q)
+        assert TwiddleTable.get(N, Q, table.root) is table
+
+    def test_distinct_roots_get_distinct_tables(self):
+        table = TwiddleTable.get(N, Q)
+        # Any odd power of a primitive n-th root is another primitive root.
+        other_root = pow(table.root, 3, Q)
+        assert other_root != table.root
+        other = TwiddleTable.get(N, Q, other_root)
+        assert other is not table
+        assert other.root == other_root
+
+    def test_clear_cache_resets(self):
+        TwiddleTable.get(N, Q)
+        assert TwiddleTable.cache_size() > 0
+        TwiddleTable.clear_cache()
+        assert TwiddleTable.cache_size() == 0
+
+
+class TestConstructionSitesShareTables:
+    def test_simd_and_fast_plans_share_one_table(self):
+        simd = SimdNtt(N, Q, get_backend("mqx"))
+        fast = FastNtt(N, Q)
+        assert simd.table is fast.table
+
+    def test_repeated_plans_do_not_grow_cache(self):
+        SimdNtt(N, Q, get_backend("mqx"))
+        size = TwiddleTable.cache_size()
+        for _ in range(3):
+            FastNtt(N, Q)
+            SimdNtt(N, Q, get_backend("scalar"))
+        assert TwiddleTable.cache_size() == size
