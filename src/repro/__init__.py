@@ -53,6 +53,15 @@ from repro.par import (
     ParNtt,
     parallel_rns_mul,
 )
+from repro.resil import (
+    CircuitBreaker,
+    Deadline,
+    EngineDegradedWarning,
+    Fault,
+    FaultPlan,
+    RetryPolicy,
+    resolve_engine,
+)
 from repro.perf.estimator import (
     estimate_baseline_blas,
     estimate_baseline_ntt,
@@ -71,10 +80,15 @@ __all__ = [
     "BarrettParams",
     "BatchScalingModel",
     "BlasPlan",
+    "CircuitBreaker",
+    "Deadline",
+    "EngineDegradedWarning",
     "FastBlasPlan",
     "FastModulus",
     "FastNegacyclic",
     "FastNtt",
+    "Fault",
+    "FaultPlan",
     "IfmaKernel",
     "IfmaNtt",
     "MqxFeatures",
@@ -84,6 +98,7 @@ __all__ = [
     "ParNegacyclic",
     "ParNtt",
     "ParallelExecutor",
+    "RetryPolicy",
     "RnsBasis",
     "RnsPolynomial",
     "RnsPolynomialRing",
@@ -102,6 +117,7 @@ __all__ = [
     "negacyclic_polymul",
     "ntt_polymul",
     "parallel_rns_mul",
+    "resolve_engine",
     "root_of_unity",
     "simd_ntt_polymul",
     "sol_runtime",

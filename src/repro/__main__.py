@@ -9,6 +9,7 @@ Usage::
     python -m repro mca [--microarch sunny_cove]
     python -m repro sol --vendor amd
     python -m repro par --workers 4 --logn 12 --batch 16
+    python -m repro chaos --workers 2 --seed 0
     python -m repro experiments [--output EXPERIMENTS.md]
     python -m repro profile --experiment headline --export chrome
 """
@@ -188,6 +189,25 @@ def _cmd_par(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.resil.chaos import run_chaos
+
+    return run_chaos(
+        workers=args.workers or 2,
+        seed=args.seed,
+        logn=args.logn,
+        batch=args.batch,
+        limbs=args.limbs,
+        crash=args.crash,
+        hang=args.hang,
+        corrupt=args.corrupt,
+        slow=args.slow,
+        task_timeout=args.task_timeout,
+        audit=args.audit,
+        rounds=args.rounds,
+    )
+
+
 def _cmd_codegen(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -298,6 +318,41 @@ def build_parser() -> argparse.ArgumentParser:
     par.add_argument("--limbs", type=int, default=4)
     par.add_argument("--seed", type=int, default=0)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection gauntlet for the parallel engine "
+        "(crashes, hangs, corruption; verifies bit-exact recovery)",
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=2, help="pool size (default: 2)"
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--logn", type=int, default=8)
+    chaos.add_argument("--batch", type=int, default=8)
+    chaos.add_argument("--limbs", type=int, default=3)
+    chaos.add_argument(
+        "--crash", type=float, default=0.2, help="per-shard crash rate"
+    )
+    chaos.add_argument(
+        "--hang", type=float, default=0.0,
+        help="per-shard hang rate (each hang costs ~task-timeout seconds)",
+    )
+    chaos.add_argument(
+        "--corrupt", type=float, default=0.2,
+        help="per-shard payload-corruption rate",
+    )
+    chaos.add_argument(
+        "--slow", type=float, default=0.15, help="per-shard straggler rate"
+    )
+    chaos.add_argument("--task-timeout", type=float, default=3.0)
+    chaos.add_argument(
+        "--audit", type=float, default=0.25,
+        help="fraction of shards re-verified on the faithful engine",
+    )
+    chaos.add_argument(
+        "--rounds", type=int, default=2, help="batches per scenario"
+    )
+
     exp = sub.add_parser("experiments", help="regenerate EXPERIMENTS.md")
     exp.add_argument("--output", default="EXPERIMENTS.md")
 
@@ -355,6 +410,7 @@ _COMMANDS = {
     "mca": _cmd_mca,
     "sol": _cmd_sol,
     "par": _cmd_par,
+    "chaos": _cmd_chaos,
     "experiments": _cmd_experiments,
     "profile": _cmd_profile,
 }

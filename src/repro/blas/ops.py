@@ -48,6 +48,11 @@ class BlasPlan:
                 f"engine must be 'faithful', 'fast' or 'parallel', "
                 f"got {engine!r}"
             )
+        # Availability cascade: degrade rather than hard-fail when the
+        # requested engine cannot run here (see repro.resil.degrade).
+        from repro.resil.degrade import resolve_engine
+
+        engine = resolve_engine(engine, site="BlasPlan")
         self.engine = engine
         if engine in ("fast", "parallel"):
             # Deferred import: the faithful path must not require NumPy.

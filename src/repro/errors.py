@@ -61,3 +61,17 @@ class ParallelExecutionError(ReproError):
     Raised for invalid pool parameters, use-after-close, and shards that
     could not be completed even by the in-process fallback.
     """
+
+
+class ResilienceError(ReproError):
+    """The resilience layer was misconfigured (bad policy, bad fault plan)."""
+
+
+class ResilIntegrityError(ResilienceError):
+    """A cross-engine integrity audit found divergent shard results.
+
+    Raised only by the audit path: a checksum mismatch alone is treated
+    as a retryable fault, but a shard whose *recomputed* faithful-engine
+    result disagrees with the collected payload means corruption made it
+    past every retry — the batch result cannot be trusted.
+    """

@@ -60,6 +60,14 @@ class NegacyclicNtt:
             raise NttParameterError(
                 f"{self.psi} is not a primitive {2 * n}-th root of unity mod {q}"
             )
+        # Resolve the availability cascade here (not just in the inner
+        # SimdNtt): the twist plans below must agree with the engine
+        # that will actually run. Invalid names pass through unchanged
+        # and fail SimdNtt's validation as before.
+        from repro.resil.degrade import resolve_engine
+
+        if engine in ("fast", "parallel"):
+            engine = resolve_engine(engine, site="NegacyclicNtt")
         # The cyclic plan uses omega = psi^2, keeping the rings consistent.
         omega = self.psi * self.psi % q
         self.plan = SimdNtt(

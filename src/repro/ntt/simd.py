@@ -80,6 +80,12 @@ class SimdNtt:
             raise NttParameterError(
                 f"engine must be one of {ENGINES}, got {engine!r}"
             )
+        # Availability cascade (parallel → fast → faithful): a valid but
+        # currently unavailable engine degrades with a warning instead
+        # of failing the construction site (see repro.resil.degrade).
+        from repro.resil.degrade import resolve_engine
+
+        engine = resolve_engine(engine, site="SimdNtt")
         self.engine = engine
         self.ctx: ModulusContext = backend.make_modulus(q, algorithm=algorithm)
         self._shoup_cache: dict = {}

@@ -8,12 +8,14 @@ twiddle vectors from these tables inside the transform loop.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.arith.modular import inv_mod, pow_mod
 from repro.arith.primes import root_of_unity
 from repro.errors import NttParameterError
+from repro.obs.hooks import record_twiddle_eviction
 from repro.util.checks import check_power_of_two
 
 #: Process-wide memoized tables, keyed by ``(n, q, root)`` with ``root=0``
@@ -21,8 +23,38 @@ from repro.util.checks import check_power_of_two
 #: (the per-stage caches only ever append), so sharing one instance across
 #: every plan in the process is safe — and saves the root search plus the
 #: O(n) power-table build at every construction site.
-_TABLE_CACHE: Dict[Tuple[int, int, int], "TwiddleTable"] = {}
+#:
+#: The cache is LRU-bounded: a long-lived process cycling through many
+#: ``(n, q)`` pairs (a service, a chaos run over random parameters) must
+#: not grow it without limit, since each table holds O(n) precomputed
+#: powers plus its per-stage twiddle lists. Capacity counts *distinct
+#: tables* — alias keys (the ``root=0`` ↔ resolved-root pair) live and
+#: die with their table — and evictions bump ``twiddle.evictions``.
+_TABLE_CACHE: "OrderedDict[Tuple[int, int, int], TwiddleTable]" = OrderedDict()
 _TABLE_LOCK = threading.Lock()
+
+#: Default bound on distinct cached tables (see ``set_cache_capacity``).
+DEFAULT_CACHE_CAPACITY = 64
+
+_cache_capacity = DEFAULT_CACHE_CAPACITY
+
+
+def _touch(table: "TwiddleTable") -> None:
+    """Mark every key of ``table`` most-recently-used (lock held)."""
+    for key in [k for k, t in _TABLE_CACHE.items() if t is table]:
+        _TABLE_CACHE.move_to_end(key)
+
+
+def _evict_over_capacity() -> None:
+    """Evict least-recently-used tables past capacity (lock held)."""
+    while True:
+        distinct = {id(t) for t in _TABLE_CACHE.values()}
+        if len(distinct) <= _cache_capacity:
+            return
+        victim = next(iter(_TABLE_CACHE.values()))
+        for key in [k for k, t in _TABLE_CACHE.items() if t is victim]:
+            del _TABLE_CACHE[key]
+        record_twiddle_eviction()
 
 
 def bit_reverse(index: int, bits: int) -> int:
@@ -103,11 +135,15 @@ class TwiddleTable:
         key = (n, q, root or 0)
         with _TABLE_LOCK:
             table = _TABLE_CACHE.get(key)
-        if table is None:
-            table = cls(n, q, root or 0)
-            with _TABLE_LOCK:
-                table = _TABLE_CACHE.setdefault(key, table)
-                _TABLE_CACHE.setdefault((n, q, table.root), table)
+            if table is not None:
+                _touch(table)
+                return table
+        table = cls(n, q, root or 0)
+        with _TABLE_LOCK:
+            table = _TABLE_CACHE.setdefault(key, table)
+            _TABLE_CACHE.setdefault((n, q, table.root), table)
+            _touch(table)
+            _evict_over_capacity()
         return table
 
     @classmethod
@@ -121,6 +157,28 @@ class TwiddleTable:
         """Number of cached table entries (aliases included)."""
         with _TABLE_LOCK:
             return len(_TABLE_CACHE)
+
+    @classmethod
+    def cache_capacity(cls) -> int:
+        """Maximum number of distinct tables the cache retains."""
+        with _TABLE_LOCK:
+            return _cache_capacity
+
+    @classmethod
+    def set_cache_capacity(cls, capacity: int) -> None:
+        """Re-bound the cache (evicting LRU tables immediately if over).
+
+        ``capacity`` counts distinct tables; the ``root=0`` alias of a
+        table does not consume an extra slot.
+        """
+        if capacity < 1:
+            raise NttParameterError(
+                f"twiddle cache capacity must be >= 1, got {capacity}"
+            )
+        global _cache_capacity
+        with _TABLE_LOCK:
+            _cache_capacity = int(capacity)
+            _evict_over_capacity()
 
     @property
     def stages(self) -> int:

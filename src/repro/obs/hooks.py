@@ -122,6 +122,101 @@ def record_par_worker_restart() -> None:
     session.metrics.counter("par.workers.restarted").inc()
 
 
+def record_par_stale_result() -> None:
+    """Count one worker message discarded for carrying a stale generation.
+
+    A shard that was re-enqueued (quiet-timeout safety net, checksum
+    mismatch) bumps its generation; a straggler completing the *old*
+    copy must not be double-counted or trusted over the re-execution.
+    """
+    session = current()
+    if session is None:
+        return
+    session.metrics.counter("par.stale_results").inc()
+
+
+def record_integrity_corrupt() -> None:
+    """Count one shard whose shm payload failed checksum verification."""
+    session = current()
+    if session is None:
+        return
+    session.metrics.counter("par.integrity.corrupt").inc()
+
+
+def record_integrity_audit(shards: int) -> None:
+    """Count shards re-verified against the faithful engine (audit mode)."""
+    session = current()
+    if session is None:
+        return
+    session.metrics.counter("par.integrity.audited").inc(shards)
+
+
+def record_integrity_divergence() -> None:
+    """Count one audited shard whose faithful recomputation diverged."""
+    session = current()
+    if session is None:
+        return
+    session.metrics.counter("par.integrity.divergent").inc()
+
+
+def record_shm_reclaimed(segments: int) -> None:
+    """Count shm segments defensively unlinked by executor close()."""
+    session = current()
+    if session is None:
+        return
+    session.metrics.counter("par.shm.reclaimed").inc(segments)
+
+
+def record_resil_degraded(requested: str, resolved: str, reason: str) -> None:
+    """Count one engine degradation (``parallel``→``fast``→``faithful``).
+
+    Emits the aggregate ``resil.degraded`` counter plus a per-reason
+    sibling (``resil.degraded.breaker_open``, ``.numpy_missing``,
+    ``.pool_start_failed``, ``.deadline``, ``.disabled``...), so a
+    profile shows both how often and *why* traffic left an engine.
+    """
+    session = current()
+    if session is None:
+        return
+    m = session.metrics
+    m.counter("resil.degraded").inc()
+    m.counter(f"resil.degraded.{reason}").inc()
+
+
+def record_breaker_transition(state: str) -> None:
+    """Count one circuit-breaker state transition (by target state)."""
+    session = current()
+    if session is None:
+        return
+    session.metrics.counter(f"resil.breaker.{state}").inc()
+
+
+def record_deadline_expired(shards: int) -> None:
+    """Count shards short-circuited in-process by an expired batch deadline."""
+    session = current()
+    if session is None:
+        return
+    m = session.metrics
+    m.counter("resil.deadline.expired").inc()
+    m.counter("resil.deadline.shards").inc(shards)
+
+
+def record_retry_backoff(delay_s: float) -> None:
+    """Observe one retry's backoff delay (histogram, seconds)."""
+    session = current()
+    if session is None:
+        return
+    session.metrics.histogram("resil.retry.backoff_s").observe(delay_s)
+
+
+def record_twiddle_eviction() -> None:
+    """Count one TwiddleTable evicted from the bounded process-wide cache."""
+    session = current()
+    if session is None:
+        return
+    session.metrics.counter("twiddle.evictions").inc()
+
+
 def record_cache_access(level: str) -> None:
     """Count one cache-model query served by ``level`` (L1/L2/L3/DRAM)."""
     session = current()

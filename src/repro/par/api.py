@@ -82,15 +82,30 @@ def _run_sharded(
             names[key] = seg.name
         out_seg, out_view = shm.create_segment(shape)
         segments.append(out_seg)
+        bounds = shard_bounds(total, executor.workers)
+        sums_name, sums_seg = None, None
+        if executor.integrity:
+            # One CRC-32 slot per shard, written by the worker right
+            # after its payload and re-verified by the executor on
+            # collection (see repro.resil.integrity).
+            sums_seg, sums_view = shm.create_segment((len(bounds),))
+            del sums_view
+            segments.append(sums_seg)
+            sums_name = sums_seg.name
         specs = []
-        for start, stop in shard_bounds(total, executor.workers):
+        for index, (start, stop) in enumerate(bounds):
             spec = dict(meta)
             spec.update(names)
             spec["shape"] = list(shape)
             spec[axis_key] = [start, stop]
             spec["out"] = out_seg.name
+            if sums_name is not None:
+                spec["shard_index"] = index
+                spec["sums"] = sums_name
+                spec["sums_len"] = len(bounds)
             specs.append(spec)
         executor.run(specs)
+        executor.audit(specs)
         result = np.array(out_view, copy=True)
         del out_view
         return result
@@ -377,6 +392,12 @@ def parallel_rns_mul(
         segments.append(y_seg)
         out_seg, out_view = shm.create_segment(shape)
         segments.append(out_seg)
+        sums_name = None
+        if executor.integrity:
+            sums_seg, sums_view = shm.create_segment((k,))
+            del sums_view
+            segments.append(sums_seg)
+            sums_name = sums_seg.name
         specs = []
         for i, q in enumerate(primes):
             plan = ring._ntt[q]
@@ -403,8 +424,11 @@ def parallel_rns_mul(
                 shape=list(shape),
                 rows=[i, i + 1],
             )
+            if sums_name is not None:
+                spec.update(shard_index=i, sums=sums_name, sums_len=k)
             specs.append(spec)
         executor.run(specs)
+        executor.audit(specs)
         out = np.array(out_view, copy=True)
         del out_view
     finally:

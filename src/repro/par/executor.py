@@ -15,18 +15,39 @@ coordinator's event loop therefore knows exactly which shard a crashed
 or killed worker was holding:
 
 * a **crashed** worker (process exited) is replaced and its in-flight
-  shard is re-enqueued, up to ``retries`` times;
+  shard is re-enqueued under the executor's
+  :class:`~repro.resil.policy.RetryPolicy` (bounded attempts,
+  exponential backoff with deterministic jitter);
 * a **hung** worker (shard in flight longer than ``task_timeout``) is
   terminated, which turns it into the crashed case;
-* a shard that exhausts its retry budget **degrades gracefully**: the
-  coordinator runs it in-process via the same
-  :func:`~repro.par.worker.execute_spec` code path, so the batch still
-  completes with correct results.
+* a shard whose shared-memory payload fails **checksum verification**
+  on collection (:mod:`repro.resil.integrity`) is treated as a
+  retryable fault and re-dispatched;
+* a shard that exhausts its retry budget — or is still pending when
+  the batch's :class:`~repro.resil.policy.Deadline` expires —
+  **degrades gracefully**: the coordinator runs it in-process via the
+  same :func:`~repro.par.worker.execute_spec` code path, so the batch
+  still completes with correct results.
 
-Every decision is mirrored to ``par.*`` observability counters
-(``par.shards.dispatched``, ``par.retries``, ``par.fallbacks``,
-``par.workers.restarted``, the ``par.shard.wall_s`` histogram) and the
-whole batch runs under a ``par.run`` span.
+Every re-enqueue bumps the shard's *generation* counter, and workers
+echo the generation in their result messages; a straggler completing a
+superseded execution is discarded (``par.stale_results``) instead of
+double-counting a shard that was already recovered.
+
+A per-executor :class:`~repro.resil.policy.CircuitBreaker` watches
+consecutive shard failures. While it is open, whole batches bypass the
+pool and run in-process on the fast engine (``resil.degraded``); after
+the cooldown one probe batch goes back through the pool, and its
+outcome closes or re-opens the breaker. Pool-*start* failures
+additionally notify :mod:`repro.resil.degrade`, so new
+``engine="parallel"`` construction sites cascade to ``"fast"``.
+
+Every decision is mirrored to ``par.*`` / ``resil.*`` observability
+counters (``par.shards.dispatched``, ``par.retries``,
+``par.fallbacks``, ``par.workers.restarted``, ``par.integrity.corrupt``,
+``par.stale_results``, ``resil.degraded``, ``resil.breaker.*``, the
+``par.shard.wall_s`` histogram) and the whole batch runs under a
+``par.run`` span.
 
 Entering the executor as a context manager installs it as the process
 default, so ``engine="parallel"`` plans created inside the ``with``
@@ -40,6 +61,7 @@ block dispatch to it::
 from __future__ import annotations
 
 import atexit
+import heapq
 import multiprocessing
 import os
 import queue as queue_mod
@@ -48,14 +70,24 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ParallelExecutionError
 from repro.obs.hooks import (
+    record_breaker_transition,
+    record_deadline_expired,
+    record_integrity_corrupt,
     record_par_dispatch,
     record_par_fallback,
     record_par_retry,
     record_par_shard_done,
+    record_par_stale_result,
     record_par_worker_restart,
+    record_resil_degraded,
+    record_retry_backoff,
+    record_shm_reclaimed,
 )
 from repro.obs.spans import span
 from repro.par.worker import execute_spec, worker_main
+from repro.resil import degrade
+from repro.resil.inject import Fault, FaultPlan, strip_transient_fault
+from repro.resil.policy import CircuitBreaker, Deadline, RetryPolicy
 
 #: Seconds between event-loop polls of the result queue.
 _POLL_S = 0.02
@@ -80,7 +112,21 @@ class ParallelExecutor:
         task_timeout: Seconds a single shard may run in a worker before
             that worker is declared hung and terminated.
         retries: Times a failed shard is re-enqueued before degrading
-            to in-process execution.
+            to in-process execution (shorthand for a
+            :class:`~repro.resil.policy.RetryPolicy` with
+            ``max_attempts=retries + 1`` and no backoff).
+        retry_policy: Full retry/backoff policy; overrides ``retries``.
+        breaker: Circuit breaker guarding the pool; defaults to a fresh
+            :class:`~repro.resil.policy.CircuitBreaker` (5 consecutive
+            failures trip it, 30 s cooldown).
+        batch_deadline_s: Default wall-clock budget per ``run`` batch;
+            ``None`` (default) means unbounded. A per-call ``deadline``
+            overrides it.
+        integrity: Whether batches carry per-shard checksums that are
+            verified on collection (see :mod:`repro.resil.integrity`).
+        audit_fraction: Fraction of completed shards re-computed on the
+            faithful engine after each batch (``0.0`` disables audit).
+        audit_seed: Seed for the audit's shard sampling.
     """
 
     def __init__(
@@ -88,6 +134,12 @@ class ParallelExecutor:
         workers: Optional[int] = None,
         task_timeout: float = 60.0,
         retries: int = 1,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        batch_deadline_s: Optional[float] = None,
+        integrity: bool = True,
+        audit_fraction: float = 0.0,
+        audit_seed: int = 0,
     ) -> None:
         self.workers = int(workers) if workers else (os.cpu_count() or 1)
         if self.workers < 1:
@@ -96,16 +148,36 @@ class ParallelExecutor:
             raise ParallelExecutionError("task_timeout must be positive")
         if retries < 0:
             raise ParallelExecutionError("retries must be non-negative")
+        if batch_deadline_s is not None and batch_deadline_s <= 0:
+            raise ParallelExecutionError("batch_deadline_s must be positive")
+        if not 0.0 <= audit_fraction <= 1.0:
+            raise ParallelExecutionError("audit_fraction must be in [0, 1]")
         self.task_timeout = float(task_timeout)
-        self.retries = int(retries)
-        #: Lifetime tallies, mirrored to ``par.*`` metrics when a
-        #: session is active: dispatched/completed/retries/fallbacks/restarts.
+        self.retry_policy = retry_policy or RetryPolicy(max_attempts=retries + 1)
+        self.retries = self.retry_policy.max_attempts - 1
+        self.breaker = breaker or CircuitBreaker(
+            on_transition=record_breaker_transition
+        )
+        self.batch_deadline_s = batch_deadline_s
+        self.integrity = bool(integrity)
+        self.audit_fraction = float(audit_fraction)
+        self.audit_seed = int(audit_seed)
+        #: Lifetime tallies, mirrored to ``par.*`` / ``resil.*`` metrics
+        #: when a session is active. ``completed`` counts worker-side
+        #: completions only; ``fallbacks``/``degraded``/``deadline_expired``
+        #: shards finish in-process.
         self.stats: Dict[str, int] = {
             "dispatched": 0,
             "completed": 0,
             "retries": 0,
             "fallbacks": 0,
             "restarts": 0,
+            "degraded": 0,
+            "corrupt": 0,
+            "stale": 0,
+            "deadline_expired": 0,
+            "audited": 0,
+            "shm_reclaimed": 0,
         }
         self._ctx = _pool_context()
         self._procs: List[multiprocessing.Process] = []
@@ -116,6 +188,9 @@ class ParallelExecutor:
         self._closed = False
         self._next_id = 0
         self._inject_crashes = 0
+        self._fault_plan: Optional[FaultPlan] = None
+        self._fault_index = 0
+        self._active_segments: set = set()
         self._previous_default: Optional["ParallelExecutor"] = None
 
     # ------------------------------------------------------------------
@@ -135,15 +210,30 @@ class ParallelExecutor:
         return [p.pid for p in self._procs if p.is_alive()]
 
     def start(self) -> "ParallelExecutor":
-        """Spawn the pool (idempotent; ``run`` calls this lazily)."""
+        """Spawn the pool (idempotent; ``run`` calls this lazily).
+
+        A failed spawn notifies :mod:`repro.resil.degrade` — so new
+        ``engine="parallel"`` plans cascade to ``"fast"`` — before
+        re-raising; ``run`` additionally degrades the affected batch
+        in-process instead of surfacing the error.
+        """
         if self._closed:
             raise ParallelExecutionError("executor is closed")
         if self._started:
             return self
-        self._tasks = self._ctx.Queue()
-        self._results = self._ctx.Queue()
-        self._current = self._ctx.Array("q", [_IDLE] * self.workers)
-        self._procs = [self._spawn(slot) for slot in range(self.workers)]
+        try:
+            self._tasks = self._ctx.Queue()
+            self._results = self._ctx.Queue()
+            self._current = self._ctx.Array("q", [_IDLE] * self.workers)
+            self._procs = [self._spawn(slot) for slot in range(self.workers)]
+        except Exception:
+            degrade.note_pool_start_failure()
+            for proc in self._procs:
+                if proc.is_alive():
+                    proc.terminate()
+            self._procs = []
+            raise
+        degrade.note_pool_start_success()
         self._started = True
         return self
 
@@ -158,10 +248,18 @@ class ParallelExecutor:
         return proc
 
     def close(self) -> None:
-        """Stop the workers and release the queues (idempotent)."""
+        """Stop the workers and release the queues (idempotent).
+
+        Also defensively unlinks any shared-memory segment that was
+        named in this executor's task specs and is still live — a run
+        aborted by a hard error (or a worker dying between a segment's
+        registration and interpreter ``atexit``) must not leave
+        ``/dev/shm`` dirty for the process's remaining lifetime.
+        """
         if self._closed:
             return
         self._closed = True
+        self._reclaim_segments()
         if not self._started:
             return
         for _ in self._procs:
@@ -184,6 +282,18 @@ class ParallelExecutor:
                 pass
         self._procs = []
 
+    def _reclaim_segments(self) -> None:
+        from repro.par import shm
+
+        reclaimed = 0
+        for name in list(self._active_segments):
+            if shm.release_by_name(name):
+                reclaimed += 1
+        self._active_segments.clear()
+        if reclaimed:
+            self.stats["shm_reclaimed"] += reclaimed
+            record_shm_reclaimed(reclaimed)
+
     def __enter__(self) -> "ParallelExecutor":
         self.start()
         self._previous_default = _swap_default(self)
@@ -195,8 +305,17 @@ class ParallelExecutor:
         self.close()
 
     # ------------------------------------------------------------------
-    # Fault injection (tests)
+    # Fault injection (tests, chaos harness)
     # ------------------------------------------------------------------
+
+    def inject(self, plan: Optional[FaultPlan]) -> None:
+        """Arm a :class:`~repro.resil.inject.FaultPlan` (``None`` disarms).
+
+        Plan indices count every shard this executor dispatches from
+        now on, across batches, in dispatch order.
+        """
+        self._fault_plan = plan
+        self._fault_index = 0
 
     def inject_crash(self, shards: int = 1) -> None:
         """Mark the next ``shards`` dispatched shard specs to kill their
@@ -204,67 +323,186 @@ class ParallelExecutor:
         fallback, which ignores the flag, can complete them)."""
         self._inject_crashes += int(shards)
 
+    def _next_fault(self) -> Optional[Fault]:
+        fault = None
+        if self._fault_plan is not None:
+            fault = self._fault_plan.fault_for(self._fault_index)
+            self._fault_index += 1
+        if fault is None and self._inject_crashes > 0:
+            self._inject_crashes -= 1
+            fault = Fault("crash", sticky=True)
+        return fault
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 
-    def run(self, specs: Sequence[dict]) -> None:
+    def run(
+        self, specs: Sequence[dict], deadline: Optional[Deadline] = None
+    ) -> None:
         """Execute all shard specs; returns once every shard completed.
 
         Results land in the shared-memory segments the specs name; this
         method only coordinates. Raises only for executor misuse or for
         errors that persist through the in-process fallback (e.g. a
-        genuinely invalid operand).
+        genuinely invalid operand) — engine-availability problems (pool
+        won't start, breaker open) degrade the batch to in-process
+        fast-engine execution instead.
         """
         if self._closed:
             raise ParallelExecutionError("executor is closed")
         specs = [dict(spec) for spec in specs]
         if not specs:
             return
-        self.start()
         for spec in specs:
-            if self._inject_crashes > 0:
-                spec["crash"] = True
-                self._inject_crashes -= 1
+            fault = self._next_fault()
+            if fault is not None:
+                spec["fault"] = fault.to_spec()
+        self._track_segments(specs)
         self.stats["dispatched"] += len(specs)
         record_par_dispatch(len(specs))
+        if deadline is None and self.batch_deadline_s is not None:
+            deadline = Deadline(self.batch_deadline_s)
         with span("par.run", shards=len(specs)):
-            self._event_loop(specs)
+            if not self.breaker.allow():
+                self._run_degraded(specs, "breaker_open")
+                return
+            try:
+                self.start()
+            except ParallelExecutionError:
+                raise  # misuse (closed executor), not availability
+            except Exception:
+                self.breaker.record_failure()
+                self._run_degraded(specs, "pool_start_failed")
+                return
+            self._event_loop(specs, deadline)
 
-    def _event_loop(self, specs: List[dict]) -> None:
+    def _track_segments(self, specs: Sequence[dict]) -> None:
+        """Remember segment names so ``close()`` can reclaim leaks."""
+        from repro.par import shm
+
+        self._active_segments = {
+            name for name in self._active_segments if shm.is_created(name)
+        }
+        for spec in specs:
+            for key in ("x", "y", "out", "sums"):
+                name = spec.get(key)
+                if name is not None:
+                    self._active_segments.add(name)
+
+    def _run_degraded(self, specs: List[dict], reason: str) -> None:
+        """Run a whole batch in-process on the fast engine (no pool)."""
+        record_resil_degraded("parallel", "fast", reason)
+        self.stats["degraded"] += len(specs)
+        for spec in specs:
+            execute_spec(spec, in_worker=False)
+
+    def audit(self, specs: Sequence[dict]) -> int:
+        """Faithful-engine audit of a completed batch (see resil docs).
+
+        Called by the API layer after ``run`` while the batch's
+        segments are still mapped; no-op unless ``audit_fraction > 0``.
+        """
+        if self.audit_fraction <= 0.0 or not specs:
+            return 0
+        from repro.resil.integrity import audit_shards
+
+        audited = audit_shards(specs, self.audit_fraction, self.audit_seed)
+        self.stats["audited"] += audited
+        return audited
+
+    def _verify(self, spec: dict) -> bool:
+        """Recompute a collected shard's checksum against its sums slot."""
+        if not self.integrity or spec.get("sums") is None:
+            return True
+        from repro.par import shm
+        from repro.resil import integrity
+
+        out_seg = shm.attach_segment(spec["out"])
+        sums_seg = shm.attach_segment(spec["sums"])
+        try:
+            out_view = shm.segment_view(out_seg, spec["shape"])
+            sums_view = shm.segment_view(sums_seg, (spec["sums_len"],))
+            ok = integrity.verify_checksum(spec, out_view, sums_view)
+            del out_view, sums_view
+        finally:
+            shm.detach_segment(out_seg)
+            shm.detach_segment(sums_seg)
+        return ok
+
+    def _event_loop(
+        self, specs: List[dict], deadline: Optional[Deadline]
+    ) -> None:
         pending: Dict[int, dict] = {}
         attempts: Dict[int, int] = {}
+        gen: Dict[int, int] = {}
         for spec in specs:
             task_id = self._next_id
             self._next_id += 1
             pending[task_id] = spec
             attempts[task_id] = 0
-            self._tasks.put((task_id, spec))
+            gen[task_id] = 0
+            self._tasks.put((task_id, 0, spec))
 
         claimed_at: Dict[Tuple[int, int], float] = {}
+        delayed: List[Tuple[float, int]] = []  # (ready_at, task_id) heap
         last_progress = time.monotonic()
 
         def clear_claims(task_id: int) -> None:
             for key in [k for k in claimed_at if k[1] == task_id]:
                 del claimed_at[key]
 
+        def fallback(task_id: int) -> None:
+            spec = pending.pop(task_id)
+            clear_claims(task_id)
+            self.stats["fallbacks"] += 1
+            record_par_fallback()
+            execute_spec(spec, in_worker=False)
+
         def fail(task_id: int) -> None:
             if task_id not in pending:
                 return
             clear_claims(task_id)
+            self.breaker.record_failure()
             attempts[task_id] += 1
-            if attempts[task_id] <= self.retries:
+            # A new generation supersedes every earlier execution of
+            # this shard: stragglers completing the old copy are
+            # discarded on arrival instead of double-counted.
+            gen[task_id] += 1
+            if self.retry_policy.should_retry(attempts[task_id]):
                 self.stats["retries"] += 1
                 record_par_retry()
-                self._tasks.put((task_id, pending[task_id]))
+                pending[task_id] = strip_transient_fault(pending[task_id])
+                delay = self.retry_policy.delay_s(attempts[task_id])
+                if delay > 0.0:
+                    record_retry_backoff(delay)
+                    heapq.heappush(
+                        delayed, (time.monotonic() + delay, task_id)
+                    )
+                else:
+                    self._tasks.put((task_id, gen[task_id], pending[task_id]))
             else:
-                spec = pending.pop(task_id)
-                self.stats["fallbacks"] += 1
-                record_par_fallback()
-                execute_spec(spec, in_worker=False)
-                self.stats["completed"] += 1
+                fallback(task_id)
 
         while pending:
+            now = time.monotonic()
+
+            # Backoff queue: release retries whose delay has elapsed.
+            while delayed and delayed[0][0] <= now:
+                _, task_id = heapq.heappop(delayed)
+                if task_id in pending:
+                    self._tasks.put((task_id, gen[task_id], pending[task_id]))
+
+            # Batch deadline: short-circuit what's left to in-process
+            # execution rather than waiting out further retries.
+            if deadline is not None and deadline.expired():
+                remaining = list(pending)
+                self.stats["deadline_expired"] += len(remaining)
+                record_deadline_expired(len(remaining))
+                for task_id in remaining:
+                    fallback(task_id)
+                break
+
             try:
                 message = self._results.get(timeout=_POLL_S)
             except queue_mod.Empty:
@@ -272,14 +510,27 @@ class ParallelExecutor:
             now = time.monotonic()
 
             if message is not None:
-                kind, task_id = message[0], message[1]
+                kind, task_id, msg_gen = message[0], message[1], message[2]
                 last_progress = now
+                if task_id in pending and msg_gen != gen[task_id]:
+                    # Straggler from a superseded execution.
+                    self.stats["stale"] += 1
+                    record_par_stale_result()
+                    continue
                 if kind == "done":
                     if task_id in pending:
-                        del pending[task_id]
-                        clear_claims(task_id)
-                        self.stats["completed"] += 1
-                        record_par_shard_done(message[3])
+                        if self._verify(pending[task_id]):
+                            del pending[task_id]
+                            clear_claims(task_id)
+                            self.stats["completed"] += 1
+                            record_par_shard_done(message[4])
+                            self.breaker.record_success()
+                        else:
+                            # Payload corrupt in shared memory: a
+                            # retryable fault, not a completion.
+                            self.stats["corrupt"] += 1
+                            record_integrity_corrupt()
+                            fail(task_id)
                 elif kind == "error":
                     fail(task_id)
                 continue
@@ -307,11 +558,13 @@ class ParallelExecutor:
 
             # Safety net: a worker that died between dequeuing a task
             # and advertising it leaves the shard in limbo. After a
-            # quiet task_timeout, re-enqueue everything unclaimed.
+            # quiet task_timeout, re-enqueue everything unclaimed —
+            # skipping retries already waiting out their backoff.
             if now - last_progress > self.task_timeout:
                 advertised = {self._current[s] for s in range(self.workers)}
+                waiting = {task_id for _, task_id in delayed}
                 for task_id in list(pending):
-                    if task_id not in advertised:
+                    if task_id not in advertised and task_id not in waiting:
                         fail(task_id)
                 last_progress = now
 

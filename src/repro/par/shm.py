@@ -116,6 +116,28 @@ def release_segment(seg: shared_memory.SharedMemory) -> None:
         pass
 
 
+def is_created(name: str) -> bool:
+    """Whether ``name`` is a still-live segment created by this process."""
+    return name in _CREATED
+
+
+def release_by_name(name: str) -> bool:
+    """Defensively destroy a created segment by name, if still live.
+
+    The executor calls this from ``close()`` for every segment that was
+    named in a batch's task specs: normally the batch's ``finally``
+    block released them all, but a run aborted by a hard error (or a
+    caller driving :meth:`~repro.par.executor.ParallelExecutor.run`
+    directly without that cleanup) must not leave ``/dev/shm`` dirty
+    until ``atexit``. Returns whether a segment was actually reclaimed.
+    """
+    seg = _CREATED.get(name)
+    if seg is None:
+        return False
+    release_segment(seg)
+    return True
+
+
 def created_segments() -> int:
     """How many created segments are still live (leak check for tests)."""
     return len(_CREATED)

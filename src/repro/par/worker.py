@@ -13,12 +13,22 @@ twiddle tables) warm across calls, so a pool that serves a stream of
 batches pays root-finding and table construction once per worker, not
 once per shard.
 
+Resilience hooks (see :mod:`repro.resil`):
+
+* when the spec names a checksum segment, the worker stores a CRC-32
+  of the payload it just wrote (:mod:`repro.resil.integrity`), which
+  the executor re-verifies on collection;
+* a ``fault`` entry in the spec (:class:`repro.resil.inject.Fault`
+  serialized) makes the worker crash, hang, corrupt its payload after
+  checksumming, or complete slowly — *only* inside a real worker
+  process, so the in-process fallback always produces clean results;
+* every queue message echoes the task's *generation* counter, letting
+  the executor discard results from superseded executions.
+
 :func:`execute_spec` is deliberately runnable in-process too
 (``in_worker=False``): it is the graceful-degradation path the executor
 falls back to when a shard's worker crashed or hung past its retry
-budget. The test-only ``crash`` flag only fires inside a real worker,
-which is what lets crash-injection tests assert retry-then-fallback
-while still receiving correct results.
+budget, and the path batches take when the circuit breaker is open.
 """
 
 from __future__ import annotations
@@ -34,9 +44,13 @@ from repro.fast.blas import FastBlasPlan
 from repro.fast.ntt import FastNegacyclic, FastNtt
 from repro.ntt.twiddles import TwiddleTable
 from repro.par import shm
+from repro.resil import integrity as resil_integrity
 
 #: Exit code of a crash-injected worker (distinguishable in waitpid).
 CRASH_EXIT_CODE = 86
+
+#: XOR mask a ``corrupt`` fault applies to the first payload word.
+CORRUPT_MASK = 0xDEADBEEF
 
 _NTT_PLANS: Dict[Tuple[int, int, int], FastNtt] = {}
 _NEG_PLANS: Dict[Tuple[int, int, int, int], FastNegacyclic] = {}
@@ -95,8 +109,15 @@ def execute_spec(spec: dict, in_worker: bool = False) -> None:
     range), so a shard that is retried — or executed both by a dying
     worker and by the fallback — converges to the same bytes.
     """
-    if spec.get("crash") and in_worker:
-        os._exit(CRASH_EXIT_CODE)  # fault injection: die mid-task
+    fault: Optional[dict] = spec.get("fault") if in_worker else None
+    if fault is not None:
+        kind = fault["kind"]
+        if kind == "crash":
+            os._exit(CRASH_EXIT_CODE)  # fault injection: die mid-task
+        elif kind in ("hang", "slow"):
+            # "hang" sleeps past task_timeout (the executor terminates
+            # us); "slow" completes late, racing the re-enqueue logic.
+            time.sleep(fault.get("seconds", 0.0))
 
     op = spec["op"]
     segments = []
@@ -142,6 +163,17 @@ def execute_spec(spec: dict, in_worker: bool = False) -> None:
         out_view = shm.segment_view(out_seg, spec["shape"])
         bounds = spec["rows"] if "rows" in spec else spec["elems"]
         out_view[bounds[0] : bounds[1]] = result
+        if spec.get(resil_integrity.SUMS_KEY) is not None:
+            sums_seg = shm.attach_segment(spec[resil_integrity.SUMS_KEY])
+            segments.append(sums_seg)
+            sums_view = shm.segment_view(sums_seg, (spec["sums_len"],))
+            resil_integrity.write_checksum(spec, out_view, sums_view)
+            del sums_view
+        if fault is not None and fault["kind"] == "corrupt":
+            # Flip payload bits *after* the checksum write: models
+            # in-flight corruption that only verification can catch.
+            flat = out_view[bounds[0] : bounds[1]].reshape(-1)
+            flat[0] ^= np.uint64(CORRUPT_MASK)
         del out_view
     finally:
         for seg in segments:
@@ -156,9 +188,11 @@ def worker_main(slot: int, current, task_queue, result_queue) -> None:
     queue message (buffered through a feeder thread that dies with the
     process), this direct write survives a crash, so the executor can
     always attribute in-flight work to a dead worker. Completion is
-    reported on ``result_queue`` as ``("done", task_id, slot, wall_s)``
-    or, when the spec itself raised (bad operands, unknown op),
-    ``("error", task_id, slot, message)``.
+    reported on ``result_queue`` as ``("done", task_id, gen, slot,
+    wall_s)`` or, when the spec itself raised (bad operands, unknown
+    op), ``("error", task_id, gen, slot, message)`` — ``gen`` echoes
+    the generation counter from the task message so the executor can
+    discard results of superseded executions.
     """
     while True:
         try:
@@ -167,7 +201,7 @@ def worker_main(slot: int, current, task_queue, result_queue) -> None:
             return
         if item is None:
             return
-        task_id, spec = item
+        task_id, gen, spec = item
         current[slot] = task_id
         started = time.perf_counter()
         try:
@@ -176,11 +210,11 @@ def worker_main(slot: int, current, task_queue, result_queue) -> None:
             return
         except BaseException as exc:  # report, never kill the worker
             result_queue.put(
-                ("error", task_id, slot, f"{type(exc).__name__}: {exc}")
+                ("error", task_id, gen, slot, f"{type(exc).__name__}: {exc}")
             )
         else:
             result_queue.put(
-                ("done", task_id, slot, time.perf_counter() - started)
+                ("done", task_id, gen, slot, time.perf_counter() - started)
             )
         current[slot] = -1
 

@@ -1,0 +1,349 @@
+"""The ``python -m repro chaos`` harness: injected faults, exact results.
+
+Runs the parallel batch engine through a gauntlet of deterministic fault
+scenarios — worker crashes, hangs past ``task_timeout``, payload
+corruption behind a valid checksum, slow stragglers, a tripped circuit
+breaker, an instantly-expired batch deadline — and verifies after every
+one that the results are **bit-identical** to the fast engine (plus a
+faithful-engine spot check), that the breaker recovers, and that no
+shared-memory segment leaks. Every scenario derives its fault placement
+from the ``--seed``, so a failing run is replayable from its command
+line alone.
+
+This is the acceptance harness for :mod:`repro.resil` (see
+docs/RESILIENCE.md) and runs as a CI smoke job.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.resil.inject import Fault, FaultPlan
+from repro.resil.policy import CircuitBreaker
+
+#: Scenario registry order (reporting only).
+SCENARIOS = (
+    "ntt.roundtrip",
+    "negacyclic.multiply",
+    "blas.ops",
+    "rns.fused_mul",
+    "breaker.trip_recover",
+    "deadline.short_circuit",
+)
+
+
+def _merged_plan(seed: int, slots: int, forced: Dict[int, Fault], **rates) -> FaultPlan:
+    """A seeded random plan with deterministic faults forced on top."""
+    plan = FaultPlan.random(seed, slots, **rates)
+    faults = {index: plan.fault_for(index) for index in plan}
+    faults.update(forced)
+    return FaultPlan(faults)
+
+
+def run_chaos(
+    workers: int = 2,
+    seed: int = 0,
+    logn: int = 8,
+    batch: int = 8,
+    limbs: int = 3,
+    crash: float = 0.2,
+    hang: float = 0.0,
+    corrupt: float = 0.2,
+    slow: float = 0.15,
+    task_timeout: float = 3.0,
+    audit: float = 0.25,
+    rounds: int = 2,
+    emit: Callable[[str], None] = print,
+) -> int:
+    """Run every chaos scenario; returns a process exit code (0 = pass)."""
+    import numpy as np  # noqa: F401  (the engines under test need it)
+
+    from repro.fast.blas import FastBlasPlan
+    from repro.fast.ntt import FastNegacyclic, FastNtt
+    from repro.kernels import get_backend
+    from repro.ntt.simd import SimdNtt
+    from repro.obs import observing
+    from repro.par import shm
+    from repro.par.api import ParBlasPlan, ParNegacyclic, ParNtt
+    from repro.par.executor import ParallelExecutor
+    from repro.rns.basis import RnsBasis
+    from repro.rns.poly import RnsPolynomialRing
+
+    n = 1 << logn
+    rng = random.Random(seed)
+    basis = RnsBasis.generate(limbs, 62, 2 * n)
+    q = basis.primes[0]
+    scalar = get_backend("scalar")
+    results: List[Tuple[str, bool, str]] = []
+
+    def scenario(name: str, fn: Callable[[], None]) -> None:
+        started = time.perf_counter()
+        try:
+            fn()
+        except Exception as exc:  # a failed scenario must not stop the rest
+            results.append((name, False, f"{type(exc).__name__}: {exc}"))
+        else:
+            results.append((name, True, ""))
+        status = "PASS" if results[-1][1] else "FAIL"
+        emit(
+            f"  [{status}] {name:24s} ({time.perf_counter() - started:5.2f}s)"
+            + (f" — {results[-1][2]}" if results[-1][2] else "")
+        )
+
+    def expect(condition: bool, message: str) -> None:
+        if not condition:
+            raise AssertionError(message)
+
+    rates = dict(
+        crash=crash, hang=hang, corrupt=corrupt, slow=slow,
+        hang_s=task_timeout + 1.0, slow_s=0.05,
+    )
+    shards_per_call = min(workers, batch)
+
+    emit(
+        f"chaos: n=2^{logn}, batch={batch}, {workers} workers, seed={seed}, "
+        f"rates crash={crash} hang={hang} corrupt={corrupt} slow={slow}"
+    )
+
+    with observing() as session:
+        with ParallelExecutor(
+            workers=workers,
+            task_timeout=task_timeout,
+            audit_fraction=audit,
+            audit_seed=seed,
+        ) as pool:
+
+            def ntt_roundtrip() -> None:
+                plan = ParNtt(n, q, executor=pool)
+                reference = FastNtt(n, q, table=plan.plan.table)
+                faithful = SimdNtt(n, q, scalar, root=plan.plan.table.root)
+                pool.inject(_merged_plan(
+                    seed,
+                    rounds * 2 * shards_per_call,
+                    {0: Fault("crash"), 1: Fault("corrupt"),
+                     2: Fault("slow", seconds=0.05)},
+                    **rates,
+                ))
+                for _ in range(rounds):
+                    data = [
+                        [rng.randrange(q) for _ in range(n)]
+                        for _ in range(batch)
+                    ]
+                    spectra = plan.forward(data)
+                    expect(
+                        spectra == reference.forward(data),
+                        "forward diverged from the fast engine",
+                    )
+                    expect(
+                        spectra[0] == faithful.forward(data[0]),
+                        "forward diverged from the faithful engine",
+                    )
+                    expect(
+                        plan.inverse(spectra) == data,
+                        "inverse did not round-trip",
+                    )
+                pool.inject(None)
+
+            def negacyclic_multiply() -> None:
+                plan = ParNegacyclic(n, q, executor=pool)
+                reference = FastNegacyclic(n, q, psi=plan.psi)
+                pool.inject(_merged_plan(
+                    seed + 1,
+                    rounds * shards_per_call,
+                    {0: Fault("hang", seconds=task_timeout + 1.0)},
+                    **rates,
+                ))
+                for _ in range(rounds):
+                    f = [
+                        [rng.randrange(q) for _ in range(n)]
+                        for _ in range(batch)
+                    ]
+                    g = [
+                        [rng.randrange(q) for _ in range(n)]
+                        for _ in range(batch)
+                    ]
+                    expect(
+                        plan.multiply(f, g) == reference.multiply(f, g),
+                        "negacyclic product diverged from the fast engine",
+                    )
+                pool.inject(None)
+
+            def blas_ops() -> None:
+                plan = ParBlasPlan(q, executor=pool)
+                reference = FastBlasPlan(q)
+                pool.inject(_merged_plan(
+                    seed + 2,
+                    rounds * 2 * workers,
+                    {0: Fault("corrupt")},
+                    **rates,
+                ))
+                for _ in range(rounds):
+                    x = [rng.randrange(q) for _ in range(batch * n)]
+                    y = [rng.randrange(q) for _ in range(batch * n)]
+                    a = rng.randrange(q)
+                    expect(
+                        plan.vector_mul(x, y) == reference.vector_mul(x, y),
+                        "vector_mul diverged from the fast engine",
+                    )
+                    expect(
+                        plan.axpy(a, x, y) == reference.axpy(a, x, y),
+                        "axpy diverged from the fast engine",
+                    )
+                pool.inject(None)
+
+            def rns_fused_mul() -> None:
+                backend = get_backend("mqx")
+                ring = RnsPolynomialRing(
+                    n, basis, backend, engine="parallel"
+                )
+                ring_fast = RnsPolynomialRing(
+                    n, basis, backend, engine="fast"
+                )
+                pool.inject(_merged_plan(
+                    seed + 3,
+                    rounds * limbs,
+                    {0: Fault("crash")},
+                    **rates,
+                ))
+                for _ in range(rounds):
+                    coeffs_f = [
+                        rng.randrange(basis.modulus) for _ in range(n)
+                    ]
+                    coeffs_g = [
+                        rng.randrange(basis.modulus) for _ in range(n)
+                    ]
+                    product = ring.mul(ring.encode(coeffs_f), ring.encode(coeffs_g))
+                    expected = ring_fast.mul(
+                        ring_fast.encode(coeffs_f), ring_fast.encode(coeffs_g)
+                    )
+                    expect(
+                        product.residues == expected.residues,
+                        "fused RNS product diverged from the fast engine",
+                    )
+                pool.inject(None)
+
+            scenario("ntt.roundtrip", ntt_roundtrip)
+            scenario("negacyclic.multiply", negacyclic_multiply)
+            scenario("blas.ops", blas_ops)
+            scenario("rns.fused_mul", rns_fused_mul)
+
+        def breaker_trip_recover() -> None:
+            from repro.obs.hooks import record_breaker_transition
+
+            breaker = CircuitBreaker(
+                failure_threshold=2,
+                cooldown_s=0.5,
+                on_transition=record_breaker_transition,
+            )
+            with ParallelExecutor(
+                workers=workers,
+                task_timeout=task_timeout,
+                retries=0,
+                breaker=breaker,
+            ) as pool2:
+                plan = ParNtt(n, q, executor=pool2)
+                reference = FastNtt(n, q, table=plan.plan.table)
+                data = [
+                    [rng.randrange(q) for _ in range(n)] for _ in range(batch)
+                ]
+                # Every shard of the first batch crashes; with no retry
+                # budget each one falls back in-process and counts a
+                # consecutive failure, tripping the breaker.
+                pool2.inject(FaultPlan({
+                    index: Fault("crash", sticky=True)
+                    for index in range(shards_per_call)
+                }))
+                expect(
+                    plan.forward(data) == reference.forward(data),
+                    "crashing batch diverged",
+                )
+                pool2.inject(None)
+                expect(
+                    breaker.state == "open",
+                    f"breaker should be open, is {breaker.state!r}",
+                )
+                # Open breaker: the next batch routes around the pool
+                # (in-process fast engine), still bit-exact.
+                expect(
+                    plan.forward(data) == reference.forward(data),
+                    "degraded batch diverged",
+                )
+                degraded = session.metrics.get("resil.degraded.breaker_open")
+                expect(
+                    degraded is not None and degraded.value >= 1,
+                    "open breaker did not record a degradation",
+                )
+                time.sleep(breaker.cooldown_s + 0.05)
+                expect(
+                    breaker.state == "half_open",
+                    f"cooldown elapsed but breaker is {breaker.state!r}",
+                )
+                # Half-open: the next batch is the probe; it runs clean,
+                # closing the breaker.
+                expect(
+                    plan.forward(data) == reference.forward(data),
+                    "probe batch diverged",
+                )
+                expect(
+                    breaker.state == "closed",
+                    f"probe succeeded but breaker is {breaker.state!r}",
+                )
+
+        def deadline_short_circuit() -> None:
+            with ParallelExecutor(
+                workers=workers,
+                task_timeout=task_timeout,
+                batch_deadline_s=1e-9,
+            ) as pool3:
+                plan = ParNtt(n, q, executor=pool3)
+                reference = FastNtt(n, q, table=plan.plan.table)
+                data = [
+                    [rng.randrange(q) for _ in range(n)] for _ in range(batch)
+                ]
+                # The budget is already spent when the event loop first
+                # checks it: every shard short-circuits to in-process
+                # execution instead of waiting on the pool.
+                expect(
+                    plan.forward(data) == reference.forward(data),
+                    "deadline-expired batch diverged",
+                )
+                expired = session.metrics.get("resil.deadline.expired")
+                expect(
+                    expired is not None and expired.value >= 1,
+                    "expired deadline was not recorded",
+                )
+
+        scenario("breaker.trip_recover", breaker_trip_recover)
+        scenario("deadline.short_circuit", deadline_short_circuit)
+
+        emit("")
+        for name in (
+            "par.shards.dispatched",
+            "par.shards.completed",
+            "par.retries",
+            "par.fallbacks",
+            "par.workers.restarted",
+            "par.stale_results",
+            "par.integrity.corrupt",
+            "par.integrity.audited",
+            "resil.degraded",
+            "resil.breaker.open",
+            "resil.breaker.closed",
+            "resil.deadline.expired",
+        ):
+            metric = session.metrics.get(name)
+            emit(f"  {name}: {metric.value if metric is not None else 0:g}")
+
+    leaked = shm.created_segments()
+    if leaked:
+        results.append(("shm.no_leaks", False, f"{leaked} segments leaked"))
+        emit(f"  [FAIL] shm.no_leaks — {leaked} segments leaked")
+    else:
+        results.append(("shm.no_leaks", True, ""))
+
+    passed = sum(1 for _, ok, _ in results if ok)
+    emit("")
+    emit(f"chaos: {passed}/{len(results)} checks passed")
+    return 0 if passed == len(results) else 1

@@ -77,6 +77,14 @@ class RnsPolynomialRing:
         self.basis = basis
         self.backend = backend
         self.negacyclic = negacyclic
+        # Resolve the availability cascade once for the whole ring and
+        # hand the already-resolved engine to every per-prime plan (so
+        # k primes don't emit k degradation warnings, and ``mul`` only
+        # dispatches the fused pool batch when the pool can run).
+        if engine in ("fast", "parallel"):
+            from repro.resil.degrade import resolve_engine
+
+            engine = resolve_engine(engine, site="RnsPolynomialRing")
         self.engine = engine
         self._blas: Dict[int, BlasPlan] = {}
         self._ntt: Dict[int, object] = {}

@@ -3,16 +3,20 @@
 ``TwiddleTable.get`` must return one shared table per ``(n, q, root)``
 across every NTT wrapper construction site, so building many plans over
 the same modulus (the RNS pipeline, the repro.par workers) pays the
-root-finding and table construction once.
+root-finding and table construction once. The cache is LRU-bounded so a
+long-lived process cycling through many ``(n, q)`` pairs cannot grow it
+without limit; evictions are observable as ``twiddle.evictions``.
 """
 
 import pytest
 
 from repro.arith.primes import find_ntt_prime
+from repro.errors import NttParameterError
 from repro.fast.ntt import FastNtt
 from repro.kernels import get_backend
 from repro.ntt.simd import SimdNtt
-from repro.ntt.twiddles import TwiddleTable
+from repro.ntt.twiddles import DEFAULT_CACHE_CAPACITY, TwiddleTable
+from repro.obs import observing
 
 N = 16
 Q = find_ntt_prime(62, 2 * N)
@@ -21,8 +25,10 @@ Q = find_ntt_prime(62, 2 * N)
 @pytest.fixture(autouse=True)
 def fresh_cache():
     TwiddleTable.clear_cache()
+    TwiddleTable.set_cache_capacity(DEFAULT_CACHE_CAPACITY)
     yield
     TwiddleTable.clear_cache()
+    TwiddleTable.set_cache_capacity(DEFAULT_CACHE_CAPACITY)
 
 
 class TestTwiddleTableGet:
@@ -47,6 +53,53 @@ class TestTwiddleTableGet:
         assert TwiddleTable.cache_size() > 0
         TwiddleTable.clear_cache()
         assert TwiddleTable.cache_size() == 0
+
+
+class TestLruBound:
+    def _distinct_sizes(self):
+        # Three distinct (n, q) pairs sharing nothing.
+        return (N, 2 * N, 4 * N)
+
+    def test_eviction_keeps_capacity(self):
+        TwiddleTable.set_cache_capacity(2)
+        for n in self._distinct_sizes():
+            TwiddleTable.get(n, find_ntt_prime(62, 2 * n))
+        # Each table also caches its root alias: 2 tables -> <= 4 keys.
+        assert TwiddleTable.cache_size() <= 4
+
+    def test_least_recently_used_is_evicted_first(self):
+        TwiddleTable.set_cache_capacity(2)
+        sizes = self._distinct_sizes()
+        first = TwiddleTable.get(sizes[0], find_ntt_prime(62, 2 * sizes[0]))
+        TwiddleTable.get(sizes[1], find_ntt_prime(62, 2 * sizes[1]))
+        # Touch the first table, making the second the LRU victim.
+        assert TwiddleTable.get(sizes[0], find_ntt_prime(62, 2 * sizes[0])) is first
+        TwiddleTable.get(sizes[2], find_ntt_prime(62, 2 * sizes[2]))
+        assert TwiddleTable.get(sizes[0], find_ntt_prime(62, 2 * sizes[0])) is first
+
+    def test_alias_keys_do_not_consume_extra_slots(self):
+        TwiddleTable.set_cache_capacity(1)
+        table = TwiddleTable.get(N, Q)
+        # The (root=0, resolved-root) alias pair is one table, not two.
+        assert TwiddleTable.get(N, Q, table.root) is table
+
+    def test_evictions_are_metered(self):
+        TwiddleTable.set_cache_capacity(1)
+        with observing() as session:
+            for n in self._distinct_sizes():
+                TwiddleTable.get(n, find_ntt_prime(62, 2 * n))
+            assert session.metrics.get("twiddle.evictions").value == 2
+
+    def test_shrinking_capacity_evicts_immediately(self):
+        for n in self._distinct_sizes():
+            TwiddleTable.get(n, find_ntt_prime(62, 2 * n))
+        TwiddleTable.set_cache_capacity(1)
+        assert TwiddleTable.cache_size() <= 2
+        assert TwiddleTable.cache_capacity() == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(NttParameterError):
+            TwiddleTable.set_cache_capacity(0)
 
 
 class TestConstructionSitesShareTables:
