@@ -9,7 +9,8 @@ Usage::
     python -m repro mca [--microarch sunny_cove]
     python -m repro sol --vendor amd
     python -m repro par --workers 4 --logn 12 --batch 16
-    python -m repro chaos --workers 2 --seed 0
+    python -m repro chaos --workers 2 --seed 0 --export chrome
+    python -m repro timeline --workers 2 --min-lanes 2 --export chrome
     python -m repro experiments [--output EXPERIMENTS.md]
     python -m repro profile --experiment headline --export chrome
 """
@@ -205,6 +206,27 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         task_timeout=args.task_timeout,
         audit=args.audit,
         rounds=args.rounds,
+        export=args.export,
+        output_dir=args.output_dir,
+    )
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.obs.timeline import run_timeline
+
+    formats = [] if args.export == "none" else args.export.split("+")
+    return run_timeline(
+        workers=args.workers,
+        logn=args.logn,
+        batch=args.batch,
+        limbs=args.limbs,
+        rounds=args.rounds,
+        seed=args.seed,
+        crash=args.crash,
+        export_formats=formats,
+        output_dir=args.output_dir,
+        min_lanes=args.min_lanes,
+        overhead_gate=args.overhead_gate,
     )
 
 
@@ -352,6 +374,61 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--rounds", type=int, default=2, help="batches per scenario"
     )
+    chaos.add_argument(
+        "--export",
+        default="none",
+        choices=["none", "chrome", "jsonl", "chrome+jsonl"],
+        help="export the gauntlet's merged trace (worker lanes included)",
+    )
+    chaos.add_argument(
+        "--output-dir", default=".", help="directory for exported trace files"
+    )
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="run a parallel workload with cross-process telemetry and "
+        "emit the merged per-worker timeline + utilization table",
+    )
+    timeline.add_argument(
+        "--workers", type=int, default=2, help="pool size (default: 2)"
+    )
+    timeline.add_argument("--logn", type=int, default=10)
+    timeline.add_argument("--batch", type=int, default=8)
+    timeline.add_argument("--limbs", type=int, default=4)
+    timeline.add_argument(
+        "--rounds", type=int, default=3, help="workload repetitions"
+    )
+    timeline.add_argument("--seed", type=int, default=0)
+    timeline.add_argument(
+        "--crash",
+        type=int,
+        default=0,
+        help="crash the workers of the first N dispatched shards "
+        "(their retries show up on a different lane)",
+    )
+    timeline.add_argument(
+        "--export",
+        default="chrome",
+        choices=["none", "chrome", "jsonl", "chrome+jsonl"],
+        help="merged trace export format(s)",
+    )
+    timeline.add_argument(
+        "--output-dir", default=".", help="directory for exported trace files"
+    )
+    timeline.add_argument(
+        "--min-lanes",
+        type=int,
+        default=0,
+        help="fail unless the merged trace shows at least this many "
+        "distinct worker lanes (CI smoke)",
+    )
+    timeline.add_argument(
+        "--overhead-gate",
+        type=float,
+        default=None,
+        help="fail if enabling telemetry slows the workload by more than "
+        "this fraction (e.g. 0.10 for 10%%)",
+    )
 
     exp = sub.add_parser("experiments", help="regenerate EXPERIMENTS.md")
     exp.add_argument("--output", default="EXPERIMENTS.md")
@@ -411,6 +488,7 @@ _COMMANDS = {
     "sol": _cmd_sol,
     "par": _cmd_par,
     "chaos": _cmd_chaos,
+    "timeline": _cmd_timeline,
     "experiments": _cmd_experiments,
     "profile": _cmd_profile,
 }

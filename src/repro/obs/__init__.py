@@ -17,6 +17,11 @@ methodology is (LLVM-MCA port-pressure reports, PISA validation tables):
 * :mod:`repro.obs.snapshot` — the ``BENCH_pipeline.json`` perf-snapshot
   history with regression diffing.
 * :mod:`repro.obs.profile` — the ``python -m repro profile`` engine.
+* :mod:`repro.obs.dist` — cross-process telemetry for the parallel
+  engine: trace-context propagation into worker processes, worker-local
+  capture, and parent-side merge onto per-worker trace lanes.
+* :mod:`repro.obs.timeline` — the ``python -m repro timeline`` harness
+  (merged batch timeline + per-worker utilization table).
 
 Typical use::
 
@@ -36,6 +41,7 @@ from repro.obs.export import (
     to_chrome_trace,
     to_jsonl,
     validate_chrome_trace,
+    worker_lanes,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.session import (
@@ -77,4 +83,5 @@ __all__ = [
     "to_chrome_trace",
     "to_jsonl",
     "validate_chrome_trace",
+    "worker_lanes",
 ]

@@ -19,6 +19,18 @@ from typing import Dict, Iterable, List, Optional
 from repro.errors import ObservabilityError
 from repro.obs.spans import SpanRecord
 
+#: Reserved span-attribute keys that route a record onto its own
+#: process lane in the Chrome trace. Spans merged from worker telemetry
+#: (:mod:`repro.obs.dist`) carry the worker's pid under
+#: :data:`LANE_PID_KEY` and a human label under :data:`LANE_NAME_KEY`;
+#: :func:`to_chrome_trace` renders them as separate pid tracks so
+#: Perfetto shows one lane per worker next to the parent's.
+LANE_PID_KEY = "obs.pid"
+LANE_NAME_KEY = "obs.lane"
+
+#: The pid the parent process's spans render on.
+PARENT_PID = 1
+
 
 def span_to_dict(record: SpanRecord) -> Dict[str, object]:
     """Plain-dict form of one span (the JSON-lines payload)."""
@@ -37,9 +49,21 @@ def span_to_dict(record: SpanRecord) -> Dict[str, object]:
 def to_jsonl(
     spans: Iterable[SpanRecord],
     metrics_snapshot: Optional[Dict[str, Dict[str, object]]] = None,
+    events: Optional[Iterable[Dict[str, object]]] = None,
 ) -> str:
-    """Serialize spans (and optionally a metrics snapshot) as JSON-lines."""
+    """Serialize spans (plus optional metrics and events) as JSON-lines.
+
+    ``events`` is the session's structured event log
+    (:attr:`repro.obs.session.ObsSession.events`); each record becomes a
+    ``{"kind": "event", ...}`` line carrying its correlation ids, which
+    is what lets ``jq`` join parent-side shard lifecycle events with the
+    worker-side spans of the same batch/shard/attempt.
+    """
     lines = [json.dumps(span_to_dict(record)) for record in spans]
+    for record in events or ():
+        payload = {"kind": "event"}
+        payload.update(record)
+        lines.append(json.dumps(payload))
     for name, data in (metrics_snapshot or {}).items():
         payload = {"kind": "metric", "name": name}
         payload.update(data)
@@ -68,19 +92,47 @@ def to_chrome_trace(
     """Build a Chrome trace-event JSON object from completed spans.
 
     Spans map to complete events (``"ph": "X"``) with microsecond
-    ``ts``/``dur`` on one pid/tid; nesting is reconstructed by the viewer
-    from timestamp containment, which our LIFO spans guarantee.
+    ``ts``/``dur``; nesting is reconstructed by the viewer from timestamp
+    containment, which our LIFO spans guarantee. Records carrying the
+    :data:`LANE_PID_KEY` attribute (telemetry merged from pool workers)
+    render on their own pid lane, labelled from :data:`LANE_NAME_KEY` —
+    the result is one unified timeline with the parent's
+    dispatch/collect/retry track plus a track per worker process.
     """
     events: List[Dict[str, object]] = [
         {
             "ph": "M",
-            "pid": 1,
+            "pid": PARENT_PID,
             "tid": 1,
             "name": "process_name",
             "args": {"name": process_name},
         }
     ]
+    named_lanes: Dict[int, str] = {}
     for record in spans:
+        lane_pid = record.attrs.get(LANE_PID_KEY)
+        if lane_pid is None:
+            pid = PARENT_PID
+            args = dict(record.attrs)
+        else:
+            pid = int(lane_pid)
+            args = {
+                key: value
+                for key, value in record.attrs.items()
+                if key not in (LANE_PID_KEY, LANE_NAME_KEY)
+            }
+            label = str(record.attrs.get(LANE_NAME_KEY, f"worker pid {pid}"))
+            if named_lanes.get(pid) != label:
+                named_lanes[pid] = label
+                events.append(
+                    {
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": 1,
+                        "name": "process_name",
+                        "args": {"name": label},
+                    }
+                )
         events.append(
             {
                 "name": record.name,
@@ -88,12 +140,29 @@ def to_chrome_trace(
                 "ph": "X",
                 "ts": record.start_s * 1e6,
                 "dur": record.duration_s * 1e6,
-                "pid": 1,
+                "pid": pid,
                 "tid": 1,
-                "args": dict(record.attrs),
+                "args": args,
             }
         )
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def worker_lanes(trace: Dict[str, object]) -> List[int]:
+    """Distinct worker pids present in a Chrome trace built by this module.
+
+    Counts the pids of non-metadata events other than the parent lane —
+    the CI timeline smoke asserts a lower bound on this to prove shards
+    really executed across multiple processes.
+    """
+    pids = {
+        event.get("pid")
+        for event in trace.get("traceEvents", ())  # type: ignore[union-attr]
+        if isinstance(event, dict) and event.get("ph") != "M"
+    }
+    return sorted(
+        pid for pid in pids if isinstance(pid, int) and pid != PARENT_PID
+    )
 
 
 def validate_chrome_trace(obj: object) -> None:

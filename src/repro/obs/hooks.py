@@ -135,6 +135,58 @@ def record_par_stale_result() -> None:
     session.metrics.counter("par.stale_results").inc()
 
 
+def record_worker_blob(blob, slot: int) -> None:
+    """Merge one worker telemetry blob into the parent session.
+
+    Thin hook over :func:`repro.obs.dist.merge_blob` (lazy import keeps
+    :mod:`repro.obs.hooks` a dependency leaf): re-anchors the worker's
+    spans onto the parent timeline with slot/pid lane tags and rolls its
+    counters up under ``par.worker.*`` / ``par.slot.<k>.*``.
+    """
+    session = current()
+    if session is None:
+        return
+    from repro.obs.dist import merge_blob
+
+    merge_blob(session, blob, slot)
+
+
+def record_telemetry_stale() -> None:
+    """Count one worker telemetry blob discarded as stale.
+
+    Mirrors :func:`record_par_stale_result`: telemetry attached to a
+    superseded generation (or to a task the executor no longer tracks)
+    must not pollute the merged timeline, but its arrival is metered so a
+    retry storm is visible in the blob accounting too.
+    """
+    session = current()
+    if session is None:
+        return
+    session.metrics.counter("par.telemetry.stale").inc()
+
+
+def record_shard_event(event: str, **fields: object) -> None:
+    """Append one shard lifecycle event to the structured event log.
+
+    The executor calls this with the shard's correlation ids (``batch``,
+    ``shard``, ``attempt``) at each parent-side transition — dispatched,
+    done, retry, fallback, corrupt — producing the JSONL stream that
+    joins against worker-side span attributes.
+    """
+    session = current()
+    if session is None:
+        return
+    session.event(event, **fields)
+
+
+def record_slot_retry(slot: int) -> None:
+    """Attribute one retry to the worker slot whose shard failed."""
+    session = current()
+    if session is None:
+        return
+    session.metrics.counter(f"par.slot.{slot}.retries").inc()
+
+
 def record_integrity_corrupt() -> None:
     """Count one shard whose shm payload failed checksum verification."""
     session = current()

@@ -14,6 +14,8 @@ exporters in :mod:`repro.obs.export` and the summary tables in
 
 from __future__ import annotations
 
+import random
+import zlib
 from typing import Dict, Iterator, List, Optional
 
 from repro.errors import ObservabilityError
@@ -57,38 +59,102 @@ class Gauge:
         return {"type": "gauge", "value": self.value, "updates": self.updates}
 
 
-class Histogram:
-    """Distribution of observed values with exact percentiles.
+#: Observations a histogram stores exactly before switching to
+#: reservoir sampling. Generous for pipeline phases (thousands of
+#: values) while bounding memory under long parallel runs that observe
+#: millions of shard walls.
+DEFAULT_RESERVOIR_SIZE = 4096
 
-    Keeps raw observations (pipeline runs observe thousands, not
-    millions, of values) so percentiles are exact rather than bucketed.
+
+class Histogram:
+    """Distribution of observed values with bounded memory.
+
+    Values are stored exactly — so percentiles are exact — up to
+    ``reservoir_size`` observations. Beyond the cap, storage switches to
+    deterministic reservoir sampling (Algorithm R with a seed derived
+    from the metric name), keeping percentiles unbiased estimates while
+    memory stays O(cap). ``count``/``sum``/``min``/``max``/``mean`` are
+    tracked as running exacts either way, and :meth:`snapshot` reports
+    ``sampled: true`` once the reservoir is in effect.
     """
 
     kind = "histogram"
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self,
+        name: str,
+        reservoir_size: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if reservoir_size is not None and reservoir_size < 1:
+            raise ObservabilityError(
+                f"histogram {name!r} reservoir_size must be >= 1"
+            )
         self.name = name
         self.values: List[float] = []
+        self.reservoir_size = reservoir_size or DEFAULT_RESERVOIR_SIZE
+        # Seeded from (seed, name) so sampling is replayable across runs
+        # regardless of per-process str-hash randomization.
+        self._rng = random.Random((seed << 32) ^ zlib.crc32(name.encode()))
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
 
     def observe(self, value: float) -> None:
-        self.values.append(float(value))
+        value = float(value)
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if len(self.values) < self.reservoir_size:
+            self.values.append(value)
+        else:
+            # Algorithm R: keep each of the N observations in the
+            # reservoir with probability cap/N.
+            slot = self._rng.randrange(self._count)
+            if slot < self.reservoir_size:
+                self.values[slot] = value
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        return self._count
 
     @property
     def sum(self) -> float:
-        return sum(self.values)
+        return self._sum
+
+    @property
+    def min(self) -> float:
+        if not self._count:
+            raise ObservabilityError(f"histogram {self.name!r} is empty")
+        return self._min
+
+    @property
+    def max(self) -> float:
+        if not self._count:
+            raise ObservabilityError(f"histogram {self.name!r} is empty")
+        return self._max
 
     @property
     def mean(self) -> float:
-        if not self.values:
+        if not self._count:
             raise ObservabilityError(f"histogram {self.name!r} is empty")
-        return self.sum / len(self.values)
+        return self._sum / self._count
+
+    @property
+    def sampled(self) -> bool:
+        """Whether percentiles are reservoir estimates rather than exact."""
+        return self._count > len(self.values)
 
     def percentile(self, p: float) -> float:
-        """Exact percentile ``p`` in [0, 100], linearly interpolated."""
+        """Percentile ``p`` in [0, 100], linearly interpolated.
+
+        Exact below the reservoir cap; an unbiased sample estimate after
+        (:attr:`sampled` tells which).
+        """
         if not self.values:
             raise ObservabilityError(f"histogram {self.name!r} is empty")
         if not 0.0 <= p <= 100.0:
@@ -103,18 +169,19 @@ class Histogram:
         return ordered[low] * (1.0 - frac) + ordered[high] * frac
 
     def snapshot(self) -> Dict[str, object]:
-        if not self.values:
+        if not self._count:
             return {"type": "histogram", "count": 0}
         return {
             "type": "histogram",
             "count": self.count,
             "sum": self.sum,
-            "min": min(self.values),
-            "max": max(self.values),
+            "min": self.min,
+            "max": self.max,
             "mean": self.mean,
             "p50": self.percentile(50),
             "p90": self.percentile(90),
             "p99": self.percentile(99),
+            "sampled": self.sampled,
         }
 
 

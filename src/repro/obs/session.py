@@ -16,12 +16,13 @@ without creating a cycle: :mod:`repro.obs` never imports them back.
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import Dict, Iterator, List, Optional
 
 
 class ObsSession:
-    """One observability capture: a span sink plus a metrics registry."""
+    """One observability capture: spans, metrics, and structured events."""
 
     def __init__(self) -> None:
         from repro.obs.metrics import MetricsRegistry
@@ -29,11 +30,27 @@ class ObsSession:
 
         self.spans = SpanSink()
         self.metrics = MetricsRegistry()
+        #: Structured event log (``{"event": ..., "t_s": ..., **fields}``),
+        #: the JSONL correlation stream for cross-process runs — the
+        #: parallel executor appends one record per shard lifecycle step
+        #: (dispatched / done / retry / fallback) carrying batch, shard
+        #: and attempt ids that match the worker-side span attributes.
+        self.events: List[Dict[str, object]] = []
+
+    def event(self, name: str, **fields: object) -> Dict[str, object]:
+        """Append one structured event, stamped on the span timeline."""
+        record: Dict[str, object] = {
+            "event": name,
+            "t_s": time.perf_counter() - self.spans.epoch_s,
+        }
+        record.update(fields)
+        self.events.append(record)
+        return record
 
     def __repr__(self) -> str:
         return (
             f"ObsSession({len(self.spans.records)} spans, "
-            f"{len(self.metrics)} metrics)"
+            f"{len(self.metrics)} metrics, {len(self.events)} events)"
         )
 
 
@@ -62,6 +79,18 @@ def disable() -> None:
     """Stop capturing and drop the active session, if any."""
     global _SESSION
     _SESSION = None
+
+
+def _swap(session: Optional[ObsSession]) -> Optional[ObsSession]:
+    """Install ``session`` as the active one, returning the previous.
+
+    Internal: used by :class:`repro.obs.dist.ShardObservation` to scope a
+    worker-local session to one shard and restore whatever was active
+    before (normally ``None`` inside a worker process).
+    """
+    global _SESSION
+    previous, _SESSION = _SESSION, session
+    return previous
 
 
 @contextmanager

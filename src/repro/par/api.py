@@ -33,6 +33,7 @@ from repro.fast.limbs import limbs_from_ints, limbs_to_ints
 from repro.fast.ntt import FastNegacyclic, FastNtt
 from repro.ntt.twiddles import TwiddleTable
 from repro.obs.hooks import record_engine_call
+from repro.obs.spans import span
 from repro.par import shm
 from repro.par.executor import ParallelExecutor, default_executor
 from repro.util.checks import check_reduced
@@ -69,49 +70,53 @@ def _run_sharded(
     ``"rows"`` (transforms shard whole batch rows) or ``"elems"`` (BLAS
     shards the flattened element axis). Segments are always released
     before returning, even when execution raises.
+
+    The ``par.batch`` span brackets staging + run + collection, so a
+    profile separates shared-memory copy overhead from pool time.
     """
     executor = executor or default_executor()
-    segments = []
-    try:
-        names = {}
-        for key, arr in inputs.items():
-            seg, view = shm.create_segment(shape)
-            view[...] = arr
-            del view
-            segments.append(seg)
-            names[key] = seg.name
-        out_seg, out_view = shm.create_segment(shape)
-        segments.append(out_seg)
-        bounds = shard_bounds(total, executor.workers)
-        sums_name, sums_seg = None, None
-        if executor.integrity:
-            # One CRC-32 slot per shard, written by the worker right
-            # after its payload and re-verified by the executor on
-            # collection (see repro.resil.integrity).
-            sums_seg, sums_view = shm.create_segment((len(bounds),))
-            del sums_view
-            segments.append(sums_seg)
-            sums_name = sums_seg.name
-        specs = []
-        for index, (start, stop) in enumerate(bounds):
-            spec = dict(meta)
-            spec.update(names)
-            spec["shape"] = list(shape)
-            spec[axis_key] = [start, stop]
-            spec["out"] = out_seg.name
-            if sums_name is not None:
-                spec["shard_index"] = index
-                spec["sums"] = sums_name
-                spec["sums_len"] = len(bounds)
-            specs.append(spec)
-        executor.run(specs)
-        executor.audit(specs)
-        result = np.array(out_view, copy=True)
-        del out_view
-        return result
-    finally:
-        for seg in segments:
-            shm.release_segment(seg)
+    with span("par.batch", op=meta.get("op"), axis=axis_key, total=int(total)):
+        segments = []
+        try:
+            names = {}
+            for key, arr in inputs.items():
+                seg, view = shm.create_segment(shape)
+                view[...] = arr
+                del view
+                segments.append(seg)
+                names[key] = seg.name
+            out_seg, out_view = shm.create_segment(shape)
+            segments.append(out_seg)
+            bounds = shard_bounds(total, executor.workers)
+            sums_name, sums_seg = None, None
+            if executor.integrity:
+                # One CRC-32 slot per shard, written by the worker right
+                # after its payload and re-verified by the executor on
+                # collection (see repro.resil.integrity).
+                sums_seg, sums_view = shm.create_segment((len(bounds),))
+                del sums_view
+                segments.append(sums_seg)
+                sums_name = sums_seg.name
+            specs = []
+            for index, (start, stop) in enumerate(bounds):
+                spec = dict(meta)
+                spec.update(names)
+                spec["shape"] = list(shape)
+                spec[axis_key] = [start, stop]
+                spec["out"] = out_seg.name
+                if sums_name is not None:
+                    spec["shard_index"] = index
+                    spec["sums"] = sums_name
+                    spec["sums_len"] = len(bounds)
+                specs.append(spec)
+            executor.run(specs)
+            executor.audit(specs)
+            result = np.array(out_view, copy=True)
+            del out_view
+            return result
+        finally:
+            for seg in segments:
+                shm.release_segment(seg)
 
 
 class ParNtt:
@@ -381,6 +386,8 @@ def parallel_rns_mul(
     executor = executor or default_executor()
     shape = (k, n, 2)
     segments = []
+    batch_span = span("par.batch", op="rns.mul", axis="rows", total=k)
+    batch_span.__enter__()
     try:
         x_seg, x_view = shm.create_segment(shape)
         x_view[...] = fa
@@ -434,4 +441,5 @@ def parallel_rns_mul(
     finally:
         for seg in segments:
             shm.release_segment(seg)
+        batch_span.__exit__(None, None, None)
     return [limbs_to_ints(out[i]) for i in range(k)]

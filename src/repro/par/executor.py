@@ -69,6 +69,7 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ParallelExecutionError
+from repro.obs import dist
 from repro.obs.hooks import (
     record_breaker_transition,
     record_deadline_expired,
@@ -81,8 +82,13 @@ from repro.obs.hooks import (
     record_par_worker_restart,
     record_resil_degraded,
     record_retry_backoff,
+    record_shard_event,
     record_shm_reclaimed,
+    record_slot_retry,
+    record_telemetry_stale,
+    record_worker_blob,
 )
+from repro.obs.session import current as obs_current
 from repro.obs.spans import span
 from repro.par.worker import execute_spec, worker_main
 from repro.resil import degrade
@@ -94,6 +100,25 @@ _POLL_S = 0.02
 
 #: ``current``-array value meaning "no task in flight".
 _IDLE = -1
+
+
+def _shard_event(event: str, spec: dict, **fields: object) -> None:
+    """Log one shard lifecycle event with its correlation ids.
+
+    No-op for specs without a trace-context header (i.e. whenever no
+    observability session was active at dispatch), so the event log
+    costs nothing on the hot path.
+    """
+    ctx = spec.get(dist.CTX_KEY)
+    if ctx is None:
+        return
+    record_shard_event(
+        event,
+        batch=ctx["batch"],
+        shard=ctx["shard"],
+        attempt=ctx["attempt"],
+        **fields,
+    )
 
 
 def _pool_context():
@@ -363,7 +388,11 @@ class ParallelExecutor:
         record_par_dispatch(len(specs))
         if deadline is None and self.batch_deadline_s is not None:
             deadline = Deadline(self.batch_deadline_s)
-        with span("par.run", shards=len(specs)):
+        # A batch correlation id exists only while a session is active:
+        # without one, specs carry no context header at all and the
+        # telemetry path is never entered (zero pickling overhead).
+        batch_id = dist.next_batch_id() if obs_current() is not None else None
+        with span("par.run", shards=len(specs), batch=batch_id):
             if not self.breaker.allow():
                 self._run_degraded(specs, "breaker_open")
                 return
@@ -375,7 +404,7 @@ class ParallelExecutor:
                 self.breaker.record_failure()
                 self._run_degraded(specs, "pool_start_failed")
                 return
-            self._event_loop(specs, deadline)
+            self._event_loop(specs, deadline, batch_id)
 
     def _track_segments(self, specs: Sequence[dict]) -> None:
         """Remember segment names so ``close()`` can reclaim leaks."""
@@ -431,18 +460,25 @@ class ParallelExecutor:
         return ok
 
     def _event_loop(
-        self, specs: List[dict], deadline: Optional[Deadline]
+        self,
+        specs: List[dict],
+        deadline: Optional[Deadline],
+        batch_id: Optional[str] = None,
     ) -> None:
         pending: Dict[int, dict] = {}
         attempts: Dict[int, int] = {}
         gen: Dict[int, int] = {}
-        for spec in specs:
-            task_id = self._next_id
-            self._next_id += 1
-            pending[task_id] = spec
-            attempts[task_id] = 0
-            gen[task_id] = 0
-            self._tasks.put((task_id, 0, spec))
+        with span("par.dispatch", batch=batch_id, shards=len(specs)):
+            for index, spec in enumerate(specs):
+                task_id = self._next_id
+                self._next_id += 1
+                if batch_id is not None:
+                    spec[dist.CTX_KEY] = dist.make_context(batch_id, index)
+                pending[task_id] = spec
+                attempts[task_id] = 0
+                gen[task_id] = 0
+                self._tasks.put((task_id, 0, spec))
+                _shard_event("shard.dispatched", spec, task=task_id)
 
         claimed_at: Dict[Tuple[int, int], float] = {}
         delayed: List[Tuple[float, int]] = []  # (ready_at, task_id) heap
@@ -457,9 +493,20 @@ class ParallelExecutor:
             clear_claims(task_id)
             self.stats["fallbacks"] += 1
             record_par_fallback()
-            execute_spec(spec, in_worker=False)
+            _shard_event("shard.fallback", spec, task=task_id)
+            ctx = spec.get(dist.CTX_KEY)
+            if ctx is not None:
+                with span(
+                    "par.fallback",
+                    batch=ctx["batch"],
+                    shard=ctx["shard"],
+                    attempt=ctx["attempt"],
+                ):
+                    execute_spec(spec, in_worker=False)
+            else:
+                execute_spec(spec, in_worker=False)
 
-        def fail(task_id: int) -> None:
+        def fail(task_id: int, slot: Optional[int] = None) -> None:
             if task_id not in pending:
                 return
             clear_claims(task_id)
@@ -472,7 +519,27 @@ class ParallelExecutor:
             if self.retry_policy.should_retry(attempts[task_id]):
                 self.stats["retries"] += 1
                 record_par_retry()
-                pending[task_id] = strip_transient_fault(pending[task_id])
+                if slot is not None:
+                    record_slot_retry(slot)
+                spec = strip_transient_fault(pending[task_id])
+                # Re-stamp the context header (attempt, generation) so
+                # the retried execution's worker spans carry the ids of
+                # the attempt that actually produced them.
+                dist.refresh_context(spec, attempts[task_id] + 1, gen[task_id])
+                pending[task_id] = spec
+                ctx = spec.get(dist.CTX_KEY)
+                if ctx is not None:
+                    with span(
+                        "par.retry",
+                        batch=ctx["batch"],
+                        shard=ctx["shard"],
+                        attempt=ctx["attempt"],
+                        from_slot=slot,
+                    ):
+                        pass  # instant marker on the parent lane
+                    _shard_event(
+                        "shard.retry", spec, task=task_id, from_slot=slot
+                    )
                 delay = self.retry_policy.delay_s(attempts[task_id])
                 if delay > 0.0:
                     record_retry_backoff(delay)
@@ -484,89 +551,133 @@ class ParallelExecutor:
             else:
                 fallback(task_id)
 
-        while pending:
-            now = time.monotonic()
+        with span("par.collect", batch=batch_id):
+            while pending:
+                now = time.monotonic()
 
-            # Backoff queue: release retries whose delay has elapsed.
-            while delayed and delayed[0][0] <= now:
-                _, task_id = heapq.heappop(delayed)
-                if task_id in pending:
-                    self._tasks.put((task_id, gen[task_id], pending[task_id]))
-
-            # Batch deadline: short-circuit what's left to in-process
-            # execution rather than waiting out further retries.
-            if deadline is not None and deadline.expired():
-                remaining = list(pending)
-                self.stats["deadline_expired"] += len(remaining)
-                record_deadline_expired(len(remaining))
-                for task_id in remaining:
-                    fallback(task_id)
-                break
-
-            try:
-                message = self._results.get(timeout=_POLL_S)
-            except queue_mod.Empty:
-                message = None
-            now = time.monotonic()
-
-            if message is not None:
-                kind, task_id, msg_gen = message[0], message[1], message[2]
-                last_progress = now
-                if task_id in pending and msg_gen != gen[task_id]:
-                    # Straggler from a superseded execution.
-                    self.stats["stale"] += 1
-                    record_par_stale_result()
-                    continue
-                if kind == "done":
+                # Backoff queue: release retries whose delay has elapsed.
+                while delayed and delayed[0][0] <= now:
+                    _, task_id = heapq.heappop(delayed)
                     if task_id in pending:
-                        if self._verify(pending[task_id]):
-                            del pending[task_id]
-                            clear_claims(task_id)
-                            self.stats["completed"] += 1
-                            record_par_shard_done(message[4])
-                            self.breaker.record_success()
+                        self._tasks.put(
+                            (task_id, gen[task_id], pending[task_id])
+                        )
+
+                # Batch deadline: short-circuit what's left to in-process
+                # execution rather than waiting out further retries.
+                if deadline is not None and deadline.expired():
+                    remaining = list(pending)
+                    self.stats["deadline_expired"] += len(remaining)
+                    record_deadline_expired(len(remaining))
+                    for task_id in remaining:
+                        fallback(task_id)
+                    break
+
+                try:
+                    message = self._results.get(timeout=_POLL_S)
+                except queue_mod.Empty:
+                    message = None
+                now = time.monotonic()
+
+                if message is not None:
+                    kind, task_id, msg_gen = (
+                        message[0],
+                        message[1],
+                        message[2],
+                    )
+                    from_slot = message[3]
+                    blob = message[5] if len(message) > 5 else None
+                    last_progress = now
+                    stale = task_id in pending and msg_gen != gen[task_id]
+                    if blob is not None:
+                        if stale or task_id not in pending:
+                            # Telemetry of a superseded (or already
+                            # recovered) execution: discarded exactly as
+                            # its result is, but metered.
+                            record_telemetry_stale()
                         else:
-                            # Payload corrupt in shared memory: a
-                            # retryable fault, not a completion.
-                            self.stats["corrupt"] += 1
-                            record_integrity_corrupt()
-                            fail(task_id)
-                elif kind == "error":
-                    fail(task_id)
-                continue
-
-            # No message: police the pool.
-            for slot, proc in enumerate(self._procs):
-                in_flight = self._current[slot]
-                if proc.is_alive():
-                    if in_flight != _IDLE and in_flight in pending:
-                        key = (slot, in_flight)
-                        if key not in claimed_at:
-                            claimed_at[key] = now
-                            last_progress = now
-                        elif now - claimed_at[key] > self.task_timeout:
-                            proc.terminate()  # hung: reaped as dead below
+                            record_worker_blob(blob, from_slot)
+                    if stale:
+                        # Straggler from a superseded execution.
+                        self.stats["stale"] += 1
+                        record_par_stale_result()
+                        continue
+                    if kind == "done":
+                        if task_id in pending:
+                            if self._verify(pending[task_id]):
+                                spec = pending.pop(task_id)
+                                clear_claims(task_id)
+                                self.stats["completed"] += 1
+                                record_par_shard_done(message[4])
+                                _shard_event(
+                                    "shard.done",
+                                    spec,
+                                    task=task_id,
+                                    slot=from_slot,
+                                    wall_s=message[4],
+                                )
+                                self.breaker.record_success()
+                            else:
+                                # Payload corrupt in shared memory: a
+                                # retryable fault, not a completion.
+                                self.stats["corrupt"] += 1
+                                record_integrity_corrupt()
+                                _shard_event(
+                                    "shard.corrupt",
+                                    pending[task_id],
+                                    task=task_id,
+                                    slot=from_slot,
+                                )
+                                fail(task_id, slot=from_slot)
+                    elif kind == "error":
+                        if task_id in pending:
+                            _shard_event(
+                                "shard.error",
+                                pending[task_id],
+                                task=task_id,
+                                slot=from_slot,
+                                error=message[4],
+                            )
+                        fail(task_id, slot=from_slot)
                     continue
-                # Dead worker: replace it, recover its in-flight shard.
-                self._current[slot] = _IDLE
-                self._procs[slot] = self._spawn(slot)
-                self.stats["restarts"] += 1
-                record_par_worker_restart()
-                last_progress = now
-                if in_flight != _IDLE:
-                    fail(in_flight)
 
-            # Safety net: a worker that died between dequeuing a task
-            # and advertising it leaves the shard in limbo. After a
-            # quiet task_timeout, re-enqueue everything unclaimed —
-            # skipping retries already waiting out their backoff.
-            if now - last_progress > self.task_timeout:
-                advertised = {self._current[s] for s in range(self.workers)}
-                waiting = {task_id for _, task_id in delayed}
-                for task_id in list(pending):
-                    if task_id not in advertised and task_id not in waiting:
-                        fail(task_id)
-                last_progress = now
+                # No message: police the pool.
+                for slot, proc in enumerate(self._procs):
+                    in_flight = self._current[slot]
+                    if proc.is_alive():
+                        if in_flight != _IDLE and in_flight in pending:
+                            key = (slot, in_flight)
+                            if key not in claimed_at:
+                                claimed_at[key] = now
+                                last_progress = now
+                            elif now - claimed_at[key] > self.task_timeout:
+                                proc.terminate()  # hung: reaped below
+                        continue
+                    # Dead worker: replace it, recover its shard.
+                    self._current[slot] = _IDLE
+                    self._procs[slot] = self._spawn(slot)
+                    self.stats["restarts"] += 1
+                    record_par_worker_restart()
+                    last_progress = now
+                    if in_flight != _IDLE:
+                        fail(in_flight, slot=slot)
+
+                # Safety net: a worker that died between dequeuing a
+                # task and advertising it leaves the shard in limbo.
+                # After a quiet task_timeout, re-enqueue everything
+                # unclaimed — skipping retries waiting out a backoff.
+                if now - last_progress > self.task_timeout:
+                    advertised = {
+                        self._current[s] for s in range(self.workers)
+                    }
+                    waiting = {task_id for _, task_id in delayed}
+                    for task_id in list(pending):
+                        if (
+                            task_id not in advertised
+                            and task_id not in waiting
+                        ):
+                            fail(task_id)
+                    last_progress = now
 
 
 # ---------------------------------------------------------------------------

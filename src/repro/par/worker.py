@@ -43,6 +43,9 @@ from repro.errors import ParallelExecutionError
 from repro.fast.blas import FastBlasPlan
 from repro.fast.ntt import FastNegacyclic, FastNtt
 from repro.ntt.twiddles import TwiddleTable
+from repro.obs import dist
+from repro.obs import session as obs_session
+from repro.obs.spans import span
 from repro.par import shm
 from repro.resil import integrity as resil_integrity
 
@@ -128,47 +131,65 @@ def execute_spec(spec: dict, in_worker: bool = False) -> None:
             return shm.segment_view(seg, spec["shape"])
 
         if op == "ntt":
-            plan = ntt_plan(spec["n"], spec["q"], spec["root"])
-            data = _slice(view_of("x"), spec["rows"])
-            if spec["direction"] == "forward":
-                result = plan.forward(data, natural_order=spec["natural_order"])
-            else:
-                result = plan.inverse(data, natural_order=spec["natural_order"])
+            with span("par.worker.plan", op=op):
+                plan = ntt_plan(spec["n"], spec["q"], spec["root"])
+            with span("par.worker.map_shm", role="in"):
+                data = _slice(view_of("x"), spec["rows"])
+            with span("par.worker.compute", op=op):
+                if spec["direction"] == "forward":
+                    result = plan.forward(
+                        data, natural_order=spec["natural_order"]
+                    )
+                else:
+                    result = plan.inverse(
+                        data, natural_order=spec["natural_order"]
+                    )
         elif op == "negacyclic_mul":
-            plan = negacyclic_plan(
-                spec["n"], spec["q"], spec["psi"], spec["root"]
-            )
-            f = _slice(view_of("x"), spec["rows"])
-            g = _slice(view_of("y"), spec["rows"])
-            result = plan.multiply(f, g)
+            with span("par.worker.plan", op=op):
+                plan = negacyclic_plan(
+                    spec["n"], spec["q"], spec["psi"], spec["root"]
+                )
+            with span("par.worker.map_shm", role="in"):
+                f = _slice(view_of("x"), spec["rows"])
+                g = _slice(view_of("y"), spec["rows"])
+            with span("par.worker.compute", op=op):
+                result = plan.multiply(f, g)
         elif op == "cyclic_mul":
-            plan = ntt_plan(spec["n"], spec["q"], spec["root"])
-            f = _slice(view_of("x"), spec["rows"])
-            g = _slice(view_of("y"), spec["rows"])
-            result = plan.cyclic_multiply(f, g)
+            with span("par.worker.plan", op=op):
+                plan = ntt_plan(spec["n"], spec["q"], spec["root"])
+            with span("par.worker.map_shm", role="in"):
+                f = _slice(view_of("x"), spec["rows"])
+                g = _slice(view_of("y"), spec["rows"])
+            with span("par.worker.compute", op=op):
+                result = plan.cyclic_multiply(f, g)
         elif op == "blas":
-            plan = blas_plan(spec["q"])
-            x = _slice(view_of("x"), spec["elems"])
-            y = _slice(view_of("y"), spec["elems"])
-            blas_op = spec["blas_op"]
-            if blas_op == "axpy":
-                result = plan.axpy(spec["a"], x, y)
-            else:
-                result = getattr(plan, blas_op)(x, y)
+            with span("par.worker.plan", op=op):
+                plan = blas_plan(spec["q"])
+            with span("par.worker.map_shm", role="in"):
+                x = _slice(view_of("x"), spec["elems"])
+                y = _slice(view_of("y"), spec["elems"])
+            with span("par.worker.compute", op=op):
+                blas_op = spec["blas_op"]
+                if blas_op == "axpy":
+                    result = plan.axpy(spec["a"], x, y)
+                else:
+                    result = getattr(plan, blas_op)(x, y)
         else:
             raise ParallelExecutionError(f"unknown parallel op {op!r}")
 
-        out_seg = shm.attach_segment(spec["out"])
-        segments.append(out_seg)
-        out_view = shm.segment_view(out_seg, spec["shape"])
-        bounds = spec["rows"] if "rows" in spec else spec["elems"]
-        out_view[bounds[0] : bounds[1]] = result
+        with span("par.worker.map_shm", role="out"):
+            out_seg = shm.attach_segment(spec["out"])
+            segments.append(out_seg)
+            out_view = shm.segment_view(out_seg, spec["shape"])
+            bounds = spec["rows"] if "rows" in spec else spec["elems"]
+            out_view[bounds[0] : bounds[1]] = result
         if spec.get(resil_integrity.SUMS_KEY) is not None:
-            sums_seg = shm.attach_segment(spec[resil_integrity.SUMS_KEY])
-            segments.append(sums_seg)
-            sums_view = shm.segment_view(sums_seg, (spec["sums_len"],))
-            resil_integrity.write_checksum(spec, out_view, sums_view)
-            del sums_view
+            with span("par.worker.checksum"):
+                sums_seg = shm.attach_segment(spec[resil_integrity.SUMS_KEY])
+                segments.append(sums_seg)
+                sums_view = shm.segment_view(sums_seg, (spec["sums_len"],))
+                resil_integrity.write_checksum(spec, out_view, sums_view)
+                del sums_view
         if fault is not None and fault["kind"] == "corrupt":
             # Flip payload bits *after* the checksum write: models
             # in-flight corruption that only verification can catch.
@@ -193,7 +214,19 @@ def worker_main(slot: int, current, task_queue, result_queue) -> None:
     op), ``("error", task_id, gen, slot, message)`` — ``gen`` echoes
     the generation counter from the task message so the executor can
     discard results of superseded executions.
+
+    Telemetry (:mod:`repro.obs.dist`): a spec carrying a trace-context
+    header under :data:`repro.obs.dist.CTX_KEY` is executed inside a
+    worker-local :class:`~repro.obs.dist.ShardObservation`, and the
+    resulting blob is appended as a sixth message element. Specs without
+    a header — every spec dispatched while no parent session is active —
+    take the original five-element path with zero extra work.
     """
+    # Forked workers inherit the parent's process-global session object;
+    # capturing into it here would be writes nobody reads. Drop it so
+    # instrumentation inside the worker is a no-op unless a shard
+    # explicitly scopes a local session via ShardObservation.
+    obs_session.disable()
     while True:
         try:
             item = task_queue.get()
@@ -203,19 +236,28 @@ def worker_main(slot: int, current, task_queue, result_queue) -> None:
             return
         task_id, gen, spec = item
         current[slot] = task_id
+        ctx = spec.get(dist.CTX_KEY)
         started = time.perf_counter()
+        observation = None
         try:
-            execute_spec(spec, in_worker=True)
+            if ctx is not None:
+                with dist.ShardObservation(ctx) as observation:
+                    execute_spec(spec, in_worker=True)
+            else:
+                execute_spec(spec, in_worker=True)
         except KeyboardInterrupt:
             return
         except BaseException as exc:  # report, never kill the worker
-            result_queue.put(
-                ("error", task_id, gen, slot, f"{type(exc).__name__}: {exc}")
-            )
+            message = ("error", task_id, gen, slot, f"{type(exc).__name__}: {exc}")
+            if observation is not None and observation.blob is not None:
+                message += (observation.blob,)
+            result_queue.put(message)
         else:
-            result_queue.put(
-                ("done", task_id, gen, slot, time.perf_counter() - started)
-            )
+            message = ("done", task_id, gen, slot, time.perf_counter() - started)
+            if observation is not None and observation.blob is not None:
+                observation.blob["cache"] = plan_cache_sizes()
+                message += (observation.blob,)
+            result_queue.put(message)
         current[slot] = -1
 
 

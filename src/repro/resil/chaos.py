@@ -29,6 +29,7 @@ SCENARIOS = (
     "negacyclic.multiply",
     "blas.ops",
     "rns.fused_mul",
+    "telemetry.merged_trace",
     "breaker.trip_recover",
     "deadline.short_circuit",
 )
@@ -55,6 +56,8 @@ def run_chaos(
     task_timeout: float = 3.0,
     audit: float = 0.25,
     rounds: int = 2,
+    export: str = "none",
+    output_dir: str = ".",
     emit: Callable[[str], None] = print,
 ) -> int:
     """Run every chaos scenario; returns a process exit code (0 = pass)."""
@@ -224,10 +227,42 @@ def run_chaos(
                     )
                 pool.inject(None)
 
+            def telemetry_merged_trace() -> None:
+                from repro.obs import dist
+
+                plan = ParNtt(n, q, executor=pool)
+                data = [
+                    [rng.randrange(q) for _ in range(n)] for _ in range(batch)
+                ]
+                plan.forward(data)
+                compute = [
+                    record
+                    for record in session.spans.records
+                    if record.name == "par.worker.compute"
+                ]
+                expect(bool(compute), "no worker compute spans were merged")
+                for record in compute:
+                    expect(
+                        record.attrs.get("batch") is not None
+                        and record.attrs.get("shard") is not None
+                        and record.attrs.get("attempt") is not None,
+                        "merged worker span lost its correlation ids",
+                    )
+                lanes = dist.worker_lane_pids(session.spans.records)
+                expect(
+                    len(lanes) >= 1, "no worker lanes in the merged spans"
+                )
+                blobs = session.metrics.get("par.telemetry.blobs")
+                expect(
+                    blobs is not None and blobs.value >= 1,
+                    "no worker telemetry blobs were merged",
+                )
+
             scenario("ntt.roundtrip", ntt_roundtrip)
             scenario("negacyclic.multiply", negacyclic_multiply)
             scenario("blas.ops", blas_ops)
             scenario("rns.fused_mul", rns_fused_mul)
+            scenario("telemetry.merged_trace", telemetry_merged_trace)
 
         def breaker_trip_recover() -> None:
             from repro.obs.hooks import record_breaker_transition
@@ -335,6 +370,45 @@ def run_chaos(
         ):
             metric = session.metrics.get(name)
             emit(f"  {name}: {metric.value if metric is not None else 0:g}")
+
+    formats = [] if export == "none" else export.split("+")
+    if formats:
+        # A gauntlet failure ships with a timeline: the merged trace
+        # shows every retry, fallback, and worker lane of the run.
+        import json
+        from pathlib import Path
+
+        from repro.obs.export import (
+            to_chrome_trace,
+            to_jsonl,
+            validate_chrome_trace,
+        )
+
+        try:
+            out = Path(output_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            if "chrome" in formats:
+                trace = to_chrome_trace(session.spans.records, "repro:chaos")
+                validate_chrome_trace(trace)
+                path = out / "trace_chaos.json"
+                path.write_text(json.dumps(trace, indent=1))
+                emit(f"  wrote {path}")
+            if "jsonl" in formats:
+                path = out / "obs_chaos.jsonl"
+                path.write_text(
+                    to_jsonl(
+                        session.spans.records,
+                        session.metrics.snapshot(),
+                        session.events,
+                    )
+                )
+                emit(f"  wrote {path}")
+        except Exception as exc:
+            results.append(
+                ("trace.export", False, f"{type(exc).__name__}: {exc}")
+            )
+        else:
+            results.append(("trace.export", True, ""))
 
     leaked = shm.created_segments()
     if leaked:

@@ -38,6 +38,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["estimate", "--backend", "sse2"])
 
+    def test_timeline_defaults(self):
+        args = build_parser().parse_args(["timeline"])
+        assert args.workers == 2
+        assert args.logn == 10
+        assert args.crash == 0
+        assert args.export == "chrome"
+        assert args.min_lanes == 0
+        assert args.overhead_gate is None
+
+    def test_chaos_export_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.export == "none"
+        assert args.output_dir == "."
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -85,6 +99,19 @@ class TestCommands:
         assert "pool: 2 workers" in out
         assert "par.shards.dispatched" in out
         assert "par.fallbacks: 0" in out
+
+    def test_timeline_smoke(self, tmp_path, capsys):
+        code = main(
+            ["timeline", "--workers", "2", "--logn", "6", "--batch", "4",
+             "--limbs", "2", "--rounds", "1", "--export", "chrome",
+             "--output-dir", str(tmp_path), "--min-lanes", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-worker utilization" in out
+        assert "worker lanes:" in out
+        trace_path = tmp_path / "trace_timeline.json"
+        assert trace_path.exists()
 
     def test_experiments_writes_file(self, tmp_path, capsys):
         output = tmp_path / "EXP.md"

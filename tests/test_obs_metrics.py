@@ -88,6 +88,59 @@ class TestHistogram:
         assert Histogram("h").snapshot() == {"type": "histogram", "count": 0}
 
 
+class TestHistogramReservoir:
+    def test_exact_until_cap(self):
+        h = Histogram("h", reservoir_size=8)
+        for v in range(8):
+            h.observe(float(v))
+        assert h.values == [float(v) for v in range(8)]
+        assert not h.sampled
+        assert h.snapshot()["sampled"] is False
+
+    def test_memory_bounded_past_cap(self):
+        h = Histogram("h", reservoir_size=16)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert len(h.values) == 16
+        assert h.sampled
+        assert h.snapshot()["sampled"] is True
+        # Running aggregates stay exact regardless of sampling.
+        assert h.count == 10_000
+        assert h.sum == sum(float(v) for v in range(10_000))
+        assert h.min == 0.0 and h.max == 9999.0
+        assert h.mean == pytest.approx(4999.5)
+
+    def test_reservoir_values_come_from_observations(self):
+        h = Histogram("h", reservoir_size=4)
+        observed = {float(v) for v in range(100)}
+        for v in sorted(observed):
+            h.observe(v)
+        assert set(h.values) <= observed
+
+    def test_sampling_is_deterministic_per_name_and_seed(self):
+        def fill(name, seed):
+            h = Histogram(name, reservoir_size=8, seed=seed)
+            for v in range(500):
+                h.observe(float(v))
+            return h.values
+
+        assert fill("a", 0) == fill("a", 0)
+        assert fill("a", 0) != fill("a", 1)
+        assert fill("a", 0) != fill("b", 0)
+
+    def test_sampled_percentile_is_representative(self):
+        h = Histogram("h", reservoir_size=256)
+        for v in range(10_000):
+            h.observe(float(v))
+        # An unbiased 256-sample estimate of the median of 0..9999
+        # lands well inside the central half of the range.
+        assert 2500 < h.percentile(50) < 7500
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("h", reservoir_size=0)
+
+
 class TestRegistry:
     def test_get_or_create(self):
         reg = MetricsRegistry()

@@ -371,6 +371,9 @@ class TestFaultPlanExecution:
         slow=st.floats(min_value=0.0, max_value=0.3),
     )
     def test_any_fault_plan_is_bit_exact(self, pool, seed, crash, corrupt, slow):
+        # Runs under an observability session: cross-process telemetry
+        # (context headers, worker blobs, parent-side merge) must never
+        # perturb results, whatever faults the plan injects.
         batch = _vectors(seed, count=4)
         plan = ParNtt(N, Q, executor=pool)
         blas = ParBlasPlan(Q, executor=pool)
@@ -378,10 +381,11 @@ class TestFaultPlanExecution:
             seed, 16, crash=crash, corrupt=corrupt, slow=slow, slow_s=0.02
         ))
         try:
-            assert plan.forward(batch) == FastNtt(N, Q).forward(batch)
-            assert blas.vector_mul(batch, batch) == FastBlasPlan(Q).vector_mul(
-                batch, batch
-            )
+            with observing():
+                assert plan.forward(batch) == FastNtt(N, Q).forward(batch)
+                assert blas.vector_mul(batch, batch) == FastBlasPlan(
+                    Q
+                ).vector_mul(batch, batch)
         finally:
             pool.inject(None)
 
