@@ -11,6 +11,14 @@ repository's perf-snapshot history (``BENCH_pipeline.json``, see
 :mod:`repro.obs.snapshot`), so the wall-clock trajectory of the pipeline
 accumulates across benchmark runs and ``python -m repro profile`` can
 diff against it. Set ``REPRO_BENCH_SNAPSHOT=0`` to opt out.
+
+The accumulated history is what ``python -m repro perfgate`` gates:
+each merged snapshot carries a ``_meta`` provenance block (git SHA,
+UTC timestamp, hostname; stamped by :class:`~repro.obs.snapshot.SnapshotStore`),
+and the gate baselines every ``bench.<exp_id>.wall_s`` key against the
+median of its recent history with MAD-scaled noise tolerance — run the
+benchmarks a few times before expecting the gate to engage
+(``min_runs``), see :mod:`repro.obs.trajectory`.
 """
 
 import os

@@ -13,6 +13,8 @@ Usage::
     python -m repro timeline --workers 2 --min-lanes 2 --export chrome
     python -m repro experiments [--output EXPERIMENTS.md]
     python -m repro profile --experiment headline --export chrome
+    python -m repro attrib --workers 2 --logn 10 --batch 8
+    python -m repro perfgate --show-history
 """
 
 from __future__ import annotations
@@ -294,6 +296,39 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_attrib(args: argparse.Namespace) -> int:
+    from repro.obs.attrib import run_attrib
+
+    return run_attrib(
+        workers=args.workers,
+        logn=args.logn,
+        batch=args.batch,
+        limbs=args.limbs,
+        rounds=args.rounds,
+        seed=args.seed,
+        json_path=None if args.no_json else args.json,
+        output_dir=args.output_dir,
+        input_path=args.input,
+    )
+
+
+def _cmd_perfgate(args: argparse.Namespace) -> int:
+    from repro.obs.trajectory import run_perfgate, run_selftest
+
+    if args.selftest:
+        return run_selftest()
+    return run_perfgate(
+        files=args.files,
+        window=args.window,
+        mad_k=args.mad_k,
+        rel_floor=args.rel_floor,
+        min_runs=args.min_runs,
+        all_keys=args.all_keys,
+        show_history=args.show_history,
+        json_path=args.json,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -430,6 +465,87 @@ def build_parser() -> argparse.ArgumentParser:
         "this fraction (e.g. 0.10 for 10%%)",
     )
 
+    attrib = sub.add_parser(
+        "attrib",
+        help="attribute a parallel batch's wall time to overhead "
+        "categories and report measured vs ideal speedup",
+    )
+    attrib.add_argument(
+        "--workers", type=int, default=2, help="pool size (default: 2)"
+    )
+    attrib.add_argument("--logn", type=int, default=10)
+    attrib.add_argument("--batch", type=int, default=8)
+    attrib.add_argument("--limbs", type=int, default=4)
+    attrib.add_argument(
+        "--rounds", type=int, default=2, help="workload repetitions"
+    )
+    attrib.add_argument("--seed", type=int, default=0)
+    attrib.add_argument(
+        "--input",
+        default=None,
+        help="attribute an existing JSONL session export instead of "
+        "running a fresh batch",
+    )
+    attrib.add_argument(
+        "--json",
+        default="attrib.json",
+        help="machine-readable report filename (under --output-dir)",
+    )
+    attrib.add_argument(
+        "--no-json", action="store_true", help="skip the JSON report"
+    )
+    attrib.add_argument(
+        "--output-dir", default=".", help="directory for the JSON report"
+    )
+
+    gate = sub.add_parser(
+        "perfgate",
+        help="noise-aware regression gate over the BENCH_*.json snapshot "
+        "histories (median + MAD thresholds)",
+    )
+    gate.add_argument(
+        "--files",
+        nargs="+",
+        default=["BENCH_fast.json", "BENCH_par.json", "BENCH_pipeline.json"],
+        help="snapshot files to gate (missing files are skipped)",
+    )
+    gate.add_argument(
+        "--window", type=int, default=8,
+        help="historical runs per key the baseline medians over",
+    )
+    gate.add_argument(
+        "--mad-k", type=float, default=4.0,
+        help="MAD multiplier for the regression threshold",
+    )
+    gate.add_argument(
+        "--rel-floor", type=float, default=0.10,
+        help="minimum relative tolerance even for noiseless histories",
+    )
+    gate.add_argument(
+        "--min-runs", type=int, default=2,
+        help="historical runs required before a key is gated",
+    )
+    gate.add_argument(
+        "--all-keys",
+        action="store_true",
+        help="gate every key, not just lower-is-better unit suffixes",
+    )
+    gate.add_argument(
+        "--show-history",
+        action="store_true",
+        help="print the unified snapshot trajectory (git SHA, timestamp, "
+        "host) before gating",
+    )
+    gate.add_argument(
+        "--json", default=None, help="write the gate report as JSON here"
+    )
+    gate.add_argument(
+        "--selftest",
+        action="store_true",
+        help="record real timings in a scratch store, gate a rerun, then "
+        "verify an injected 2x regression is flagged",
+    )
+
     exp = sub.add_parser("experiments", help="regenerate EXPERIMENTS.md")
     exp.add_argument("--output", default="EXPERIMENTS.md")
 
@@ -491,6 +607,8 @@ _COMMANDS = {
     "timeline": _cmd_timeline,
     "experiments": _cmd_experiments,
     "profile": _cmd_profile,
+    "attrib": _cmd_attrib,
+    "perfgate": _cmd_perfgate,
 }
 
 

@@ -17,7 +17,7 @@ import numpy as np
 from repro.errors import ArithmeticDomainError
 from repro.fast.limbs import limbs_from_ints, limbs_to_ints
 from repro.fast.modular import FastModulus
-from repro.obs.hooks import record_engine_call
+from repro.obs.hooks import engine_run_span, record_engine_call
 from repro.util.checks import check_reduced
 
 IntMatrix = Union[Sequence[int], Sequence[Sequence[int]], np.ndarray]
@@ -51,21 +51,24 @@ class FastBlasPlan:
         """Point-wise ``(x + y) mod q``."""
         xa, ya, as_ints = self._coerce_pair(x, y)
         record_engine_call("fast", "blas.vector_add", xa.size // 2)
-        out = self.mod.addmod(xa, ya)
+        with engine_run_span("fast", "blas.vector_add", xa.size // 2):
+            out = self.mod.addmod(xa, ya)
         return limbs_to_ints(out) if as_ints else out
 
     def vector_sub(self, x: IntMatrix, y: IntMatrix) -> IntMatrix:
         """Point-wise ``(x - y) mod q``."""
         xa, ya, as_ints = self._coerce_pair(x, y)
         record_engine_call("fast", "blas.vector_sub", xa.size // 2)
-        out = self.mod.submod(xa, ya)
+        with engine_run_span("fast", "blas.vector_sub", xa.size // 2):
+            out = self.mod.submod(xa, ya)
         return limbs_to_ints(out) if as_ints else out
 
     def vector_mul(self, x: IntMatrix, y: IntMatrix) -> IntMatrix:
         """Point-wise ``(x * y) mod q``."""
         xa, ya, as_ints = self._coerce_pair(x, y)
         record_engine_call("fast", "blas.vector_mul", xa.size // 2)
-        out = self.mod.mulmod(xa, ya)
+        with engine_run_span("fast", "blas.vector_mul", xa.size // 2):
+            out = self.mod.mulmod(xa, ya)
         return limbs_to_ints(out) if as_ints else out
 
     def axpy(self, a: int, x: IntMatrix, y: IntMatrix) -> IntMatrix:
@@ -73,8 +76,9 @@ class FastBlasPlan:
         check_reduced(a, self.q, "a")
         xa, ya, as_ints = self._coerce_pair(x, y)
         record_engine_call("fast", "blas.axpy", xa.size // 2)
-        a_block = limbs_from_ints(a)
-        out = self.mod.addmod(self.mod.mulmod(xa, a_block), ya)
+        with engine_run_span("fast", "blas.axpy", xa.size // 2):
+            a_block = limbs_from_ints(a)
+            out = self.mod.addmod(self.mod.mulmod(xa, a_block), ya)
         return limbs_to_ints(out) if as_ints else out
 
 

@@ -26,7 +26,7 @@ from repro.errors import NttParameterError
 from repro.fast.limbs import IntVector, limbs_from_ints, limbs_to_ints
 from repro.fast.modular import FastModulus
 from repro.ntt.twiddles import TwiddleTable, bit_reverse
-from repro.obs.hooks import record_engine_call
+from repro.obs.hooks import engine_run_span, record_engine_call
 from repro.util.checks import check_power_of_two
 
 IntMatrix = Union[List[int], List[List[int]], np.ndarray]
@@ -89,20 +89,22 @@ class FastNtt:
         """
         x, as_ints = self._coerce(values)
         record_engine_call("fast", "ntt.forward", x.size // 2)
-        out = self._run_stages(x, inverse=False)
-        if natural_order:
-            out = out[..., self._bitrev, :]
+        with engine_run_span("fast", "ntt.forward", x.size // 2):
+            out = self._run_stages(x, inverse=False)
+            if natural_order:
+                out = out[..., self._bitrev, :]
         return limbs_to_ints(out) if as_ints else out
 
     def inverse(self, values: IntMatrix, natural_order: bool = True) -> IntMatrix:
         """Inverse NTT including the ``1/n`` scaling (batched-aware)."""
         x, as_ints = self._coerce(values)
         record_engine_call("fast", "ntt.inverse", x.size // 2)
-        if not natural_order:
-            x = x[..., self._bitrev, :]
-        out = self._run_stages(x, inverse=True)
-        out = out[..., self._bitrev, :]
-        out = self.mod.mulmod(out, self._n_inv)
+        with engine_run_span("fast", "ntt.inverse", x.size // 2):
+            if not natural_order:
+                x = x[..., self._bitrev, :]
+            out = self._run_stages(x, inverse=True)
+            out = out[..., self._bitrev, :]
+            out = self.mod.mulmod(out, self._n_inv)
         return limbs_to_ints(out) if as_ints else out
 
     def pointwise_mul(self, f: IntMatrix, g: IntMatrix) -> IntMatrix:
@@ -110,7 +112,8 @@ class FastNtt:
         fa, as_ints = self._coerce(f)
         ga, _ = self._coerce(g)
         record_engine_call("fast", "ntt.pointwise", fa.size // 2)
-        out = self.mod.mulmod(fa, ga)
+        with engine_run_span("fast", "ntt.pointwise", fa.size // 2):
+            out = self.mod.mulmod(fa, ga)
         return limbs_to_ints(out) if as_ints else out
 
     def cyclic_multiply(self, f: IntMatrix, g: IntMatrix) -> IntMatrix:
@@ -208,10 +211,11 @@ class FastNegacyclic:
     def multiply(self, f: IntMatrix, g: IntMatrix) -> IntMatrix:
         """Negacyclic product ``f * g mod (x^n + 1, q)`` (batched-aware)."""
         record_engine_call("fast", "ntt.polymul", self.n)
-        fa = self.forward(f)
-        ga = self.forward(g)
-        prod = self.plan.pointwise_mul(fa, ga)
-        return self.inverse(prod)
+        with engine_run_span("fast", "ntt.polymul", self.n):
+            fa = self.forward(f)
+            ga = self.forward(g)
+            prod = self.plan.pointwise_mul(fa, ga)
+            return self.inverse(prod)
 
 
 def fast_negacyclic_polymul(

@@ -22,6 +22,14 @@ methodology is (LLVM-MCA port-pressure reports, PISA validation tables):
   capture, and parent-side merge onto per-worker trace lanes.
 * :mod:`repro.obs.timeline` — the ``python -m repro timeline`` harness
   (merged batch timeline + per-worker utilization table).
+* :mod:`repro.obs.attrib` — the ``python -m repro attrib`` analysis:
+  decompose a parallel batch's wall time into overhead categories and
+  report measured speedup against the ideal (compute / slots) bound.
+* :mod:`repro.obs.trajectory` — the ``python -m repro perfgate``
+  noise-aware regression gate over the unified ``BENCH_*.json`` history.
+* :mod:`repro.obs.openmetrics` — OpenMetrics text exposition for any
+  :class:`~repro.obs.metrics.MetricsRegistry`, plus a stdlib HTTP
+  exporter thread for scraping.
 
 Typical use::
 
@@ -35,6 +43,14 @@ Typical use::
 Everything is disabled by default; see docs/OBSERVABILITY.md.
 """
 
+from repro.obs.attrib import (
+    Attribution,
+    attribute,
+    attribute_jsonl,
+    attribute_session,
+    attribution_to_json,
+    format_attribution,
+)
 from repro.obs.export import (
     format_span_table,
     from_jsonl,
@@ -44,6 +60,11 @@ from repro.obs.export import (
     worker_lanes,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.openmetrics import (
+    OpenMetricsExporter,
+    render_openmetrics,
+    validate_openmetrics,
+)
 from repro.obs.session import (
     ObsSession,
     current,
@@ -54,13 +75,36 @@ from repro.obs.session import (
 )
 from repro.obs.snapshot import (
     DEFAULT_SNAPSHOT_NAME,
+    META_KEY,
     SnapshotDiff,
     SnapshotStore,
     diff_values,
+    snapshot_meta,
 )
 from repro.obs.spans import SpanRecord, SpanSink, span
+from repro.obs.trajectory import (
+    GateReport,
+    KeyVerdict,
+    gate,
+    unified_history,
+)
 
 __all__ = [
+    "Attribution",
+    "GateReport",
+    "KeyVerdict",
+    "OpenMetricsExporter",
+    "attribute",
+    "attribute_jsonl",
+    "attribute_session",
+    "attribution_to_json",
+    "format_attribution",
+    "gate",
+    "render_openmetrics",
+    "snapshot_meta",
+    "unified_history",
+    "validate_openmetrics",
+    "META_KEY",
     "Counter",
     "Gauge",
     "Histogram",

@@ -19,7 +19,26 @@ Crucially, none of the hooks sits *inside* a per-instruction loop:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 from repro.obs.session import current
+from repro.obs.spans import span
+
+
+def engine_run_span(engine: str, op: str, elements: int = 0):
+    """Span context for one execution-engine entry point call.
+
+    The fast engine's counters (:func:`record_engine_call`) say *how
+    often* it ran but give it no presence on the trace timeline, so an
+    engine-vs-engine comparison (``engine.fast.run`` next to ``par.run``)
+    could not land in one Perfetto view. Wrapping the NTT/BLAS entry
+    points in this span fixes that; when no session is active the
+    returned :func:`~contextlib.nullcontext` keeps the call sites at one
+    global read, same as every other hook here.
+    """
+    if current() is None:
+        return nullcontext()
+    return span(f"engine.{engine}.run", op=op, elements=elements)
 
 
 def record_trace(tracer) -> None:

@@ -16,6 +16,8 @@ regression; one that shrank by more is an improvement.
 from __future__ import annotations
 
 import json
+import platform
+import subprocess
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -28,6 +30,38 @@ DEFAULT_SNAPSHOT_NAME = "BENCH_pipeline.json"
 
 #: Relative change flagged as a regression/improvement by default.
 DEFAULT_THRESHOLD = 0.10
+
+#: Namespaced metadata block stamped on every snapshot. Readers that
+#: iterate ``values`` stay oblivious; diffing and gating skip the prefix.
+META_KEY = "_meta"
+
+
+def git_sha(cwd=None) -> str:
+    """Short SHA of the current checkout, or ``"unknown"`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def snapshot_meta(label: str = "", cwd=None) -> Dict[str, str]:
+    """The ``_meta`` block: provenance for trajectory/history tooling."""
+    return {
+        "label": label,
+        "timestamp_utc": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        ),
+        "git_sha": git_sha(cwd),
+        "hostname": platform.node() or "unknown",
+    }
 
 
 @dataclass
@@ -95,6 +129,8 @@ def diff_values(
         raise ObservabilityError("diff threshold must be non-negative")
     diff = SnapshotDiff(threshold=threshold)
     for key in new:
+        if key.startswith(META_KEY):
+            continue
         if key not in old:
             diff.added.append(key)
             continue
@@ -112,7 +148,9 @@ def diff_values(
             diff.improvements.append((key, before, after))
         else:
             diff.unchanged += 1
-    diff.removed = [key for key in old if key not in new]
+    diff.removed = [
+        key for key in old if key not in new and not key.startswith(META_KEY)
+    ]
     return diff
 
 
@@ -156,7 +194,11 @@ class SnapshotStore:
         threshold: float = DEFAULT_THRESHOLD,
     ) -> Optional[SnapshotDiff]:
         """Append a snapshot; returns the diff vs the previous one (if any)."""
-        clean = {key: float(value) for key, value in values.items()}
+        clean = {
+            key: float(value)
+            for key, value in values.items()
+            if not key.startswith(META_KEY)
+        }
         snapshots = self.load()
         diff = None
         if snapshots:
@@ -164,7 +206,12 @@ class SnapshotStore:
                 dict(snapshots[-1]["values"]), clean, threshold
             )
         snapshots.append(
-            {"label": label, "unix_time": time.time(), "values": clean}
+            {
+                "label": label,
+                "unix_time": time.time(),
+                META_KEY: snapshot_meta(label, cwd=self.path.parent),
+                "values": clean,
+            }
         )
         self._write(snapshots)
         return diff
@@ -176,12 +223,21 @@ class SnapshotStore:
         per "era" rather than one per benchmark test, so diffs compare
         like against like.
         """
-        clean = {key: float(value) for key, value in values.items()}
+        clean = {
+            key: float(value)
+            for key, value in values.items()
+            if not key.startswith(META_KEY)
+        }
         snapshots = self.load()
         if snapshots:
             snapshots[-1]["values"].update(clean)
         else:
             snapshots = [
-                {"label": label, "unix_time": time.time(), "values": clean}
+                {
+                    "label": label,
+                    "unix_time": time.time(),
+                    META_KEY: snapshot_meta(label, cwd=self.path.parent),
+                    "values": clean,
+                }
             ]
         self._write(snapshots)

@@ -1,0 +1,474 @@
+"""Benchmark trajectory: unified snapshot history + noise-aware gating.
+
+The repository accumulates three perf-snapshot silos — ``BENCH_fast.json``
+(fast-engine speedups), ``BENCH_par.json`` (pool-engine speedups) and
+``BENCH_pipeline.json`` (profile/benchmark wall clocks) — each written by
+:class:`~repro.obs.snapshot.SnapshotStore`. This module joins them into
+one trajectory and replaces the store's naive single-predecessor 10%%
+diff with statistics that can tell noise from regression, the
+``python -m repro perfgate`` subcommand:
+
+* the **baseline** for each key is the *median* of its last ``window``
+  historical values, not whichever run happened to come last;
+* the **threshold** is scaled by the history's own noise — the median
+  absolute deviation (MAD, scaled by 1.4826 to estimate sigma for
+  normal noise) times ``mad_k`` — with a relative floor so a perfectly
+  quiet history still tolerates scheduler jitter;
+* a key with fewer than ``min_runs`` historical values **refuses to
+  gate** (reported, never failed): one prior run is an anecdote, not a
+  baseline;
+* only keys whose unit suffix marks them lower-is-better wall/cycle
+  costs (``_s``, ``_ns``, ``_us``, ``_ms``, ``_cycles``) are gated by
+  default — speedup ratios recorded next to them are higher-is-better
+  and would invert the verdict (``--all-keys`` overrides).
+
+Every snapshot recorded since the trajectory layer landed carries a
+``_meta`` block (git SHA, ISO-8601 UTC timestamp, hostname, label; see
+:func:`repro.obs.snapshot.snapshot_meta`), so the unified history view
+answers "what commit, what machine, when" for every point.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ObservabilityError
+from repro.obs.snapshot import META_KEY, SnapshotStore
+
+#: The repository's snapshot silos, in trajectory display order.
+DEFAULT_BENCH_FILES = ("BENCH_fast.json", "BENCH_par.json", "BENCH_pipeline.json")
+
+#: Historical runs (per key) the gate baselines against.
+DEFAULT_WINDOW = 8
+
+#: MAD multiplier: new > median + mad_k * 1.4826 * MAD flags a regression.
+DEFAULT_MAD_K = 4.0
+
+#: Relative floor on the tolerance, so a noiseless history (MAD 0) still
+#: admits ordinary run-to-run jitter.
+DEFAULT_REL_FLOOR = 0.10
+
+#: Historical runs required before a key is gated at all.
+DEFAULT_MIN_RUNS = 2
+
+#: Absolute tolerance floor (seconds-scale values near zero).
+ABS_FLOOR = 1e-9
+
+#: Consistent MAD -> sigma factor for normally distributed noise.
+MAD_SIGMA = 1.4826
+
+#: Lower-is-better unit suffixes eligible for gating by default.
+GATEABLE_SUFFIXES = ("_s", "_ns", "_us", "_ms", "_cycles")
+
+
+def gateable_key(key: str) -> bool:
+    """Whether a snapshot key is a lower-is-better cost by unit suffix."""
+    return key.endswith(GATEABLE_SUFFIXES)
+
+
+# ---------------------------------------------------------------------------
+# Unified history view
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class HistoryRow:
+    """One snapshot, as a row of the unified trajectory view."""
+
+    path: str
+    index: int
+    label: str
+    unix_time: float
+    timestamp: str
+    git_sha: str
+    hostname: str
+    keys: int
+
+
+def _meta_field(snapshot: Dict[str, object], name: str) -> str:
+    meta = snapshot.get(META_KEY)
+    if isinstance(meta, dict) and meta.get(name):
+        return str(meta[name])
+    return "-"
+
+
+def unified_history(paths: Sequence) -> List[HistoryRow]:
+    """All snapshots across ``paths`` as one time-ordered trajectory."""
+    rows: List[HistoryRow] = []
+    for path in paths:
+        path = Path(path)
+        if not path.exists():
+            continue
+        for index, snapshot in enumerate(SnapshotStore(path).load()):
+            unix_time = float(snapshot.get("unix_time", 0.0))
+            rows.append(
+                HistoryRow(
+                    path=path.name,
+                    index=index,
+                    label=str(snapshot.get("label", "")),
+                    unix_time=unix_time,
+                    timestamp=_meta_field(snapshot, "timestamp_utc"),
+                    git_sha=_meta_field(snapshot, "git_sha"),
+                    hostname=_meta_field(snapshot, "hostname"),
+                    keys=len(snapshot.get("values", {})),
+                )
+            )
+    rows.sort(key=lambda row: row.unix_time)
+    return rows
+
+
+def format_history(rows: Sequence[HistoryRow]) -> str:
+    """Render the unified trajectory as a text table."""
+    header = ["when (UTC)", "git", "host", "file", "label", "keys"]
+    table = [header]
+    for row in rows:
+        when = row.timestamp
+        if when == "-" and row.unix_time:
+            when = time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime(row.unix_time)
+            )
+        table.append(
+            [when, row.git_sha, row.hostname, row.path, row.label, str(row.keys)]
+        )
+    widths = [max(len(r[col]) for r in table) for col in range(len(header))]
+    lines = ["-- benchmark trajectory --"]
+    for i, row in enumerate(table):
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+        if i == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    if len(rows) == 0:
+        lines.append("(no snapshots found)")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Noise-aware gate
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class KeyVerdict:
+    """Gate outcome for one snapshot key."""
+
+    key: str
+    source: str
+    status: str  # "ok" | "regression" | "improvement" | "short-history"
+    value: float
+    runs: int
+    median: Optional[float] = None
+    mad: Optional[float] = None
+    limit: Optional[float] = None
+
+    @property
+    def relative(self) -> Optional[float]:
+        if self.median is None or self.median <= 0:
+            return None
+        return self.value / self.median - 1.0
+
+
+@dataclass
+class GateReport:
+    """Outcome of gating the latest snapshots against their histories."""
+
+    window: int
+    mad_k: float
+    rel_floor: float
+    min_runs: int
+    verdicts: List[KeyVerdict] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[KeyVerdict]:
+        return [v for v in self.verdicts if v.status == "regression"]
+
+    @property
+    def improvements(self) -> List[KeyVerdict]:
+        return [v for v in self.verdicts if v.status == "improvement"]
+
+    @property
+    def ungated(self) -> List[KeyVerdict]:
+        return [v for v in self.verdicts if v.status == "short-history"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "format": "repro.obs.trajectory/v1",
+            "window": self.window,
+            "mad_k": self.mad_k,
+            "rel_floor": self.rel_floor,
+            "min_runs": self.min_runs,
+            "ok": self.ok,
+            "verdicts": [
+                {
+                    "key": v.key,
+                    "source": v.source,
+                    "status": v.status,
+                    "value": v.value,
+                    "runs": v.runs,
+                    "median": v.median,
+                    "mad": v.mad,
+                    "limit": v.limit,
+                }
+                for v in self.verdicts
+            ],
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"-- perfgate (window {self.window}, MAD x{self.mad_k:g}, "
+            f"relative floor {self.rel_floor * 100:.0f}%, "
+            f"min runs {self.min_runs}) --"
+        ]
+        for verdict in self.regressions:
+            rel = verdict.relative
+            lines.append(
+                f"REGRESSION  {verdict.key}: {verdict.value:.6g} vs median "
+                f"{verdict.median:.6g} over {verdict.runs} runs "
+                f"(limit {verdict.limit:.6g}"
+                + (f", {rel * 100:+.1f}%" if rel is not None else "")
+                + f") [{verdict.source}]"
+            )
+        for verdict in self.improvements:
+            rel = verdict.relative
+            lines.append(
+                f"improved    {verdict.key}: {verdict.value:.6g} vs median "
+                f"{verdict.median:.6g}"
+                + (f" ({rel * 100:+.1f}%)" if rel is not None else "")
+                + f" [{verdict.source}]"
+            )
+        gated = [
+            v for v in self.verdicts if v.status in ("ok", "regression",
+                                                     "improvement")
+        ]
+        lines.append(
+            f"{len(gated)} keys gated, {len(self.regressions)} regressions, "
+            f"{len(self.improvements)} improvements, "
+            f"{len(self.ungated)} below min-run-count (not gated)"
+        )
+        return "\n".join(lines)
+
+
+def noise_limit(
+    history: Sequence[float],
+    mad_k: float = DEFAULT_MAD_K,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+) -> tuple:
+    """``(median, mad, upper limit)`` for one key's history."""
+    values = [float(v) for v in history]
+    med = statistics.median(values)
+    mad = statistics.median(abs(v - med) for v in values)
+    tolerance = max(mad_k * MAD_SIGMA * mad, rel_floor * abs(med), ABS_FLOOR)
+    return med, mad, med + tolerance
+
+
+def gate_store(
+    path,
+    window: int = DEFAULT_WINDOW,
+    mad_k: float = DEFAULT_MAD_K,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+    min_runs: int = DEFAULT_MIN_RUNS,
+    all_keys: bool = False,
+) -> List[KeyVerdict]:
+    """Gate one snapshot file's latest snapshot against its history."""
+    if window < 1:
+        raise ObservabilityError("perfgate window must be >= 1")
+    if min_runs < 1:
+        raise ObservabilityError("perfgate min_runs must be >= 1")
+    path = Path(path)
+    snapshots = SnapshotStore(path).load()
+    if len(snapshots) < 2:
+        return []
+    latest = snapshots[-1]["values"]
+    history = snapshots[max(0, len(snapshots) - 1 - window) : -1]
+    verdicts: List[KeyVerdict] = []
+    for key in sorted(latest):
+        if key.startswith(META_KEY):
+            continue
+        if not all_keys and not gateable_key(key):
+            continue
+        value = float(latest[key])
+        past = [
+            float(s["values"][key]) for s in history if key in s["values"]
+        ]
+        if len(past) < min_runs:
+            verdicts.append(
+                KeyVerdict(
+                    key=key,
+                    source=path.name,
+                    status="short-history",
+                    value=value,
+                    runs=len(past),
+                )
+            )
+            continue
+        med, mad, limit = noise_limit(past, mad_k, rel_floor)
+        lower = med - (limit - med)
+        if value > limit:
+            status = "regression"
+        elif value < lower:
+            status = "improvement"
+        else:
+            status = "ok"
+        verdicts.append(
+            KeyVerdict(
+                key=key,
+                source=path.name,
+                status=status,
+                value=value,
+                runs=len(past),
+                median=med,
+                mad=mad,
+                limit=limit,
+            )
+        )
+    return verdicts
+
+
+def gate(
+    paths: Sequence,
+    window: int = DEFAULT_WINDOW,
+    mad_k: float = DEFAULT_MAD_K,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+    min_runs: int = DEFAULT_MIN_RUNS,
+    all_keys: bool = False,
+) -> GateReport:
+    """Gate every snapshot file; missing files are skipped silently."""
+    report = GateReport(
+        window=window, mad_k=mad_k, rel_floor=rel_floor, min_runs=min_runs
+    )
+    for path in paths:
+        if not Path(path).exists():
+            continue
+        report.verdicts.extend(
+            gate_store(
+                path,
+                window=window,
+                mad_k=mad_k,
+                rel_floor=rel_floor,
+                min_runs=min_runs,
+                all_keys=all_keys,
+            )
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Self-test (the CI "record -> rerun -> gate" smoke in one command)
+# ---------------------------------------------------------------------------
+
+
+def _measure_ntt_s(rounds: int = 5) -> float:
+    """Best-of-``rounds`` wall for a small real fast-engine NTT."""
+    import random
+
+    from repro.arith.primes import find_ntt_prime
+    from repro.fast.ntt import FastNtt
+
+    n = 256
+    q = find_ntt_prime(62, 2 * n)
+    plan = FastNtt(n, q)
+    rng = random.Random(7)
+    data = [[rng.randrange(q) for _ in range(n)] for _ in range(4)]
+    plan.forward(data)  # warm twiddles outside timing
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        plan.forward(data)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_selftest(emit: Callable[[str], None] = print) -> int:
+    """Record real measurements, rerun, gate; then inject a 2x regression.
+
+    The end-to-end smoke CI runs: three genuine best-of-five timings of
+    a small fast-engine NTT land in a scratch store (so history carries
+    real machine noise), a rerun must gate clean, and doubling the last
+    measurement must trip the gate. Returns a process exit code.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-perfgate-") as tmp:
+        path = Path(tmp) / "BENCH_selftest.json"
+        store = SnapshotStore(path)
+        baseline = []
+        for i in range(3):
+            wall = _measure_ntt_s()
+            baseline.append(wall)
+            store.record(
+                {"selftest.ntt256.wall_s": wall, "selftest.constant_s": 1.0},
+                label=f"selftest-{i}",
+            )
+        rerun = _measure_ntt_s()
+        store.record(
+            {"selftest.ntt256.wall_s": rerun, "selftest.constant_s": 1.0},
+            label="selftest-rerun",
+        )
+        # Generous relative floor: CI machines are noisy and this smoke
+        # asserts the *gate logic*, with real timings keeping it honest.
+        report = gate([path], min_runs=2, rel_floor=0.5)
+        emit(report.format())
+        if not report.ok:
+            emit("FAIL: clean rerun was flagged as a regression")
+            return 1
+        if not any(v.status != "short-history" for v in report.verdicts):
+            emit("FAIL: selftest gated nothing")
+            return 1
+
+        store.record(
+            {
+                "selftest.ntt256.wall_s": 2.0 * max(baseline + [rerun]),
+                "selftest.constant_s": 2.0,
+            },
+            label="selftest-regressed",
+        )
+        report = gate([path], min_runs=2, rel_floor=0.5)
+        emit("")
+        emit(report.format())
+        if report.ok:
+            emit("FAIL: injected 2x regression was not flagged")
+            return 1
+        emit("")
+        emit("perfgate selftest: clean rerun passed, injected 2x "
+             "regression flagged")
+    return 0
+
+
+def run_perfgate(
+    files: Sequence,
+    window: int = DEFAULT_WINDOW,
+    mad_k: float = DEFAULT_MAD_K,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+    min_runs: int = DEFAULT_MIN_RUNS,
+    all_keys: bool = False,
+    show_history: bool = False,
+    json_path=None,
+    emit: Callable[[str], None] = print,
+) -> int:
+    """The ``python -m repro perfgate`` driver; returns an exit code."""
+    if show_history:
+        emit(format_history(unified_history(files)))
+        emit("")
+    report = gate(
+        files,
+        window=window,
+        mad_k=mad_k,
+        rel_floor=rel_floor,
+        min_runs=min_runs,
+        all_keys=all_keys,
+    )
+    emit(report.format())
+    if json_path is not None:
+        path = Path(json_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report.to_json(), indent=2) + "\n")
+        emit(f"wrote {path}")
+    return 0 if report.ok else 1

@@ -180,3 +180,90 @@ class TestCodegenCommand:
         assert (out / "mulmod128_avx512.c").exists()
         source = (out / "butterfly128_mqx.c").read_text()
         assert '#include "mqx.h"' in source
+
+
+class TestAttribCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["attrib"])
+        assert args.workers == 2
+        assert args.logn == 10
+        assert args.json == "attrib.json"
+        assert args.input is None
+
+    def test_live_batch_ledger_and_json(self, tmp_path, capsys):
+        import json
+
+        code = main(
+            ["attrib", "--workers", "2", "--logn", "6", "--batch", "4",
+             "--limbs", "2", "--rounds", "1",
+             "--output-dir", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worker.compute" in out and "idle" in out
+        assert "vs ideal 2.00x bound" in out
+        payload = json.loads((tmp_path / "attrib.json").read_text())
+        assert payload["format"] == "repro.obs.attrib/v1"
+        assert payload["slots"] == 2
+        # Acceptance: categories sum to within 5% of measured wall.
+        assert abs(payload["ledger_residual"]) <= 0.05
+
+    def test_input_jsonl_path(self, tmp_path, capsys):
+        import json
+
+        lines = [
+            {"kind": "span", "name": "par.run", "start_s": 0.0,
+             "duration_s": 4.0, "depth": 0, "attrs": {}},
+            {"kind": "span", "name": "par.worker.shard", "start_s": 1.0,
+             "duration_s": 2.0,
+             "attrs": {"batch": "b", "shard": 0, "attempt": 1}},
+            {"kind": "metric", "name": "par.slot.0.busy_s",
+             "type": "counter", "value": 2.0},
+            {"kind": "metric", "name": "par.worker.compute_s",
+             "type": "histogram", "count": 1, "sum": 1.5},
+        ]
+        source = tmp_path / "session.jsonl"
+        source.write_text("\n".join(json.dumps(l) for l in lines) + "\n")
+        code = main(
+            ["attrib", "--input", str(source), "--no-json"]
+        )
+        assert code == 0
+        assert "overhead attribution" in capsys.readouterr().out
+
+    def test_unreadable_input_fails_cleanly(self, tmp_path, capsys):
+        code = main(["attrib", "--input", str(tmp_path / "absent.jsonl")])
+        assert code == 2
+
+
+class TestPerfgateCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["perfgate"])
+        assert args.files == [
+            "BENCH_fast.json", "BENCH_par.json", "BENCH_pipeline.json"
+        ]
+        assert args.window == 8
+        assert args.mad_k == 4.0
+        assert args.min_runs == 2
+        assert not args.selftest
+
+    def test_unchanged_rerun_exits_zero(self, tmp_path, capsys):
+        from repro.obs.snapshot import SnapshotStore
+
+        store = SnapshotStore(tmp_path / "BENCH_x.json")
+        for value in (1.0, 1.01, 0.99, 1.0):
+            store.record({"cli.wall_s": value})
+        code = main(
+            ["perfgate", "--files", str(store.path), "--show-history"]
+        )
+        assert code == 0
+        assert "benchmark trajectory" in capsys.readouterr().out
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        from repro.obs.snapshot import SnapshotStore
+
+        store = SnapshotStore(tmp_path / "BENCH_x.json")
+        for value in (1.0, 1.0, 1.0, 2.0):
+            store.record({"cli.wall_s": value})
+        code = main(["perfgate", "--files", str(store.path)])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out

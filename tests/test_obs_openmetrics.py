@@ -1,0 +1,234 @@
+"""OpenMetrics exposition: mangling, escaping, buckets, validator, HTTP."""
+
+import math
+import urllib.request
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.openmetrics import (
+    CONTENT_TYPE,
+    OpenMetricsExporter,
+    escape_help,
+    escape_label_value,
+    format_value,
+    histogram_buckets,
+    mangle_name,
+    render_openmetrics,
+    validate_openmetrics,
+)
+from repro.obs.session import observing
+
+
+def _populated_registry() -> MetricsRegistry:
+    m = MetricsRegistry()
+    m.counter("par.shards.dispatched").inc(10)
+    m.counter("par.slot.0.busy_s").inc(1.5)
+    m.counter("par.slot.1.busy_s").inc(2.25)
+    m.counter("isa.ops.vpmuludq").inc(7)
+    m.counter("cache.access.L1").inc(3)
+    m.counter("engine.fast.calls.ntt.forward").inc(4)
+    m.gauge("par.slot.0.cache.plans").set(3)
+    h = m.histogram("par.worker.compute_s")
+    for value in (0.0005, 0.002, 0.03, 0.4):
+        h.observe(value)
+    return m
+
+
+class TestNameMangling:
+    def test_plain_dotted_name(self):
+        family, labels = mangle_name("par.shards.dispatched")
+        assert family == "repro_par_shards_dispatched"
+        assert labels == {}
+
+    def test_slot_number_lifted_to_label(self):
+        family, labels = mangle_name("par.slot.3.busy_s")
+        assert family == "repro_par_slot_busy_s"
+        assert labels == {"slot": "3"}
+
+    def test_isa_mnemonic_lifted_to_label(self):
+        family, labels = mangle_name("isa.ops.vpmadd52luq")
+        assert family == "repro_isa_ops"
+        assert labels == {"op": "vpmadd52luq"}
+
+    def test_engine_call_gets_engine_and_op_labels(self):
+        family, labels = mangle_name("engine.fast.calls.ntt.forward")
+        assert family == "repro_engine_calls"
+        assert labels == {"engine": "fast", "op": "ntt.forward"}
+
+    def test_degraded_reason_label(self):
+        family, labels = mangle_name("resil.degraded.breaker_open")
+        assert family == "repro_resil_degraded_by_reason"
+        assert labels == {"reason": "breaker_open"}
+
+    def test_mangled_name_matches_charset(self):
+        family, _ = mangle_name("weird-name.with%chars")
+        assert all(c.isalnum() or c in "_:" for c in family)
+
+
+class TestEscaping:
+    def test_label_backslash_quote_newline(self):
+        assert escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+
+    def test_help_backslash_newline(self):
+        assert escape_help("two\nlines\\slash") == "two\\nlines\\\\slash"
+
+    def test_escaped_label_value_survives_validation(self):
+        m = MetricsRegistry()
+        m.counter('isa.ops.evil"op').inc(1)
+        text = render_openmetrics(m)
+        validate_openmetrics(text)
+        assert '\\"' in text
+
+    def test_format_value_rejects_non_finite(self):
+        with pytest.raises(ObservabilityError):
+            format_value(float("nan"))
+        with pytest.raises(ObservabilityError):
+            format_value(float("inf"))
+
+
+class TestRendering:
+    def test_counter_sample_has_total_suffix(self):
+        text = render_openmetrics(_populated_registry())
+        assert "repro_par_shards_dispatched_total 10" in text
+        validate_openmetrics(text)
+
+    def test_ends_with_eof(self):
+        text = render_openmetrics(_populated_registry())
+        assert text.endswith("# EOF\n")
+
+    def test_type_precedes_samples(self):
+        text = render_openmetrics(_populated_registry())
+        lines = text.splitlines()
+        type_at = lines.index("# TYPE repro_par_slot_busy_s counter")
+        sample_at = next(
+            i for i, l in enumerate(lines)
+            if l.startswith("repro_par_slot_busy_s_total")
+        )
+        assert type_at < sample_at
+
+    def test_slot_label_series_share_one_family(self):
+        text = render_openmetrics(_populated_registry())
+        assert 'repro_par_slot_busy_s_total{slot="0"} 1.5' in text
+        assert 'repro_par_slot_busy_s_total{slot="1"} 2.25' in text
+        assert text.count("# TYPE repro_par_slot_busy_s ") == 1
+
+    def test_histogram_emits_bucket_count_sum(self):
+        text = render_openmetrics(_populated_registry())
+        assert 'repro_par_worker_compute_s_bucket{le="+Inf"} 4' in text
+        assert "repro_par_worker_compute_s_count 4" in text
+        assert "repro_par_worker_compute_s_sum" in text
+
+    def test_empty_registry_renders_bare_eof(self):
+        assert render_openmetrics(MetricsRegistry()) == "# EOF\n"
+
+
+class TestHistogramBuckets:
+    def test_exact_cumulative_counts(self):
+        m = MetricsRegistry()
+        h = m.histogram("x_s")
+        for value in (0.5, 1.5, 2.5):
+            h.observe(value)
+        buckets = histogram_buckets(h, bounds=(1.0, 2.0))
+        assert buckets == [(1.0, 1), (2.0, 2), (math.inf, 3)]
+
+    def test_monotone_after_reservoir_sampling(self):
+        m = MetricsRegistry()
+        h = m.histogram("x_s")
+        for i in range(10_000):
+            h.observe(i / 1000.0)
+        assert h.sampled
+        buckets = histogram_buckets(h)
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts)
+        assert buckets[-1] == (math.inf, 10_000)
+
+    def test_scaled_counts_never_exceed_total(self):
+        m = MetricsRegistry()
+        h = m.histogram("x_s")
+        for _ in range(9_000):
+            h.observe(1e-6)  # everything lands below the first bound
+        assert h.sampled
+        for _, count in histogram_buckets(h):
+            assert count <= h.count
+
+    def test_sampled_rendering_still_validates(self):
+        m = MetricsRegistry()
+        h = m.histogram("big_s")
+        for i in range(8_192):
+            h.observe((i % 100) / 10.0)
+        text = render_openmetrics(m)
+        validate_openmetrics(text)
+
+
+class TestValidator:
+    def test_missing_eof_rejected(self):
+        with pytest.raises(ObservabilityError, match="EOF"):
+            validate_openmetrics("repro_x_total 1\n")
+
+    def test_sample_without_type_rejected(self):
+        with pytest.raises(ObservabilityError, match="no preceding TYPE"):
+            validate_openmetrics("repro_x_total 1\n# EOF")
+
+    def test_counter_without_total_suffix_rejected(self):
+        text = "# TYPE repro_x counter\nrepro_x 1\n# EOF"
+        with pytest.raises(ObservabilityError, match="_total"):
+            validate_openmetrics(text)
+
+    def test_non_monotone_buckets_rejected(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            'repro_h_bucket{le="2"} 3\n'
+            'repro_h_bucket{le="+Inf"} 5\n'
+            "repro_h_count 5\n"
+            "repro_h_sum 1\n"
+            "# EOF"
+        )
+        with pytest.raises(ObservabilityError, match="monotone"):
+            validate_openmetrics(text)
+
+    def test_inf_bucket_must_equal_count(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 4\n'
+            "repro_h_count 5\n"
+            "repro_h_sum 1\n"
+            "# EOF"
+        )
+        with pytest.raises(ObservabilityError, match="count"):
+            validate_openmetrics(text)
+
+    def test_invalid_metric_name_rejected(self):
+        text = "# TYPE 9bad counter\n# EOF"
+        with pytest.raises(ObservabilityError, match="invalid family"):
+            validate_openmetrics(text)
+
+
+class TestExporter:
+    def test_scrape_matches_render(self):
+        m = _populated_registry()
+        with OpenMetricsExporter(source=lambda: m) as exporter:
+            response = urllib.request.urlopen(exporter.url, timeout=5.0)
+            body = response.read().decode("utf-8")
+            assert response.headers["Content-Type"] == CONTENT_TYPE
+        assert body == render_openmetrics(m)
+        validate_openmetrics(body)
+
+    def test_default_source_follows_live_session(self):
+        with OpenMetricsExporter() as exporter:
+            idle = urllib.request.urlopen(exporter.url, timeout=5.0).read()
+            assert idle.decode() == "# EOF\n"
+            with observing() as session:
+                session.metrics.counter("live.scrapes").inc(2)
+                live = urllib.request.urlopen(
+                    exporter.url, timeout=5.0
+                ).read().decode()
+            assert "repro_live_scrapes_total 2" in live
+
+    def test_unknown_path_is_404(self):
+        with OpenMetricsExporter(source=MetricsRegistry) as exporter:
+            url = exporter.url.replace("/metrics", "/nope")
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(url, timeout=5.0)

@@ -130,3 +130,63 @@ class TestSnapshotStore:
     def test_keep_must_be_positive(self, tmp_path):
         with pytest.raises(ObservabilityError):
             SnapshotStore(tmp_path / "BENCH.json", keep=0)
+
+
+class TestSnapshotMeta:
+    """The namespaced ``_meta`` provenance block (trajectory satellite)."""
+
+    def test_record_stamps_meta_block(self, tmp_path):
+        from repro.obs.snapshot import META_KEY
+
+        store = SnapshotStore(tmp_path / "BENCH.json")
+        store.record({"a": 1.0}, label="tagged")
+        meta = store.latest()[META_KEY]
+        assert meta["label"] == "tagged"
+        assert meta["timestamp_utc"].endswith("Z")
+        assert "T" in meta["timestamp_utc"]
+        assert meta["git_sha"]  # "unknown" outside a checkout, never empty
+        assert meta["hostname"]
+
+    def test_merge_stamps_meta_on_first_snapshot(self, tmp_path):
+        from repro.obs.snapshot import META_KEY
+
+        store = SnapshotStore(tmp_path / "BENCH.json")
+        store.merge({"bench.x.wall_s": 0.5})
+        assert META_KEY in store.latest()
+
+    def test_values_stay_flat_and_meta_free(self, tmp_path):
+        from repro.obs.snapshot import META_KEY
+
+        store = SnapshotStore(tmp_path / "BENCH.json")
+        store.record({"a": 1.0, f"{META_KEY}.sneaky": 9.0})
+        values = store.latest()["values"]
+        assert values == {"a": 1.0}
+        assert all(isinstance(v, float) for v in values.values())
+
+    def test_diff_skips_meta_prefixed_keys(self):
+        from repro.obs.snapshot import META_KEY
+
+        diff = diff_values(
+            {f"{META_KEY}.x": 1.0, "a": 1.0},
+            {f"{META_KEY}.x": 99.0, "a": 1.0},
+        )
+        assert diff.ok
+        assert diff.removed == []
+        assert diff.unchanged == 1
+
+    def test_existing_readers_unbroken(self, tmp_path):
+        # The flat lower-is-better contract: old consumers iterate
+        # snapshot["values"] and never see provenance keys.
+        path = tmp_path / "BENCH.json"
+        SnapshotStore(path).record({"bench.x.wall_s": 0.25})
+        data = json.loads(path.read_text())
+        snapshot = data["snapshots"][0]
+        assert set(snapshot["values"]) == {"bench.x.wall_s"}
+        assert {"label", "unix_time", "values"} <= set(snapshot)
+
+    def test_snapshot_meta_helper_fields(self, tmp_path):
+        from repro.obs.snapshot import snapshot_meta
+
+        meta = snapshot_meta("lbl", cwd=tmp_path)
+        assert set(meta) == {"label", "timestamp_utc", "git_sha", "hostname"}
+        assert meta["label"] == "lbl"

@@ -1,0 +1,180 @@
+"""Trajectory: unified history view and the noise-aware perfgate."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.snapshot import META_KEY, SnapshotStore
+from repro.obs.trajectory import (
+    format_history,
+    gate,
+    gate_store,
+    gateable_key,
+    noise_limit,
+    run_perfgate,
+    unified_history,
+)
+
+
+def _store_with(tmp_path, series, name="BENCH_test.json", key="x.wall_s"):
+    """A snapshot store whose history is ``series`` for one key."""
+    store = SnapshotStore(tmp_path / name)
+    for i, value in enumerate(series):
+        store.record({key: value}, label=f"run-{i}")
+    return store
+
+
+class TestGateableKeys:
+    def test_unit_suffixes_are_gateable(self):
+        for key in ("a.wall_s", "b_ns", "c_us", "d.lat_ms", "e_cycles"):
+            assert gateable_key(key)
+
+    def test_speedup_ratios_are_not(self):
+        # Higher-is-better keys recorded next to wall clocks must never
+        # be gated under the lower-is-better convention.
+        assert not gateable_key("par.ntt_batch.speedup")
+        assert not gateable_key("fast.ntt.throughput")
+
+
+class TestNoiseLimit:
+    def test_quiet_history_keeps_relative_floor(self):
+        med, mad, limit = noise_limit([1.0, 1.0, 1.0], rel_floor=0.10)
+        assert med == 1.0 and mad == 0.0
+        assert limit == pytest.approx(1.10)
+
+    def test_noisy_history_widens_the_limit(self):
+        values = [1.0, 1.3, 0.8, 1.2, 0.9]
+        _, mad, limit = noise_limit(values, mad_k=4.0, rel_floor=0.10)
+        assert mad > 0
+        assert limit > 1.0 * 1.10  # wider than the quiet-floor limit
+
+
+class TestGating:
+    def test_noise_below_mad_threshold_passes(self, tmp_path):
+        store = _store_with(tmp_path, [1.00, 1.04, 0.97, 1.02, 1.03])
+        report = gate([store.path])
+        assert report.ok
+        assert len(report.regressions) == 0
+        statuses = {v.status for v in report.verdicts}
+        assert statuses <= {"ok", "improvement"}
+
+    def test_step_regression_fails(self, tmp_path):
+        store = _store_with(tmp_path, [1.00, 1.02, 0.99, 1.01, 2.0])
+        report = gate([store.path])
+        assert not report.ok
+        (verdict,) = report.regressions
+        assert verdict.key == "x.wall_s"
+        assert verdict.value == pytest.approx(2.0)
+        assert verdict.median == pytest.approx(1.005)
+
+    def test_short_history_refuses_to_gate(self, tmp_path):
+        # Two snapshots = one historical run < min_runs=2: reported, not
+        # failed, even when the value doubled.
+        store = _store_with(tmp_path, [1.0, 2.0])
+        report = gate([store.path], min_runs=2)
+        assert report.ok
+        (verdict,) = report.ungated
+        assert verdict.status == "short-history"
+        assert verdict.runs == 1
+
+    def test_single_snapshot_gates_nothing(self, tmp_path):
+        store = _store_with(tmp_path, [1.0])
+        assert gate_store(store.path) == []
+
+    def test_improvement_reported_not_failed(self, tmp_path):
+        store = _store_with(tmp_path, [1.0, 1.01, 0.99, 1.0, 0.5])
+        report = gate([store.path])
+        assert report.ok
+        assert [v.key for v in report.improvements] == ["x.wall_s"]
+
+    def test_non_suffix_keys_skipped_unless_all_keys(self, tmp_path):
+        store = _store_with(tmp_path, [1.0, 1.0, 5.0], key="x.speedup")
+        assert gate([store.path]).verdicts == []
+        report = gate([store.path], all_keys=True)
+        assert [v.key for v in report.verdicts] == ["x.speedup"]
+
+    def test_window_bounds_the_baseline(self, tmp_path):
+        # Old slow era outside the window must not mask a regression
+        # against the recent fast era.
+        series = [5.0] * 10 + [1.0, 1.0, 1.0, 1.0, 2.5]
+        store = _store_with(tmp_path, series)
+        report = gate([store.path], window=4)
+        assert not report.ok
+
+    def test_missing_files_skipped(self, tmp_path):
+        report = gate([tmp_path / "absent.json"])
+        assert report.ok and report.verdicts == []
+
+    def test_mad_scaling_tolerates_its_own_noise(self, tmp_path):
+        # A genuinely noisy history (MAD ~0.1) admits a 1.35 reading that
+        # a naive 10%-of-last-run diff would have failed.
+        store = _store_with(tmp_path, [1.0, 1.2, 0.9, 1.1, 0.95, 1.35])
+        report = gate([store.path], mad_k=4.0)
+        assert report.ok
+
+    def test_invalid_parameters_rejected(self, tmp_path):
+        store = _store_with(tmp_path, [1.0, 1.0])
+        with pytest.raises(ObservabilityError):
+            gate_store(store.path, window=0)
+        with pytest.raises(ObservabilityError):
+            gate_store(store.path, min_runs=0)
+
+
+class TestHistoryView:
+    def test_rows_carry_meta_and_sort_by_time(self, tmp_path):
+        a = _store_with(tmp_path, [1.0, 1.1], name="BENCH_a.json")
+        b = _store_with(tmp_path, [2.0], name="BENCH_b.json")
+        rows = unified_history([a.path, b.path])
+        assert len(rows) == 3
+        assert [r.unix_time for r in rows] == sorted(
+            r.unix_time for r in rows
+        )
+        for row in rows:
+            assert row.git_sha != ""
+            assert row.timestamp.endswith("Z")
+            assert row.hostname != ""
+
+    def test_format_history_renders_table(self, tmp_path):
+        store = _store_with(tmp_path, [1.0], name="BENCH_a.json")
+        text = format_history(unified_history([store.path]))
+        assert "BENCH_a.json" in text
+        assert "git" in text and "host" in text
+
+    def test_empty_history_renders_placeholder(self):
+        assert "(no snapshots found)" in format_history([])
+
+
+class TestRunPerfgate:
+    def test_exit_zero_on_clean_rerun(self, tmp_path, capsys):
+        store = _store_with(tmp_path, [1.0, 1.01, 0.99, 1.0])
+        code = run_perfgate([store.path], show_history=True)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "benchmark trajectory" in out
+        assert "0 regressions" in out
+
+    def test_exit_nonzero_on_injected_regression(self, tmp_path, capsys):
+        store = _store_with(tmp_path, [1.0, 1.0, 1.0])
+        latest = dict(store.load()[-1]["values"])
+        store.record({k: 2.0 * v for k, v in latest.items()}, label="x2")
+        assert run_perfgate([store.path]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_json_report_written(self, tmp_path):
+        store = _store_with(tmp_path, [1.0, 1.0, 1.0])
+        out = tmp_path / "gate.json"
+        run_perfgate([store.path], json_path=out)
+        payload = json.loads(out.read_text())
+        assert payload["format"] == "repro.obs.trajectory/v1"
+        assert payload["ok"] is True
+        assert payload["verdicts"][0]["key"] == "x.wall_s"
+
+
+class TestSnapshotMetaIntegration:
+    def test_meta_block_invisible_to_gate(self, tmp_path):
+        store = _store_with(tmp_path, [1.0, 1.0, 1.0])
+        for snapshot in store.load():
+            assert META_KEY in snapshot
+        report = gate([store.path])
+        assert all(not v.key.startswith(META_KEY) for v in report.verdicts)
