@@ -8,7 +8,7 @@ here by blocking a residue vector over one kernel backend.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.errors import ArithmeticDomainError
 from repro.kernels.backend import Backend, ModulusContext
@@ -30,7 +30,10 @@ class BlasPlan:
     engine (:mod:`repro.fast`) instead of the ISA simulator — identical
     results, whole-vector execution (see docs/PERFORMANCE.md). With
     ``engine="parallel"`` the element range is additionally sharded
-    across the :mod:`repro.par` worker pool.
+    across the :mod:`repro.par` worker pool. ``fast_mode`` selects the
+    fast engine's arithmetic substrate (``"dw"``/``"r52"``/``"auto"``,
+    see :class:`repro.fast.modular.FastModulus`); the faithful engine
+    ignores it.
     """
 
     def __init__(
@@ -39,6 +42,7 @@ class BlasPlan:
         backend: Backend,
         algorithm: str = "schoolbook",
         engine: str = "faithful",
+        fast_mode: Optional[str] = None,
     ) -> None:
         self.q = q
         self.backend = backend
@@ -60,7 +64,7 @@ class BlasPlan:
 
             #: The vectorized twin plan (checks operands vectorized, so
             #: the per-element Python validation loop is skipped).
-            self.fast_plan = FastBlasPlan(q)
+            self.fast_plan = FastBlasPlan(q, mode=fast_mode)
         else:
             self.fast_plan = None
         if engine == "parallel":

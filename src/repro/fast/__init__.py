@@ -14,7 +14,14 @@ Both produce bit-identical outputs for every modulus up to 124 bits; the
 :class:`~repro.ntt.negacyclic.NegacyclicNtt`,
 :class:`~repro.blas.ops.BlasPlan` and
 :class:`~repro.rns.poly.RnsPolynomialRing` selects between them.
-See ``docs/PERFORMANCE.md`` for the design and measured speedups.
+
+The fast engine itself has two arithmetic substrates: the double-word
+(``"dw"``) schoolbook path and the 52-bit redundant-limb path of
+:mod:`repro.fast.r52` (``"r52"``), which mirrors AVX-512 IFMA's
+``madd52lo/hi`` split and batches carry propagation once per NTT stage.
+``mode="auto"`` (the default, overridable via ``REPRO_FAST_MODE``)
+routes to r52 whenever the modulus fits its fast range. See
+``docs/PERFORMANCE.md`` for the design and measured speedups.
 """
 
 from repro.fast.blas import (
@@ -24,20 +31,38 @@ from repro.fast.blas import (
     fast_vector_mul,
     fast_vector_sub,
 )
-from repro.fast.limbs import limbs_from_ints, limbs_to_ints
+from repro.fast.limbs import limbs_from_ints, limbs_to_ints, r52_join, r52_split
 from repro.fast.modular import FastModulus
 from repro.fast.ntt import FastNegacyclic, FastNtt, fast_negacyclic_polymul
+from repro.fast.r52 import (
+    AUTO_MAX_BETA,
+    FAST_MODE_ENV,
+    FAST_MODES,
+    R52Modulus,
+    R52Ntt,
+    get_r52_modulus,
+    resolve_fast_mode,
+)
 
 __all__ = [
+    "AUTO_MAX_BETA",
+    "FAST_MODE_ENV",
+    "FAST_MODES",
     "FastBlasPlan",
     "FastModulus",
     "FastNegacyclic",
     "FastNtt",
+    "R52Modulus",
+    "R52Ntt",
     "fast_axpy",
     "fast_negacyclic_polymul",
     "fast_vector_add",
     "fast_vector_mul",
     "fast_vector_sub",
+    "get_r52_modulus",
     "limbs_from_ints",
     "limbs_to_ints",
+    "r52_join",
+    "r52_split",
+    "resolve_fast_mode",
 ]

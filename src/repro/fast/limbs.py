@@ -244,6 +244,74 @@ def mullo128(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.stack([low, high + cross], axis=-1)
 
 
+# ---------------------------------------------------------------------------
+# 52-bit redundant-limb packing (the r52 substrate's resident format)
+# ---------------------------------------------------------------------------
+
+#: Width of one r52 limb — the IFMA / float64-mantissa digit size.
+LIMB52_BITS = 52
+
+#: Low 52 bits of a word (52-bit limb mask).
+MASK52 = np.uint64((1 << LIMB52_BITS) - 1)
+
+_S52 = np.uint64(52)
+_S12 = np.uint64(12)
+_S40 = np.uint64(40)
+
+
+@_wrapping
+def r52_split(arr: np.ndarray, limbs: int) -> List[np.ndarray]:
+    """Repack a ``(..., 2)`` double-word array into 52-bit limb planes.
+
+    Returns ``limbs`` separate contiguous ``uint64`` arrays (plane ``k``
+    holds bits ``[52k, 52k + 52)`` of each element) — the layout
+    :mod:`repro.fast.r52` computes on. Separate planes beat a strided
+    ``(..., L)`` axis for whole-vector passes, the same reason the IFMA
+    kernel keeps three register planes per residue vector.
+    """
+    lo = arr[..., 0]
+    hi = arr[..., 1]
+    if limbs == 1:
+        planes = [lo & MASK52]
+    elif limbs == 2:
+        planes = [lo & MASK52, ((lo >> _S52) | (hi << _S12)) & MASK52]
+    elif limbs == 3:
+        planes = [
+            lo & MASK52,
+            ((lo >> _S52) | (hi << _S12)) & MASK52,
+            (hi >> _S40) & MASK52,
+        ]
+    else:
+        raise ArithmeticDomainError(
+            f"r52 limb count must be 1, 2 or 3, got {limbs}"
+        )
+    return [np.ascontiguousarray(p) for p in planes]
+
+
+@_wrapping
+def r52_join(planes: Sequence[np.ndarray]) -> np.ndarray:
+    """Inverse of :func:`r52_split`: 52-bit planes back to ``(..., 2)``.
+
+    Every plane must be canonical (strictly below ``2^52``); redundant
+    (carry-deferred) planes must be normalized first.
+    """
+    limbs = len(planes)
+    if limbs == 1:
+        lo = planes[0]
+        hi = np.zeros_like(lo)
+    elif limbs == 2:
+        lo = planes[0] | (planes[1] << _S52)
+        hi = planes[1] >> _S12
+    elif limbs == 3:
+        lo = planes[0] | (planes[1] << _S52)
+        hi = (planes[1] >> _S12) | (planes[2] << _S40)
+    else:
+        raise ArithmeticDomainError(
+            f"r52 limb count must be 1, 2 or 3, got {limbs}"
+        )
+    return np.stack([lo, hi], axis=-1)
+
+
 def shift_right_256(words: np.ndarray, amount: int) -> np.ndarray:
     """Right-shift a ``(..., 4)`` 256-bit word array into a limb array.
 

@@ -15,7 +15,9 @@ backends for any modulus up to 124 bits.
 
 from __future__ import annotations
 
-from typing import Union
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
@@ -29,24 +31,49 @@ from repro.fast.limbs import (
     limbs_from_ints,
     limbs_to_ints,
     mullo128,
+    r52_join,
+    r52_split,
     select128,
     shift_right_256,
     sub128,
     wide_mul_128,
 )
+from repro.fast.r52 import get_r52_modulus, resolve_fast_mode
+from repro.obs.hooks import record_fastmod_eviction
+
+#: Process-wide memoized moduli, keyed by ``(q, resolved_mode)`` and
+#: LRU-bounded like the twiddle cache (see ``FastModulus.get``): an RNS
+#: ring cycling through many channel primes must not re-derive Barrett
+#: and r52 constants at every plan construction, nor grow without limit.
+_MODULUS_CACHE: "OrderedDict[Tuple[int, str], FastModulus]" = OrderedDict()
+_MODULUS_LOCK = threading.Lock()
+
+#: Default bound on cached FastModulus instances.
+DEFAULT_CACHE_CAPACITY = 64
 
 
 class FastModulus:
     """Per-modulus state for vectorized modular arithmetic (``q <= 2^124``).
+
+    ``mode`` picks the arithmetic substrate for ``mulmod``: ``"dw"``
+    runs the 128-bit schoolbook path below, ``"r52"`` routes through
+    the 52-bit redundant-limb substrate (:mod:`repro.fast.r52`), and
+    ``"auto"``/``None`` (optionally via the ``REPRO_FAST_MODE`` env
+    var) picks r52 whenever the modulus fits its two-limb fast range.
+    Results are bit-identical either way; ``addmod``/``submod`` always
+    stay double-word (the repack would cost more than carry chains on
+    an add). The public array layout is ``(..., 2)`` uint64 regardless.
 
     Attributes:
         q: The modulus (Python int).
         params: The shared :class:`~repro.arith.barrett.BarrettParams`.
         m: The modulus as a ``(2,)`` limb array (broadcasts over vectors).
         mu: Barrett ``mu`` as a ``(2,)`` limb array.
+        mode: The resolved substrate, ``"r52"`` or ``"dw"``.
+        r52: The bound :class:`~repro.fast.r52.R52Modulus` (or ``None``).
     """
 
-    def __init__(self, q: int) -> None:
+    def __init__(self, q: int, mode: Optional[str] = None) -> None:
         check_modulus_128(q)
         self.q = q
         self.params = BarrettParams(q)
@@ -54,9 +81,48 @@ class FastModulus:
         self.beta = self.params.beta
         self.m = limbs_from_ints(q)
         self.mu = limbs_from_ints(self.params.mu)
+        self.mode = resolve_fast_mode(mode, q)
+        self.r52 = get_r52_modulus(q) if self.mode == "r52" else None
+
+    @classmethod
+    def get(cls, q: int, mode: Optional[str] = None) -> "FastModulus":
+        """The process-wide memoized modulus for ``(q, mode)``.
+
+        Mirrors :meth:`repro.ntt.twiddles.TwiddleTable.get`: every fast
+        plan constructs its modulus through this cache, so repeated
+        ``RnsPolynomialRing`` channel construction shares one Barrett /
+        r52 precomputation per prime. Evictions bump the
+        ``fastmod.evictions`` counter.
+        """
+        key = (q, resolve_fast_mode(mode, q))
+        with _MODULUS_LOCK:
+            mod = _MODULUS_CACHE.get(key)
+            if mod is not None:
+                _MODULUS_CACHE.move_to_end(key)
+                return mod
+        mod = cls(q, mode)
+        with _MODULUS_LOCK:
+            mod = _MODULUS_CACHE.setdefault(key, mod)
+            _MODULUS_CACHE.move_to_end(key)
+            while len(_MODULUS_CACHE) > DEFAULT_CACHE_CAPACITY:
+                _MODULUS_CACHE.popitem(last=False)
+                record_fastmod_eviction()
+        return mod
+
+    @classmethod
+    def clear_cache(cls) -> None:
+        """Drop all memoized moduli (tests, long-lived processes)."""
+        with _MODULUS_LOCK:
+            _MODULUS_CACHE.clear()
+
+    @classmethod
+    def cache_size(cls) -> int:
+        """Number of cached ``(q, mode)`` entries."""
+        with _MODULUS_LOCK:
+            return len(_MODULUS_CACHE)
 
     def __repr__(self) -> str:
-        return f"FastModulus(q={self.q})"
+        return f"FastModulus(q={self.q}, mode={self.mode!r})"
 
     # ------------------------------------------------------------------
     # Input handling
@@ -109,7 +175,15 @@ class FastModulus:
         2. quotient estimate ``((t >> (beta-1)) * mu) >> (beta+1)``,
         3. ``c = t - estimate * q`` modulo ``2^128``,
         4. two conditional subtractions of ``q``.
+
+        When the r52 substrate is active the same product runs over
+        52-bit redundant limbs instead (identical results, fewer
+        whole-vector passes); the repack happens at this boundary.
         """
+        if self.r52 is not None:
+            r = self.r52
+            out = r.mulmod(r52_split(a, r.limbs), r52_split(b, r.limbs))
+            return r52_join(out)
         t_words = wide_mul_128(a, b)
         t_shifted = shift_right_256(t_words, self.beta - 1)
         g_words = wide_mul_128(t_shifted, self.mu)

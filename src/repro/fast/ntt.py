@@ -25,8 +25,9 @@ from repro.arith.primes import root_of_unity
 from repro.errors import NttParameterError
 from repro.fast.limbs import IntVector, limbs_from_ints, limbs_to_ints
 from repro.fast.modular import FastModulus
+from repro.fast.r52 import R52Ntt
 from repro.ntt.twiddles import TwiddleTable, bit_reverse
-from repro.obs.hooks import engine_run_span, record_engine_call
+from repro.obs.hooks import engine_run_span, record_engine_call, record_r52_call
 from repro.util.checks import check_power_of_two
 
 IntMatrix = Union[List[int], List[List[int]], np.ndarray]
@@ -41,6 +42,11 @@ class FastNtt:
         root: Optional explicit primitive ``n``-th root of unity.
         table: Optional pre-built twiddle table to share with a faithful
             plan (guarantees both engines use identical twiddles).
+        mode: Arithmetic substrate — ``"dw"`` (128-bit schoolbook),
+            ``"r52"`` (52-bit redundant limbs with Harvey-lazy stages,
+            see :mod:`repro.fast.r52`) or ``"auto"``/``None`` (r52
+            whenever the modulus fits its fast range; overridable via
+            the ``REPRO_FAST_MODE`` env var). Bit-identical either way.
     """
 
     def __init__(
@@ -49,6 +55,7 @@ class FastNtt:
         q: int,
         root: Optional[int] = None,
         table: Optional[TwiddleTable] = None,
+        mode: Optional[str] = None,
     ) -> None:
         if table is not None:
             if table.n != n or table.q != q:
@@ -59,7 +66,13 @@ class FastNtt:
             self.table = table
         else:
             self.table = TwiddleTable.get(n, q, root or 0)
-        self.mod = FastModulus(q)
+        self.mod = FastModulus.get(q, mode)
+        self.mode = self.mod.mode
+        self._r52 = (
+            R52Ntt(self.table, self.mod.r52)
+            if self.mod.r52 is not None
+            else None
+        )
         bits = n.bit_length() - 1
         self._bitrev = np.array(
             [bit_reverse(i, bits) for i in range(n)], dtype=np.intp
@@ -89,7 +102,9 @@ class FastNtt:
         """
         x, as_ints = self._coerce(values)
         record_engine_call("fast", "ntt.forward", x.size // 2)
-        with engine_run_span("fast", "ntt.forward", x.size // 2):
+        if self._r52 is not None:
+            record_r52_call("ntt.forward", x.size // 2)
+        with engine_run_span("fast", "ntt.forward", x.size // 2, mode=self.mode):
             out = self._run_stages(x, inverse=False)
             if natural_order:
                 out = out[..., self._bitrev, :]
@@ -99,7 +114,9 @@ class FastNtt:
         """Inverse NTT including the ``1/n`` scaling (batched-aware)."""
         x, as_ints = self._coerce(values)
         record_engine_call("fast", "ntt.inverse", x.size // 2)
-        with engine_run_span("fast", "ntt.inverse", x.size // 2):
+        if self._r52 is not None:
+            record_r52_call("ntt.inverse", x.size // 2)
+        with engine_run_span("fast", "ntt.inverse", x.size // 2, mode=self.mode):
             if not natural_order:
                 x = x[..., self._bitrev, :]
             out = self._run_stages(x, inverse=True)
@@ -112,7 +129,9 @@ class FastNtt:
         fa, as_ints = self._coerce(f)
         ga, _ = self._coerce(g)
         record_engine_call("fast", "ntt.pointwise", fa.size // 2)
-        with engine_run_span("fast", "ntt.pointwise", fa.size // 2):
+        if self._r52 is not None:
+            record_r52_call("ntt.pointwise", fa.size // 2)
+        with engine_run_span("fast", "ntt.pointwise", fa.size // 2, mode=self.mode):
             out = self.mod.mulmod(fa, ga)
         return limbs_to_ints(out) if as_ints else out
 
@@ -147,6 +166,12 @@ class FastNtt:
         return cached
 
     def _run_stages(self, x: np.ndarray, inverse: bool) -> np.ndarray:
+        if self._r52 is not None:
+            # Native r52 stages: repack once per transform, run every
+            # stage Harvey-lazy with batched carries, repack once back.
+            r = self.mod.r52
+            out = self._r52.run_stages(r.from_dw(x), inverse)
+            return r.to_dw(out)
         half = self.n // 2
         for stage in range(self.table.stages):
             tw = self._stage_twiddles(stage, inverse)
@@ -175,6 +200,7 @@ class FastNegacyclic:
         q: int,
         psi: Optional[int] = None,
         plan: Optional[FastNtt] = None,
+        mode: Optional[str] = None,
     ) -> None:
         check_power_of_two(n, "n")
         if (q - 1) % (2 * n):
@@ -189,7 +215,8 @@ class FastNegacyclic:
                 f"{self.psi} is not a primitive {2 * n}-th root of unity mod {q}"
             )
         omega = self.psi * self.psi % q
-        self.plan = plan or FastNtt(n, q, root=omega)
+        self.plan = plan or FastNtt(n, q, root=omega, mode=mode)
+        self.mode = self.plan.mode
         psi_inv = inv_mod(self.psi, q)
         self._twist = limbs_from_ints([pow(self.psi, i, q) for i in range(n)])
         self._untwist = limbs_from_ints([pow(psi_inv, i, q) for i in range(n)])
@@ -211,7 +238,7 @@ class FastNegacyclic:
     def multiply(self, f: IntMatrix, g: IntMatrix) -> IntMatrix:
         """Negacyclic product ``f * g mod (x^n + 1, q)`` (batched-aware)."""
         record_engine_call("fast", "ntt.polymul", self.n)
-        with engine_run_span("fast", "ntt.polymul", self.n):
+        with engine_run_span("fast", "ntt.polymul", self.n, mode=self.mode):
             fa = self.forward(f)
             ga = self.forward(g)
             prod = self.plan.pointwise_mul(fa, ga)

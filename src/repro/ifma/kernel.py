@@ -11,6 +11,16 @@ high bits to column ``i+j+1``; column sums stay below 2^55, far from the
 Barrett reduction is the paper's Equation 4 re-derived over the 52-bit
 base (moduli of 106-124 bits keep every shift inside a fixed limb
 window).
+
+The fast engine reproduces this exact arithmetic as its executable r52
+substrate (:mod:`repro.fast.r52`): same 52-bit planes, same
+madd52lo/hi column accumulation (via the float64-mantissa high-product
+trick), same Shoup products and Harvey-lazy ``[0, 4q)`` stage ranges
+with a single final normalization pass. The carry cadence the perf
+model charges here (one normalize per stage,
+:data:`repro.ifma.perf.LAZY_FINAL_REDUCE_PASSES` whole-transform
+reduce passes) is asserted against ``R52Ntt.CARRY_SCHEDULE`` in
+``tests/test_ifma.py`` so the model and the engine cannot drift.
 """
 
 from __future__ import annotations

@@ -16,6 +16,19 @@ from repro.perf.estimator import KernelCost, NttEstimate, _trace_bytes
 
 _SEED = 0x1F3A
 
+#: Whole-transform normalization passes the lazy mode pays after the
+#: last stage (one ``reduce_from_lazy`` sweep over all ``n`` residues).
+#: The fast engine's r52 substrate implements the same cadence — its
+#: ``R52Ntt.CARRY_SCHEDULE["final_reduce_passes"]`` is asserted equal
+#: to this constant in ``tests/test_ifma.py`` so the model and the
+#: executable engine cannot drift apart.
+LAZY_FINAL_REDUCE_PASSES = 1
+
+#: Harvey's lazy bound: butterflies keep values in ``[0, 4q)`` between
+#: stages (must match ``R52Ntt.CARRY_SCHEDULE["lazy_bound_multiple"]``
+#: and the ``load_block_lazy`` bound in :mod:`repro.ifma.kernel`).
+LAZY_BOUND_MULTIPLE = 4
+
 
 def _trace_stage_block(kernel: IfmaKernel, q: int, mode: str) -> Tracer:
     """One Pease stage block in the requested butterfly mode."""
@@ -88,9 +101,13 @@ def estimate_ifma_ntt(
         reduce_trace = _trace_reduce_block(kernel, q)
         reduce_sched = schedule_trace(reduce_trace, microarch)
         reduce_cost = KernelCost(reduce_sched, _trace_bytes(reduce_trace))
-        cycles += reduce_cost.cycles_per_block(
-            cache, working_set, independent_blocks=max(1, n // LANES)
-        ) * (n // LANES)
+        cycles += (
+            reduce_cost.cycles_per_block(
+                cache, working_set, independent_blocks=max(1, n // LANES)
+            )
+            * (n // LANES)
+            * LAZY_FINAL_REDUCE_PASSES
+        )
 
     ns = cycles / cpu.measured_ghz
     butterflies = (n // 2) * stages

@@ -45,6 +45,7 @@ class NegacyclicNtt:
         algorithm: str = "schoolbook",
         psi: Optional[int] = None,
         engine: str = "faithful",
+        fast_mode: Optional[str] = None,
     ) -> None:
         check_power_of_two(n, "n")
         if (q - 1) % (2 * n):
@@ -71,7 +72,8 @@ class NegacyclicNtt:
         # The cyclic plan uses omega = psi^2, keeping the rings consistent.
         omega = self.psi * self.psi % q
         self.plan = SimdNtt(
-            n, q, backend, algorithm=algorithm, root=omega, engine=engine
+            n, q, backend, algorithm=algorithm, root=omega, engine=engine,
+            fast_mode=fast_mode,
         )
         self.engine = engine
 

@@ -25,7 +25,7 @@ from repro.obs.session import current
 from repro.obs.spans import span
 
 
-def engine_run_span(engine: str, op: str, elements: int = 0):
+def engine_run_span(engine: str, op: str, elements: int = 0, **attrs):
     """Span context for one execution-engine entry point call.
 
     The fast engine's counters (:func:`record_engine_call`) say *how
@@ -35,10 +35,51 @@ def engine_run_span(engine: str, op: str, elements: int = 0):
     points in this span fixes that; when no session is active the
     returned :func:`~contextlib.nullcontext` keeps the call sites at one
     global read, same as every other hook here.
+
+    Extra keyword attributes land on the span unchanged — the fast
+    engine passes ``mode="r52"``/``"dw"`` so a trace shows which
+    arithmetic substrate served each call.
     """
     if current() is None:
         return nullcontext()
-    return span(f"engine.{engine}.run", op=op, elements=elements)
+    return span(f"engine.{engine}.run", op=op, elements=elements, **attrs)
+
+
+def record_r52_call(op: str, elements: int) -> None:
+    """Count one fast-engine call served by the r52 (52-bit) substrate.
+
+    Sibling of :func:`record_engine_call` under ``engine.fast.r52.*``:
+    the pair shows how much fast-engine traffic the redundant-limb path
+    actually carried versus the double-word schoolbook path.
+    """
+    session = current()
+    if session is None:
+        return
+    m = session.metrics
+    m.counter(f"engine.fast.r52.calls.{op}").inc()
+    m.counter(f"engine.fast.r52.elements.{op}").inc(elements)
+
+
+def record_r52_carry_flush(flushes: int) -> None:
+    """Count batched carry-propagation passes run by the r52 NTT.
+
+    Incremented once per transform with that transform's flush count
+    (one normalize per stage plus the final lazy reduction), so the
+    counter divided by ``engine.fast.r52.calls.ntt.*`` exposes the
+    carry cadence the deferred-limb design promises.
+    """
+    session = current()
+    if session is None:
+        return
+    session.metrics.counter("engine.fast.r52.carry_flushes").inc(flushes)
+
+
+def record_fastmod_eviction() -> None:
+    """Count one FastModulus evicted from the bounded process-wide cache."""
+    session = current()
+    if session is None:
+        return
+    session.metrics.counter("fastmod.evictions").inc()
 
 
 def record_trace(tracer) -> None:

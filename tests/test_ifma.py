@@ -255,3 +255,41 @@ class TestPerf:
             shoup = estimate_ntt(1 << 14, q, be, cpu, twiddle_mode="shoup").ns
             lazy = estimate_ntt(1 << 14, q, be, cpu, twiddle_mode="lazy").ns
             assert lazy < shoup < barrett
+
+
+class TestCarryScheduleConsistency:
+    """The perf model's lazy cadence must match the executable r52 engine.
+
+    ``estimate_ifma_ntt`` charges the lazy mode one whole-transform
+    normalization sweep on top of the per-stage butterflies; the fast
+    engine's r52 substrate *executes* that exact schedule. Pinning the
+    two to the same constants means a change to either side (an extra
+    reduce pass, a different lazy bound) fails here instead of silently
+    de-correlating the model from the measured engine.
+    """
+
+    def test_final_reduce_cadence_matches_r52(self):
+        from repro.fast.r52 import R52Ntt
+        from repro.ifma.perf import LAZY_FINAL_REDUCE_PASSES
+
+        schedule = R52Ntt.CARRY_SCHEDULE
+        assert schedule["final_reduce_passes"] == LAZY_FINAL_REDUCE_PASSES
+
+    def test_lazy_bound_matches_r52_and_kernel(self):
+        from repro.fast.r52 import R52Ntt
+        from repro.ifma.perf import LAZY_BOUND_MULTIPLE
+
+        assert R52Ntt.CARRY_SCHEDULE["lazy_bound_multiple"] == LAZY_BOUND_MULTIPLE
+        # The kernel's lazy loader accepts exactly [0, 4q).
+        kernel = IfmaKernel(BIG_Q)
+        kernel.load_block_lazy([LAZY_BOUND_MULTIPLE * BIG_Q - 1] * 8)
+        with pytest.raises(ArithmeticDomainError):
+            kernel.load_block_lazy([LAZY_BOUND_MULTIPLE * BIG_Q] * 8)
+
+    def test_deferred_budget_is_honored(self):
+        from repro.fast.r52 import MAX_DEFERRED_ADDS, R52Ntt, STAGE_DEFERRED_ADDS
+
+        schedule = R52Ntt.CARRY_SCHEDULE
+        assert schedule["butterfly_deferred_adds"] == STAGE_DEFERRED_ADDS
+        assert schedule["max_deferred_adds"] == MAX_DEFERRED_ADDS
+        assert STAGE_DEFERRED_ADDS <= MAX_DEFERRED_ADDS
