@@ -79,6 +79,7 @@ class FastNtt:
         )
         self._n_inv = limbs_from_ints(self.table.n_inverse)
         self._stage_tw: dict = {}
+        self._r52_n_inv: Optional[tuple] = None
 
     @property
     def n(self) -> int:
@@ -155,6 +156,17 @@ class FastNtt:
         self.mod.check_reduced(arr)
         return arr, as_ints
 
+    def _r52_n_inv_pair(self) -> tuple:
+        """Cached Shoup pair for ``1/n`` on the r52 substrate.
+
+        Used by the fused-chain runner (:mod:`repro.fast.chain`) to
+        apply the inverse transform's scaling without leaving limb-plane
+        form.
+        """
+        if self._r52_n_inv is None:
+            self._r52_n_inv = self.mod.r52.shoup(int(self.table.n_inverse))
+        return self._r52_n_inv
+
     def _stage_twiddles(self, stage: int, inverse: bool) -> np.ndarray:
         key = (stage, inverse)
         cached = self._stage_tw.get(key)
@@ -218,8 +230,26 @@ class FastNegacyclic:
         self.plan = plan or FastNtt(n, q, root=omega, mode=mode)
         self.mode = self.plan.mode
         psi_inv = inv_mod(self.psi, q)
-        self._twist = limbs_from_ints([pow(self.psi, i, q) for i in range(n)])
-        self._untwist = limbs_from_ints([pow(psi_inv, i, q) for i in range(n)])
+        self._twist_ints = [pow(self.psi, i, q) for i in range(n)]
+        self._untwist_ints = [pow(psi_inv, i, q) for i in range(n)]
+        self._twist = limbs_from_ints(self._twist_ints)
+        self._untwist = limbs_from_ints(self._untwist_ints)
+        self._r52_twist: Optional[tuple] = None
+        self._r52_untwist: Optional[tuple] = None
+
+    def _r52_twist_pair(self) -> tuple:
+        """Cached Shoup-vector pair for the psi twist (r52 substrate)."""
+        if self._r52_twist is None:
+            self._r52_twist = self.plan.mod.r52.shoup_vector(self._twist_ints)
+        return self._r52_twist
+
+    def _r52_untwist_pair(self) -> tuple:
+        """Cached Shoup-vector pair for the psi^-1 untwist (r52 substrate)."""
+        if self._r52_untwist is None:
+            self._r52_untwist = self.plan.mod.r52.shoup_vector(
+                self._untwist_ints
+            )
+        return self._r52_untwist
 
     def forward(self, values: IntMatrix) -> IntMatrix:
         """Twisted forward transform (raw bit-reversed order)."""

@@ -260,6 +260,21 @@ def attribute(
         "fallbacks": _counter(metric_map, "par.fallbacks"),
         "stale_blobs": _counter(metric_map, "par.telemetry.stale"),
         "merged_blobs": _counter(metric_map, "par.telemetry.blobs"),
+        "arena_leases": _counter(metric_map, "par.arena.leases"),
+        "arena_reuses": _counter(metric_map, "par.arena.reuses"),
+        "arena_creates": _counter(metric_map, "par.arena.creates"),
+        "arena_high_water_bytes": _counter(
+            metric_map, "par.arena.high_water_bytes"
+        ),
+        "fused_chains": _counter(metric_map, "par.fused.chains"),
+        "fused_steps": _counter(metric_map, "par.fused.steps"),
+        "saved_dispatches": _counter(
+            metric_map, "par.adaptive.saved_dispatches"
+        ),
+        "seg_cache_hits": _counter(metric_map, "par.worker.seg_cache.hits"),
+        "seg_cache_misses": _counter(
+            metric_map, "par.worker.seg_cache.misses"
+        ),
     }
 
     shards = int(_counter(metric_map, "par.shards.dispatched"))
@@ -394,6 +409,35 @@ def format_attribution(report: Attribution) -> str:
         f"stale blobs {int(d.get('stale_blobs', 0))}  "
         f"merged blobs {int(d.get('merged_blobs', 0))}"
     )
+    leases = int(d.get("arena_leases", 0))
+    if leases:
+        reuses = int(d.get("arena_reuses", 0))
+        line = (
+            f"arena: {leases} leases ({reuses} reused, "
+            f"{int(d.get('arena_creates', 0))} created; "
+            f"{reuses / leases * 100:.0f}% hit)"
+        )
+        high_water = int(d.get("arena_high_water_bytes", 0))
+        if high_water:  # only grows during the observed window
+            line += f", high water {high_water / 1024:.0f} KiB"
+        lines.append(line)
+    cache_hits = int(d.get("seg_cache_hits", 0))
+    cache_misses = int(d.get("seg_cache_misses", 0))
+    if cache_hits or cache_misses:
+        total = cache_hits + cache_misses
+        lines.append(
+            f"worker attach cache: {cache_hits}/{total} hits "
+            f"({cache_hits / total * 100:.0f}%)"
+        )
+    chains = int(d.get("fused_chains", 0))
+    if chains:
+        lines.append(
+            f"fused chains: {chains} shards x "
+            f"{d.get('fused_steps', 0) / chains:.1f} steps avg"
+        )
+    saved = int(d.get("saved_dispatches", 0))
+    if saved:
+        lines.append(f"adaptive sizing: {saved} dispatches saved")
 
     lines.append("")
     lines.append(

@@ -182,17 +182,128 @@ def record_par_worker_restart() -> None:
     session.metrics.counter("par.workers.restarted").inc()
 
 
-def record_par_stale_result() -> None:
-    """Count one worker message discarded for carrying a stale generation.
+def record_par_stale_result(flavor: str = "superseded") -> None:
+    """Count one worker message discarded for being stale.
 
-    A shard that was re-enqueued (quiet-timeout safety net, checksum
-    mismatch) bumps its generation; a straggler completing the *old*
-    copy must not be double-counted or trusted over the re-execution.
+    Two flavors, both incrementing the aggregate ``par.stale_results``
+    plus a per-flavor sibling: ``"superseded"`` — the task is still
+    pending but the message carries an old generation (it was
+    re-enqueued; the straggler lost the race to its own retry) — and
+    ``"recovered"`` — the task already completed through another path
+    (retry or in-process fallback), so the straggler's late result is
+    the double-execution the generation counters exist to make visible.
     """
     session = current()
     if session is None:
         return
-    session.metrics.counter("par.stale_results").inc()
+    m = session.metrics
+    m.counter("par.stale_results").inc()
+    m.counter(f"par.stale_results.{flavor}").inc()
+
+
+def record_par_worker_hung() -> None:
+    """Count one worker terminated for exceeding the task timeout.
+
+    Distinct from ``par.workers.restarted`` (which also covers crashes):
+    a hang means the policing loop had to SIGTERM a live-but-silent
+    worker, which usually points at oversized shards or a blocked
+    syscall rather than a fault.
+    """
+    session = current()
+    if session is None:
+        return
+    session.metrics.counter("par.workers.hung").inc()
+
+
+def record_par_limbo_requeue() -> None:
+    """Count one shard re-enqueued by the quiet-timeout safety net.
+
+    These requeues recover shards in dispatch limbo (no worker ever
+    advertised them); they are *not* worker failures and do not charge
+    the circuit breaker.
+    """
+    session = current()
+    if session is None:
+        return
+    session.metrics.counter("par.limbo.requeued").inc()
+
+
+def record_arena_lease(reused: bool, nbytes: int) -> None:
+    """Count one arena segment lease and the bytes it serves.
+
+    ``reused`` distinguishes free-list recycling (the steady state —
+    zero syscalls) from a fresh shm create (cold start or a new size
+    class). The reuse ratio is the arena's whole value proposition, so
+    both flavors are first-class counters.
+    """
+    session = current()
+    if session is None:
+        return
+    m = session.metrics
+    m.counter("par.arena.leases").inc()
+    m.counter("par.arena.leased_bytes").inc(nbytes)
+    if reused:
+        m.counter("par.arena.reuses").inc()
+    else:
+        m.counter("par.arena.creates").inc()
+
+
+def record_arena_high_water(total_bytes: int, segments: int) -> None:
+    """Record a new arena high-water mark (bytes held, segment count)."""
+    session = current()
+    if session is None:
+        return
+    m = session.metrics
+    m.gauge("par.arena.high_water_bytes").set(total_bytes)
+    m.gauge("par.arena.high_water_segments").set(segments)
+
+
+def record_arena_drained(segments: int) -> None:
+    """Count arena segments destroyed by a pool drain (executor close)."""
+    session = current()
+    if session is None:
+        return
+    session.metrics.counter("par.arena.drained").inc(segments)
+
+
+def record_fused_chain(steps: int, shards: int) -> None:
+    """Count one fused multi-op chain dispatched to the pool.
+
+    ``steps`` is the chain length (e.g. 5 for NTT→NTT→pointwise→INTT
+    composed as a negacyclic product), ``shards`` how many tasks carried
+    it. ``par.fused.steps`` minus ``par.fused.chains`` is the number of
+    dispatch round trips fusion removed.
+    """
+    session = current()
+    if session is None:
+        return
+    m = session.metrics
+    m.counter("par.fused.chains").inc(shards)
+    m.counter("par.fused.steps").inc(steps * shards)
+
+
+def record_adaptive_shards(shards: int, ceiling: int) -> None:
+    """Record one adaptive shard-sizing decision.
+
+    Emitted only when the recorded compute history clamped the shard
+    count below the worker-count ceiling (the interesting case: the
+    batch was too small to amortize per-shard dispatch overhead).
+    """
+    session = current()
+    if session is None:
+        return
+    m = session.metrics
+    m.counter("par.adaptive.clamped").inc()
+    m.histogram("par.adaptive.shards").observe(shards)
+    m.counter("par.adaptive.saved_dispatches").inc(max(0, ceiling - shards))
+
+
+def record_par_worker_pinned() -> None:
+    """Count one pool worker pinned to a dedicated CPU at spawn."""
+    session = current()
+    if session is None:
+        return
+    session.metrics.counter("par.workers.pinned").inc()
 
 
 def record_worker_blob(blob, slot: int) -> None:

@@ -17,6 +17,7 @@ docs/PERFORMANCE.md ("Parallel execution").
 
 from repro.par.api import (
     ParBlasPlan,
+    ParChain,
     ParNegacyclic,
     ParNtt,
     parallel_rns_mul,
@@ -30,6 +31,7 @@ from repro.par.executor import (
 
 __all__ = [
     "ParBlasPlan",
+    "ParChain",
     "ParNegacyclic",
     "ParNtt",
     "ParallelExecutor",

@@ -28,13 +28,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import NttParameterError
+from repro.fast import chain as fast_chain
 from repro.fast.blas import FastBlasPlan, IntMatrix
-from repro.fast.limbs import limbs_from_ints, limbs_to_ints
+from repro.fast.limbs import LIMB_DTYPE, limbs_from_ints, limbs_to_ints
 from repro.fast.ntt import FastNegacyclic, FastNtt
 from repro.ntt.twiddles import TwiddleTable
-from repro.obs.hooks import record_engine_call
+from repro.obs.hooks import record_engine_call, record_fused_chain
 from repro.obs.spans import span
-from repro.par import shm
 from repro.par.executor import ParallelExecutor, default_executor
 from repro.util.checks import check_reduced
 
@@ -43,8 +44,12 @@ def shard_bounds(total: int, shards: int) -> List[Tuple[int, int]]:
     """Split ``range(total)`` into balanced contiguous ``[start, stop)``.
 
     At most ``min(shards, total)`` non-empty pieces, sizes differing by
-    at most one — the unit of work handed to each pool worker.
+    at most one — the unit of work handed to each pool worker. An empty
+    range has no shards: ``total=0`` returns ``[]`` (callers
+    early-return before staging anything).
     """
+    if total <= 0:
+        return []
     shards = max(1, min(int(shards), int(total)))
     base, extra = divmod(int(total), shards)
     bounds = []
@@ -73,27 +78,36 @@ def _run_sharded(
 
     The ``par.batch`` span brackets staging + run + collection, so a
     profile separates shared-memory copy overhead from pool time.
+
+    Staging goes through the executor's :class:`~repro.par.shm.ArenaPool`:
+    segments are leased for the batch and returned to the pool's free
+    lists afterwards, so steady-state batches reuse the same segments
+    (and the workers' attachment caches) with zero shm syscalls.
     """
     executor = executor or default_executor()
+    if total <= 0:
+        # Empty batch: the identity-shaped result, with no segment
+        # staging and no pool round trip for zero work.
+        return np.zeros(tuple(shape), dtype=LIMB_DTYPE)
     with span("par.batch", op=meta.get("op"), axis=axis_key, total=int(total)):
         segments = []
         try:
             names = {}
             for key, arr in inputs.items():
-                seg, view = shm.create_segment(shape)
+                seg, view = executor.arena.lease(shape)
                 view[...] = arr
                 del view
                 segments.append(seg)
                 names[key] = seg.name
-            out_seg, out_view = shm.create_segment(shape)
+            out_seg, out_view = executor.arena.lease(shape)
             segments.append(out_seg)
-            bounds = shard_bounds(total, executor.workers)
+            bounds = shard_bounds(total, executor.suggest_shards(meta, total))
             sums_name, sums_seg = None, None
             if executor.integrity:
                 # One CRC-32 slot per shard, written by the worker right
                 # after its payload and re-verified by the executor on
                 # collection (see repro.resil.integrity).
-                sums_seg, sums_view = shm.create_segment((len(bounds),))
+                sums_seg, sums_view = executor.arena.lease((len(bounds),))
                 del sums_view
                 segments.append(sums_seg)
                 sums_name = sums_seg.name
@@ -109,6 +123,8 @@ def _run_sharded(
                     spec["sums"] = sums_name
                     spec["sums_len"] = len(bounds)
                 specs.append(spec)
+            if meta.get("op") == "chain":
+                record_fused_chain(len(meta["steps"]), len(bounds))
             executor.run(specs)
             executor.audit(specs)
             result = np.array(out_view, copy=True)
@@ -116,7 +132,7 @@ def _run_sharded(
             return result
         finally:
             for seg in segments:
-                shm.release_segment(seg)
+                executor.arena.release(seg)
 
 
 class ParNtt:
@@ -295,6 +311,149 @@ class ParNegacyclic:
             out = out[0]
         return limbs_to_ints(out) if as_ints else out
 
+    def multiply_add(self, f, g, acc):
+        """Fused ``f * g + acc mod (x^n + 1, q)`` — one dispatch per shard.
+
+        The keyswitch-shaped multiply-accumulate: previously this cost a
+        ``multiply`` batch plus a BLAS ``vector_add`` batch (two pool
+        round trips, two stagings of the intermediate product); as a
+        fused chain the product never leaves the worker.
+        """
+        fa, as_ints = self.fast.plan._coerce(f)
+        ga, _ = self.fast.plan._coerce(g)
+        za, _ = self.fast.plan._coerce(acc)
+        record_engine_call("parallel", "ntt.polymul_add", fa.size // 2)
+        flat = fa.ndim == 2
+        if flat:
+            fa, ga, za = fa[np.newaxis], ga[np.newaxis], za[np.newaxis]
+        meta = {
+            "op": "chain",
+            "n": self.fast.n,
+            "q": self.fast.q,
+            "psi": self.fast.psi,
+            "root": self.fast.plan.table.root,
+            "steps": [dict(s) for s in fast_chain.NEGACYCLIC_MUL_ADD_STEPS],
+            "inputs": ["x", "y", "z"],
+        }
+        out = _run_sharded(
+            self.executor,
+            meta,
+            "rows",
+            fa.shape[0],
+            {"x": fa, "y": ga, "z": za},
+            fa.shape,
+        )
+        if flat:
+            out = out[0]
+        return limbs_to_ints(out) if as_ints else out
+
+
+class ParChain:
+    """User-specified fused op chains dispatched as single pool tasks.
+
+    A chain (see :mod:`repro.fast.chain`) composes NTT / twist /
+    pointwise / BLAS steps over named registers; the whole program runs
+    worker-side against resident planes, so an NTT→pointwise→INTT
+    pipeline costs **one** dispatch round trip instead of three. With an
+    r52 modulus the intermediates additionally stay in 52-bit limb-plane
+    form across steps.
+
+    ``psi`` (or ``negacyclic=True``) enables twist steps; chains without
+    twists only need ``n``/``q`` (and optionally ``root``).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        q: int,
+        psi: Optional[int] = None,
+        negacyclic: Optional[bool] = None,
+        root: Optional[int] = None,
+        executor: Optional[ParallelExecutor] = None,
+    ) -> None:
+        if negacyclic is None:
+            negacyclic = psi is not None
+        if negacyclic:
+            self.neg: Optional[FastNegacyclic] = FastNegacyclic(n, q, psi=psi)
+            self.ntt = self.neg.plan
+        else:
+            self.neg = None
+            self.ntt = FastNtt(n, q, root=root)
+        self.executor = executor
+
+    @property
+    def n(self) -> int:
+        """Transform size."""
+        return self.ntt.n
+
+    @property
+    def q(self) -> int:
+        """Modulus."""
+        return self.ntt.q
+
+    def run(self, steps: Sequence[dict], **inputs):
+        """Execute ``steps`` over the named ``inputs``, row-sharded.
+
+        Input registers are ``(batch, n)`` stacks (or flat ``(n,)``
+        vectors) coerced exactly like the fast engine's operands; the
+        chain's ``"out"`` register is returned in the same form. The
+        chain is validated in-process before any staging, so a
+        malformed program raises immediately rather than through a
+        worker error.
+        """
+        steps = [dict(step) for step in steps]
+        needed = fast_chain.chain_input_names(steps)
+        fast_chain.validate_steps(steps, needed)
+        if self.neg is None and any(
+            step.get("kind") == "twist" for step in steps
+        ):
+            raise NttParameterError(
+                "chain has twist steps but this ParChain has no psi "
+                "(construct it with psi=... or negacyclic=True)"
+            )
+        missing = [name for name in needed if name not in inputs]
+        if missing:
+            raise NttParameterError(
+                f"chain reads input registers {missing} that were not "
+                f"provided (got {sorted(inputs)})"
+            )
+        coerced = {}
+        as_ints = False
+        flat = False
+        shape = None
+        for name in needed:
+            arr, ints = self.ntt._coerce(inputs[name])
+            if not coerced:
+                as_ints = ints
+                flat = arr.ndim == 2
+            if arr.ndim == 2:
+                arr = arr[np.newaxis]
+            if shape is None:
+                shape = arr.shape
+            elif arr.shape != shape:
+                raise NttParameterError(
+                    f"chain input {name!r} has shape {arr.shape[:-1]}, "
+                    f"expected {shape[:-1]}"
+                )
+            coerced[name] = arr
+        record_engine_call("parallel", "chain", coerced[needed[0]].size // 2)
+        meta = {
+            "op": "chain",
+            "n": self.ntt.n,
+            "q": self.ntt.q,
+            "root": self.ntt.table.root,
+            "steps": steps,
+            "inputs": needed,
+        }
+        if self.neg is not None:
+            meta["psi"] = self.neg.psi
+        out = _run_sharded(
+            self.executor, meta, "rows", shape[0], coerced, shape
+        )
+        if flat:
+            out = out[0]
+        return limbs_to_ints(out) if as_ints else out
+
 
 class ParBlasPlan:
     """The four BLAS operations sharded over the element axis.
@@ -389,19 +548,19 @@ def parallel_rns_mul(
     batch_span = span("par.batch", op="rns.mul", axis="rows", total=k)
     batch_span.__enter__()
     try:
-        x_seg, x_view = shm.create_segment(shape)
+        x_seg, x_view = executor.arena.lease(shape)
         x_view[...] = fa
         del x_view
         segments.append(x_seg)
-        y_seg, y_view = shm.create_segment(shape)
+        y_seg, y_view = executor.arena.lease(shape)
         y_view[...] = ga
         del y_view
         segments.append(y_seg)
-        out_seg, out_view = shm.create_segment(shape)
+        out_seg, out_view = executor.arena.lease(shape)
         segments.append(out_seg)
         sums_name = None
         if executor.integrity:
-            sums_seg, sums_view = shm.create_segment((k,))
+            sums_seg, sums_view = executor.arena.lease((k,))
             del sums_view
             segments.append(sums_seg)
             sums_name = sums_seg.name
@@ -440,6 +599,6 @@ def parallel_rns_mul(
         del out_view
     finally:
         for seg in segments:
-            shm.release_segment(seg)
+            executor.arena.release(seg)
         batch_span.__exit__(None, None, None)
     return [limbs_to_ints(out[i]) for i in range(k)]

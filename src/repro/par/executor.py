@@ -71,14 +71,18 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.errors import ParallelExecutionError
 from repro.obs import dist
 from repro.obs.hooks import (
+    record_adaptive_shards,
     record_breaker_transition,
     record_deadline_expired,
     record_integrity_corrupt,
     record_par_dispatch,
     record_par_fallback,
+    record_par_limbo_requeue,
     record_par_retry,
     record_par_shard_done,
     record_par_stale_result,
+    record_par_worker_hung,
+    record_par_worker_pinned,
     record_par_worker_restart,
     record_resil_degraded,
     record_retry_backoff,
@@ -90,6 +94,7 @@ from repro.obs.hooks import (
 )
 from repro.obs.session import current as obs_current
 from repro.obs.spans import span
+from repro.par import shm
 from repro.par.worker import execute_spec, worker_main
 from repro.resil import degrade
 from repro.resil.inject import Fault, FaultPlan, strip_transient_fault
@@ -152,6 +157,18 @@ class ParallelExecutor:
         audit_fraction: Fraction of completed shards re-computed on the
             faithful engine after each batch (``0.0`` disables audit).
         audit_seed: Seed for the audit's shard sampling.
+        adaptive: Whether :meth:`suggest_shards` may clamp a batch's
+            shard count below the worker count when recorded
+            ``par.worker.compute`` history says the shards would be too
+            small to amortize dispatch overhead. Tests that assert
+            one-shard-per-worker layouts disable this.
+        min_shard_compute_s: Adaptive-sizing floor: target compute
+            seconds per shard (shards predicted to run shorter are
+            merged into fewer, larger ones).
+        pin_workers: Worker CPU pinning via ``os.sched_setaffinity``.
+            ``None`` (default) pins automatically when more than one CPU
+            is available; ``True`` forces pinning; ``False`` disables.
+            Best-effort and a no-op on platforms without affinity.
     """
 
     def __init__(
@@ -165,6 +182,9 @@ class ParallelExecutor:
         integrity: bool = True,
         audit_fraction: float = 0.0,
         audit_seed: int = 0,
+        adaptive: bool = True,
+        min_shard_compute_s: float = 0.002,
+        pin_workers: Optional[bool] = None,
     ) -> None:
         self.workers = int(workers) if workers else (os.cpu_count() or 1)
         if self.workers < 1:
@@ -183,10 +203,20 @@ class ParallelExecutor:
         self.breaker = breaker or CircuitBreaker(
             on_transition=record_breaker_transition
         )
+        if min_shard_compute_s < 0:
+            raise ParallelExecutionError(
+                "min_shard_compute_s must be non-negative"
+            )
         self.batch_deadline_s = batch_deadline_s
         self.integrity = bool(integrity)
         self.audit_fraction = float(audit_fraction)
         self.audit_seed = int(audit_seed)
+        self.adaptive = bool(adaptive)
+        self.min_shard_compute_s = float(min_shard_compute_s)
+        self.pin_workers = pin_workers
+        #: Pool-lifetime shm arena: batches lease staging segments here
+        #: instead of creating/unlinking per call; ``close()`` drains it.
+        self.arena = shm.ArenaPool()
         #: Lifetime tallies, mirrored to ``par.*`` / ``resil.*`` metrics
         #: when a session is active. ``completed`` counts worker-side
         #: completions only; ``fallbacks``/``degraded``/``deadline_expired``
@@ -197,12 +227,19 @@ class ParallelExecutor:
             "retries": 0,
             "fallbacks": 0,
             "restarts": 0,
+            "hung": 0,
             "degraded": 0,
             "corrupt": 0,
             "stale": 0,
+            "stale_superseded": 0,
+            "stale_recovered": 0,
+            "limbo_requeues": 0,
             "deadline_expired": 0,
             "audited": 0,
             "shm_reclaimed": 0,
+            "arena_drained": 0,
+            "adaptive_clamped": 0,
+            "pinned": 0,
         }
         self._ctx = _pool_context()
         self._procs: List[multiprocessing.Process] = []
@@ -217,6 +254,10 @@ class ParallelExecutor:
         self._fault_index = 0
         self._active_segments: set = set()
         self._previous_default: Optional["ParallelExecutor"] = None
+        #: EWMA of per-item worker compute seconds, keyed by op signature
+        #: (feeds adaptive shard sizing).
+        self._compute_ewma: Dict[str, float] = {}
+        self._pin_cpus: Optional[List[int]] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -250,6 +291,8 @@ class ParallelExecutor:
             self._tasks = self._ctx.Queue()
             self._results = self._ctx.Queue()
             self._current = self._ctx.Array("q", [_IDLE] * self.workers)
+            if self._pin_cpus is None:
+                self._pin_cpus = self._resolve_pins()
             self._procs = [self._spawn(slot) for slot in range(self.workers)]
         except Exception:
             degrade.note_pool_start_failure()
@@ -262,14 +305,40 @@ class ParallelExecutor:
         self._started = True
         return self
 
+    def _resolve_pins(self) -> List[int]:
+        """CPUs to pin workers to (slot -> cpu, round-robin); [] = none."""
+        if self.pin_workers is False:
+            return []
+        if not hasattr(os, "sched_getaffinity"):
+            return []
+        try:
+            cpus = sorted(os.sched_getaffinity(0))
+        except OSError:
+            return []
+        if not cpus:
+            return []
+        if self.pin_workers is None and len(cpus) < 2:
+            # Auto mode: pinning everything to the single available CPU
+            # buys nothing and forbids the scheduler from doing better.
+            return []
+        return cpus
+
     def _spawn(self, slot: int) -> multiprocessing.Process:
+        pin_cpu = (
+            self._pin_cpus[slot % len(self._pin_cpus)]
+            if self._pin_cpus
+            else None
+        )
         proc = self._ctx.Process(
             target=worker_main,
-            args=(slot, self._current, self._tasks, self._results),
+            args=(slot, self._current, self._tasks, self._results, pin_cpu),
             daemon=True,
             name=f"repro-par-worker-{slot}",
         )
         proc.start()
+        if pin_cpu is not None:
+            self.stats["pinned"] += 1
+            record_par_worker_pinned()
         return proc
 
     def close(self) -> None:
@@ -284,6 +353,12 @@ class ParallelExecutor:
         if self._closed:
             return
         self._closed = True
+        # Drain the arena first: its segments are registered in the shm
+        # module registry, and draining removes them before the
+        # defensive per-name reclaim below would misattribute them.
+        drained = self.arena.drain()
+        if drained:
+            self.stats["arena_drained"] += drained
         self._reclaim_segments()
         if not self._started:
             return
@@ -308,8 +383,6 @@ class ParallelExecutor:
         self._procs = []
 
     def _reclaim_segments(self) -> None:
-        from repro.par import shm
-
         reclaimed = 0
         for name in list(self._active_segments):
             if shm.release_by_name(name):
@@ -357,6 +430,72 @@ class ParallelExecutor:
             self._inject_crashes -= 1
             fault = Fault("crash", sticky=True)
         return fault
+
+    # ------------------------------------------------------------------
+    # Adaptive shard sizing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _op_signature(spec: dict) -> str:
+        """History key for adaptive sizing: op + size + chain length."""
+        size = spec.get("n") or spec.get("q") or 0
+        steps = spec.get("steps")
+        suffix = f":{len(steps)}" if steps else ""
+        return f"{spec.get('op')}:{size}{suffix}"
+
+    def suggest_shards(self, meta: dict, total: int) -> int:
+        """How many shards a batch of ``total`` items should dispatch.
+
+        The ceiling is ``min(workers, total)`` (the historical fixed
+        choice). With ``adaptive`` enabled and recorded compute history
+        for this op signature, the count is clamped so each shard is
+        predicted to run at least ``min_shard_compute_s`` of worker
+        compute — a batch too small to amortize dispatch round trips
+        collapses into fewer (possibly one) shards.
+        """
+        ceiling = max(1, min(self.workers, int(total)))
+        if not self.adaptive or self.min_shard_compute_s <= 0:
+            return ceiling
+        per_item = self._compute_ewma.get(self._op_signature(meta))
+        if per_item is None or per_item <= 0:
+            return ceiling
+        ideal = int(total * per_item / self.min_shard_compute_s)
+        shards = max(1, min(ceiling, ideal))
+        if shards < ceiling:
+            self.stats["adaptive_clamped"] += 1
+            record_adaptive_shards(shards, ceiling)
+        return shards
+
+    def _note_compute(self, spec: dict, wall_s: float, blob) -> None:
+        """Fold one completed shard into the per-item compute EWMA.
+
+        Prefers the worker's ``par.worker.compute`` span durations from
+        the telemetry blob (pure compute); falls back to the message's
+        wall time (compute + plan + shm mapping) when no session was
+        active — a coarser but still serviceable signal.
+        """
+        bounds = spec.get("rows") or spec.get("elems")
+        if not bounds:
+            return
+        items = max(1, int(bounds[1]) - int(bounds[0]))
+        seconds = None
+        if blob:
+            durations = [
+                entry[2]
+                for entry in blob.get("spans") or ()
+                if entry[0] == "par.worker.compute"
+            ]
+            if durations:
+                seconds = float(sum(durations))
+        if seconds is None:
+            seconds = float(wall_s)
+        per_item = max(seconds, 0.0) / items
+        key = self._op_signature(spec)
+        previous = self._compute_ewma.get(key)
+        self._compute_ewma[key] = (
+            per_item if previous is None
+            else 0.7 * previous + 0.3 * per_item
+        )
 
     # ------------------------------------------------------------------
     # Execution
@@ -408,15 +547,15 @@ class ParallelExecutor:
 
     def _track_segments(self, specs: Sequence[dict]) -> None:
         """Remember segment names so ``close()`` can reclaim leaks."""
-        from repro.par import shm
-
         self._active_segments = {
             name for name in self._active_segments if shm.is_created(name)
         }
         for spec in specs:
-            for key in ("x", "y", "out", "sums"):
+            keys = {"x", "y", "z", "out", "sums"}
+            keys.update(spec.get("inputs") or ())
+            for key in keys:
                 name = spec.get(key)
-                if name is not None:
+                if isinstance(name, str):
                     self._active_segments.add(name)
 
     def _run_degraded(self, specs: List[dict], reason: str) -> None:
@@ -444,7 +583,6 @@ class ParallelExecutor:
         """Recompute a collected shard's checksum against its sums slot."""
         if not self.integrity or spec.get("sums") is None:
             return True
-        from repro.par import shm
         from repro.resil import integrity
 
         out_seg = shm.attach_segment(spec["out"])
@@ -506,11 +644,16 @@ class ParallelExecutor:
             else:
                 execute_spec(spec, in_worker=False)
 
-        def fail(task_id: int, slot: Optional[int] = None) -> None:
+        def fail(
+            task_id: int,
+            slot: Optional[int] = None,
+            charge_breaker: bool = True,
+        ) -> None:
             if task_id not in pending:
                 return
             clear_claims(task_id)
-            self.breaker.record_failure()
+            if charge_breaker:
+                self.breaker.record_failure()
             attempts[task_id] += 1
             # A new generation supersedes every earlier execution of
             # this shard: stragglers completing the old copy are
@@ -588,19 +731,31 @@ class ParallelExecutor:
                     from_slot = message[3]
                     blob = message[5] if len(message) > 5 else None
                     last_progress = now
-                    stale = task_id in pending and msg_gen != gen[task_id]
+                    # Two stale flavors: "superseded" — the task is
+                    # still pending but this message carries an old
+                    # generation (its re-enqueue won the race) — and
+                    # "recovered" — the task already completed through
+                    # a retry or fallback, so this straggler is the
+                    # double execution the generation counters exist to
+                    # surface. Both are discarded *and metered*.
+                    superseded = (
+                        task_id in pending and msg_gen != gen[task_id]
+                    )
+                    recovered = task_id not in pending
                     if blob is not None:
-                        if stale or task_id not in pending:
-                            # Telemetry of a superseded (or already
-                            # recovered) execution: discarded exactly as
-                            # its result is, but metered.
+                        if superseded or recovered:
+                            # Telemetry of a stale execution: discarded
+                            # exactly as its result is, but metered.
                             record_telemetry_stale()
                         else:
                             record_worker_blob(blob, from_slot)
-                    if stale:
-                        # Straggler from a superseded execution.
+                    if superseded or recovered:
+                        flavor = (
+                            "superseded" if superseded else "recovered"
+                        )
                         self.stats["stale"] += 1
-                        record_par_stale_result()
+                        self.stats[f"stale_{flavor}"] += 1
+                        record_par_stale_result(flavor)
                         continue
                     if kind == "done":
                         if task_id in pending:
@@ -609,6 +764,7 @@ class ParallelExecutor:
                                 clear_claims(task_id)
                                 self.stats["completed"] += 1
                                 record_par_shard_done(message[4])
+                                self._note_compute(spec, message[4], blob)
                                 _shard_event(
                                     "shard.done",
                                     spec,
@@ -651,7 +807,16 @@ class ParallelExecutor:
                                 claimed_at[key] = now
                                 last_progress = now
                             elif now - claimed_at[key] > self.task_timeout:
-                                proc.terminate()  # hung: reaped below
+                                # Hung: terminate once and clear the
+                                # claim — re-signalling every poll tick
+                                # until the OS reaps the process was
+                                # pure noise. The dead-worker branch
+                                # below handles recovery; metered apart
+                                # from crashes.
+                                del claimed_at[key]
+                                self.stats["hung"] += 1
+                                record_par_worker_hung()
+                                proc.terminate()
                         continue
                     # Dead worker: replace it, recover its shard.
                     self._current[slot] = _IDLE
@@ -666,6 +831,10 @@ class ParallelExecutor:
                 # task and advertising it leaves the shard in limbo.
                 # After a quiet task_timeout, re-enqueue everything
                 # unclaimed — skipping retries waiting out a backoff.
+                # Limbo is a dispatch anomaly, not a worker failure:
+                # the re-enqueue must not charge the circuit breaker,
+                # or a batch of slow-but-healthy shards could trip it
+                # and degrade the *next* batch with zero real faults.
                 if now - last_progress > self.task_timeout:
                     advertised = {
                         self._current[s] for s in range(self.workers)
@@ -676,7 +845,9 @@ class ParallelExecutor:
                             task_id not in advertised
                             and task_id not in waiting
                         ):
-                            fail(task_id)
+                            self.stats["limbo_requeues"] += 1
+                            record_par_limbo_requeue()
+                            fail(task_id, charge_breaker=False)
                     last_progress = now
 
 

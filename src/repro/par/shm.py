@@ -14,6 +14,14 @@ segment is also tracked in a module-level registry drained by an
 ``atexit`` hook, so an interpreter that exits mid-batch (or a user who
 never calls :meth:`~repro.par.executor.ParallelExecutor.close`) still
 leaves ``/dev/shm`` clean.
+
+Batch staging goes through an :class:`ArenaPool` instead of raw
+``create_segment``/``release_segment`` pairs: the pool leases
+size-classed segments for the life of an executor and recycles them
+across batches, so steady-state traffic performs **zero** shm
+create/unlink syscalls. Arena-held segments are still registered in the
+module registry (the ``atexit`` hook reclaims them) but are excluded
+from :func:`created_segments` — they are pooled capacity, not leaks.
 """
 
 from __future__ import annotations
@@ -23,21 +31,30 @@ import itertools
 import os
 import secrets
 from multiprocessing import shared_memory
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.errors import ParallelExecutionError
 from repro.fast.limbs import LIMB_DTYPE
+from repro.obs.hooks import record_arena_drained, record_arena_high_water, record_arena_lease
 
 #: Name prefix of every segment this layer creates (cleanup tests and
 #: operators grep ``/dev/shm`` for it).
 SEGMENT_PREFIX = "repro-par"
 
+#: Smallest arena size class; sub-page leases all share one class.
+ARENA_MIN_BYTES = 4096
+
 _COUNTER = itertools.count()
 
 #: Segments created (not merely attached) by this process, by name.
 _CREATED: Dict[str, shared_memory.SharedMemory] = {}
+
+#: Names in ``_CREATED`` that are held by an :class:`ArenaPool` (pooled
+#: capacity rather than per-batch allocations; excluded from the
+#: ``created_segments`` leak count).
+_ARENA_OWNED: Set[str] = set()
 
 
 def _fresh_name() -> str:
@@ -106,6 +123,7 @@ def release_segment(seg: shared_memory.SharedMemory) -> None:
             f"segment {seg.name!r} was not created by this process"
         )
     _CREATED.pop(seg.name, None)
+    _ARENA_OWNED.discard(seg.name)
     try:
         seg.close()
     except BufferError:
@@ -139,14 +157,128 @@ def release_by_name(name: str) -> bool:
 
 
 def created_segments() -> int:
-    """How many created segments are still live (leak check for tests)."""
-    return len(_CREATED)
+    """How many created segments are still live (leak check for tests).
+
+    Arena-held segments are pooled capacity with executor lifetime, not
+    per-batch allocations, so they are excluded; see
+    :func:`arena_segments` for that count.
+    """
+    return sum(1 for name in _CREATED if name not in _ARENA_OWNED)
+
+
+def arena_segments() -> int:
+    """How many still-live segments are held by arena pools."""
+    return len(_ARENA_OWNED)
 
 
 def cleanup_all() -> None:
     """Destroy every still-live segment created by this process."""
     for name in list(_CREATED):
         release_segment(_CREATED[name])
+
+
+def _size_class(nbytes: int) -> int:
+    """Round a request up to its power-of-two arena size class."""
+    size = ARENA_MIN_BYTES
+    while size < nbytes:
+        size *= 2
+    return size
+
+
+class ArenaPool:
+    """Pool-lifetime shared-memory arena with size-classed free lists.
+
+    ``lease(shape)`` hands out a segment at least large enough for a
+    uint64 array of ``shape`` — recycled from the free list when a
+    previous batch returned one of the same size class, freshly created
+    otherwise. ``release(seg)`` returns the segment to the free list
+    *without* unlinking it, so steady-state batches stop paying the shm
+    create/unlink syscall pair entirely. ``drain()`` destroys
+    everything; :meth:`~repro.par.executor.ParallelExecutor.close` calls
+    it before its defensive per-name reclaim.
+
+    Names never repeat (:func:`_fresh_name` mixes a counter and random
+    token), so a worker-side attachment cache can key on segment name
+    without aliasing recycled capacity to stale mappings.
+    """
+
+    def __init__(self) -> None:
+        self._free: Dict[int, List[shared_memory.SharedMemory]] = {}
+        self._leased: Dict[str, int] = {}
+        self._held_bytes = 0
+        self.stats = {
+            "leases": 0,
+            "reuses": 0,
+            "creates": 0,
+            "high_water_bytes": 0,
+            "high_water_segments": 0,
+        }
+
+    def _segment_count(self) -> int:
+        return len(self._leased) + sum(len(v) for v in self._free.values())
+
+    def lease(self, shape: Sequence[int]) -> Tuple[shared_memory.SharedMemory, np.ndarray]:
+        """Lease a segment sized for a uint64 array of ``shape``.
+
+        Returns the segment and a writable ndarray view of exactly
+        ``shape`` over the head of its (possibly larger) buffer.
+        """
+        nbytes = int(np.prod(shape, dtype=np.int64)) * LIMB_DTYPE().itemsize
+        size = _size_class(max(nbytes, 1))
+        self.stats["leases"] += 1
+        free = self._free.get(size)
+        if free:
+            seg = free.pop()
+            self.stats["reuses"] += 1
+            reused = True
+        else:
+            seg = shared_memory.SharedMemory(
+                create=True, size=size, name=_fresh_name()
+            )
+            _CREATED[seg.name] = seg
+            _ARENA_OWNED.add(seg.name)
+            self.stats["creates"] += 1
+            self._held_bytes += size
+            reused = False
+        self._leased[seg.name] = size
+        record_arena_lease(reused, size)
+        if self._held_bytes > self.stats["high_water_bytes"]:
+            self.stats["high_water_bytes"] = self._held_bytes
+            self.stats["high_water_segments"] = self._segment_count()
+            record_arena_high_water(self._held_bytes, self._segment_count())
+        view = np.ndarray(tuple(shape), dtype=LIMB_DTYPE, buffer=seg.buf)
+        return seg, view
+
+    def release(self, seg: shared_memory.SharedMemory) -> None:
+        """Return a leased segment to the free list (no unlink)."""
+        size = self._leased.pop(seg.name, None)
+        if size is None:
+            # Not ours any more (drained mid-batch, or a foreign
+            # segment): destroy if this process still owns it, else
+            # just unmap.
+            if seg.name in _CREATED:
+                release_segment(seg)
+            else:
+                detach_segment(seg)
+            return
+        self._free.setdefault(size, []).append(seg)
+
+    def drain(self) -> int:
+        """Destroy every held segment (leased and free); returns count."""
+        count = 0
+        for free in self._free.values():
+            for seg in free:
+                release_segment(seg)
+                count += 1
+        self._free.clear()
+        for name in list(self._leased):
+            if release_by_name(name):
+                count += 1
+        self._leased.clear()
+        self._held_bytes = 0
+        if count:
+            record_arena_drained(count)
+        return count
 
 
 atexit.register(cleanup_all)

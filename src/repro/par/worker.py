@@ -35,11 +35,13 @@ from __future__ import annotations
 
 import os
 import time
+from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ParallelExecutionError
+from repro.fast import chain as fast_chain
 from repro.fast.blas import FastBlasPlan
 from repro.fast.ntt import FastNegacyclic, FastNtt
 from repro.ntt.twiddles import TwiddleTable
@@ -55,9 +57,49 @@ CRASH_EXIT_CODE = 86
 #: XOR mask a ``corrupt`` fault applies to the first payload word.
 CORRUPT_MASK = 0xDEADBEEF
 
+#: Worker-side attachment cache capacity (segments stay mapped between
+#: tasks). Arena-leased segments keep their names across batches, so in
+#: steady state a handful of entries serves every task with zero
+#: attach/detach syscalls per shard.
+SEG_CACHE_CAPACITY = 32
+
 _NTT_PLANS: Dict[Tuple[int, int, int], FastNtt] = {}
 _NEG_PLANS: Dict[Tuple[int, int, int, int], FastNegacyclic] = {}
 _BLAS_PLANS: Dict[int, FastBlasPlan] = {}
+
+#: name -> attached SharedMemory, LRU-bounded (worker processes only).
+_SEG_CACHE: "OrderedDict[str, object]" = OrderedDict()
+
+
+def _attach_cached(name: str):
+    """Attach a segment through the worker's LRU attachment cache.
+
+    Segment names are never reused (see :func:`repro.par.shm._fresh_name`),
+    so a cached mapping can never alias different backing pages. Evicted
+    entries are unmapped; on Linux a mapping stays valid even if the
+    creator has already unlinked the name, so caching is safe against
+    the per-batch release path too.
+    """
+    seg = _SEG_CACHE.get(name)
+    session = obs_session.current()
+    if seg is not None:
+        _SEG_CACHE.move_to_end(name)
+        if session is not None:
+            session.metrics.counter("seg_cache.hits").inc()
+        return seg
+    seg = shm.attach_segment(name)
+    _SEG_CACHE[name] = seg
+    if session is not None:
+        session.metrics.counter("seg_cache.misses").inc()
+    while len(_SEG_CACHE) > SEG_CACHE_CAPACITY:
+        _, evicted = _SEG_CACHE.popitem(last=False)
+        shm.detach_segment(evicted)
+    return seg
+
+
+def seg_cache_size() -> int:
+    """Entries in the worker attachment cache (introspection for tests)."""
+    return len(_SEG_CACHE)
 
 
 def ntt_plan(n: int, q: int, root: int) -> FastNtt:
@@ -125,10 +167,18 @@ def execute_spec(spec: dict, in_worker: bool = False) -> None:
     op = spec["op"]
     segments = []
     try:
-        def view_of(key: str) -> np.ndarray:
-            seg = shm.attach_segment(spec[key])
+        def attach(name: str):
+            # Worker processes keep attachments mapped across tasks
+            # (names are never reused); the in-process fallback path
+            # attaches and detaches per call as before.
+            if in_worker:
+                return _attach_cached(name)
+            seg = shm.attach_segment(name)
             segments.append(seg)
-            return shm.segment_view(seg, spec["shape"])
+            return seg
+
+        def view_of(key: str) -> np.ndarray:
+            return shm.segment_view(attach(spec[key]), spec["shape"])
 
         if op == "ntt":
             with span("par.worker.plan", op=op):
@@ -146,22 +196,54 @@ def execute_spec(spec: dict, in_worker: bool = False) -> None:
                     )
         elif op == "negacyclic_mul":
             with span("par.worker.plan", op=op):
-                plan = negacyclic_plan(
+                neg = negacyclic_plan(
                     spec["n"], spec["q"], spec["psi"], spec["root"]
                 )
             with span("par.worker.map_shm", role="in"):
-                f = _slice(view_of("x"), spec["rows"])
-                g = _slice(view_of("y"), spec["rows"])
+                regs = {
+                    "x": _slice(view_of("x"), spec["rows"]),
+                    "y": _slice(view_of("y"), spec["rows"]),
+                }
             with span("par.worker.compute", op=op):
-                result = plan.multiply(f, g)
+                # The fused-chain runner keeps every intermediate on the
+                # r52 substrate (one repack per operand instead of one
+                # per NTT/twist/pointwise step); bit-exact either way.
+                result = fast_chain.run_chain(
+                    fast_chain.NEGACYCLIC_MUL_STEPS, regs, neg.plan, neg=neg
+                )
         elif op == "cyclic_mul":
             with span("par.worker.plan", op=op):
                 plan = ntt_plan(spec["n"], spec["q"], spec["root"])
             with span("par.worker.map_shm", role="in"):
-                f = _slice(view_of("x"), spec["rows"])
-                g = _slice(view_of("y"), spec["rows"])
+                regs = {
+                    "x": _slice(view_of("x"), spec["rows"]),
+                    "y": _slice(view_of("y"), spec["rows"]),
+                }
             with span("par.worker.compute", op=op):
-                result = plan.cyclic_multiply(f, g)
+                result = fast_chain.run_chain(
+                    fast_chain.CYCLIC_MUL_STEPS, regs, plan
+                )
+        elif op == "chain":
+            with span("par.worker.plan", op=op):
+                steps = spec["steps"]
+                if spec.get("psi") is not None:
+                    neg = negacyclic_plan(
+                        spec["n"], spec["q"], spec["psi"], spec["root"]
+                    )
+                    plan = neg.plan
+                else:
+                    neg = None
+                    plan = ntt_plan(spec["n"], spec["q"], spec["root"])
+                bl = blas_plan(spec["q"])
+            with span("par.worker.map_shm", role="in"):
+                regs = {
+                    name: _slice(view_of(name), spec["rows"])
+                    for name in spec["inputs"]
+                }
+            with span("par.worker.compute", op=op, steps=len(steps)):
+                result = fast_chain.run_chain(
+                    steps, regs, plan, neg=neg, blas=bl
+                )
         elif op == "blas":
             with span("par.worker.plan", op=op):
                 plan = blas_plan(spec["q"])
@@ -178,15 +260,12 @@ def execute_spec(spec: dict, in_worker: bool = False) -> None:
             raise ParallelExecutionError(f"unknown parallel op {op!r}")
 
         with span("par.worker.map_shm", role="out"):
-            out_seg = shm.attach_segment(spec["out"])
-            segments.append(out_seg)
-            out_view = shm.segment_view(out_seg, spec["shape"])
+            out_view = shm.segment_view(attach(spec["out"]), spec["shape"])
             bounds = spec["rows"] if "rows" in spec else spec["elems"]
             out_view[bounds[0] : bounds[1]] = result
         if spec.get(resil_integrity.SUMS_KEY) is not None:
             with span("par.worker.checksum"):
-                sums_seg = shm.attach_segment(spec[resil_integrity.SUMS_KEY])
-                segments.append(sums_seg)
+                sums_seg = attach(spec[resil_integrity.SUMS_KEY])
                 sums_view = shm.segment_view(sums_seg, (spec["sums_len"],))
                 resil_integrity.write_checksum(spec, out_view, sums_view)
                 del sums_view
@@ -201,7 +280,9 @@ def execute_spec(spec: dict, in_worker: bool = False) -> None:
             shm.detach_segment(seg)
 
 
-def worker_main(slot: int, current, task_queue, result_queue) -> None:
+def worker_main(
+    slot: int, current, task_queue, result_queue, pin_cpu: Optional[int] = None
+) -> None:
     """Worker process entry: serve task specs until the ``None`` sentinel.
 
     Before computing, the worker advertises the task id in
@@ -227,6 +308,11 @@ def worker_main(slot: int, current, task_queue, result_queue) -> None:
     # instrumentation inside the worker is a no-op unless a shard
     # explicitly scopes a local session via ShardObservation.
     obs_session.disable()
+    if pin_cpu is not None and hasattr(os, "sched_setaffinity"):
+        try:
+            os.sched_setaffinity(0, {pin_cpu})
+        except (OSError, ValueError):
+            pass  # pinning is best-effort; an invalid CPU just skips it
     while True:
         try:
             item = task_queue.get()
@@ -262,7 +348,10 @@ def worker_main(slot: int, current, task_queue, result_queue) -> None:
 
 
 def reset_plan_caches() -> None:
-    """Drop the per-process plan caches (tests)."""
+    """Drop the per-process plan and attachment caches (tests)."""
     _NTT_PLANS.clear()
     _NEG_PLANS.clear()
     _BLAS_PLANS.clear()
+    for seg in _SEG_CACHE.values():
+        shm.detach_segment(seg)
+    _SEG_CACHE.clear()

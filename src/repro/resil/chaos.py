@@ -29,6 +29,8 @@ SCENARIOS = (
     "negacyclic.multiply",
     "blas.ops",
     "rns.fused_mul",
+    "chain.multiply_add",
+    "stale.stragglers",
     "telemetry.merged_trace",
     "breaker.trip_recover",
     "deadline.short_circuit",
@@ -75,6 +77,7 @@ def run_chaos(
     from repro.rns.poly import RnsPolynomialRing
 
     n = 1 << logn
+    arena_base = shm.arena_segments()  # other live pools' arenas
     rng = random.Random(seed)
     basis = RnsBasis.generate(limbs, 62, 2 * n)
     q = basis.primes[0]
@@ -111,11 +114,14 @@ def run_chaos(
     )
 
     with observing() as session:
+        # adaptive=False: scenarios seed fault plans against a known
+        # shards-per-call, so shard counts must stay deterministic.
         with ParallelExecutor(
             workers=workers,
             task_timeout=task_timeout,
             audit_fraction=audit,
             audit_seed=seed,
+            adaptive=False,
         ) as pool:
 
             def ntt_roundtrip() -> None:
@@ -227,6 +233,88 @@ def run_chaos(
                     )
                 pool.inject(None)
 
+            def chain_multiply_add() -> None:
+                plan = ParNegacyclic(n, q, executor=pool)
+                reference = FastNegacyclic(n, q, psi=plan.psi)
+                blas = FastBlasPlan(q)
+                pool.inject(_merged_plan(
+                    seed + 4,
+                    rounds * shards_per_call,
+                    {0: Fault("crash"), 1: Fault("corrupt")},
+                    **rates,
+                ))
+                for _ in range(rounds):
+                    f = [
+                        [rng.randrange(q) for _ in range(n)]
+                        for _ in range(batch)
+                    ]
+                    g = [
+                        [rng.randrange(q) for _ in range(n)]
+                        for _ in range(batch)
+                    ]
+                    acc = [
+                        [rng.randrange(q) for _ in range(n)]
+                        for _ in range(batch)
+                    ]
+                    expected = blas.vector_add(reference.multiply(f, g), acc)
+                    expect(
+                        plan.multiply_add(f, g, acc) == expected,
+                        "fused multiply_add diverged from the fast engine",
+                    )
+                pool.inject(None)
+                chains = session.metrics.get("par.fused.chains")
+                expect(
+                    chains is not None and chains.value >= shards_per_call,
+                    "fused chain shards were not metered",
+                )
+
+            def stale_stragglers() -> None:
+                plan = ParNtt(n, q, executor=pool)
+                reference = FastNtt(n, q, table=plan.plan.table)
+                base = {
+                    key: pool.stats[key]
+                    for key in ("stale", "stale_superseded", "stale_recovered")
+                }
+                # Forge the two straggler flavors into the results queue:
+                # a task id that no batch owns (an already-*recovered*
+                # shard reporting after its retry won), and the next real
+                # task id carrying a wrong generation (*superseded* by
+                # its own re-enqueue). Both must be discarded — the batch
+                # stays bit-exact — and both must be metered.
+                pool._results.put(("done", 10**9, 0, 0, 0.0))
+                pool._results.put(("done", pool._next_id, 99, 0, 0.0))
+                data = [
+                    [rng.randrange(q) for _ in range(n)] for _ in range(batch)
+                ]
+                expect(
+                    plan.forward(data) == reference.forward(data),
+                    "batch with forged stragglers diverged",
+                )
+                expect(
+                    pool.stats["stale"] - base["stale"] >= 2,
+                    "forged stragglers were not counted as stale",
+                )
+                expect(
+                    pool.stats["stale_recovered"]
+                    - base["stale_recovered"] >= 1,
+                    "recovered-flavor straggler was dropped unmetered",
+                )
+                expect(
+                    pool.stats["stale_superseded"]
+                    - base["stale_superseded"] >= 1,
+                    "superseded-flavor straggler was dropped unmetered",
+                )
+                for name in (
+                    "par.stale_results",
+                    "par.stale_results.recovered",
+                    "par.stale_results.superseded",
+                ):
+                    metric = session.metrics.get(name)
+                    expect(
+                        metric is not None and metric.value >= 1,
+                        f"{name} was not recorded",
+                    )
+
             def telemetry_merged_trace() -> None:
                 from repro.obs import dist
 
@@ -262,6 +350,8 @@ def run_chaos(
             scenario("negacyclic.multiply", negacyclic_multiply)
             scenario("blas.ops", blas_ops)
             scenario("rns.fused_mul", rns_fused_mul)
+            scenario("chain.multiply_add", chain_multiply_add)
+            scenario("stale.stragglers", stale_stragglers)
             scenario("telemetry.merged_trace", telemetry_merged_trace)
 
         def breaker_trip_recover() -> None:
@@ -277,6 +367,7 @@ def run_chaos(
                 task_timeout=task_timeout,
                 retries=0,
                 breaker=breaker,
+                adaptive=False,
             ) as pool2:
                 plan = ParNtt(n, q, executor=pool2)
                 reference = FastNtt(n, q, table=plan.plan.table)
@@ -331,6 +422,7 @@ def run_chaos(
                 workers=workers,
                 task_timeout=task_timeout,
                 batch_deadline_s=1e-9,
+                adaptive=False,
             ) as pool3:
                 plan = ParNtt(n, q, executor=pool3)
                 reference = FastNtt(n, q, table=plan.plan.table)
@@ -360,7 +452,15 @@ def run_chaos(
             "par.retries",
             "par.fallbacks",
             "par.workers.restarted",
+            "par.workers.hung",
             "par.stale_results",
+            "par.stale_results.superseded",
+            "par.stale_results.recovered",
+            "par.limbo.requeued",
+            "par.arena.leases",
+            "par.arena.reuses",
+            "par.fused.chains",
+            "par.fused.steps",
             "par.integrity.corrupt",
             "par.integrity.audited",
             "resil.degraded",
@@ -416,6 +516,14 @@ def run_chaos(
         emit(f"  [FAIL] shm.no_leaks — {leaked} segments leaked")
     else:
         results.append(("shm.no_leaks", True, ""))
+    held = shm.arena_segments() - arena_base
+    if held:
+        results.append(
+            ("shm.arena_reclaimed", False, f"{held} arena segments held")
+        )
+        emit(f"  [FAIL] shm.arena_reclaimed — {held} arena segments held")
+    else:
+        results.append(("shm.arena_reclaimed", True, ""))
 
     passed = sum(1 for _, ok, _ in results if ok)
     emit("")

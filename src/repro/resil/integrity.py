@@ -133,7 +133,86 @@ def _recompute_faithful(spec: dict, views: Dict[str, np.ndarray]) -> List[List[i
         if blas_op == "axpy":
             return [plan.axpy(spec["a"], x, y)]
         return [getattr(plan, blas_op)(x, y)]
+    if op == "chain":
+        return _faithful_chain(spec, views, bounds, backend)
     raise ResilienceError(f"cannot audit unknown parallel op {op!r}")
+
+
+def _faithful_chain(
+    spec: dict,
+    views: Dict[str, np.ndarray],
+    bounds: Tuple[int, int],
+    backend,
+) -> List[List[int]]:
+    """Interpret a fused chain step-by-step on the faithful engine.
+
+    Mirrors :func:`repro.fast.chain.run_chain` with every primitive
+    replaced by its ISA-simulated (or exact big-int) counterpart:
+    :class:`~repro.ntt.simd.SimdNtt` transforms, explicit psi-power
+    twists, schoolbook pointwise products and
+    :class:`~repro.blas.ops.BlasPlan` vector ops.
+    """
+    from repro.arith.modular import inv_mod
+    from repro.blas.ops import BlasPlan
+    from repro.ntt.simd import SimdNtt
+
+    n, q = int(spec["n"]), int(spec["q"])
+    plan = SimdNtt(n, q, backend, root=spec["root"])
+    blas = BlasPlan(q, backend)
+    psi = spec.get("psi")
+    twist = untwist = None
+    if psi is not None:
+        psi_inv = inv_mod(int(psi), q)
+        twist = [pow(int(psi), i, q) for i in range(n)]
+        untwist = [pow(psi_inv, i, q) for i in range(n)]
+    input_rows = {
+        name: _faithful_rows(views[name], bounds) for name in spec["inputs"]
+    }
+    out: List[List[int]] = []
+    for row in range(bounds[1] - bounds[0]):
+        regs = {name: rows[row] for name, rows in input_rows.items()}
+        for step in spec["steps"]:
+            kind = step["kind"]
+            if kind == "ntt":
+                method = (
+                    plan.inverse
+                    if step["direction"] == "inverse"
+                    else plan.forward
+                )
+                regs[step["dst"]] = method(
+                    regs[step["src"]],
+                    natural_order=bool(step.get("natural", False)),
+                )
+            elif kind == "twist":
+                tw = untwist if step["which"] == "untwist" else twist
+                if tw is None:
+                    raise ResilienceError(
+                        "cannot audit a chain twist step without psi"
+                    )
+                regs[step["dst"]] = [
+                    v * t % q for v, t in zip(regs[step["src"]], tw)
+                ]
+            elif kind == "pointwise":
+                regs[step["dst"]] = [
+                    a * b % q
+                    for a, b in zip(regs[step["a"]], regs[step["b"]])
+                ]
+            elif kind == "blas":
+                blas_op = step["blas_op"]
+                if blas_op == "axpy":
+                    regs[step["dst"]] = blas.axpy(
+                        int(step["a"]), regs[step["x"]], regs[step["y"]]
+                    )
+                else:
+                    regs[step["dst"]] = getattr(blas, blas_op)(
+                        regs[step["x"]], regs[step["y"]]
+                    )
+            else:
+                raise ResilienceError(
+                    f"cannot audit unknown chain step kind {kind!r}"
+                )
+        out.append(regs["out"])
+    return out
 
 
 def sample_specs(
@@ -176,8 +255,11 @@ def audit_shards(
         segments = []
         try:
             views: Dict[str, np.ndarray] = {}
-            for key in ("x", "y", "out"):
-                if key in spec:
+            keys = list(
+                dict.fromkeys(["x", "y", "out", *(spec.get("inputs") or ())])
+            )
+            for key in keys:
+                if key in spec and isinstance(spec[key], str):
                     seg = attach(spec[key])
                     segments.append(seg)
                     views[key] = shm.segment_view(seg, spec["shape"])

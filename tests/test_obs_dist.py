@@ -45,7 +45,9 @@ def _vectors(seed, count=4, n=N, q=Q):
 
 @pytest.fixture(scope="module")
 def pool():
-    executor = ParallelExecutor(workers=2, task_timeout=30.0)
+    # adaptive=False: lane/blob-count assertions expect one shard per
+    # worker, which adaptive sizing would fold for these tiny batches.
+    executor = ParallelExecutor(workers=2, task_timeout=30.0, adaptive=False)
     executor.start()
     yield executor
     executor.close()

@@ -8,10 +8,13 @@ executor lifecycle, and shared-memory cleanup on interpreter exit.
 
 import os
 import random
+import signal
 import subprocess
 import sys
+import threading
 from pathlib import Path
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -48,7 +51,9 @@ def _vectors(seed, count=4, n=N, q=Q):
 
 @pytest.fixture(scope="module")
 def pool():
-    executor = ParallelExecutor(workers=2, task_timeout=30.0)
+    # adaptive=False: several tests assert exact shard/dispatch counts,
+    # which adaptive sizing would fold once compute history accumulates.
+    executor = ParallelExecutor(workers=2, task_timeout=30.0, adaptive=False)
     executor.start()
     yield executor
     executor.close()
@@ -64,6 +69,12 @@ class TestShardBounds:
 
     def test_single_item(self):
         assert shard_bounds(1, 4) == [(0, 1)]
+
+    def test_empty_range_has_no_shards(self):
+        # The old behaviour manufactured one degenerate (0, 0) shard
+        # and dispatched it through the whole staging/pool machinery.
+        assert shard_bounds(0, 4) == []
+        assert shard_bounds(-3, 2) == []
 
 
 class TestBitExactness:
@@ -189,6 +200,83 @@ class TestFaultTolerance:
         assert pool.stats["retries"] == before["retries"] + 1
         assert pool.stats["fallbacks"] == before["fallbacks"] + 1
 
+    def test_hung_worker_terminated_once(self):
+        from repro.resil.inject import Fault, FaultPlan
+
+        batch = _vectors(20)
+        expected = FastNtt(N, Q).forward(batch)
+        with observing() as session:
+            with ParallelExecutor(
+                workers=1, task_timeout=0.4, adaptive=False
+            ) as executor:
+                plan = ParNtt(N, Q, executor=executor)
+                executor.inject(
+                    FaultPlan({0: Fault("hang", seconds=30.0)})
+                )
+                assert plan.forward(batch) == expected
+                executor.inject(None)
+                # Exactly one terminate for one hang: the old loop
+                # re-signalled (and re-counted) on every poll tick
+                # because the claim was never cleared.
+                assert executor.stats["hung"] == 1
+                assert executor.stats["restarts"] >= 1
+                # Hangs are metered apart from crash-restarts.
+                assert session.metrics.get("par.workers.hung").value == 1
+
+    def test_stale_recovered_result_metered(self):
+        batch = _vectors(21)
+        expected = FastNtt(N, Q).forward(batch)
+        with observing() as session:
+            with ParallelExecutor(
+                workers=1, task_timeout=30.0, adaptive=False
+            ) as executor:
+                # A straggler for a task no batch owns any more: the
+                # "recovered" flavor (its shard already completed via
+                # retry or fallback). It must be discarded *and* metered
+                # — previously it was dropped silently.
+                executor._results.put(("done", 10**9, 0, 0, 0.0))
+                plan = ParNtt(N, Q, executor=executor)
+                assert plan.forward(batch) == expected
+                assert executor.stats["stale"] == 1
+                assert executor.stats["stale_recovered"] == 1
+                assert executor.stats["stale_superseded"] == 0
+            assert session.metrics.get("par.stale_results").value == 1
+            assert (
+                session.metrics.get("par.stale_results.recovered").value == 1
+            )
+
+    @pytest.mark.skipif(
+        not hasattr(signal, "SIGSTOP"), reason="needs SIGSTOP/SIGCONT"
+    )
+    def test_limbo_requeue_does_not_charge_breaker(self):
+        from repro.resil.policy import CircuitBreaker
+
+        # A single-failure threshold makes any breaker charge visible:
+        # the old quiet-timeout net routed limbo shards through the
+        # failure path, so one healthy-but-stalled batch tripped it.
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=60.0)
+        batch = _vectors(22)
+        expected = FastNtt(N, Q).forward(batch)
+        with ParallelExecutor(
+            workers=1, task_timeout=0.4, adaptive=False, breaker=breaker
+        ) as executor:
+            plan = ParNtt(N, Q, executor=executor)
+            assert plan.forward(batch) == expected  # warm the worker
+            pid = executor._procs[0].pid
+            os.kill(pid, signal.SIGSTOP)
+            timer = threading.Timer(1.0, os.kill, (pid, signal.SIGCONT))
+            timer.start()
+            try:
+                assert plan.forward(batch) == expected
+            finally:
+                timer.cancel()
+                try:
+                    os.kill(pid, signal.SIGCONT)
+                except OSError:
+                    pass
+            assert executor.stats["limbo_requeues"] >= 1
+            assert breaker.state == "closed"
+
     def test_closed_executor_rejects_work(self):
         executor = ParallelExecutor(workers=1)
         executor.close()
@@ -202,6 +290,64 @@ class TestFaultTolerance:
             ParallelExecutor(task_timeout=0)
         with pytest.raises(ParallelExecutionError):
             ParallelExecutor(retries=-1)
+
+
+class TestEmptyBatch:
+    def test_empty_batch_short_circuits(self, pool):
+        plan = ParNtt(N, Q, executor=pool)
+        before = pool.stats["dispatched"]
+        empty = np.zeros((0, N, 2), dtype=np.uint64)
+        out = plan.forward(empty)
+        assert out.shape == (0, N, 2)
+        inv = plan.inverse(empty)
+        assert inv.shape == (0, N, 2)
+        # No staging, no pool round trip: the old path dispatched one
+        # degenerate (0, 0) shard per call.
+        assert pool.stats["dispatched"] == before
+        assert shm.created_segments() == 0
+
+
+class TestArenaPool:
+    def test_segments_reused_across_batches(self, pool):
+        plan = ParNtt(N, Q, executor=pool)
+        batch = _vectors(15)
+        plan.forward(batch)  # warm the size classes for this shape
+        before = dict(pool.arena.stats)
+        held = shm.arena_segments()
+        for _ in range(3):
+            plan.forward(batch)
+        after = pool.arena.stats
+        # Steady state: every lease is served from the free lists — no
+        # new /dev/shm segments, no growth in what the arena holds.
+        assert after["creates"] == before["creates"]
+        assert after["reuses"] >= before["reuses"] + 6
+        assert shm.arena_segments() == held
+        assert shm.created_segments() == 0
+
+    def test_drain_on_close_releases_everything(self):
+        base = shm.arena_segments()  # other live pools' arenas
+        executor = ParallelExecutor(workers=1, adaptive=False)
+        with executor:
+            ParNtt(N, Q, executor=executor).forward(_vectors(16))
+            assert shm.arena_segments() > base
+        assert shm.arena_segments() == base
+        assert executor.stats["arena_drained"] > 0
+
+    def test_lease_rounds_up_to_size_class(self):
+        base = shm.arena_segments()
+        arena = shm.ArenaPool()
+        try:
+            seg_small, _ = arena.lease((2, 2))
+            arena.release(seg_small)
+            # A same-class lease reuses the segment a smaller shape left.
+            seg_again, view = arena.lease((4, 2))
+            assert seg_again.name == seg_small.name
+            assert view.shape == (4, 2)
+            arena.release(seg_again)
+            assert arena.stats["reuses"] == 1
+        finally:
+            arena.drain()
+        assert shm.arena_segments() == base
 
 
 class TestSharedMemory:
