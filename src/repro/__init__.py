@@ -69,6 +69,7 @@ from repro.perf.estimator import (
     estimate_ntt,
 )
 from repro.perf.measure import measure_blas, measure_ntt
+from repro.serve import ReproService, ServeConfig
 from repro.rns.basis import RnsBasis
 from repro.rns.poly import RnsPolynomial, RnsPolynomialRing
 from repro.pisa.validation import validate_pisa
@@ -98,8 +99,10 @@ __all__ = [
     "ParNegacyclic",
     "ParNtt",
     "ParallelExecutor",
+    "ReproService",
     "RetryPolicy",
     "RnsBasis",
+    "ServeConfig",
     "RnsPolynomial",
     "RnsPolynomialRing",
     "SimdNtt",

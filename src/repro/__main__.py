@@ -213,6 +213,107 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import random
+    import signal
+
+    from repro.arith.primes import find_ntt_prime
+    from repro.errors import ServeOverloadError
+    from repro.obs import observing
+    from repro.serve import ReproService, ServeConfig
+
+    n = 1 << args.logn
+    q = find_ntt_prime(60, 2 * n)
+    rng = random.Random(args.seed)
+
+    async def main() -> int:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # non-unix event loops
+                pass
+        service = ReproService(
+            config=ServeConfig(
+                engine=args.engine,
+                max_batch=args.max_batch,
+                max_wait_s=args.max_wait_ms / 1e3,
+                max_queue_depth=args.queue_depth,
+                workers=args.workers,
+            )
+        )
+        await service.start()
+        print(
+            f"serving: engine={args.engine}, n=2^{args.logn}, "
+            f"{args.rate:g} req/s synthetic load, max_batch={args.max_batch}, "
+            f"window={args.max_wait_ms:g} ms — Ctrl-C drains and exits"
+        )
+
+        async def traffic() -> None:
+            interval = 1.0 / args.rate if args.rate > 0 else 0.1
+            pending = set()
+            while not stop.is_set():
+                payload = (
+                    [rng.randrange(q) for _ in range(n)],
+                    [rng.randrange(q) for _ in range(n)],
+                )
+                try:
+                    task = loop.create_task(
+                        service.submit("polymul", payload, n, q)
+                    )
+                    pending.add(task)
+                    task.add_done_callback(pending.discard)
+                except ServeOverloadError:
+                    pass
+                try:
+                    await asyncio.wait_for(stop.wait(), timeout=interval)
+                except asyncio.TimeoutError:
+                    pass
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+
+        driver = loop.create_task(traffic())
+        if args.duration is not None:
+            loop.call_later(args.duration, stop.set)
+        await stop.wait()
+        print("shutting down: draining in-flight batches...")
+        await driver
+        await service.close(drain=True)
+        stats = service.stats
+        print(
+            f"served {stats['completed']} ok, {stats['failed']} failed, "
+            f"{stats['shed']} shed over {stats['batches']} batches "
+            f"({stats['submitted']} submitted)"
+        )
+        return 0
+
+    with observing():
+        return asyncio.run(main())
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve.loadgen import run_loadgen
+
+    formats = [] if args.export == "none" else args.export.split("+")
+    return run_loadgen(
+        logn=args.logn,
+        requests=args.requests,
+        baseline_requests=args.baseline_requests,
+        workers=args.workers,
+        seed=args.seed,
+        engine=args.engine,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        min_gain=args.min_gain,
+        gate_tail=args.gate_tail,
+        snapshot=args.snapshot,
+        export_formats=formats,
+        output_dir=args.output_dir,
+    )
+
+
 def _cmd_timeline(args: argparse.Namespace) -> int:
     from repro.obs.timeline import run_timeline
 
@@ -506,7 +607,12 @@ def build_parser() -> argparse.ArgumentParser:
     gate.add_argument(
         "--files",
         nargs="+",
-        default=["BENCH_fast.json", "BENCH_par.json", "BENCH_pipeline.json"],
+        default=[
+            "BENCH_fast.json",
+            "BENCH_par.json",
+            "BENCH_pipeline.json",
+            "BENCH_serve.json",
+        ],
         help="snapshot files to gate (missing files are skipped)",
     )
     gate.add_argument(
@@ -545,6 +651,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="record real timings in a scratch store, gate a rerun, then "
         "verify an injected 2x regression is flagged",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async batching service under synthetic traffic "
+        "until SIGINT/SIGTERM (drains in-flight batches on shutdown)",
+    )
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument(
+        "--engine", default="parallel",
+        choices=["parallel", "fast", "faithful"],
+    )
+    serve.add_argument("--logn", type=int, default=8)
+    serve.add_argument(
+        "--rate", type=float, default=200.0,
+        help="synthetic offered load, requests/s",
+    )
+    serve.add_argument("--max-batch", type=int, default=32)
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=5.0,
+        help="coalesce window (latency a sparse key pays to batch)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=1024,
+        help="admitted-backlog cap before queue_full shedding",
+    )
+    serve.add_argument(
+        "--duration", type=float, default=None,
+        help="stop after this many seconds (default: run until signalled)",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+
+    lg = sub.add_parser(
+        "loadgen",
+        help="deterministic serve-layer benchmark: p50/p99 per op, "
+        "coalesce gain vs one-at-a-time, overload shed accounting",
+    )
+    lg.add_argument("--workers", type=int, default=2)
+    lg.add_argument(
+        "--engine", default="parallel",
+        choices=["parallel", "fast", "faithful"],
+    )
+    lg.add_argument("--logn", type=int, default=8)
+    lg.add_argument("--requests", type=int, default=192)
+    lg.add_argument("--baseline-requests", type=int, default=48)
+    lg.add_argument("--max-batch", type=int, default=32)
+    lg.add_argument("--max-wait-ms", type=float, default=5.0)
+    lg.add_argument("--seed", type=int, default=0)
+    lg.add_argument(
+        "--min-gain", type=float, default=3.0,
+        help="required batched-vs-baseline throughput ratio",
+    )
+    lg.add_argument(
+        "--gate-tail", type=float, default=50.0,
+        help="fail if batched p99 exceeds this multiple of p50",
+    )
+    lg.add_argument(
+        "--snapshot", default=None,
+        help="perf-snapshot history file (e.g. BENCH_serve.json)",
+    )
+    lg.add_argument(
+        "--export", default="none", choices=["none", "chrome"],
+        help="export the run's merged trace (worker lanes included)",
+    )
+    lg.add_argument("--output-dir", default=".")
 
     exp = sub.add_parser("experiments", help="regenerate EXPERIMENTS.md")
     exp.add_argument("--output", default="EXPERIMENTS.md")
@@ -603,6 +773,8 @@ _COMMANDS = {
     "mca": _cmd_mca,
     "sol": _cmd_sol,
     "par": _cmd_par,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "chaos": _cmd_chaos,
     "timeline": _cmd_timeline,
     "experiments": _cmd_experiments,

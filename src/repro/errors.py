@@ -67,6 +67,34 @@ class ResilienceError(ReproError):
     """The resilience layer was misconfigured (bad policy, bad fault plan)."""
 
 
+class ServeError(ReproError):
+    """The serve layer was misconfigured or failed to process a request."""
+
+
+class ServeOverloadError(ServeError):
+    """A request was shed by admission control instead of being queued.
+
+    Overload is an explicit, metered outcome: every raised instance
+    carries a machine-readable ``reason`` (``"queue_full"``, ``"quota"``,
+    ``"breaker_open"``, ``"shutting_down"``) and is counted under the
+    ``serve.shed.<reason>`` metric, so no rejection is ever silent.
+    """
+
+    def __init__(self, reason: str, tenant: str = "", detail: str = "") -> None:
+        self.reason = reason
+        self.tenant = tenant
+        message = f"request shed: {reason}"
+        if tenant:
+            message += f" (tenant={tenant})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+class ServeDeadlineError(ServeError):
+    """A request's deadline expired before its batch was dispatched."""
+
+
 class ResilIntegrityError(ResilienceError):
     """A cross-engine integrity audit found divergent shard results.
 

@@ -432,6 +432,123 @@ def record_retry_backoff(delay_s: float) -> None:
     session.metrics.histogram("resil.retry.backoff_s").observe(delay_s)
 
 
+def record_par_pin_unsupported() -> None:
+    """Count one pin request skipped because the platform cannot pin.
+
+    Emitted when ``pin_workers=True`` was asked for explicitly but the
+    host lacks ``os.sched_setaffinity`` (macOS, some BSDs): the executor
+    warns once and runs unpinned instead of raising.
+    """
+    session = current()
+    if session is None:
+        return
+    session.metrics.counter("par.workers.pin_unsupported").inc()
+
+
+def record_par_interrupted() -> None:
+    """Count one batch aborted mid-flight by SIGINT/KeyboardInterrupt.
+
+    The executor quiesces the pool (drains queued tasks, waits for
+    in-flight slots, discards late results) before re-raising, so every
+    interrupt that is metered here left the arena reclaimable.
+    """
+    session = current()
+    if session is None:
+        return
+    session.metrics.counter("par.interrupted").inc()
+
+
+def record_serve_admitted(op: str) -> None:
+    """Count one client request admitted past quota + queue-depth checks."""
+    session = current()
+    if session is None:
+        return
+    m = session.metrics
+    m.counter("serve.requests.admitted").inc()
+    m.counter(f"serve.admitted.{op}").inc()
+
+
+def record_serve_shed(reason: str) -> None:
+    """Count one request shed by admission control (by reason).
+
+    Every :class:`~repro.errors.ServeOverloadError` the service raises
+    passes through here exactly once, so ``serve.shed`` equals the total
+    number of rejections and the ``serve.shed.<reason>`` siblings
+    (``queue_full``, ``quota``, ``breaker_open``, ``shutting_down``)
+    account for every one of them — overload is never silent.
+    """
+    session = current()
+    if session is None:
+        return
+    m = session.metrics
+    m.counter("serve.shed").inc()
+    m.counter(f"serve.shed.{reason}").inc()
+
+
+def record_serve_completed(op: str, latency_s: float) -> None:
+    """Account one request completed successfully (count + end-to-end latency)."""
+    session = current()
+    if session is None:
+        return
+    m = session.metrics
+    m.counter("serve.requests.completed").inc()
+    m.histogram("serve.request.latency_s").observe(latency_s)
+    m.histogram(f"serve.latency_s.{op}").observe(latency_s)
+
+
+def record_serve_failed(op: str, kind: str) -> None:
+    """Count one admitted request that finished with an error.
+
+    ``kind`` distinguishes ``deadline`` (expired before dispatch),
+    ``shutdown`` (service closed with the request still queued) and
+    ``error`` (the engine raised); together with
+    ``serve.requests.completed`` these account for every admitted
+    request, which is the invariant the load generator asserts.
+    """
+    session = current()
+    if session is None:
+        return
+    m = session.metrics
+    m.counter("serve.requests.failed").inc()
+    m.counter(f"serve.failed.{kind}").inc()
+
+
+def record_serve_batch(op: str, size: int, wait_s: float) -> None:
+    """Account one coalesced batch dispatched to an engine.
+
+    ``size`` is how many client requests rode the batch; ``wait_s`` is
+    the oldest request's coalesce-queue wait. ``serve.batch.size`` over
+    ``serve.batches`` is the realized coalescing factor — the number the
+    throughput win depends on.
+    """
+    session = current()
+    if session is None:
+        return
+    m = session.metrics
+    m.counter("serve.batches").inc()
+    m.histogram("serve.batch.size").observe(size)
+    m.histogram("serve.batch.wait_s").observe(wait_s)
+    m.counter(f"serve.batched.{op}").inc(size)
+
+
+def record_serve_degraded(reason: str) -> None:
+    """Count one serve batch degraded off the requested engine."""
+    session = current()
+    if session is None:
+        return
+    m = session.metrics
+    m.counter("serve.degraded").inc()
+    m.counter(f"serve.degraded.{reason}").inc()
+
+
+def record_serve_queue_depth(depth: int) -> None:
+    """Record the coalescer's total queued-request depth (gauge)."""
+    session = current()
+    if session is None:
+        return
+    session.metrics.gauge("serve.queue.depth").set(depth)
+
+
 def record_twiddle_eviction() -> None:
     """Count one TwiddleTable evicted from the bounded process-wide cache."""
     session = current()

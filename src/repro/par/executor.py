@@ -66,6 +66,7 @@ import multiprocessing
 import os
 import queue as queue_mod
 import time
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ParallelExecutionError
@@ -77,7 +78,9 @@ from repro.obs.hooks import (
     record_integrity_corrupt,
     record_par_dispatch,
     record_par_fallback,
+    record_par_interrupted,
     record_par_limbo_requeue,
+    record_par_pin_unsupported,
     record_par_retry,
     record_par_shard_done,
     record_par_stale_result,
@@ -105,6 +108,9 @@ _POLL_S = 0.02
 
 #: ``current``-array value meaning "no task in flight".
 _IDLE = -1
+
+#: Process-wide once-guard for the "pinning unsupported here" warning.
+_PIN_WARNED = False
 
 
 def _shard_event(event: str, spec: dict, **fields: object) -> None:
@@ -240,6 +246,8 @@ class ParallelExecutor:
             "arena_drained": 0,
             "adaptive_clamped": 0,
             "pinned": 0,
+            "pin_unsupported": 0,
+            "interrupted": 0,
         }
         self._ctx = _pool_context()
         self._procs: List[multiprocessing.Process] = []
@@ -306,14 +314,26 @@ class ParallelExecutor:
         return self
 
     def _resolve_pins(self) -> List[int]:
-        """CPUs to pin workers to (slot -> cpu, round-robin); [] = none."""
+        """CPUs to pin workers to (slot -> cpu, round-robin); [] = none.
+
+        Pinning is strictly best-effort: on platforms without the Linux
+        affinity syscalls (macOS has neither ``sched_getaffinity`` nor
+        ``sched_setaffinity``) an *explicit* ``pin_workers=True`` warns
+        once, bumps ``par.workers.pin_unsupported``, and runs unpinned —
+        it never raises. Auto mode (``None``) stays silent.
+        """
         if self.pin_workers is False:
             return []
-        if not hasattr(os, "sched_getaffinity"):
+        if not (
+            hasattr(os, "sched_getaffinity")
+            and hasattr(os, "sched_setaffinity")
+        ):
+            self._note_pin_unsupported("platform lacks sched_setaffinity")
             return []
         try:
             cpus = sorted(os.sched_getaffinity(0))
         except OSError:
+            self._note_pin_unsupported("sched_getaffinity failed")
             return []
         if not cpus:
             return []
@@ -322,6 +342,21 @@ class ParallelExecutor:
             # buys nothing and forbids the scheduler from doing better.
             return []
         return cpus
+
+    def _note_pin_unsupported(self, why: str) -> None:
+        """Meter (and warn once, if explicitly requested) a skipped pin."""
+        if self.pin_workers is not True:
+            return
+        self.stats["pin_unsupported"] += 1
+        record_par_pin_unsupported()
+        global _PIN_WARNED
+        if not _PIN_WARNED:
+            _PIN_WARNED = True
+            warnings.warn(
+                f"pin_workers=True ignored: {why}; workers run unpinned",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def _spawn(self, slot: int) -> multiprocessing.Process:
         pin_cpu = (
@@ -391,6 +426,41 @@ class ParallelExecutor:
         if reclaimed:
             self.stats["shm_reclaimed"] += reclaimed
             record_shm_reclaimed(reclaimed)
+
+    def _abort_batch(self) -> None:
+        """Quiesce the pool after an interrupt landed mid-batch.
+
+        Three steps, all best-effort and bounded: (1) drain every
+        still-queued task so no worker starts writing into segments the
+        interrupted caller will release; (2) wait briefly for in-flight
+        slots to go idle so nothing is mid-write when the caller tears
+        down; (3) drain the result queue so late completions from this
+        batch cannot be misread as results of the *next* batch. Workers
+        stay alive — the pool remains usable after the interrupt is
+        handled (or close() tears it down normally).
+        """
+        if not self._started:
+            return
+        while True:
+            try:
+                self._tasks.get_nowait()
+            except (queue_mod.Empty, OSError, ValueError):
+                break
+        quiet_until = time.monotonic() + min(self.task_timeout, 2.0)
+        while time.monotonic() < quiet_until:
+            busy = any(
+                self._current[slot] != _IDLE
+                for slot in range(self.workers)
+                if slot < len(self._current)
+            )
+            if not busy:
+                break
+            time.sleep(_POLL_S)
+        while True:
+            try:
+                self._results.get_nowait()
+            except (queue_mod.Empty, OSError, ValueError):
+                break
 
     def __enter__(self) -> "ParallelExecutor":
         self.start()
@@ -543,7 +613,16 @@ class ParallelExecutor:
                 self.breaker.record_failure()
                 self._run_degraded(specs, "pool_start_failed")
                 return
-            self._event_loop(specs, deadline, batch_id)
+            try:
+                self._event_loop(specs, deadline, batch_id)
+            except KeyboardInterrupt:
+                # Ctrl-C mid-batch: quiesce before propagating so queued
+                # tasks cannot scribble into arena segments the caller is
+                # about to recycle, and close() finds nothing leaked.
+                self.stats["interrupted"] += 1
+                record_par_interrupted()
+                self._abort_batch()
+                raise
 
     def _track_segments(self, specs: Sequence[dict]) -> None:
         """Remember segment names so ``close()`` can reclaim leaks."""

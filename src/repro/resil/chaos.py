@@ -34,6 +34,9 @@ SCENARIOS = (
     "telemetry.merged_trace",
     "breaker.trip_recover",
     "deadline.short_circuit",
+    "serve.breaker_live_load",
+    "serve.kill_worker",
+    "interrupt.during_batch",
 )
 
 
@@ -442,8 +445,236 @@ def run_chaos(
                     "expired deadline was not recorded",
                 )
 
+        def serve_breaker_live_load() -> None:
+            import asyncio
+
+            from repro.obs.hooks import record_breaker_transition
+            from repro.serve import ReproService, ServeConfig
+
+            breaker = CircuitBreaker(
+                failure_threshold=2,
+                cooldown_s=0.4,
+                on_transition=record_breaker_transition,
+            )
+            reference = None
+
+            def make_pairs(count: int) -> list:
+                return [
+                    (
+                        [rng.randrange(q) for _ in range(n)],
+                        [rng.randrange(q) for _ in range(n)],
+                    )
+                    for _ in range(count)
+                ]
+
+            async def drive(pool4) -> None:
+                service = ReproService(
+                    executor=pool4,
+                    config=ServeConfig(
+                        engine="parallel",
+                        max_batch=4,
+                        max_wait_s=0.002,
+                        breaker_mode="degrade",
+                    ),
+                )
+                await service.start()
+                try:
+                    # Wave 1: every shard crashes sticky; the breaker
+                    # trips mid-load while requests are still in flight.
+                    pool4.inject(FaultPlan({
+                        index: Fault("crash", sticky=True)
+                        for index in range(64)
+                    }))
+                    pairs = make_pairs(12)
+                    got = await asyncio.gather(*(
+                        service.submit("polymul", pair, n, q)
+                        for pair in pairs
+                    ))
+                    pool4.inject(None)
+                    expect(
+                        got == [reference.multiply([f], [g])[0]
+                                for f, g in pairs],
+                        "responses diverged while the breaker tripped",
+                    )
+                    expect(
+                        breaker.state == "open",
+                        f"breaker should be open, is {breaker.state!r}",
+                    )
+                    # Wave 2: open breaker — the service degrades every
+                    # batch to the in-process fast engine, still exact.
+                    pairs = make_pairs(8)
+                    got = await asyncio.gather(*(
+                        service.submit("polymul", pair, n, q)
+                        for pair in pairs
+                    ))
+                    expect(
+                        got == [reference.multiply([f], [g])[0]
+                                for f, g in pairs],
+                        "degraded responses diverged",
+                    )
+                    # Wave 3: after cooldown the next batch is the
+                    # half-open probe; it runs clean and closes the
+                    # breaker.
+                    await asyncio.sleep(breaker.cooldown_s + 0.05)
+                    pairs = make_pairs(8)
+                    got = await asyncio.gather(*(
+                        service.submit("polymul", pair, n, q)
+                        for pair in pairs
+                    ))
+                    expect(
+                        got == [reference.multiply([f], [g])[0]
+                                for f, g in pairs],
+                        "post-recovery responses diverged",
+                    )
+                finally:
+                    await service.close()
+                expect(
+                    service.stats["completed"] == service.stats["submitted"],
+                    "serve accounting lost a request",
+                )
+
+            with ParallelExecutor(
+                workers=workers,
+                task_timeout=task_timeout,
+                retries=0,
+                breaker=breaker,
+                adaptive=False,
+            ) as pool4:
+                plan = ParNegacyclic(n, q, executor=pool4)
+                reference = FastNegacyclic(n, q, psi=plan.psi)
+                asyncio.run(drive(pool4))
+            expect(
+                breaker.state == "closed",
+                f"probe succeeded but breaker is {breaker.state!r}",
+            )
+            degraded = session.metrics.get("serve.degraded.breaker_open")
+            expect(
+                degraded is not None and degraded.value >= 1,
+                "open-breaker degradation was not metered by serve",
+            )
+
+        def serve_kill_worker() -> None:
+            import asyncio
+            import os
+            import signal
+
+            from repro.serve import ReproService, ServeConfig
+
+            reference = None
+
+            async def drive(pool5) -> None:
+                service = ReproService(
+                    executor=pool5,
+                    config=ServeConfig(
+                        engine="parallel",
+                        max_batch=4,
+                        max_wait_s=0.002,
+                    ),
+                )
+                await service.start()
+                try:
+                    pairs = [
+                        (
+                            [rng.randrange(q) for _ in range(n)],
+                            [rng.randrange(q) for _ in range(n)],
+                        )
+                        for _ in range(32)
+                    ]
+                    tasks = [
+                        asyncio.ensure_future(
+                            service.submit("polymul", pair, n, q)
+                        )
+                        for pair in pairs
+                    ]
+                    # Let the first batches reach the pool, then kill a
+                    # live worker outright mid-load.
+                    await asyncio.sleep(0.01)
+                    victims = pool5.worker_pids()
+                    expect(bool(victims), "pool reported no worker pids")
+                    os.kill(victims[0], signal.SIGKILL)
+                    got = await asyncio.gather(*tasks)
+                    expect(
+                        got == [reference.multiply([f], [g])[0]
+                                for f, g in pairs],
+                        "a killed worker corrupted a response",
+                    )
+                finally:
+                    await service.close()
+                expect(
+                    service.stats["completed"] == service.stats["submitted"],
+                    "serve accounting lost a request",
+                )
+
+            with ParallelExecutor(
+                workers=workers,
+                task_timeout=task_timeout,
+                adaptive=False,
+            ) as pool5:
+                plan = ParNegacyclic(n, q, executor=pool5)
+                reference = FastNegacyclic(n, q, psi=plan.psi)
+                asyncio.run(drive(pool5))
+                expect(
+                    pool5.stats["restarts"] >= 1,
+                    "killed worker was never restarted",
+                )
+
+        def interrupt_during_batch() -> None:
+            import signal as signal_mod
+
+            with ParallelExecutor(
+                workers=workers,
+                task_timeout=task_timeout,
+                adaptive=False,
+            ) as pool6:
+                plan = ParNtt(n, q, executor=pool6)
+                reference = FastNtt(n, q, table=plan.plan.table)
+                data = [
+                    [rng.randrange(q) for _ in range(n)] for _ in range(batch)
+                ]
+                # Slow every shard so the batch outlives the alarm; the
+                # interrupt lands while the event loop is polling.
+                pool6.inject(FaultPlan({
+                    index: Fault("slow", seconds=0.5)
+                    for index in range(shards_per_call)
+                }))
+
+                def on_alarm(signum, frame):  # noqa: ARG001
+                    raise KeyboardInterrupt
+
+                previous = signal_mod.signal(signal_mod.SIGALRM, on_alarm)
+                interrupted = False
+                try:
+                    signal_mod.setitimer(signal_mod.ITIMER_REAL, 0.1)
+                    try:
+                        plan.forward(data)
+                    except KeyboardInterrupt:
+                        interrupted = True
+                finally:
+                    signal_mod.setitimer(signal_mod.ITIMER_REAL, 0.0)
+                    signal_mod.signal(signal_mod.SIGALRM, previous)
+                pool6.inject(None)
+                expect(interrupted, "the interrupt never reached the batch")
+                expect(
+                    pool6.stats["interrupted"] >= 1,
+                    "the interrupt was not metered",
+                )
+                # The pool must still be serviceable after the abort:
+                # a fresh batch runs clean and bit-exact.
+                expect(
+                    plan.forward(data) == reference.forward(data),
+                    "post-interrupt batch diverged",
+                )
+            metric = session.metrics.get("par.interrupted")
+            expect(
+                metric is not None and metric.value >= 1,
+                "par.interrupted was not recorded",
+            )
+
         scenario("breaker.trip_recover", breaker_trip_recover)
         scenario("deadline.short_circuit", deadline_short_circuit)
+        scenario("serve.breaker_live_load", serve_breaker_live_load)
+        scenario("serve.kill_worker", serve_kill_worker)
+        scenario("interrupt.during_batch", interrupt_during_batch)
 
         emit("")
         for name in (
@@ -463,10 +694,15 @@ def run_chaos(
             "par.fused.steps",
             "par.integrity.corrupt",
             "par.integrity.audited",
+            "par.interrupted",
             "resil.degraded",
             "resil.breaker.open",
             "resil.breaker.closed",
             "resil.deadline.expired",
+            "serve.requests.admitted",
+            "serve.requests.completed",
+            "serve.batches",
+            "serve.degraded",
         ):
             metric = session.metrics.get(name)
             emit(f"  {name}: {metric.value if metric is not None else 0:g}")

@@ -23,6 +23,7 @@ All three take an injectable ``clock`` (defaulting to
 from __future__ import annotations
 
 import random
+import threading
 import time
 from typing import Callable, Optional
 
@@ -110,6 +111,9 @@ class Deadline:
     ``Deadline(5.0)`` expires five seconds after construction; the
     executor checks it each event-loop turn and short-circuits every
     still-pending shard to the in-process fallback once it expires.
+
+    Thread-safe: the serve layer checks one deadline from the asyncio
+    loop while the dispatcher thread polls it, so reads take a lock.
     """
 
     def __init__(
@@ -121,15 +125,18 @@ class Deadline:
             raise ResilienceError("deadline budget must be positive")
         self.budget_s = float(budget_s)
         self._clock = clock
+        self._lock = threading.Lock()
         self._expires_at = clock() + self.budget_s
 
     def remaining_s(self) -> float:
         """Seconds until expiry (never negative)."""
-        return max(0.0, self._expires_at - self._clock())
+        with self._lock:
+            return max(0.0, self._expires_at - self._clock())
 
     def expired(self) -> bool:
         """Whether the budget is spent."""
-        return self._clock() >= self._expires_at
+        with self._lock:
+            return self._clock() >= self._expires_at
 
 
 class CircuitBreaker:
@@ -145,6 +152,14 @@ class CircuitBreaker:
     State transitions are reported through ``on_transition(new_state)``
     when provided (the executor wires this to the ``resil.breaker.*``
     metrics).
+
+    Thread-safe: the serve layer shares one breaker between the asyncio
+    loop, the executor's poll path, and exporter threads, so every state
+    read and transition holds an internal re-entrant lock. Without it,
+    two racing ``allow()`` calls in half-open state could both observe
+    ``_probe_outstanding == False`` and double-admit the single probe.
+    ``on_transition`` is invoked while the lock is held; callbacks must
+    not call back into the breaker (metric bumps are fine).
     """
 
     def __init__(
@@ -162,6 +177,7 @@ class CircuitBreaker:
         self.cooldown_s = float(cooldown_s)
         self._clock = clock
         self._on_transition = on_transition
+        self._lock = threading.RLock()
         self._state = "closed"
         self._consecutive_failures = 0
         self._opened_at = 0.0
@@ -170,17 +186,20 @@ class CircuitBreaker:
     @property
     def state(self) -> str:
         """Current state, cooldown-aware (an elapsed open reads half_open)."""
-        if self._state == "open" and (
-            self._clock() - self._opened_at >= self.cooldown_s
-        ):
-            self._transition("half_open")
-        return self._state
+        with self._lock:
+            if self._state == "open" and (
+                self._clock() - self._opened_at >= self.cooldown_s
+            ):
+                self._transition("half_open")
+            return self._state
 
     @property
     def consecutive_failures(self) -> int:
-        return self._consecutive_failures
+        with self._lock:
+            return self._consecutive_failures
 
     def _transition(self, state: str) -> None:
+        # Caller holds self._lock.
         if state == self._state:
             return
         self._state = state
@@ -195,39 +214,43 @@ class CircuitBreaker:
         In half-open state only the first caller gets ``True`` (the
         probe); everyone else is refused until the probe resolves.
         """
-        state = self.state
-        if state == "closed":
-            return True
-        if state == "half_open" and not self._probe_outstanding:
-            self._probe_outstanding = True
-            return True
-        return False
+        with self._lock:
+            state = self.state
+            if state == "closed":
+                return True
+            if state == "half_open" and not self._probe_outstanding:
+                self._probe_outstanding = True
+                return True
+            return False
 
     def record_failure(self) -> None:
         """Account one shard failure (crash, hang, corrupt payload)."""
-        if self.state == "half_open":
-            # The probe failed: back to open, restart the cooldown.
-            self._opened_at = self._clock()
-            self._transition("open")
-            return
-        self._consecutive_failures += 1
-        if (
-            self._state == "closed"
-            and self._consecutive_failures >= self.failure_threshold
-        ):
-            self._opened_at = self._clock()
-            self._transition("open")
+        with self._lock:
+            if self.state == "half_open":
+                # The probe failed: back to open, restart the cooldown.
+                self._opened_at = self._clock()
+                self._transition("open")
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == "closed"
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._opened_at = self._clock()
+                self._transition("open")
 
     def record_success(self) -> None:
         """Account one shard completed (and verified) by the pool."""
-        self._consecutive_failures = 0
-        if self.state == "half_open":
-            self._transition("closed")
+        with self._lock:
+            self._consecutive_failures = 0
+            if self.state == "half_open":
+                self._transition("closed")
 
     def reset(self) -> None:
         """Force-close the breaker (tests, operator intervention)."""
-        self._consecutive_failures = 0
-        self._transition("closed")
+        with self._lock:
+            self._consecutive_failures = 0
+            self._transition("closed")
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,29 @@
+"""repro.serve — the async batching front door over the engine cascade.
+
+See docs/SERVING.md for the architecture. Public surface:
+
+* :class:`ReproService` / :class:`ServeConfig` — the asyncio service:
+  admission control, per-``(op, n, q)`` coalescing, breaker-aware
+  engine dispatch, deadline propagation, graceful shutdown.
+* :class:`Coalescer` / :class:`Request` — the batching data structure.
+* :class:`AdmissionController` / :class:`TokenBucket` — quota and
+  queue-depth shedding.
+* :func:`run_loadgen` — the deterministic p50/p99 load benchmark behind
+  ``python -m repro loadgen``.
+"""
+
+from repro.serve.admission import AdmissionController, TokenBucket
+from repro.serve.coalesce import SERVE_OPS, Coalescer, Request
+from repro.serve.loadgen import run_loadgen
+from repro.serve.service import ReproService, ServeConfig
+
+__all__ = [
+    "AdmissionController",
+    "Coalescer",
+    "ReproService",
+    "Request",
+    "SERVE_OPS",
+    "ServeConfig",
+    "TokenBucket",
+    "run_loadgen",
+]

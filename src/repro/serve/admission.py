@@ -1,0 +1,141 @@
+"""Admission control for the serve layer: quotas and queue-depth shedding.
+
+Two small primitives the service consults *before* a request is allowed
+to join a coalesce queue:
+
+* :class:`TokenBucket` — the classic rate limiter (``rate`` tokens per
+  second, up to ``burst`` banked). One bucket per tenant enforces the
+  per-tenant quota.
+* :class:`AdmissionController` — the single decision point. ``admit``
+  either returns (request may queue) or raises a typed
+  :class:`~repro.errors.ServeOverloadError` whose ``reason`` says
+  exactly why (``"queue_full"``, ``"quota"``), so every rejection is an
+  explicit, meterable outcome rather than a timeout or a silent drop.
+
+Both take an injectable ``clock`` (defaulting to
+:func:`time.monotonic`) so tests control time instead of sleeping, the
+same convention as :mod:`repro.resil.policy`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from repro.errors import ServeError, ServeOverloadError
+
+
+class TokenBucket:
+    """A thread-safe token bucket: ``rate`` tokens/s, ``burst`` banked.
+
+    ``try_acquire`` never blocks — admission control sheds instead of
+    queueing, because the coalesce queue is the only place requests are
+    allowed to wait (that wait is bounded by ``max_wait_s``; a rate
+    limiter that parks callers would hide overload as latency).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ServeError("token bucket rate must be positive")
+        if burst < 1:
+            raise ServeError("token bucket burst must be >= 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tokens = float(burst)
+        self._last = clock()
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; False (no wait) otherwise."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.rate
+            )
+            self._last = now
+            if self._tokens >= n:
+                self._tokens -= n
+                return True
+            return False
+
+    def available(self) -> float:
+        """Tokens currently banked (diagnostic; racy by nature)."""
+        with self._lock:
+            now = self._clock()
+            return min(
+                self.burst, self._tokens + (now - self._last) * self.rate
+            )
+
+
+class AdmissionController:
+    """Decides, per request, between "may queue" and a typed rejection.
+
+    Checks run cheapest-first and each failure names its reason:
+
+    1. **Queue depth** — if the coalescer already holds
+       ``max_queue_depth`` requests the service is not keeping up;
+       admitting more only grows latency without bound. Reason:
+       ``"queue_full"``.
+    2. **Per-tenant quota** — when ``tenant_rate`` is set, each tenant
+       gets its own :class:`TokenBucket` (``tenant_burst`` banked), so
+       one chatty client cannot starve the rest. Reason: ``"quota"``.
+
+    The controller only *decides*; the service is the single place that
+    meters sheds (``serve.shed.<reason>``) and re-raises, which keeps
+    the shed accounting exactly-once.
+    """
+
+    def __init__(
+        self,
+        max_queue_depth: int = 1024,
+        tenant_rate: Optional[float] = None,
+        tenant_burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise ServeError("max_queue_depth must be >= 1")
+        if tenant_rate is not None and tenant_rate <= 0:
+            raise ServeError("tenant_rate must be positive when set")
+        self.max_queue_depth = int(max_queue_depth)
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = (
+            float(tenant_burst)
+            if tenant_burst is not None
+            else (max(1.0, tenant_rate) if tenant_rate else 1.0)
+        )
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def admit(self, tenant: str, queue_depth: int) -> None:
+        """Raise :class:`ServeOverloadError` unless the request may queue."""
+        if queue_depth >= self.max_queue_depth:
+            raise ServeOverloadError(
+                "queue_full",
+                tenant=tenant,
+                detail=f"{queue_depth} queued >= limit {self.max_queue_depth}",
+            )
+        if self.tenant_rate is not None:
+            if not self._bucket(tenant).try_acquire():
+                raise ServeOverloadError(
+                    "quota",
+                    tenant=tenant,
+                    detail=f"over {self.tenant_rate}/s (burst {self.tenant_burst})",
+                )
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self.tenant_rate, self.tenant_burst, clock=self._clock
+                )
+                self._buckets[tenant] = bucket
+            return bucket

@@ -1,0 +1,140 @@
+"""Request coalescing: many small client ops become one engine batch.
+
+The whole premise of the serve layer (and of ROADMAP item 3) is that
+the engine cascade wins on *large batches*: a single 64-row negacyclic
+multiply through the fast or parallel engine costs far less than 64
+one-row calls, because coercion, twiddle lookups, dispatch, and (for
+the pool) shared-memory staging are paid once per batch instead of once
+per request. The :class:`Coalescer` is the data structure that converts
+request-level traffic into that shape: requests queue per
+``(op, n, q)`` key and leave as a batch when either
+
+* the queue reaches ``max_batch`` (size trigger — returned directly by
+  :meth:`add` so full batches dispatch with zero added latency), or
+* the oldest request has waited ``max_wait_s`` (time trigger — polled
+  by the service's flush loop via :meth:`due`), bounding the latency
+  cost a sparse key pays for batching.
+
+Everything here is synchronous and lock-free by design: the service
+calls it only from the asyncio event-loop thread, and the unit tests
+drive it directly with a fake clock.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import ServeError
+
+#: Operations the serve layer accepts (dispatch table in service.py).
+SERVE_OPS = (
+    "polymul",
+    "ntt",
+    "blas.vector_add",
+    "blas.vector_sub",
+    "blas.vector_mul",
+    "rns.mul",
+)
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class Request:
+    """One client request, queued until its batch dispatches.
+
+    ``payload`` is the op-specific operand tuple (e.g. ``(f, g)`` for a
+    polymul). ``expires_at`` is an absolute clock value or ``None`` for
+    no deadline; the dispatcher fails expired requests individually
+    without poisoning the rest of their batch. ``future`` is resolved
+    with the result (or exception) by the service; it stays ``None`` in
+    pure coalescer unit tests.
+    """
+
+    op: str
+    n: int
+    q: Hashable  # int modulus, or the composite modulus for rns.mul
+    payload: Tuple[Any, ...]
+    tenant: str = "default"
+    enqueued_at: float = 0.0
+    expires_at: Optional[float] = None
+    future: Any = None
+    req_id: int = field(default_factory=lambda: next(_request_ids))
+
+    @property
+    def key(self) -> Tuple[str, int, Hashable]:
+        """The coalescing key: requests batch only within one key."""
+        return (self.op, self.n, self.q)
+
+
+class Coalescer:
+    """Per-``(op, n, q)`` FIFO queues with size + age dispatch triggers."""
+
+    def __init__(
+        self,
+        max_batch: int = 32,
+        max_wait_s: float = 0.002,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_batch < 1:
+            raise ServeError("max_batch must be >= 1")
+        if max_wait_s < 0:
+            raise ServeError("max_wait_s must be non-negative")
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_s)
+        self._clock = clock
+        self._queues: Dict[Tuple[str, int, Hashable], List[Request]] = {}
+        self._depth = 0
+
+    def add(self, request: Request) -> Optional[List[Request]]:
+        """Queue one request; return a full batch if this filled one.
+
+        The size trigger lives here (not in the flush loop) so a hot key
+        dispatches the moment it fills — its requests never wait on the
+        poll cadence.
+        """
+        queue = self._queues.setdefault(request.key, [])
+        queue.append(request)
+        self._depth += 1
+        if len(queue) >= self.max_batch:
+            del self._queues[request.key]
+            self._depth -= len(queue)
+            return queue
+        return None
+
+    def due(self, now: Optional[float] = None) -> List[List[Request]]:
+        """Pop every batch whose oldest request waited ``max_wait_s``."""
+        if now is None:
+            now = self._clock()
+        ready: List[List[Request]] = []
+        for key in list(self._queues):
+            queue = self._queues[key]
+            if queue and now - queue[0].enqueued_at >= self.max_wait_s:
+                del self._queues[key]
+                self._depth -= len(queue)
+                ready.append(queue)
+        return ready
+
+    def drain(self) -> List[List[Request]]:
+        """Pop everything queued, regardless of age (flush/shutdown)."""
+        batches = [q for q in self._queues.values() if q]
+        self._queues.clear()
+        self._depth = 0
+        return batches
+
+    def depth(self) -> int:
+        """Total queued requests across all keys (admission input)."""
+        return self._depth
+
+    def oldest_wait_s(self, now: Optional[float] = None) -> float:
+        """Age of the oldest queued request (0.0 when empty)."""
+        if not self._queues:
+            return 0.0
+        if now is None:
+            now = self._clock()
+        return max(
+            now - q[0].enqueued_at for q in self._queues.values() if q
+        )

@@ -235,11 +235,42 @@ class TestAttribCommand:
         assert code == 2
 
 
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.workers == 2
+        assert args.engine == "parallel"
+        assert args.logn == 8
+        assert args.rate == 200.0
+        assert args.max_batch == 32
+        assert args.duration is None
+
+    def test_timed_fast_engine_run(self, capsys):
+        code = main([
+            "serve", "--engine", "fast", "--logn", "5",
+            "--rate", "50", "--duration", "0.3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served" in out and "0 failed" in out
+
+
+class TestLoadgenCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.engine == "parallel"
+        assert args.requests == 192
+        assert args.min_gain == 3.0
+        assert args.gate_tail == 50.0
+        assert args.snapshot is None
+
+
 class TestPerfgateCommand:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["perfgate"])
         assert args.files == [
-            "BENCH_fast.json", "BENCH_par.json", "BENCH_pipeline.json"
+            "BENCH_fast.json", "BENCH_par.json", "BENCH_pipeline.json",
+            "BENCH_serve.json",
         ]
         assert args.window == 8
         assert args.mad_k == 4.0

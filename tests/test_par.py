@@ -386,3 +386,54 @@ class TestSharedMemory:
             assert name.startswith(shm.SEGMENT_PREFIX)
             with pytest.raises(FileNotFoundError):
                 shm.attach_segment(name)
+
+
+class TestPinGracefulDegrade:
+    """``pin_workers=True`` on a platform without affinity syscalls must
+    warn once, meter the skip, and run unpinned — never raise."""
+
+    def _fresh_warn_flag(self):
+        from repro.par import executor as executor_mod
+
+        executor_mod._PIN_WARNED = False
+        return executor_mod
+
+    def test_explicit_pin_warns_once_and_meters(self, monkeypatch):
+        executor_mod = self._fresh_warn_flag()
+        monkeypatch.delattr(os, "sched_setaffinity", raising=False)
+        pool = ParallelExecutor(workers=1, pin_workers=True)
+        with pytest.warns(RuntimeWarning, match="pin_workers=True ignored"):
+            assert pool._resolve_pins() == []
+        assert pool.stats["pin_unsupported"] == 1
+        # Warn-once: the second resolution meters but stays silent.
+        import warnings as warnings_mod
+
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            assert pool._resolve_pins() == []
+        assert pool.stats["pin_unsupported"] == 2
+        assert executor_mod._PIN_WARNED
+
+    def test_auto_pin_stays_silent(self, monkeypatch):
+        self._fresh_warn_flag()
+        monkeypatch.delattr(os, "sched_setaffinity", raising=False)
+        pool = ParallelExecutor(workers=1, pin_workers=None)
+        import warnings as warnings_mod
+
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            assert pool._resolve_pins() == []
+        assert pool.stats["pin_unsupported"] == 0
+
+    def test_pool_still_works_unpinned(self, monkeypatch):
+        self._fresh_warn_flag()
+        monkeypatch.delattr(os, "sched_setaffinity", raising=False)
+        with pytest.warns(RuntimeWarning):
+            with ParallelExecutor(
+                workers=1, pin_workers=True, adaptive=False
+            ) as pool:
+                plan = ParNtt(N, Q, executor=pool)
+                reference = FastNtt(N, Q, table=plan.plan.table)
+                data = _vectors(17)
+                assert plan.forward(data) == reference.forward(data)
+        assert pool.stats["pin_unsupported"] >= 1

@@ -201,6 +201,81 @@ class TestCircuitBreaker:
         with pytest.raises(ResilienceError):
             CircuitBreaker(cooldown_s=-1)
 
+    def test_half_open_single_probe_under_contention(self):
+        """Racing allow() callers admit exactly one half-open probe.
+
+        This is the serve-layer race: the dispatcher thread and the
+        event-loop thread both consult the breaker. Unsynchronized,
+        two callers could read ``_probe_outstanding == False`` and
+        double-admit the probe.
+        """
+        import threading
+
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=5.0, clock=clock)
+        breaker.record_failure()
+        clock.now += 5.0
+        admitted = []
+        barrier = threading.Barrier(8)
+
+        def probe():
+            barrier.wait()
+            admitted.append(breaker.allow())
+
+        threads = [threading.Thread(target=probe) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(admitted) == 1
+
+    def test_concurrent_records_keep_state_valid(self):
+        """Hammering record_failure/record_success from threads never
+        corrupts the state machine or loses the trip."""
+        import threading
+
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_s=3600.0)
+        barrier = threading.Barrier(6)
+
+        def fail_loop():
+            barrier.wait()
+            for _ in range(200):
+                breaker.record_failure()
+
+        threads = [threading.Thread(target=fail_loop) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert breaker.state == "open"
+        assert breaker.consecutive_failures >= 3
+        assert breaker.state in BREAKER_STATES
+
+    def test_deadline_thread_safe_reads(self):
+        """Concurrent remaining_s/expired reads race the lock cleanly."""
+        import threading
+
+        clock = FakeClock()
+        deadline = Deadline(budget_s=1.0, clock=clock)
+        errors = []
+
+        def poll():
+            try:
+                for _ in range(500):
+                    deadline.remaining_s()
+                    deadline.expired()
+            except Exception as exc:  # pragma: no cover — the failure mode
+                errors.append(exc)
+
+        threads = [threading.Thread(target=poll) for _ in range(4)]
+        for t in threads:
+            t.start()
+        clock.now += 2.0
+        for t in threads:
+            t.join()
+        assert not errors
+        assert deadline.expired()
+
 
 # ---------------------------------------------------------------------------
 # Fault plans
