@@ -15,6 +15,8 @@ Usage::
     python -m repro profile --experiment headline --export chrome
     python -m repro attrib --workers 2 --logn 10 --batch 8
     python -m repro perfgate --show-history
+    python -m repro top --once
+    python -m repro incidents --dir ci-obs --fail-empty
 """
 
 from __future__ import annotations
@@ -210,6 +212,30 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         rounds=args.rounds,
         export=args.export,
         output_dir=args.output_dir,
+        incident_dir=args.incident_dir,
+    )
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import run_top
+
+    return run_top(
+        url=args.url,
+        once=args.once,
+        interval_s=args.interval,
+        iterations=args.iterations,
+        engine=args.engine,
+        logn=args.logn,
+        requests=args.requests,
+        slo_p99_ms=args.slo_p99_ms,
+    )
+
+
+def _cmd_incidents(args: argparse.Namespace) -> int:
+    from repro.obs.flight import run_incidents
+
+    return run_incidents(
+        directory=args.dir, fail_empty=args.fail_empty
     )
 
 
@@ -306,6 +332,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         engine=args.engine,
         max_batch=args.max_batch,
         max_wait_s=args.max_wait_ms / 1e3,
+        tenants=args.tenants,
+        slo_p99_ms=args.slo_p99_ms,
         min_gain=args.min_gain,
         gate_tail=args.gate_tail,
         snapshot=args.snapshot,
@@ -519,6 +547,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--output-dir", default=".", help="directory for exported trace files"
     )
+    chaos.add_argument(
+        "--incident-dir",
+        default=None,
+        help="attach a flight recorder and require the breaker-trip "
+        "scenario to dump an incident-*.json into this directory",
+    )
 
     timeline = sub.add_parser(
         "timeline",
@@ -707,6 +741,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail if batched p99 exceeds this multiple of p50",
     )
     lg.add_argument(
+        "--tenants", type=int, default=4,
+        help="synthetic tenants the batched phase rotates over",
+    )
+    lg.add_argument(
+        "--slo-p99-ms", type=float, default=None,
+        help="declare a p99 latency objective on the batched service "
+        "(publishes serve.slo.* and arms the slo_burn trigger)",
+    )
+    lg.add_argument(
         "--snapshot", default=None,
         help="perf-snapshot history file (e.g. BENCH_serve.json)",
     )
@@ -715,6 +758,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="export the run's merged trace (worker lanes included)",
     )
     lg.add_argument("--output-dir", default=".")
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over the serve layer (rps, per-op "
+        "p50/p99 vs SLO, backlog, shed/degrade, breaker, slots, arena)",
+    )
+    top.add_argument(
+        "--url", default=None,
+        help="OpenMetrics endpoint to scrape (e.g. http://127.0.0.1:9100"
+        "/metrics); omit with --once to self-drive a short burst",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit non-zero if a required "
+        "panel is empty (CI smoke)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0,
+        help="refresh interval in live mode, seconds",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=None,
+        help="stop live mode after this many frames (default: Ctrl-C)",
+    )
+    top.add_argument(
+        "--engine", default="fast",
+        choices=["parallel", "fast", "faithful"],
+        help="engine for the self-driven --once burst",
+    )
+    top.add_argument("--logn", type=int, default=6)
+    top.add_argument(
+        "--requests", type=int, default=96,
+        help="requests in the self-driven --once burst",
+    )
+    top.add_argument(
+        "--slo-p99-ms", type=float, default=250.0,
+        help="SLO target the self-driven burst declares",
+    )
+
+    inc = sub.add_parser(
+        "incidents",
+        help="list and summarize flight-recorder incident dumps "
+        "(incident-*.json)",
+    )
+    inc.add_argument(
+        "--dir", default=".", help="directory holding incident-*.json"
+    )
+    inc.add_argument(
+        "--fail-empty", action="store_true",
+        help="exit non-zero when no incidents are found (CI assertion)",
+    )
 
     exp = sub.add_parser("experiments", help="regenerate EXPERIMENTS.md")
     exp.add_argument("--output", default="EXPERIMENTS.md")
@@ -776,6 +870,8 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
     "chaos": _cmd_chaos,
+    "top": _cmd_top,
+    "incidents": _cmd_incidents,
     "timeline": _cmd_timeline,
     "experiments": _cmd_experiments,
     "profile": _cmd_profile,

@@ -30,6 +30,15 @@ methodology is (LLVM-MCA port-pressure reports, PISA validation tables):
 * :mod:`repro.obs.openmetrics` — OpenMetrics text exposition for any
   :class:`~repro.obs.metrics.MetricsRegistry`, plus a stdlib HTTP
   exporter thread for scraping.
+* :mod:`repro.obs.slo` — sliding-window SLO accounting for the serve
+  layer (per-op/tenant windowed p99, error-budget burn rate,
+  ``serve.slo.*`` gauges, the ``slo_burn`` incident trigger).
+* :mod:`repro.obs.flight` — always-on flight recorder: a bounded ring
+  of recent spans/events/notes with trigger rules that dump
+  ``incident-*.json`` (Perfetto trace slice + metrics snapshot);
+  inspect with ``python -m repro incidents``.
+* :mod:`repro.obs.top` — the ``python -m repro top`` live dashboard
+  over a serving session or an OpenMetrics endpoint.
 
 Typical use::
 
@@ -59,6 +68,12 @@ from repro.obs.export import (
     validate_chrome_trace,
     worker_lanes,
 )
+from repro.obs.flight import (
+    FlightRecorder,
+    list_incidents,
+    run_incidents,
+    summarize_incident,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.openmetrics import (
     OpenMetricsExporter,
@@ -81,7 +96,9 @@ from repro.obs.snapshot import (
     diff_values,
     snapshot_meta,
 )
+from repro.obs.slo import SloTracker
 from repro.obs.spans import SpanRecord, SpanSink, span
+from repro.obs.top import build_panels, render_panels, run_top
 from repro.obs.trajectory import (
     GateReport,
     KeyVerdict,
@@ -91,9 +108,11 @@ from repro.obs.trajectory import (
 
 __all__ = [
     "Attribution",
+    "FlightRecorder",
     "GateReport",
     "KeyVerdict",
     "OpenMetricsExporter",
+    "SloTracker",
     "attribute",
     "attribute_jsonl",
     "attribute_session",
@@ -119,11 +138,17 @@ __all__ = [
     "diff_values",
     "disable",
     "enable",
+    "build_panels",
     "format_span_table",
     "from_jsonl",
     "is_enabled",
+    "list_incidents",
     "observing",
+    "render_panels",
+    "run_incidents",
+    "run_top",
     "span",
+    "summarize_incident",
     "to_chrome_trace",
     "to_jsonl",
     "validate_chrome_trace",

@@ -79,6 +79,9 @@ class Attribution:
     slot_seconds: Dict[str, float] = field(default_factory=dict)
     #: Overlapping/parent-side costs, not part of the exclusive ledger.
     diagnostics: Dict[str, float] = field(default_factory=dict)
+    #: Serve-layer accounting (requests, coalesce fill, queue-wait
+    #: decomposition); empty when the session saw no serve traffic.
+    serve: Dict[str, object] = field(default_factory=dict)
     serial_compute_s: float = 0.0
 
     @property
@@ -164,6 +167,70 @@ def _hist_sum(metric_map: Dict[str, dict], name: str) -> float:
     if not data or data.get("type") != "histogram":
         return 0.0
     return float(data.get("sum", 0.0) or 0.0)
+
+
+def _hist_stat(metric_map: Dict[str, dict], name: str, key: str) -> float:
+    data = metric_map.get(name)
+    if not data or data.get("type") != "histogram":
+        return 0.0
+    value = data.get(key)
+    return float(value) if value is not None else 0.0
+
+
+def _serve_section(metric_map: Dict[str, dict]) -> Dict[str, object]:
+    """Summarize serve-layer metrics (empty dict when no serve traffic).
+
+    Complements the slot-second ledger with the front-door view: how
+    many requests came in, how well coalescing filled batches, and where
+    the queue-wait decomposition says request time went.
+    """
+    admitted = _counter(metric_map, "serve.requests.admitted")
+    shed = _counter(metric_map, "serve.shed")
+    if not admitted and not shed:
+        return {}
+    batches = _counter(metric_map, "serve.batches")
+    section: Dict[str, object] = {
+        "admitted": admitted,
+        "completed": _counter(metric_map, "serve.requests.completed"),
+        "failed": _counter(metric_map, "serve.requests.failed"),
+        "shed": shed,
+        "degraded": _counter(metric_map, "serve.degraded"),
+        "batches": batches,
+        "coalesce_fill": _hist_stat(
+            metric_map, "serve.coalesce.batch_size", "mean"
+        ),
+        "batch_wait_p99_s": _hist_stat(
+            metric_map, "serve.batch.wait_s", "p99"
+        ),
+        "backlog_depth": _counter(metric_map, "serve.queue.depth"),
+        "latency_p99_s": _hist_stat(
+            metric_map, "serve.request.latency_s", "p99"
+        ),
+    }
+    # Queue-wait decomposition per op: one row per op that completed at
+    # least one sliced request (requests resolved without dispatch, e.g.
+    # deadline failures, record no slices and are absent here).
+    ops: Dict[str, Dict[str, float]] = {}
+    prefix = "serve.queue_wait_s."
+    for name in metric_map:
+        if not name.startswith(prefix):
+            continue
+        op = name[len(prefix):]
+        ops[op] = {
+            "coalesce_wait_p99_s": _hist_stat(
+                metric_map, f"serve.coalesce_wait_s.{op}", "p99"
+            ),
+            "queue_wait_p99_s": _hist_stat(metric_map, name, "p99"),
+            "compute_p99_s": _hist_stat(
+                metric_map, f"serve.compute_s.{op}", "p99"
+            ),
+            "latency_p99_s": _hist_stat(
+                metric_map, f"serve.latency_s.{op}", "p99"
+            ),
+        }
+    if ops:
+        section["ops"] = ops
+    return section
 
 
 def _slot_numbers(metric_map: Dict[str, dict]) -> List[int]:
@@ -290,6 +357,7 @@ def attribute(
         ledger=ledger,
         slot_seconds=slot_seconds,
         diagnostics=diagnostics,
+        serve=_serve_section(metric_map),
         serial_compute_s=compute,
     )
 
@@ -439,6 +507,39 @@ def format_attribution(report: Attribution) -> str:
     if saved:
         lines.append(f"adaptive sizing: {saved} dispatches saved")
 
+    if report.serve:
+        s = report.serve
+        lines.append("")
+        lines.append("-- serve front door (coalescer + dispatcher) --")
+        lines.append(
+            f"requests: {int(s.get('admitted', 0))} admitted, "
+            f"{int(s.get('completed', 0))} completed, "
+            f"{int(s.get('failed', 0))} failed, "
+            f"{int(s.get('shed', 0))} shed, "
+            f"{int(s.get('degraded', 0))} degraded"
+        )
+        lines.append(
+            f"coalescing: {int(s.get('batches', 0))} batches, "
+            f"fill {float(s.get('coalesce_fill', 0.0)):.1f} req/batch, "
+            f"batch wait p99 "
+            f"{float(s.get('batch_wait_p99_s', 0.0)) * 1e3:.2f} ms"
+        )
+        lines.append(
+            f"backlog depth (last): {int(s.get('backlog_depth', 0))}  "
+            f"end-to-end p99 "
+            f"{float(s.get('latency_p99_s', 0.0)) * 1e3:.2f} ms"
+        )
+        ops = s.get("ops") or {}
+        for op in sorted(ops):
+            row = ops[op]
+            lines.append(
+                f"  {op}: coalesce p99 "
+                f"{row['coalesce_wait_p99_s'] * 1e3:.2f} ms | queue p99 "
+                f"{row['queue_wait_p99_s'] * 1e3:.2f} ms | compute p99 "
+                f"{row['compute_p99_s'] * 1e3:.2f} ms | total p99 "
+                f"{row['latency_p99_s'] * 1e3:.2f} ms"
+            )
+
     lines.append("")
     lines.append(
         f"speedup: measured {report.measured_speedup:.2f}x vs ideal "
@@ -466,6 +567,7 @@ def attribution_to_json(report: Attribution) -> Dict[str, object]:
         "ledger_sum_s": report.ledger_sum_s,
         "ledger_residual": report.ledger_residual,
         "diagnostics": dict(report.diagnostics),
+        "serve": dict(report.serve),
         "serial_compute_s": report.serial_compute_s,
         "ideal_wall_s": report.ideal_wall_s,
         "measured_speedup": report.measured_speedup,

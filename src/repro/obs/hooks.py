@@ -180,6 +180,9 @@ def record_par_worker_restart() -> None:
     if session is None:
         return
     session.metrics.counter("par.workers.restarted").inc()
+    flight = session.flight
+    if flight is not None:
+        flight.note("worker_restart")
 
 
 def record_par_stale_result(flavor: str = "superseded") -> None:
@@ -406,12 +409,30 @@ def record_resil_degraded(requested: str, resolved: str, reason: str) -> None:
     m.counter(f"resil.degraded.{reason}").inc()
 
 
+#: Numeric encoding of breaker states for the ``resil.breaker.state_code``
+#: gauge (dashboards need a single scrapable level, not three counters).
+BREAKER_STATE_CODES = {"closed": 0, "half_open": 1, "open": 2}
+
+
 def record_breaker_transition(state: str) -> None:
-    """Count one circuit-breaker state transition (by target state)."""
+    """Count one circuit-breaker state transition (by target state).
+
+    Also sets the ``resil.breaker.state_code`` gauge (closed=0,
+    half_open=1, open=2) — the live level ``repro top`` renders — and,
+    when the breaker *opens*, raises the flight recorder's
+    ``breaker_open`` incident trigger.
+    """
     session = current()
     if session is None:
         return
-    session.metrics.counter(f"resil.breaker.{state}").inc()
+    m = session.metrics
+    m.counter(f"resil.breaker.{state}").inc()
+    m.gauge("resil.breaker.state_code").set(
+        BREAKER_STATE_CODES.get(state, -1)
+    )
+    flight = session.flight
+    if flight is not None:
+        flight.note("breaker", state=state)
 
 
 def record_deadline_expired(shards: int) -> None:
@@ -483,6 +504,9 @@ def record_serve_shed(reason: str) -> None:
     m = session.metrics
     m.counter("serve.shed").inc()
     m.counter(f"serve.shed.{reason}").inc()
+    flight = session.flight
+    if flight is not None:
+        flight.note("shed", reason=reason)
 
 
 def record_serve_completed(op: str, latency_s: float) -> None:
@@ -494,6 +518,34 @@ def record_serve_completed(op: str, latency_s: float) -> None:
     m.counter("serve.requests.completed").inc()
     m.histogram("serve.request.latency_s").observe(latency_s)
     m.histogram(f"serve.latency_s.{op}").observe(latency_s)
+
+
+def record_serve_latency_slices(
+    op: str,
+    tenant: str,
+    total_s: float,
+    coalesce_wait_s: float,
+    queue_wait_s: float,
+    compute_s: float,
+) -> None:
+    """Decompose one completed request's end-to-end latency into stages.
+
+    The tentpole decomposition (docs/OBSERVABILITY.md): *coalesce wait*
+    (enqueue → the batch left the coalescer), *queue wait* (dispatcher
+    backlog: batch handoff → compute start), and *compute* (engine
+    execution → resolution). Sliced per op and per tenant so a tail
+    blowup is attributable — a fat ``serve.queue_wait_s`` p99 means the
+    dispatcher is the bottleneck (raise workers/shed earlier), a fat
+    ``coalesce_wait_s`` means the window is too wide for the traffic.
+    """
+    session = current()
+    if session is None:
+        return
+    m = session.metrics
+    m.histogram(f"serve.coalesce_wait_s.{op}").observe(coalesce_wait_s)
+    m.histogram(f"serve.queue_wait_s.{op}").observe(queue_wait_s)
+    m.histogram(f"serve.compute_s.{op}").observe(compute_s)
+    m.histogram(f"serve.tenant.{tenant}.latency_s").observe(total_s)
 
 
 def record_serve_failed(op: str, kind: str) -> None:
@@ -511,6 +563,10 @@ def record_serve_failed(op: str, kind: str) -> None:
     m = session.metrics
     m.counter("serve.requests.failed").inc()
     m.counter(f"serve.failed.{kind}").inc()
+    if kind == "deadline":
+        flight = session.flight
+        if flight is not None:
+            flight.note("deadline_failure", op=op)
 
 
 def record_serve_batch(op: str, size: int, wait_s: float) -> None:
@@ -527,6 +583,7 @@ def record_serve_batch(op: str, size: int, wait_s: float) -> None:
     m = session.metrics
     m.counter("serve.batches").inc()
     m.histogram("serve.batch.size").observe(size)
+    m.histogram("serve.coalesce.batch_size").observe(size)
     m.histogram("serve.batch.wait_s").observe(wait_s)
     m.counter(f"serve.batched.{op}").inc(size)
 

@@ -15,6 +15,7 @@ exporters in :mod:`repro.obs.export` and the summary tables in
 from __future__ import annotations
 
 import random
+import threading
 import zlib
 from typing import Dict, Iterator, List, Optional
 
@@ -22,27 +23,39 @@ from repro.errors import ObservabilityError
 
 
 class Counter:
-    """Monotonically increasing count (instructions, bytes, accesses)."""
+    """Monotonically increasing count (instructions, bytes, accesses).
+
+    Thread-safe: the serve layer updates counters from both the asyncio
+    event loop and its dedicated dispatcher thread, and ``value += x`` is
+    a read-modify-write that can lose increments under that interleaving.
+    """
 
     kind = "counter"
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ObservabilityError(
                 f"counter {self.name!r} cannot decrease (inc by {amount})"
             )
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> Dict[str, object]:
         return {"type": "counter", "value": self.value}
 
 
 class Gauge:
-    """Last-written value (a level, a ratio, a configuration knob)."""
+    """Last-written value (a level, a ratio, a configuration knob).
+
+    Thread-safe: ``serve.queue.depth`` is set from the event-loop thread
+    (``submit``) and read while the dispatcher thread resolves batches;
+    the lock keeps ``value``/``updates`` consistent under that race.
+    """
 
     kind = "gauge"
 
@@ -50,10 +63,12 @@ class Gauge:
         self.name = name
         self.value: Optional[float] = None
         self.updates = 0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
-        self.updates += 1
+        with self._lock:
+            self.value = float(value)
+            self.updates += 1
 
     def snapshot(self) -> Dict[str, object]:
         return {"type": "gauge", "value": self.value, "updates": self.updates}
@@ -100,23 +115,29 @@ class Histogram:
         self._sum = 0.0
         self._min = float("inf")
         self._max = float("-inf")
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self._count += 1
-        self._sum += value
-        if value < self._min:
-            self._min = value
-        if value > self._max:
-            self._max = value
-        if len(self.values) < self.reservoir_size:
-            self.values.append(value)
-        else:
-            # Algorithm R: keep each of the N observations in the
-            # reservoir with probability cap/N.
-            slot = self._rng.randrange(self._count)
-            if slot < self.reservoir_size:
-                self.values[slot] = value
+        # One lock for the running exacts *and* the reservoir: two
+        # threads observing concurrently (dispatcher + event loop in the
+        # serve layer) must not lose a count or tear the Algorithm R
+        # slot arithmetic.
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if len(self.values) < self.reservoir_size:
+                self.values.append(value)
+            else:
+                # Algorithm R: keep each of the N observations in the
+                # reservoir with probability cap/N.
+                slot = self._rng.randrange(self._count)
+                if slot < self.reservoir_size:
+                    self.values[slot] = value
 
     @property
     def count(self) -> int:
@@ -190,13 +211,19 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[str, object] = {}
+        self._lock = threading.Lock()
 
     def _get(self, name: str, cls):
         metric = self._metrics.get(name)
         if metric is None:
-            metric = cls(name)
-            self._metrics[name] = metric
-        elif not isinstance(metric, cls):
+            # Two threads first-touching the same name must agree on one
+            # instance, or increments land on an orphaned metric.
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = cls(name)
+                    self._metrics[name] = metric
+        if not isinstance(metric, cls):
             raise ObservabilityError(
                 f"metric {name!r} already registered as {metric.kind}, "
                 f"requested as {cls.kind}"

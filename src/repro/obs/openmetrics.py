@@ -77,9 +77,66 @@ _LABEL_RULES: Tuple[Tuple[re.Pattern, str, Dict[str, int]], ...] = (
         {"reason": 0},
     ),
     (
+        re.compile(r"^resil\.breaker\.state_code$"),
+        "resil.breaker.state_code",
+        {},
+    ),
+    (
         re.compile(r"^resil\.breaker\.(.+)$"),
         "resil.breaker.transitions",
         {"state": 0},
+    ),
+    # Serve-layer families (PR 10): per-op/tenant/reason name segments
+    # become labels so the scrape surface stays a fixed family set no
+    # matter how many tenants or ops traffic brings.
+    (
+        re.compile(r"^serve\.slo\.violations\.tenant\.(.+)$"),
+        "serve.slo.violations.by_tenant",
+        {"tenant": 0},
+    ),
+    (
+        re.compile(r"^serve\.slo\.violations\.(.+)$"),
+        "serve.slo.violations.by_op",
+        {"op": 0},
+    ),
+    (
+        re.compile(
+            r"^serve\.slo\.(p99_ms|target_ms|burn_rate|breach_windows)\.(.+)$"
+        ),
+        "serve.slo.{1}",
+        {"op": 1},
+    ),
+    (
+        re.compile(r"^serve\.tenant\.([^.]+)\.(.+)$"),
+        "serve.tenant.{1}",
+        {"tenant": 0},
+    ),
+    (
+        re.compile(
+            r"^serve\.(latency_s|queue_wait_s|coalesce_wait_s|compute_s)\.(.+)$"
+        ),
+        "serve.{1}",
+        {"op": 1},
+    ),
+    (
+        re.compile(r"^serve\.shed\.(.+)$"),
+        "serve.shed.by_reason",
+        {"reason": 0},
+    ),
+    (
+        re.compile(r"^serve\.degraded\.(.+)$"),
+        "serve.degraded.by_reason",
+        {"reason": 0},
+    ),
+    (
+        re.compile(r"^serve\.failed\.(.+)$"),
+        "serve.failed.by_kind",
+        {"kind": 0},
+    ),
+    (
+        re.compile(r"^serve\.(admitted|batched)\.(.+)$"),
+        "serve.{1}.by_op",
+        {"op": 1},
     ),
 )
 

@@ -30,6 +30,11 @@ class ObsSession:
 
         self.spans = SpanSink()
         self.metrics = MetricsRegistry()
+        #: Optional :class:`~repro.obs.flight.FlightRecorder` attached to
+        #: this session. ``None`` by default; hooks that feed it check
+        #: the attribute once after their session check, so sessions
+        #: without a recorder pay one extra attribute read at most.
+        self.flight = None
         #: Structured event log (``{"event": ..., "t_s": ..., **fields}``),
         #: the JSONL correlation stream for cross-process runs — the
         #: parallel executor appends one record per shard lifecycle step
@@ -45,6 +50,9 @@ class ObsSession:
         }
         record.update(fields)
         self.events.append(record)
+        flight = self.flight
+        if flight is not None:
+            flight.record_event(record)
         return record
 
     def __repr__(self) -> str:

@@ -56,6 +56,10 @@ class SpanSink:
         self.records: List[SpanRecord] = []
         self._stack: List[int] = []
         self.epoch_s = time.perf_counter()
+        #: Optional observer invoked with each completed SpanRecord (the
+        #: flight recorder's feed). One attribute check per close while a
+        #: session is active; never touched on the disabled path.
+        self.on_close: Optional[object] = None
 
     def open(self, name: str, attrs: Dict[str, object]) -> int:
         """Start a span; returns its index for the matching :meth:`close`."""
@@ -82,6 +86,9 @@ class SpanSink:
         )
         if self._stack and self._stack[-1] == index:
             self._stack.pop()
+        observer = self.on_close
+        if observer is not None:
+            observer(record)
         return record
 
     def aggregate(self) -> Dict[str, Dict[str, float]]:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 import time
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.resil.inject import Fault, FaultPlan
 from repro.resil.policy import CircuitBreaker
@@ -63,9 +63,17 @@ def run_chaos(
     rounds: int = 2,
     export: str = "none",
     output_dir: str = ".",
+    incident_dir: Optional[str] = None,
     emit: Callable[[str], None] = print,
 ) -> int:
-    """Run every chaos scenario; returns a process exit code (0 = pass)."""
+    """Run every chaos scenario; returns a process exit code (0 = pass).
+
+    With ``incident_dir`` set, a :class:`~repro.obs.flight.FlightRecorder`
+    rides along for the whole gauntlet and the breaker-trip scenarios
+    additionally assert that tripping the breaker under live load dumped
+    an ``incident-*.json`` whose trace slice reaches back before the
+    trigger (the flight recorder's whole point: the lead-up is captured).
+    """
     import numpy as np  # noqa: F401  (the engines under test need it)
 
     from repro.fast.blas import FastBlasPlan
@@ -116,7 +124,20 @@ def run_chaos(
         f"rates crash={crash} hang={hang} corrupt={corrupt} slow={slow}"
     )
 
+    flight = None
+    if incident_dir is not None:
+        from repro.obs.flight import FlightRecorder
+
+        # cooldown_s=0: the gauntlet trips the breaker in two separate
+        # scenarios minutes of real time apart from nothing — each must
+        # produce its own dump rather than being rate-limited away.
+        flight = FlightRecorder(
+            out_dir=incident_dir, cooldown_s=0.0, post_trigger_s=0.2
+        )
+
     with observing() as session:
+        if flight is not None:
+            flight.attach(session)
         # adaptive=False: scenarios seed fault plans against a known
         # shards-per-call, so shard counts must stay deterministic.
         with ParallelExecutor(
@@ -451,6 +472,7 @@ def run_chaos(
             from repro.obs.hooks import record_breaker_transition
             from repro.serve import ReproService, ServeConfig
 
+            incidents_before = len(flight.incidents) if flight is not None else 0
             breaker = CircuitBreaker(
                 failure_threshold=2,
                 cooldown_s=0.4,
@@ -552,6 +574,41 @@ def run_chaos(
                 degraded is not None and degraded.value >= 1,
                 "open-breaker degradation was not metered by serve",
             )
+            if flight is not None:
+                # The breaker opening mid-load must have dumped an
+                # incident whose trace slice starts before the trigger.
+                import json as json_mod
+
+                flight.flush()
+                fresh = flight.incidents[incidents_before:]
+                expect(
+                    bool(fresh),
+                    "breaker tripped under live load but no incident "
+                    "was dumped",
+                )
+                dump = None
+                for path in fresh:
+                    candidate = json_mod.loads(path.read_text())
+                    trig = candidate.get("trigger", {})
+                    rules = [trig.get("rule")] + [
+                        extra.get("rule")
+                        for extra in trig.get("also", [])
+                    ]
+                    if "breaker_open" in rules:
+                        dump = candidate
+                        break
+                expect(
+                    dump is not None,
+                    "no fresh incident carries the breaker_open trigger",
+                )
+                expect(
+                    dump.get("captured", {}).get("pre_trigger_spans", 0) >= 1,
+                    "incident trace slice holds no pre-trigger spans",
+                )
+                expect(
+                    bool(dump.get("trace", {}).get("traceEvents")),
+                    "incident dump has an empty Perfetto trace slice",
+                )
 
         def serve_kill_worker() -> None:
             import asyncio
@@ -706,6 +763,17 @@ def run_chaos(
         ):
             metric = session.metrics.get(name)
             emit(f"  {name}: {metric.value if metric is not None else 0:g}")
+
+        if flight is not None:
+            flight.flush()  # finalize any trigger still in its aftermath
+            flight.detach()
+            emit("")
+            emit(
+                f"  incidents: {len(flight.incidents)} dumped to "
+                f"{incident_dir}/"
+            )
+            for path in flight.incidents:
+                emit(f"    {path}")
 
     formats = [] if export == "none" else export.split("+")
     if formats:

@@ -60,6 +60,10 @@ class Request:
     payload: Tuple[Any, ...]
     tenant: str = "default"
     enqueued_at: float = 0.0
+    #: Stamped by the service when the request's batch leaves the
+    #: coalescer for the dispatcher: ``dequeued_at - enqueued_at`` is
+    #: the coalesce wait, the first slice of the latency decomposition.
+    dequeued_at: float = 0.0
     expires_at: Optional[float] = None
     future: Any = None
     req_id: int = field(default_factory=lambda: next(_request_ids))

@@ -79,23 +79,45 @@ def _reference(op: str, n: int, q: int, payloads) -> List[List[int]]:
 
 
 async def _drive_concurrent(
-    service: ReproService, op: str, n: int, q: int, payloads
+    service: ReproService, op: str, n: int, q: int, payloads, tenants: int = 1
 ) -> Tuple[List[object], List[float], float]:
-    """Submit all payloads concurrently; returns (results, latencies, wall_s)."""
+    """Submit all payloads concurrently; returns (results, latencies, wall_s).
+
+    Requests rotate round-robin over ``tenants`` synthetic tenant names
+    (``t0``..) so the per-tenant latency histograms and SLO windows see
+    a multi-tenant mix instead of one aggregate stream.
+    """
     latencies: List[float] = []
 
-    async def one(payload):
+    async def one(idx, payload):
         started = time.perf_counter()
-        result = await service.submit(op, payload, n, q)
+        result = await service.submit(
+            op, payload, n, q, tenant=f"t{idx % tenants}"
+        )
         latencies.append(time.perf_counter() - started)
         return result
 
     started = time.perf_counter()
-    results = await asyncio.gather(*(one(p) for p in payloads))
+    results = await asyncio.gather(
+        *(one(i, p) for i, p in enumerate(payloads))
+    )
     await service.flush()
     await service.join()
     wall_s = time.perf_counter() - started
     return list(results), latencies, wall_s
+
+
+def _hist_p99_ms(name: str) -> float:
+    """p99 of a live-session histogram, in ms (0.0 without session/data)."""
+    from repro.obs.session import current
+
+    session = current()
+    if session is None or name not in session.metrics:
+        return 0.0
+    snap = session.metrics.histogram(name).snapshot()
+    if not snap.get("count"):
+        return 0.0
+    return float(snap.get("p99", 0.0)) * 1e3
 
 
 async def _drive_sequential(
@@ -155,6 +177,8 @@ def run_loadgen(
     engine: str = "parallel",
     max_batch: int = 32,
     max_wait_s: float = 0.005,
+    tenants: int = 4,
+    slo_p99_ms: Optional[float] = None,
     overload_queue_depth: int = 64,
     overload_factor: float = 2.0,
     overload_duration_s: float = 0.75,
@@ -186,7 +210,8 @@ def run_loadgen(
         asyncio.run(
             _run_phases(
                 ops, n, q, rng, requests, baseline_requests, workers, engine,
-                max_batch, max_wait_s, overload_queue_depth, overload_factor,
+                max_batch, max_wait_s, tenants, slo_p99_ms,
+                overload_queue_depth, overload_factor,
                 overload_duration_s, min_gain, gate_tail, values, failures,
                 emit,
             )
@@ -213,7 +238,8 @@ def run_loadgen(
 
 async def _run_phases(
     ops, n, q, rng, requests, baseline_requests, workers, engine,
-    max_batch, max_wait_s, overload_queue_depth, overload_factor,
+    max_batch, max_wait_s, tenants, slo_p99_ms,
+    overload_queue_depth, overload_factor,
     overload_duration_s, min_gain, gate_tail, values, failures, emit,
 ) -> None:
     from repro.par.executor import ParallelExecutor
@@ -228,18 +254,23 @@ async def _run_phases(
             payloads = _payloads(op, n, q, requests, rng)
             expected = _reference(op, n, q, payloads)
 
-            # Phase 1: batched.
+            # Phase 1: batched, with tenant rotation so the per-tenant
+            # histograms and (when slo_p99_ms is set) the SLO windows
+            # see a realistic multi-tenant mix.
             service = ReproService(
                 executor=executor,
                 config=ServeConfig(
-                    engine=engine, max_batch=max_batch, max_wait_s=max_wait_s
+                    engine=engine,
+                    max_batch=max_batch,
+                    max_wait_s=max_wait_s,
+                    slo_p99_ms=slo_p99_ms,
                 ),
             )
             await service.start()
             # Warm plans/pool outside the timed window.
             await service.submit(op, payloads[0], n, q)
             results, latencies, wall_s = await _drive_concurrent(
-                service, op, n, q, payloads
+                service, op, n, q, payloads, tenants=max(1, tenants)
             )
             await service.close()
             if list(map(list, results)) != list(map(list, expected)):
@@ -257,6 +288,20 @@ async def _run_phases(
             values[f"serve.{slug}.p50_ms"] = p50
             values[f"serve.{slug}.p99_ms"] = p99
             values[f"serve.{slug}.throughput_rps"] = rps
+
+            # Where the time went: the dispatcher-side decomposition of
+            # phase 1 (read now, before the baseline phase re-runs the
+            # same op and mixes its samples in).
+            queue_wait_p99 = _hist_p99_ms(f"serve.queue_wait_s.{op}")
+            service_p99 = _hist_p99_ms(f"serve.compute_s.{op}")
+            coalesce_p99 = _hist_p99_ms(f"serve.coalesce_wait_s.{op}")
+            values[f"serve.{slug}.queue_wait_p99_ms"] = queue_wait_p99
+            values[f"serve.{slug}.service_p99_ms"] = service_p99
+            emit(
+                f"{op}: decomposition p99 — coalesce {coalesce_p99:6.2f} ms, "
+                f"queue wait {queue_wait_p99:6.2f} ms, "
+                f"service {service_p99:6.2f} ms"
+            )
 
             if gate_tail is not None and p50 > 0 and p99 > gate_tail * p50:
                 failures.append(
@@ -293,6 +338,17 @@ async def _run_phases(
                 failures.append(
                     f"{op}: coalesce gain {gain:.2f}x < required {min_gain:g}x"
                 )
+
+        # Per-tenant tails over the batched mix (rotated tenants only;
+        # the baseline and overload phases run under "default").
+        tenant_bits = []
+        for t in range(max(1, tenants)):
+            p99_t = _hist_p99_ms(f"serve.tenant.t{t}.latency_s")
+            if p99_t > 0:
+                values[f"serve.tenant.t{t}.p99_ms"] = p99_t
+                tenant_bits.append(f"t{t} {p99_t:.2f}")
+        if tenant_bits:
+            emit("tenant p99 ms: " + "  ".join(tenant_bits))
 
         # Phase 3: overload at overload_factor x measured capacity.
         op = ops[0]

@@ -51,10 +51,12 @@ from repro.obs.hooks import (
     record_serve_completed,
     record_serve_degraded,
     record_serve_failed,
+    record_serve_latency_slices,
     record_serve_queue_depth,
     record_serve_shed,
 )
 from repro.obs.session import current as obs_current
+from repro.obs.slo import SloTracker
 from repro.obs.spans import span
 from repro.serve.admission import AdmissionController
 from repro.serve.coalesce import SERVE_OPS, Coalescer, Request
@@ -72,6 +74,14 @@ class ServeConfig:
     ``breaker_mode`` picks what an open pool breaker does to admitted
     batches: ``"degrade"`` (in-process fast engine, bit-exact) or
     ``"shed"`` (explicit ``ServeOverloadError(reason="breaker_open")``).
+
+    ``slo_p99_ms`` declares the latency objective: when set, every
+    completed request feeds an :class:`~repro.obs.slo.SloTracker` that
+    windows tail latency per op/tenant (``slo_window_s`` wide windows),
+    publishes ``serve.slo.*`` gauges, and — after ``slo_burn_windows``
+    consecutive breached windows — raises the flight recorder's
+    ``slo_burn`` incident trigger. ``slo_error_budget`` is the allowed
+    violation fraction the burn rate is measured against.
     """
 
     engine: str = "parallel"
@@ -83,6 +93,10 @@ class ServeConfig:
     tenant_burst: Optional[float] = None
     breaker_mode: str = "degrade"
     workers: Optional[int] = None
+    slo_p99_ms: Optional[float] = None
+    slo_window_s: float = 1.0
+    slo_burn_windows: int = 3
+    slo_error_budget: float = 0.01
 
     def __post_init__(self) -> None:
         if self.engine not in _ENGINES:
@@ -96,6 +110,14 @@ class ServeConfig:
             )
         if self.default_deadline_s is not None and self.default_deadline_s <= 0:
             raise ServeError("default_deadline_s must be positive when set")
+        if self.slo_p99_ms is not None and self.slo_p99_ms <= 0:
+            raise ServeError("slo_p99_ms must be positive when set")
+        if self.slo_window_s <= 0:
+            raise ServeError("slo_window_s must be positive")
+        if self.slo_burn_windows < 1:
+            raise ServeError("slo_burn_windows must be >= 1")
+        if not 0 < self.slo_error_budget <= 1:
+            raise ServeError("slo_error_budget must be in (0, 1]")
 
 
 class ReproService:
@@ -128,6 +150,16 @@ class ReproService:
         self._coalescer = Coalescer(
             max_batch=self.config.max_batch,
             max_wait_s=self.config.max_wait_s,
+            clock=clock,
+        )
+        #: Sliding-window SLO accounting; publishes ``serve.slo.*``
+        #: through the live obs session and raises the ``slo_burn``
+        #: flight trigger on sustained breaches (docs/OBSERVABILITY.md).
+        self.slo = SloTracker(
+            slo_p99_ms=self.config.slo_p99_ms,
+            window_s=self.config.slo_window_s,
+            burn_windows=self.config.slo_burn_windows,
+            error_budget=self.config.slo_error_budget,
             clock=clock,
         )
         # ONE dispatcher thread, on purpose: every serve.*/par.* span of
@@ -332,6 +364,12 @@ class ReproService:
                 self._dispatch(batch)
 
     def _dispatch(self, batch: List[Request]) -> None:
+        # Coalesce wait ends here: the batch leaves the coalescer for
+        # the dispatcher queue. Dispatcher wait (the next slice) runs
+        # until _run_batch picks the batch up on its own thread.
+        dequeued_at = self._clock()
+        for req in batch:
+            req.dequeued_at = dequeued_at
         future = self._loop.run_in_executor(
             self._dispatcher, self._run_batch, batch
         )
@@ -403,7 +441,7 @@ class ReproService:
                         return
             done = self._clock()
             for req, result in zip(live, results):
-                self._resolve_ok(req, result, done)
+                self._resolve_ok(req, result, done, started_at=now)
 
     def _resolve_batch_engine(self, live: List[Request]) -> Optional[str]:
         """The engine this batch runs on, after cascade + breaker checks.
@@ -463,6 +501,7 @@ class ReproService:
 
     def _run_individually(self, engine: str, live: List[Request]) -> None:
         for req in live:
+            started_at = self._clock()
             try:
                 result = self._execute(
                     engine, req.op, req.n, req.q, [req.payload]
@@ -470,15 +509,39 @@ class ReproService:
             except Exception as exc:  # noqa: BLE001 — per-request verdict
                 self._resolve_error(req, exc, kind="error")
             else:
-                self._resolve_ok(req, result, self._clock())
+                self._resolve_ok(
+                    req, result, self._clock(), started_at=started_at
+                )
 
     # ------------------------------------------------------------------
     # Future resolution (marshalled back to the event loop)
     # ------------------------------------------------------------------
 
-    def _resolve_ok(self, req: Request, result: Any, done_at: float) -> None:
+    def _resolve_ok(
+        self,
+        req: Request,
+        result: Any,
+        done_at: float,
+        started_at: Optional[float] = None,
+    ) -> None:
         self.stats["completed"] += 1
-        record_serve_completed(req.op, max(0.0, done_at - req.enqueued_at))
+        total_s = max(0.0, done_at - req.enqueued_at)
+        record_serve_completed(req.op, total_s)
+        # Decompose end-to-end time: coalesce wait (enqueue → batch left
+        # the coalescer), dispatcher-queue wait (→ compute start), and
+        # compute (→ done). ``started_at`` is when the dispatcher thread
+        # picked the batch up; a request resolved without dispatching
+        # (dequeued_at == 0.0) records no slices.
+        if req.dequeued_at and started_at is not None:
+            record_serve_latency_slices(
+                req.op,
+                req.tenant,
+                total_s,
+                coalesce_wait_s=max(0.0, req.dequeued_at - req.enqueued_at),
+                queue_wait_s=max(0.0, started_at - req.dequeued_at),
+                compute_s=max(0.0, done_at - started_at),
+            )
+        self.slo.record(req.op, req.tenant, total_s, ok=True)
         self._loop.call_soon_threadsafe(self._finish, req.future, result, None)
 
     def _resolve_error(
@@ -487,6 +550,15 @@ class ReproService:
         if kind is not None:
             self.stats["failed"] += 1
             record_serve_failed(req.op, kind)
+            # Failures spend error budget: a deadline expiry or engine
+            # error is an SLO violation even though it has no latency
+            # sample to contribute.
+            self.slo.record(
+                req.op,
+                req.tenant,
+                max(0.0, self._clock() - req.enqueued_at),
+                ok=False,
+            )
         if self._loop is not None:
             self._loop.call_soon_threadsafe(self._finish, req.future, None, exc)
         else:

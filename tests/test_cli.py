@@ -263,6 +263,66 @@ class TestLoadgenCommand:
         assert args.min_gain == 3.0
         assert args.gate_tail == 50.0
         assert args.snapshot is None
+        assert args.tenants == 4
+        assert args.slo_p99_ms is None
+
+
+class TestTopCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["top"])
+        assert args.url is None
+        assert not args.once
+        assert args.interval == 1.0
+        assert args.engine == "fast"
+        assert args.logn == 6
+        assert args.requests == 96
+        assert args.slo_p99_ms == 250.0
+
+    def test_once_self_driven_smoke(self, capsys):
+        code = main(
+            ["top", "--once", "--logn", "4", "--requests", "24"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "repro top" in out
+        assert "polymul" in out
+        assert "coalesce" in out
+
+    def test_live_mode_without_url_fails(self, capsys):
+        code = main(["top"])
+        assert code == 2
+        assert "--url" in capsys.readouterr().out
+
+
+class TestIncidentsCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["incidents"])
+        assert args.dir == "."
+        assert not args.fail_empty
+
+    def test_empty_dir_exit_codes(self, tmp_path, capsys):
+        assert main(["incidents", "--dir", str(tmp_path)]) == 0
+        assert (
+            main(["incidents", "--dir", str(tmp_path), "--fail-empty"]) == 1
+        )
+        assert "none found" in capsys.readouterr().out
+
+    def test_lists_real_dump(self, tmp_path, capsys):
+        from repro.obs.flight import FlightRecorder
+
+        rec = FlightRecorder(out_dir=str(tmp_path), post_trigger_s=0.0)
+        rec.note("breaker", state="open")
+        rec.flush()
+        code = main(["incidents", "--dir", str(tmp_path), "--fail-empty"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "breaker_open" in out
+
+
+class TestChaosIncidentDir:
+    def test_parser_default(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.incident_dir is None
 
 
 class TestPerfgateCommand:

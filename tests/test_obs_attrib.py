@@ -196,3 +196,53 @@ class TestRealMergedCounters:
         report = attribute_session(session)
         assert report.wall_s == pytest.approx(10.0)
         assert report.batches == 1
+
+
+class TestServeSection:
+    """The front-door rollup rides along when serve metrics are present."""
+
+    def _with_serve_metrics(self):
+        session = _merged_session()
+        m = session.metrics
+        m.counter("serve.requests.admitted").inc(20)
+        m.counter("serve.requests.completed").inc(18)
+        m.counter("serve.requests.failed").inc(1)
+        m.counter("serve.shed").inc(1)
+        m.counter("serve.batches").inc(3)
+        m.gauge("serve.queue.depth").set(2)
+        for size in (4, 8):
+            m.histogram("serve.coalesce.batch_size").observe(size)
+        m.histogram("serve.batch.wait_s").observe(0.002)
+        for latency in (0.010, 0.020):
+            m.histogram("serve.latency_s.polymul").observe(latency)
+            m.histogram("serve.coalesce_wait_s.polymul").observe(0.001)
+            m.histogram("serve.queue_wait_s.polymul").observe(0.002)
+            m.histogram("serve.compute_s.polymul").observe(0.005)
+        return session
+
+    def test_absent_without_serve_traffic(self):
+        report = attribute_session(_merged_session(), wall_s=10.0)
+        assert report.serve == {}
+        assert "serve front door" not in format_attribution(report)
+
+    def test_populated_and_rendered_with_serve_traffic(self):
+        session = self._with_serve_metrics()
+        report = attribute_session(session, wall_s=10.0)
+        serve = report.serve
+        assert serve["admitted"] == 20
+        assert serve["completed"] == 18
+        assert serve["shed"] == 1
+        assert serve["batches"] == 3
+        assert serve["coalesce_fill"] == pytest.approx(6.0)
+        assert serve["backlog_depth"] == 2
+        ops = serve["ops"]
+        assert set(ops) == {"polymul"}
+        assert ops["polymul"]["compute_p99_s"] == pytest.approx(0.005)
+        assert ops["polymul"]["queue_wait_p99_s"] == pytest.approx(0.002)
+
+        text = format_attribution(report)
+        assert "serve front door" in text
+        assert "polymul" in text
+
+        payload = attribution_to_json(report)
+        assert payload["serve"]["admitted"] == 20

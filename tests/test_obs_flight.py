@@ -1,0 +1,256 @@
+"""Flight recorder: ring bounds, trigger rules, incident dumps, CLI."""
+
+import json
+
+import pytest
+
+from repro.obs import session as obs_session
+from repro.obs.flight import (
+    INCIDENT_FORMAT,
+    FlightRecorder,
+    list_incidents,
+    run_incidents,
+    summarize_incident,
+)
+from repro.obs.session import observing
+from repro.obs.spans import span
+
+
+class FakeClock:
+    def __init__(self, t=100.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled():
+    obs_session.disable()
+    yield
+    obs_session.disable()
+
+
+def _recorder(tmp_path, clock, **kwargs):
+    defaults = dict(
+        out_dir=str(tmp_path),
+        clock=clock,
+        window_s=1.0,
+        shed_spike_count=3,
+        deadline_burst_count=2,
+        post_trigger_s=0.25,
+        cooldown_s=5.0,
+    )
+    defaults.update(kwargs)
+    return FlightRecorder(**defaults)
+
+
+class TestRing:
+    def test_ring_is_bounded_and_seq_survives_eviction(self, tmp_path):
+        clock = FakeClock()
+        rec = _recorder(tmp_path, clock, capacity=8)
+        for i in range(20):
+            rec.record_event({"event": "e", "i": i})
+        assert len(rec._ring) == 8
+        # Monotone sequence numbers keep counting past eviction.
+        assert rec._ring[-1][0] == 20
+        assert rec._ring[0][0] == 13
+
+    def test_attach_feeds_spans_events_notes(self, tmp_path):
+        clock = FakeClock()
+        rec = _recorder(tmp_path, clock)
+        with observing() as session:
+            rec.attach(session)
+            assert session.flight is rec
+            with span("work"):
+                pass
+            session.event("shard.dispatched", batch=1)
+            rec.note("shed", reason="quota")
+            kinds = [kind for _, kind, _ in rec._ring]
+            assert kinds == ["span", "event", "note"]
+            rec.detach()
+            assert session.flight is None
+            with span("after-detach"):
+                pass
+            assert len(rec._ring) == 3
+
+
+class TestTriggers:
+    def test_breaker_open_fires_immediately(self, tmp_path):
+        clock = FakeClock()
+        rec = _recorder(tmp_path, clock)
+        rec.note("breaker", state="open")
+        assert rec._pending is not None
+        assert rec._pending["rule"] == "breaker_open"
+
+    def test_breaker_other_states_do_not_fire(self, tmp_path):
+        clock = FakeClock()
+        rec = _recorder(tmp_path, clock)
+        rec.note("breaker", state="half_open")
+        rec.note("breaker", state="closed")
+        assert rec._pending is None
+
+    def test_worker_restart_and_slo_breach_fire(self, tmp_path):
+        for kind, rule in (
+            ("worker_restart", "worker_restart"),
+            ("slo_breach", "slo_burn"),
+        ):
+            clock = FakeClock()
+            rec = _recorder(tmp_path, clock)
+            rec.note(kind)
+            assert rec._pending is not None
+            assert rec._pending["rule"] == rule
+
+    def test_shed_spike_needs_count_within_window(self, tmp_path):
+        clock = FakeClock()
+        rec = _recorder(tmp_path, clock, shed_spike_count=3)
+        rec.note("shed", reason="quota")
+        clock.advance(0.1)
+        rec.note("shed", reason="quota")
+        assert rec._pending is None
+        clock.advance(0.1)
+        rec.note("shed", reason="quota")
+        assert rec._pending is not None
+        assert rec._pending["rule"] == "shed_spike"
+
+    def test_slow_sheds_never_spike(self, tmp_path):
+        clock = FakeClock()
+        rec = _recorder(tmp_path, clock, shed_spike_count=3, window_s=1.0)
+        for _ in range(6):
+            rec.note("shed", reason="quota")
+            clock.advance(0.6)  # 3 sheds always span > window_s
+        assert rec._pending is None
+
+    def test_deadline_burst(self, tmp_path):
+        clock = FakeClock()
+        rec = _recorder(tmp_path, clock, deadline_burst_count=2)
+        rec.note("deadline_failure", op="polymul")
+        clock.advance(0.05)
+        rec.note("deadline_failure", op="polymul")
+        assert rec._pending is not None
+        assert rec._pending["rule"] == "deadline_burst"
+
+    def test_concurrent_trigger_folds_into_pending(self, tmp_path):
+        clock = FakeClock()
+        rec = _recorder(tmp_path, clock)
+        rec.note("worker_restart")
+        clock.advance(0.1)
+        rec.note("breaker", state="open")
+        assert rec._pending["rule"] == "worker_restart"
+        also = rec._pending.get("also")
+        assert also and also[0]["rule"] == "breaker_open"
+        path = rec.flush()
+        dump = json.loads(path.read_text())
+        assert dump["trigger"]["rule"] == "worker_restart"
+        assert dump["trigger"]["also"][0]["rule"] == "breaker_open"
+
+    def test_cooldown_rate_limits_dumps(self, tmp_path):
+        clock = FakeClock()
+        rec = _recorder(tmp_path, clock, cooldown_s=5.0)
+        rec.note("breaker", state="open")
+        assert rec.flush() is not None
+        clock.advance(1.0)  # inside the cooldown
+        rec.note("breaker", state="open")
+        assert rec._pending is None
+        assert rec.flush() is None
+        clock.advance(5.0)  # past it
+        rec.note("breaker", state="open")
+        assert rec.flush() is not None
+        assert len(rec.incidents) == 2
+
+
+class TestDump:
+    def test_finalizes_after_post_trigger_window(self, tmp_path):
+        clock = FakeClock()
+        rec = _recorder(tmp_path, clock, post_trigger_s=0.25)
+        rec.record_event({"event": "before"})
+        rec.note("breaker", state="open")
+        clock.advance(0.1)
+        rec.record_event({"event": "during"})  # within the window
+        assert not rec.incidents
+        clock.advance(0.2)  # now past the deadline
+        rec.record_event({"event": "after"})
+        assert len(rec.incidents) == 1
+
+    def test_incident_schema_and_pre_post_counts(self, tmp_path):
+        clock = FakeClock()
+        rec = _recorder(tmp_path, clock)
+        with observing() as session:
+            rec.attach(session)
+            with span("lead-up"):
+                pass
+            rec.note("breaker", state="open")
+            clock.advance(0.05)
+            with span("aftermath"):
+                pass
+            path = rec.flush()
+        data = json.loads(path.read_text())
+        assert data["format"] == INCIDENT_FORMAT
+        assert data["trigger"]["rule"] == "breaker_open"
+        assert data["captured"]["spans"] == 2
+        assert data["captured"]["pre_trigger_spans"] == 1
+        assert data["captured"]["post_trigger_spans"] == 1
+        assert data["captured"]["notes"] == 1
+        # The trace slice is a loadable Chrome trace of the ring's spans.
+        names = [
+            event["name"]
+            for event in data["trace"]["traceEvents"]
+            if event.get("ph") == "X"
+        ]
+        assert "lead-up" in names and "aftermath" in names
+        assert [s["name"] for s in data["spans"]] == ["lead-up", "aftermath"]
+        assert isinstance(data["metrics"], dict)
+        assert data["meta"]["pid"] > 0
+
+    def test_dump_counts_evicted_entries(self, tmp_path):
+        clock = FakeClock()
+        rec = _recorder(tmp_path, clock, capacity=4)
+        for i in range(10):
+            rec.record_event({"event": "e", "i": i})
+        rec.note("worker_restart")
+        data = json.loads(rec.flush().read_text())
+        assert data["captured"]["dropped"] == 11 - 4
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        clock = FakeClock()
+        rec = _recorder(tmp_path, clock)
+        rec.note("worker_restart")
+        rec.flush()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_flush_without_pending_returns_none(self, tmp_path):
+        rec = _recorder(tmp_path, FakeClock())
+        assert rec.flush() is None
+
+
+class TestIncidentsCli:
+    def _dump_one(self, tmp_path):
+        clock = FakeClock()
+        rec = _recorder(tmp_path, clock)
+        with observing() as session:
+            rec.attach(session)
+            with span("work"):
+                pass
+            rec.note("breaker", state="open")
+            return rec.flush()
+
+    def test_list_and_summarize(self, tmp_path):
+        self._dump_one(tmp_path)
+        (tmp_path / "incident-notjson.json").write_text("{broken")
+        (tmp_path / "incident-other.json").write_text('{"format": "x"}')
+        incidents = list_incidents(str(tmp_path))
+        assert len(incidents) == 1
+        text = summarize_incident(incidents[0])
+        assert "breaker_open" in text
+        assert "pre-trigger" in text
+
+    def test_run_incidents_exit_codes(self, tmp_path, capsys):
+        assert run_incidents(str(tmp_path)) == 0
+        assert run_incidents(str(tmp_path), fail_empty=True) == 1
+        self._dump_one(tmp_path)
+        assert run_incidents(str(tmp_path), fail_empty=True) == 0
+        out = capsys.readouterr().out
+        assert "breaker_open" in out

@@ -174,3 +174,75 @@ class TestRegistry:
         assert snap["a"]["type"] == "gauge"
         assert snap["b"]["value"] == 2.0
         assert snap["c"]["count"] == 1
+
+
+class TestThreadSafety:
+    """Two-thread hammers for the serve-layer's cross-thread metrics.
+
+    The front door writes from two threads at once — the asyncio event
+    loop (``serve.queue.depth`` on submit) and the dispatcher thread
+    (latency observations on resolve). These tests race exactly that
+    pattern and assert no update is lost and no internal state tears.
+    """
+
+    THREADS = 2
+    ITERATIONS = 5_000
+
+    def _hammer(self, work):
+        import threading
+
+        barrier = threading.Barrier(self.THREADS)
+        errors = []
+
+        def run(worker):
+            barrier.wait()  # maximize overlap
+            try:
+                for i in range(self.ITERATIONS):
+                    work(worker, i)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(w,))
+            for w in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_gauge_concurrent_sets_lose_no_updates(self):
+        g = Gauge("serve.queue.depth")
+        self._hammer(lambda worker, i: g.set(worker * self.ITERATIONS + i))
+        assert g.updates == self.THREADS * self.ITERATIONS
+        # Last-write-wins: the final value is one some thread wrote.
+        final_values = {
+            float(w * self.ITERATIONS + self.ITERATIONS - 1)
+            for w in range(self.THREADS)
+        }
+        assert g.value in final_values
+
+    def test_histogram_concurrent_observes_lose_no_counts(self):
+        h = Histogram("serve.latency_s", reservoir_size=256)
+        self._hammer(lambda worker, i: h.observe(float(i)))
+        total = self.THREADS * self.ITERATIONS
+        assert h.count == total
+        assert h.sum == pytest.approx(
+            self.THREADS * sum(range(self.ITERATIONS))
+        )
+        assert h.min == 0.0
+        assert h.max == float(self.ITERATIONS - 1)
+        # The reservoir never exceeds its cap and only holds real values.
+        assert len(h.values) == 256
+        assert all(0.0 <= v <= self.ITERATIONS - 1 for v in h.values)
+
+    def test_registry_concurrent_get_or_create_returns_one_metric(self):
+        reg = MetricsRegistry()
+        seen = []
+        self._hammer(
+            lambda worker, i: seen.append(reg.counter("serve.shed"))
+        )
+        assert len(reg) == 1
+        first = seen[0]
+        assert all(metric is first for metric in seen)

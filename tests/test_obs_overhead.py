@@ -139,3 +139,80 @@ class TestEmitOverhead:
 
         best = _best_of(run)
         assert best < 0.05, f"2000 disabled spans took {best * 1e3:.1f} ms"
+
+
+class TestFlightOverhead:
+    """The always-on flight recorder must respect the same invariants."""
+
+    SPAN_CALLS = 5_000
+
+    def test_attached_recorder_span_path_within_budget(self):
+        """Spans with a recorder attached vs a plain observing session.
+
+        The recorder's feed is one deque.append per span close plus a
+        pending-incident check; that must fit in the 5% budget relative
+        to an identically observed session without a recorder.
+        """
+        from repro.obs.flight import FlightRecorder
+        from repro.obs.session import observing
+        from repro.obs.spans import span
+
+        def run_library():
+            with observing() as session:
+                FlightRecorder(capacity=1024).attach(session)
+                for _ in range(self.SPAN_CALLS):
+                    with span("work"):
+                        pass
+
+        def run_control():
+            with observing():
+                for _ in range(self.SPAN_CALLS):
+                    with span("work"):
+                        pass
+
+        _assert_within_budget(run_library, run_control)
+
+    def test_disabled_hooks_allocate_nothing(self):
+        """Obs off: the serve/flight hook call sites must not allocate.
+
+        tracemalloc over a warmed loop of the permanent call sites —
+        record_serve_shed (flight-feeding), record_serve_latency_slices
+        (the per-request decomposition), and a disabled span — must show
+        zero allocations, which is what "no-op when disabled" means.
+        """
+        import tracemalloc
+
+        from repro.obs.hooks import (
+            record_serve_latency_slices,
+            record_serve_shed,
+        )
+        from repro.obs.spans import span
+
+        def hot_loop():
+            for _ in range(200):
+                record_serve_shed("queue_full")
+                record_serve_latency_slices(
+                    "polymul", "t0", 0.006, 0.001, 0.002, 0.003
+                )
+                with span("noop"):
+                    pass
+
+        hot_loop()  # warm caches/imports before measuring
+        tracemalloc.start()
+        try:
+            snap_before = tracemalloc.take_snapshot()
+            hot_loop()
+            snap_after = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        here = __file__
+        grown = [
+            diff
+            for diff in snap_after.compare_to(snap_before, "lineno")
+            if diff.size_diff > 0
+            and any(frame.filename == here for frame in diff.traceback)
+        ]
+        assert not grown, (
+            "disabled hook loop allocated: "
+            + "; ".join(str(d) for d in grown[:5])
+        )

@@ -1,0 +1,162 @@
+"""SLO tracker: window close math, burn rate, breach streaks, publication."""
+
+import pytest
+
+from repro.obs import session as obs_session
+from repro.obs.slo import SloTracker, _percentile
+from repro.obs.session import observing
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled():
+    obs_session.disable()
+    yield
+    obs_session.disable()
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SloTracker(window_s=0.0)
+        with pytest.raises(ValueError):
+            SloTracker(burn_windows=0)
+        with pytest.raises(ValueError):
+            SloTracker(error_budget=0.0)
+        with pytest.raises(ValueError):
+            SloTracker(error_budget=1.5)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [float(i) for i in range(1, 101)]
+        assert _percentile(values, 99.0) == 99.0
+        assert _percentile(values, 50.0) == 51.0
+        assert _percentile([7.0], 99.0) == 7.0
+
+
+class TestWindows:
+    def test_window_closes_on_index_change(self):
+        clock = FakeClock(0.5)
+        tracker = SloTracker(slo_p99_ms=100.0, window_s=1.0, clock=clock)
+        for latency_ms in (10.0, 20.0, 30.0):
+            tracker.record("polymul", "t0", latency_ms / 1e3)
+        assert tracker.window_p99_ms("polymul") is None  # still open
+        clock.advance(1.0)
+        tracker.record("polymul", "t0", 0.040)  # rolls the window
+        assert tracker.window_p99_ms("polymul") == 30.0
+        assert tracker.tenant_p99_ms("t0") == 30.0
+        assert tracker.tenant_p99_ms("missing") is None
+
+    def test_violations_and_burn_rate(self):
+        clock = FakeClock(0.5)
+        tracker = SloTracker(
+            slo_p99_ms=100.0, window_s=1.0, burn_windows=3,
+            error_budget=0.1, clock=clock,
+        )
+        # Window 0: 8 in-budget + 2 over-target = 20% violations.
+        for _ in range(8):
+            tracker.record("ntt", "t0", 0.010)
+        for _ in range(2):
+            tracker.record("ntt", "t0", 0.500)
+        clock.advance(1.0)
+        tracker.record("ntt", "t0", 0.010)  # closes window 0
+        # 0.2 violation fraction / 0.1 budget = 2x burn.
+        assert tracker.burn_rate("ntt") == pytest.approx(2.0)
+        assert tracker.burn_rate("unknown") == 0.0
+
+    def test_failures_count_as_violations_not_samples(self):
+        clock = FakeClock(0.5)
+        tracker = SloTracker(slo_p99_ms=100.0, window_s=1.0, clock=clock)
+        tracker.record("ntt", "t0", 0.010)
+        tracker.record("ntt", "t0", 99.0, ok=False)  # huge, but excluded
+        clock.advance(1.0)
+        tracker.record("ntt", "t0", 0.010)
+        # The failure's latency never reaches the percentile...
+        assert tracker.window_p99_ms("ntt") == 10.0
+        # ...but it still burned budget: 1 violation / 2 requests / 0.01.
+        assert tracker.burn_rate("ntt") == pytest.approx(50.0)
+
+    def test_breach_streak_tracks_consecutive_windows(self):
+        clock = FakeClock(0.5)
+        tracker = SloTracker(
+            slo_p99_ms=50.0, window_s=1.0, burn_windows=3, clock=clock
+        )
+        for _ in range(3):  # three breached windows in a row
+            tracker.record("ntt", "t0", 0.200)
+            clock.advance(1.0)
+        tracker.record("ntt", "t0", 0.200)
+        assert tracker.breach_streak("ntt") == 3
+        clock.advance(1.0)
+        tracker.record("ntt", "t0", 0.001)  # closes a 4th breached window
+        assert tracker.breach_streak("ntt") == 4
+        clock.advance(1.0)
+        tracker.record("ntt", "t0", 0.001)  # closes a healthy window
+        assert tracker.breach_streak("ntt") == 0
+
+    def test_no_slo_means_no_breaches(self):
+        clock = FakeClock(0.5)
+        tracker = SloTracker(slo_p99_ms=None, window_s=1.0, clock=clock)
+        tracker.record("ntt", "t0", 5.0)
+        clock.advance(1.0)
+        tracker.record("ntt", "t0", 5.0)
+        assert tracker.breach_streak("ntt") == 0
+        assert tracker.burn_rate("ntt") == 0.0
+
+
+class TestPublication:
+    def test_gauges_and_counters_published_under_session(self):
+        clock = FakeClock(0.5)
+        tracker = SloTracker(
+            slo_p99_ms=50.0, window_s=1.0, burn_windows=3,
+            error_budget=0.5, clock=clock,
+        )
+        with observing() as session:
+            tracker.record("ntt", "t0", 0.200)  # violation
+            clock.advance(1.0)
+            tracker.record("ntt", "t0", 0.001)
+            snap = session.metrics.snapshot()
+        assert snap["serve.slo.p99_ms.ntt"]["value"] == pytest.approx(200.0)
+        assert snap["serve.slo.target_ms.ntt"]["value"] == 50.0
+        assert snap["serve.slo.burn_rate.ntt"]["value"] == pytest.approx(2.0)
+        assert snap["serve.slo.breach_windows.ntt"]["value"] == 1.0
+        assert snap["serve.slo.violations"]["value"] == 1
+        assert snap["serve.slo.violations.ntt"]["value"] == 1
+        assert snap["serve.slo.violations.tenant.t0"]["value"] == 1
+
+    def test_no_session_publication_is_noop(self):
+        clock = FakeClock(0.5)
+        tracker = SloTracker(slo_p99_ms=50.0, window_s=1.0, clock=clock)
+        tracker.record("ntt", "t0", 0.200)
+        clock.advance(1.0)
+        tracker.record("ntt", "t0", 0.001)  # closes + would publish
+        assert tracker.window_p99_ms("ntt") == 200.0  # tracking still works
+
+    def test_breach_streak_raises_flight_note(self):
+        from repro.obs.flight import FlightRecorder
+
+        clock = FakeClock(0.5)
+        tracker = SloTracker(
+            slo_p99_ms=50.0, window_s=1.0, burn_windows=2, clock=clock
+        )
+        with observing() as session:
+            rec = FlightRecorder(clock=clock)
+            rec.attach(session)
+            for _ in range(2):
+                tracker.record("ntt", "t0", 0.200)
+                clock.advance(1.0)
+            tracker.record("ntt", "t0", 0.200)  # closes 2nd breached window
+            assert rec._pending is not None
+            assert rec._pending["rule"] == "slo_burn"
+            assert rec._pending["detail"]["op"] == "ntt"
+            rec.detach()

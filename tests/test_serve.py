@@ -528,6 +528,83 @@ class TestServeConfig:
         with pytest.raises(ServeError):
             ServeConfig(default_deadline_s=0.0)
 
+    def test_rejects_bad_slo_settings(self):
+        with pytest.raises(ServeError):
+            ServeConfig(slo_p99_ms=0.0)
+        with pytest.raises(ServeError):
+            ServeConfig(slo_window_s=0.0)
+        with pytest.raises(ServeError):
+            ServeConfig(slo_burn_windows=0)
+        with pytest.raises(ServeError):
+            ServeConfig(slo_error_budget=0.0)
+        with pytest.raises(ServeError):
+            ServeConfig(slo_error_budget=1.5)
+        # A valid objective threads through to the tracker.
+        config = ServeConfig(slo_p99_ms=50.0, slo_burn_windows=2)
+        assert config.slo_p99_ms == 50.0
+
+
+class TestServeObservability:
+    """The per-request latency decomposition lands in the metrics."""
+
+    def test_latency_slices_and_slo_recorded(self):
+        from repro.obs import session as obs_session
+        from repro.obs.session import observing
+
+        obs_session.disable()
+        pairs = _pairs(seed=7, count=8)
+
+        async def drive():
+            service = ReproService(config=ServeConfig(
+                engine="fast", max_batch=4, max_wait_s=0.001,
+                slo_p99_ms=250.0,
+            ))
+            async with service:
+                await asyncio.gather(*(
+                    service.submit(
+                        "polymul", pair, N, Q, tenant=f"t{i % 2}"
+                    )
+                    for i, pair in enumerate(pairs)
+                ))
+            return service
+
+        try:
+            with observing() as session:
+                service = asyncio.run(drive())
+                snap = session.metrics.snapshot()
+        finally:
+            obs_session.disable()
+
+        # Decomposition: every completed request contributes one sample
+        # to each stage histogram, and the stages sum below the total.
+        for stage in (
+            "serve.latency_s.polymul",
+            "serve.coalesce_wait_s.polymul",
+            "serve.queue_wait_s.polymul",
+            "serve.compute_s.polymul",
+        ):
+            assert snap[stage]["count"] == 8, stage
+        slices_mean = sum(
+            snap[f"serve.{s}.polymul"]["mean"]
+            for s in ("coalesce_wait_s", "queue_wait_s", "compute_s")
+        )
+        assert slices_mean <= snap["serve.latency_s.polymul"]["mean"] * 1.01
+
+        # Per-tenant latency series exist for both rotated tenants.
+        assert snap["serve.tenant.t0.latency_s"]["count"] == 4
+        assert snap["serve.tenant.t1.latency_s"]["count"] == 4
+
+        # Coalescer fill histogram observed one sample per batch.
+        assert (
+            snap["serve.coalesce.batch_size"]["count"]
+            == snap["serve.batches"]["value"]
+        )
+
+        # The SLO tracker was fed every completion for op and tenants.
+        assert service.slo.slo_p99_ms == 250.0
+        assert "polymul" in service.slo._ops
+        assert {"t0", "t1"} <= set(service.slo._tenants)
+
 
 # ----------------------------------------------------------------------
 # Loadgen smoke (fast engine: no pool, tiny sizes)
